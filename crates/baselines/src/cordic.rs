@@ -1,0 +1,175 @@
+//! The hyperbolic-CORDIC exponential of \[14\]/\[15\]: 21 bits.
+//!
+//! Rotation-mode hyperbolic CORDIC drives the residual angle `z → 0`
+//! through shift-add iterations, leaving `x = K·cosh(z₀)` and
+//! `y = K·sinh(z₀)`, so `e^{z₀} = (x + y)/K`. Convergence requires
+//! `|z₀| ≲ 1.118`, so the input is range-reduced base-2 first:
+//! `e^v = 2^I · e^r` with `r = v − I·ln2 ∈ [0, ln2)`. Iterations 4 and 13
+//! are repeated, as the hyperbolic variant requires.
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::{Comparator, TargetFunc};
+
+/// 21-bit input `Q4.16`.
+fn in_fmt() -> QFormat {
+    QFormat::new(4, 16).expect("Q4.16 is valid")
+}
+
+/// 21-bit output `Q1.19`.
+fn out_fmt() -> QFormat {
+    QFormat::new(1, 19).expect("Q1.19 is valid")
+}
+
+/// Internal working precision (guard bits over the output).
+const WORK_FRAC: u32 = 24;
+
+/// The \[14\]/\[15\] comparator.
+#[derive(Debug, Clone)]
+pub struct CordicExp {
+    /// `atanh(2^{-i})` angles at the working scale, with 4 and 13 repeated.
+    angles: Vec<(u32, i64)>,
+    /// `1/K` (inverse hyperbolic CORDIC gain) at the working scale.
+    inv_gain: i64,
+    /// `ln 2` at the working scale.
+    ln2: i64,
+}
+
+impl CordicExp {
+    /// Builds the iteration schedule for the 21-bit precision (one
+    /// iteration per quotient bit plus the mandatory repeats).
+    #[must_use]
+    pub fn new() -> Self {
+        let iterations: Vec<u32> = {
+            let mut v = Vec::new();
+            for i in 1..=22u32 {
+                v.push(i);
+                if i == 4 || i == 13 {
+                    v.push(i); // hyperbolic-CORDIC convergence repeats
+                }
+            }
+            v
+        };
+        let angles = iterations
+            .iter()
+            .map(|&i| {
+                let a = (2.0_f64.powi(-(i as i32))).atanh();
+                (i, Rounding::Nearest.quantize(a, WORK_FRAC) as i64)
+            })
+            .collect();
+        // K = Π sqrt(1 - 2^-2i) over the schedule (with repeats).
+        let gain: f64 = iterations
+            .iter()
+            .map(|&i| (1.0 - 2.0_f64.powi(-2 * i as i32)).sqrt())
+            .product();
+        Self {
+            angles,
+            inv_gain: Rounding::Nearest.quantize(gain.recip(), WORK_FRAC) as i64,
+            ln2: Rounding::Nearest.quantize(std::f64::consts::LN_2, WORK_FRAC) as i64,
+        }
+    }
+
+    /// `e^r` for `r_raw ∈ [0, ln2)` at the working scale.
+    fn exp_core(&self, r_raw: i64) -> i64 {
+        let mut x: i64 = self.inv_gain;
+        let mut y: i64 = 0;
+        let mut z: i64 = r_raw;
+        for &(i, angle) in &self.angles {
+            let (dx, dy) = (y >> i, x >> i);
+            if z >= 0 {
+                x += dx;
+                y += dy;
+                z -= angle;
+            } else {
+                x -= dx;
+                y -= dy;
+                z += angle;
+            }
+        }
+        x + y // cosh r + sinh r = e^r
+    }
+}
+
+impl Default for CordicExp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Comparator for CordicExp {
+    fn citation(&self) -> &'static str {
+        "[14]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "CORDIC"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Exp
+    }
+
+    fn input_format(&self) -> QFormat {
+        in_fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        out_fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), in_fmt(), "input format mismatch");
+        let in_frac = in_fmt().frac_bits();
+        // Input at the working scale, clamped to the normalised range.
+        let v = (x.raw().min(0) as i128) << (WORK_FRAC - in_frac);
+        // Base-2 range reduction: v = I·ln2 + r with r ∈ [0, ln2).
+        let i = (v).div_euclid(self.ln2 as i128) as i64;
+        let r = (v).rem_euclid(self.ln2 as i128) as i64;
+        let e_r = self.exp_core(r);
+        let shift = (-i).min(62) as u32;
+        let shifted = Rounding::Nearest.shift_right(e_r as i128, shift);
+        let y = Rounding::Nearest.shift_right(shifted, WORK_FRAC - out_fmt().frac_bits());
+        Fx::from_raw_saturating(y as i64, out_fmt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn core_converges_on_the_reduced_range() {
+        let d = CordicExp::new();
+        let scale = f64::from(1u32 << WORK_FRAC);
+        for r in [0.0, 0.1, 0.35, 0.6, 0.69] {
+            let raw = (r * scale).round() as i64;
+            let got = d.exp_core(raw) as f64 / scale;
+            assert!((got - r.exp()).abs() < 1e-5, "e^{r}: {got}");
+        }
+    }
+
+    #[test]
+    fn gain_compensation_is_built_in() {
+        // exp_core(0) must be exactly 1 up to quantisation: x+y = 1/K·K.
+        let d = CordicExp::new();
+        let scale = f64::from(1u32 << WORK_FRAC);
+        let one = d.exp_core(0) as f64 / scale;
+        assert!((one - 1.0).abs() < 1e-5, "e^0 = {one}");
+    }
+
+    #[test]
+    fn full_range_error_is_an_order_below_nacu() {
+        let report = measure(&CordicExp::new());
+        assert!(report.max_error < 4e-4, "max {}", report.max_error);
+        assert!(report.correlation > 0.999_99);
+    }
+
+    #[test]
+    fn deep_negative_inputs_underflow_to_zero() {
+        let d = CordicExp::new();
+        let f = in_fmt();
+        let y = d.eval(Fx::from_f64(-15.9, f, Rounding::Nearest)).to_f64();
+        assert!(y < 1e-4);
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared base-2 range-reduction helpers for the exponential comparators.
+//!
+//! Every related-work exp design (\[12\], \[13\], \[14\]) exploits the change of
+//! base `e^x = 2^{x·log₂e} = 2^I · 2^F` with `I = ⌊t⌋ ≤ 0` and
+//! `F = t − I ∈ [0, 1)`: the integer part becomes an arithmetic shift and
+//! only the fractional power needs approximating.
+
+use nacu_fixed::Rounding;
+
+/// `log₂(e)` as a fixed-point constant with `frac` fractional bits.
+#[must_use]
+pub fn log2e_raw(frac: u32) -> i64 {
+    Rounding::Nearest.quantize(std::f64::consts::LOG2_E, frac) as i64
+}
+
+/// Multiplier-less `x·log₂e` of \[12\]: shift-add with
+/// `1.44140625 = 1 + 2⁻¹ − 2⁻⁴ + 2⁻⁸` (four terms, no multiplier).
+#[must_use]
+pub fn mul_log2e_shift_add(x_raw: i64) -> i64 {
+    x_raw + (x_raw >> 1) - (x_raw >> 4) + (x_raw >> 8)
+}
+
+/// Exact fixed-point `x·log₂e` (for the designs that do own a multiplier):
+/// the product is formed wide and rounded back to `frac` fractional bits.
+#[must_use]
+pub fn mul_log2e(x_raw: i64, frac: u32) -> i64 {
+    let product = x_raw as i128 * log2e_raw(frac) as i128;
+    Rounding::Nearest.shift_right(product, frac) as i64
+}
+
+/// Splits `t` (raw, `frac` fractional bits, any sign) into the base-2
+/// exponent pair: `(I, F_raw)` with `I = ⌊t⌋` and `F_raw ∈ [0, 2^frac)`.
+#[must_use]
+pub fn split(t_raw: i64, frac: u32) -> (i64, i64) {
+    let one = 1_i64 << frac;
+    let i = t_raw.div_euclid(one);
+    let f = t_raw.rem_euclid(one);
+    (i, f)
+}
+
+/// Applies the integer part: `value >> (−I)` for `I ≤ 0` (arithmetic right
+/// shift with round-to-nearest), saturating the shift amount.
+#[must_use]
+pub fn apply_negative_exponent(value_raw: i64, i: i64) -> i64 {
+    debug_assert!(i <= 0, "normalised exp inputs have non-positive exponent");
+    let shift = (-i).min(62) as u32;
+    Rounding::Nearest.shift_right(value_raw as i128, shift) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_add_constant_is_close_to_log2e() {
+        // The [12] approximation: 1.44140625 vs 1.442695...
+        let f = 16u32;
+        let one = 1_i64 << f;
+        let approx = mul_log2e_shift_add(one) as f64 / one as f64;
+        assert!((approx - 1.44140625).abs() < 1e-9);
+        assert!((approx - std::f64::consts::LOG2_E).abs() < 2e-3);
+    }
+
+    #[test]
+    fn exact_multiply_error_scales_with_magnitude() {
+        // The quantised constant is off by ≤ half an LSB, so the product
+        // error grows with |x|: ≤ (|x|/2 + 1) LSBs after rounding.
+        let f = 13u32;
+        let one = 1_i64 << f;
+        for v in [-16.0_f64, -3.3, -0.5, 0.0] {
+            let raw = (v * one as f64).round() as i64;
+            let t = mul_log2e(raw, f) as f64 / one as f64;
+            let bound = (v.abs() / 2.0 + 1.5) / one as f64;
+            assert!(
+                (t - v * std::f64::consts::LOG2_E).abs() < bound,
+                "v={v}: {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_handles_negative_values() {
+        let f = 4u32;
+        // t = -1.25 → I = -2, F = 0.75.
+        let (i, fr) = split(-20, f);
+        assert_eq!(i, -2);
+        assert_eq!(fr, 12);
+        // t = -2.0 exactly → I = -2, F = 0.
+        let (i, fr) = split(-32, f);
+        assert_eq!(i, -2);
+        assert_eq!(fr, 0);
+        // t = 0.5 → I = 0, F = 0.5.
+        let (i, fr) = split(8, f);
+        assert_eq!(i, 0);
+        assert_eq!(fr, 8);
+    }
+
+    #[test]
+    fn split_reconstructs_input() {
+        let f = 7u32;
+        let one = 1_i64 << f;
+        for t in -1000..100 {
+            let (i, fr) = split(t, f);
+            assert_eq!(i * one + fr, t);
+            assert!((0..one).contains(&fr));
+        }
+    }
+
+    #[test]
+    fn exponent_shift_halves_per_step() {
+        let one = 1_i64 << 10;
+        assert_eq!(apply_negative_exponent(one, 0), one);
+        assert_eq!(apply_negative_exponent(one, -1), one / 2);
+        assert_eq!(apply_negative_exponent(one, -10), 1);
+        assert_eq!(apply_negative_exponent(one, -100), 0);
+    }
+}

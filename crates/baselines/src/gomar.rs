@@ -1,0 +1,203 @@
+//! The exp-based σ/tanh of Gomar et al. \[11\], built on the multiplier-less
+//! exponential of \[12\].
+//!
+//! \[12\] computes `e^u = 2^{u·log₂e}` with the shift-add constant
+//! `1.44140625` and the first-order fractional power `2^F ≈ 1 + F`
+//! (§VI: "the fractional part is approximated as the line 1+x, and the
+//! 2nd power of the integer part is implemented using bit shifts").
+//!
+//! \[11\] then forms `σ(x) = 1/(1 + e^{−x})` with a divider and
+//! `tanh(x) = 2σ(2x) − 1` (Eq. 3). The paper reports RMSE `9.1×10⁻³`
+//! (σ) and `1.77×10⁻²` (tanh) — an order of magnitude worse than NACU,
+//! which is exactly what the `2^F ≈ 1+F` kink costs.
+
+use nacu_fixed::{Fx, QFormat};
+
+use crate::exp2;
+use crate::{Comparator, TargetFunc};
+
+/// Working/output format: 14 bits (`Q3.10`), the top of the 6–14 bit range
+/// Table I lists for \[11\].
+fn fmt() -> QFormat {
+    QFormat::new(3, 10).expect("Q3.10 is valid")
+}
+
+/// `e^{-u}` for `u ≥ 0` via the \[12\] recipe, on raw codes with `frac`
+/// fractional bits.
+fn exp_neg_gomar(u_raw: i64, frac: u32) -> i64 {
+    debug_assert!(u_raw >= 0);
+    let one = 1_i64 << frac;
+    // t = −u·log2e via shift-add (negative).
+    let t = exp2::mul_log2e_shift_add(-u_raw);
+    let (i, f) = exp2::split(t, frac);
+    // 2^F ≈ 1 + F, then shift right by −I.
+    exp2::apply_negative_exponent(one + f, i)
+}
+
+/// σ on raw codes: `1/(1 + e^{−|x|})` with a restoring divide, mirrored by
+/// Eq. 4 for negative inputs.
+fn sigmoid_raw(x_raw: i64, frac: u32) -> i64 {
+    let one = 1_i64 << frac;
+    let mag = x_raw.abs();
+    let e = exp_neg_gomar(mag, frac);
+    let denom = one + e;
+    let q = nacu::divider::restoring_divide(one, denom, frac).expect("denom ≥ 1");
+    if x_raw >= 0 {
+        q
+    } else {
+        one - q
+    }
+}
+
+/// The σ comparator of \[11\].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GomarSigmoid {
+    _private: (),
+}
+
+impl GomarSigmoid {
+    /// Creates the design at its published 14-bit width.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Comparator for GomarSigmoid {
+    fn citation(&self) -> &'static str {
+        "[11]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "based on e^x"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Sigmoid
+    }
+
+    fn input_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), fmt(), "input format mismatch");
+        let y = sigmoid_raw(x.raw(), fmt().frac_bits());
+        Fx::from_raw_saturating(y, fmt())
+    }
+}
+
+/// The tanh comparator of \[11\]: `tanh(x) = 2σ(2x) − 1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GomarTanh {
+    _private: (),
+}
+
+impl GomarTanh {
+    /// Creates the design at its published 14-bit width.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Comparator for GomarTanh {
+    fn citation(&self) -> &'static str {
+        "[11]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "based on e^x"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Tanh
+    }
+
+    fn input_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), fmt(), "input format mismatch");
+        let f = fmt().frac_bits();
+        let one = 1_i64 << f;
+        let doubled = fmt().saturate_raw(2 * x.raw() as i128);
+        let s = sigmoid_raw(doubled, f);
+        Fx::from_raw_saturating(2 * s - one, fmt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use nacu_fixed::Rounding;
+
+    #[test]
+    fn exp_kink_error_is_percent_level() {
+        // 2^F ≈ 1+F is worst near F ≈ 0.53 (≈ 6% relative).
+        let f = 10u32;
+        let one = 1_i64 << f;
+        let mut worst = 0.0_f64;
+        for u in 0..(4 * one) {
+            let got = exp_neg_gomar(u, f) as f64 / one as f64;
+            let want = (-(u as f64) / one as f64).exp();
+            worst = worst.max((got - want).abs());
+        }
+        assert!(worst > 5e-3, "the [12] approximation has a visible kink");
+        assert!(worst < 5e-2, "but stays in the percent decade: {worst}");
+    }
+
+    #[test]
+    fn sigma_rmse_lands_in_the_published_decade() {
+        // [11] reports RMSE 9.1e-3 for σ.
+        let report = measure(&GomarSigmoid::new());
+        assert!(
+            report.rmse > 1e-3 && report.rmse < 3e-2,
+            "rmse {}",
+            report.rmse
+        );
+        assert!(report.correlation > 0.99);
+    }
+
+    #[test]
+    fn tanh_rmse_is_roughly_double_sigma() {
+        // Eq. 3 doubles the σ error: [11] reports 1.77e-2 vs 9.1e-3.
+        let sig = measure(&GomarSigmoid::new());
+        let tanh = measure(&GomarTanh::new());
+        assert!(tanh.rmse > sig.rmse, "{} vs {}", tanh.rmse, sig.rmse);
+        assert!(tanh.rmse < 4.0 * sig.rmse);
+    }
+
+    #[test]
+    fn symmetry_holds() {
+        let d = GomarSigmoid::new();
+        let f = fmt();
+        let x = Fx::from_f64(1.3, f, Rounding::Nearest);
+        let nx = Fx::from_f64(-1.3, f, Rounding::Nearest);
+        let sum = d.eval(x).to_f64() + d.eval(nx).to_f64();
+        assert!((sum - 1.0).abs() < 2e-3, "σ(x)+σ(−x) = {sum}");
+    }
+
+    #[test]
+    fn known_points() {
+        let s = GomarSigmoid::new();
+        let t = GomarTanh::new();
+        let f = fmt();
+        let zero = Fx::zero(f);
+        assert!((s.eval(zero).to_f64() - 0.5).abs() < 5e-3);
+        assert!(t.eval(zero).to_f64().abs() < 5e-3);
+        let big = Fx::from_f64(7.9, f, Rounding::Nearest);
+        assert!((s.eval(big).to_f64() - 1.0).abs() < 5e-3);
+        assert!((t.eval(big).to_f64() - 1.0).abs() < 5e-3);
+    }
+}

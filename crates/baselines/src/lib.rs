@@ -1,0 +1,201 @@
+//! Re-implementations of the related work the NACU paper compares against
+//! (§VI, Table I, Fig. 6).
+//!
+//! Each module implements one published hardware approximation **from its
+//! paper's description, at its paper's bit-width**, behind the common
+//! [`Comparator`] trait, so the Fig. 6 error comparison can be regenerated
+//! by sweeping every design with the same measurement kernel
+//! ([`measure`]).
+//!
+//! | module | citation | style | functions |
+//! |---|---|---|---|
+//! | [`zamanlooy`] | \[4\] | 3-region RALUT, 9→6 bit | tanh |
+//! | [`leboeuf`] | \[5\] | 127-entry RALUT, 10 bit | tanh |
+//! | [`tsmots`] | \[6\] | 7-seg NUPWL (power-of-two slopes) + 2nd-order Taylor, 16 bit | σ |
+//! | [`namin`] | \[8\] | PWL + RALUT hybrid, 10 bit | tanh |
+//! | [`finker`] | \[10\] | 102-seg 1st / 28-seg 2nd-order Taylor, 16 bit | σ |
+//! | [`gomar`] | \[11\], \[12\] | multiplier-less 2^x with `2^F ≈ 1+F`, σ/tanh via division | σ, tanh |
+//! | [`basterretxea`] | \[7\] | recursive centred-interpolation PWL, 16 bit | σ |
+//! | [`nambiar`] | \[9\] | power-of-two parabolic sigmoid-like, 16 bit | σ |
+//! | [`nilsson`] | \[13\] | 6th-order Taylor exp, 18 bit | e |
+//! | [`cordic`] | \[14\], \[15\] | hyperbolic CORDIC exp, 21 bit | e |
+//! | [`parabolic`] | \[14\] | parabolic-synthesis exp, 18 bit | e |
+//!
+//! These are reproductions of *algorithms*, not netlists: absolute errors
+//! land in each design's published decade and the orderings of Fig. 6 are
+//! preserved (see EXPERIMENTS.md for measured-vs-paper numbers).
+
+pub mod basterretxea;
+pub mod cordic;
+pub mod exp2;
+pub mod finker;
+pub mod gomar;
+pub mod leboeuf;
+pub mod nambiar;
+pub mod namin;
+pub mod nilsson;
+pub mod parabolic;
+pub mod tsmots;
+pub mod zamanlooy;
+
+use nacu_fixed::{Fx, QFormat};
+use nacu_funcapprox::metrics::{self, ErrorReport};
+
+/// Which mathematical function a comparator implements, with **full-range**
+/// semantics (unlike [`nacu_funcapprox::reference::RefFunc`], which is the
+/// one-sided table-domain view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TargetFunc {
+    /// σ over the design's full signed input range.
+    Sigmoid,
+    /// tanh over the design's full signed input range.
+    Tanh,
+    /// e^x over the non-positive (softmax-normalised) range.
+    Exp,
+}
+
+impl TargetFunc {
+    /// The f64 golden reference.
+    #[must_use]
+    pub fn reference(&self, x: f64) -> f64 {
+        match self {
+            TargetFunc::Sigmoid => nacu_funcapprox::reference::sigmoid(x),
+            TargetFunc::Tanh => x.tanh(),
+            TargetFunc::Exp => x.exp(),
+        }
+    }
+}
+
+impl std::fmt::Display for TargetFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            TargetFunc::Sigmoid => "sigmoid",
+            TargetFunc::Tanh => "tanh",
+            TargetFunc::Exp => "exp",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A related-work design under measurement.
+///
+/// Implementations evaluate bit-accurately at their published word widths;
+/// [`measure`] sweeps every representable input in the design's domain.
+pub trait Comparator {
+    /// Citation key as printed in Table I (e.g. `"\[4\]"`).
+    fn citation(&self) -> &'static str;
+
+    /// Implementation style as printed in Table I.
+    fn implementation(&self) -> &'static str;
+
+    /// The function this design computes.
+    fn func(&self) -> TargetFunc;
+
+    /// Input format (the design's published width).
+    fn input_format(&self) -> QFormat;
+
+    /// Output format.
+    fn output_format(&self) -> QFormat;
+
+    /// Bit-accurate evaluation of one sample.
+    fn eval(&self, x: Fx) -> Fx;
+}
+
+/// Sweeps a comparator over its full input domain and reports the paper's
+/// error statistics.
+#[must_use]
+pub fn measure(design: &dyn Comparator) -> ErrorReport {
+    let fmt = design.input_format();
+    let func = design.func();
+    let (lo, hi) = match func {
+        TargetFunc::Sigmoid | TargetFunc::Tanh => (fmt.min_raw(), fmt.max_raw()),
+        TargetFunc::Exp => (fmt.min_raw(), 0),
+    };
+    metrics::sweep_raw_range(
+        fmt,
+        lo,
+        hi,
+        |x| func.reference(x),
+        |x| design.eval(x).to_f64(),
+    )
+}
+
+/// All σ comparators of Fig. 6a/6d, boxed for uniform sweeping.
+#[must_use]
+pub fn sigmoid_designs() -> Vec<Box<dyn Comparator>> {
+    vec![
+        Box::new(tsmots::TsmotsNupwl::new()),
+        Box::new(tsmots::TsmotsTaylor2::new()),
+        Box::new(tsmots::TsmotsTaylor2Opt::new()),
+        Box::new(finker::FinkerTaylor1::new()),
+        Box::new(finker::FinkerTaylor2::new()),
+        Box::new(gomar::GomarSigmoid::new()),
+        Box::new(basterretxea::BasterretxeaCri::new()),
+        Box::new(nambiar::NambiarParabolic::new()),
+    ]
+}
+
+/// All tanh comparators of Fig. 6b/6e.
+#[must_use]
+pub fn tanh_designs() -> Vec<Box<dyn Comparator>> {
+    vec![
+        Box::new(gomar::GomarTanh::new()),
+        Box::new(zamanlooy::ZamanlooyRalut::new()),
+        Box::new(leboeuf::LeboeufRalut::new()),
+        Box::new(namin::NaminHybrid::new()),
+    ]
+}
+
+/// All exp comparators of Fig. 6c.
+#[must_use]
+pub fn exp_designs() -> Vec<Box<dyn Comparator>> {
+    vec![
+        Box::new(nilsson::NilssonTaylor6::new()),
+        Box::new(cordic::CordicExp::new()),
+        Box::new(parabolic::ParabolicExp::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_design_reports_sane_metadata() {
+        for d in sigmoid_designs() {
+            assert_eq!(d.func(), TargetFunc::Sigmoid, "{}", d.citation());
+        }
+        for d in tanh_designs() {
+            assert_eq!(d.func(), TargetFunc::Tanh, "{}", d.citation());
+        }
+        for d in exp_designs() {
+            assert_eq!(d.func(), TargetFunc::Exp, "{}", d.citation());
+        }
+    }
+
+    #[test]
+    fn every_design_is_better_than_a_constant() {
+        for d in sigmoid_designs()
+            .into_iter()
+            .chain(tanh_designs())
+            .chain(exp_designs())
+        {
+            let report = measure(d.as_ref());
+            assert!(
+                report.max_error < 0.2,
+                "{} {} is broken: max error {}",
+                d.citation(),
+                d.implementation(),
+                report.max_error
+            );
+            assert!(
+                report.correlation > 0.99,
+                "{} {}: correlation {}",
+                d.citation(),
+                d.implementation(),
+                report.correlation
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The cost-efficient sigmoid-like activation of Nambiar et al. \[9\].
+//!
+//! \[9\] replaces σ with a **piecewise parabolic sigmoid-like** curve whose
+//! coefficients are powers of two, so evaluation is two shifts and an add
+//! (§VI groups it with the parabolic approximations of \[6\]). The classic
+//! construction ("PLAN-style" quadratic): for `0 ≤ x < 4`,
+//! `y = 1 − (4 − x)²/32`, saturating to 1 beyond, mirrored for `x < 0`.
+//! All constants are powers of two; the curve matches σ's value and
+//! saturation behaviour but not its exact shape — a deliberate
+//! accuracy-for-area trade.
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::{Comparator, TargetFunc};
+
+/// 16-bit `Q3.12`.
+fn fmt() -> QFormat {
+    QFormat::new(3, 12).expect("Q3.12 is valid")
+}
+
+/// Saturation edge of the parabolic section.
+const EDGE: f64 = 4.0;
+
+/// The \[9\] comparator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NambiarParabolic {
+    _private: (),
+}
+
+impl NambiarParabolic {
+    /// Creates the design.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+
+    fn positive(mag: f64) -> f64 {
+        if mag >= EDGE {
+            return 1.0;
+        }
+        // 1 − (4 − x)²/32: the divide-by-32 is a 5-bit right shift and the
+        // square is the only multiplication.
+        let d = EDGE - mag;
+        1.0 - d * d / 32.0
+    }
+}
+
+impl Comparator for NambiarParabolic {
+    fn citation(&self) -> &'static str {
+        "[9]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "parabolic sigmoid-like"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Sigmoid
+    }
+
+    fn input_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), fmt(), "input format mismatch");
+        let mag = (x.raw().abs() as f64) * fmt().resolution();
+        let y = Self::positive(mag);
+        let out = if x.raw() < 0 { 1.0 - y } else { y };
+        Fx::from_f64(out, fmt(), Rounding::Nearest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn endpoints_match_sigma_exactly() {
+        let d = NambiarParabolic::new();
+        let f = fmt();
+        // y(0) = 1 - 16/32 = 0.5 = σ(0); y(4) = 1.
+        assert!((d.eval(Fx::zero(f)).to_f64() - 0.5).abs() < 1e-3);
+        let x4 = Fx::from_f64(4.0, f, Rounding::Nearest);
+        assert!((d.eval(x4).to_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn error_reflects_the_deliberate_shape_mismatch() {
+        // A sigmoid-like curve, not σ: percent-level max error is the
+        // design's stated trade (its value is the zero-multiplier cost).
+        let report = measure(&NambiarParabolic::new());
+        assert!(
+            report.max_error > 1e-2 && report.max_error < 8e-2,
+            "max {}",
+            report.max_error
+        );
+        assert!(report.correlation > 0.99);
+    }
+
+    #[test]
+    fn monotone_and_saturating() {
+        let d = NambiarParabolic::new();
+        let f = fmt();
+        let mut prev = -1.0;
+        for raw in (0..f.max_raw()).step_by(61) {
+            let y = d.eval(Fx::from_raw(raw, f).unwrap()).to_f64();
+            assert!(y >= prev - 1e-12);
+            prev = y;
+        }
+        let beyond = Fx::from_f64(7.5, f, Rounding::Nearest);
+        assert!((d.eval(beyond).to_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn centrosymmetric_like_sigma() {
+        let d = NambiarParabolic::new();
+        let f = fmt();
+        for v in [0.5, 2.0, 3.5] {
+            let p = d.eval(Fx::from_f64(v, f, Rounding::Nearest)).to_f64();
+            let n = d.eval(Fx::from_f64(-v, f, Rounding::Nearest)).to_f64();
+            assert!((p + n - 1.0).abs() < 1e-3, "v={v}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The hybrid PWL + RALUT tanh of Namin et al. \[8\]: 10 bits.
+//!
+//! "A PWL gives a coarse approximation, and then a RALUT refines the tanh
+//! curve" (§VI): a few shift-friendly linear segments produce a first
+//! estimate; a small range-addressable correction table stores the
+//! residual. We use 4 coarse segments and a 64-record correction table
+//! (the paper does not publish its exact split; the accuracy lands at the
+//! 10-bit grid either way).
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::{Comparator, TargetFunc};
+
+/// 10-bit input `Q2.7` (range ±4).
+fn in_fmt() -> QFormat {
+    QFormat::new(2, 7).expect("Q2.7 is valid")
+}
+
+/// 10-bit output `Q0.9`.
+fn out_fmt() -> QFormat {
+    QFormat::new(0, 9).expect("Q0.9 is valid")
+}
+
+/// Number of coarse PWL segments over `[0, 4)`.
+const COARSE_SEGMENTS: usize = 4;
+/// Number of residual-correction records (the paper keeps its exact
+/// split private; 64 records land the hybrid at the 10-bit error floor).
+const CORRECTION_RECORDS: usize = 64;
+
+/// The \[8\] comparator.
+#[derive(Debug, Clone)]
+pub struct NaminHybrid {
+    /// `(slope, bias)` of each coarse segment (power-of-two slopes).
+    coarse: Vec<(f64, f64)>,
+    /// Residual corrections, one per uniform correction bin.
+    corrections: Vec<f64>,
+}
+
+impl NaminHybrid {
+    /// Builds the hybrid tables.
+    #[must_use]
+    pub fn new() -> Self {
+        let hi = in_fmt().max_value();
+        let width = hi / COARSE_SEGMENTS as f64;
+        // Coarse PWL: chord interpolation with slopes rounded to powers of
+        // two (shift-only multipliers).
+        let coarse: Vec<(f64, f64)> = (0..COARSE_SEGMENTS)
+            .map(|i| {
+                let lo = width * i as f64;
+                let hi_seg = lo + width;
+                let chord = (hi_seg.tanh() - lo.tanh()) / width;
+                let slope = if chord < 2.0 * out_fmt().resolution() {
+                    0.0
+                } else {
+                    2.0_f64.powf(chord.log2().round())
+                };
+                let bias = lo.tanh() - slope * lo;
+                (slope, bias)
+            })
+            .collect();
+        // Correction RALUT: per-bin mean residual on the output grid.
+        let bin = hi / CORRECTION_RECORDS as f64;
+        let corrections = (0..CORRECTION_RECORDS)
+            .map(|i| {
+                let centre = bin * (i as f64 + 0.5);
+                let coarse_y = Self::coarse_eval(&coarse, width, centre);
+                let residual = centre.tanh() - coarse_y;
+                Fx::from_f64(residual, out_fmt(), Rounding::Nearest).to_f64()
+            })
+            .collect();
+        Self {
+            coarse,
+            corrections,
+        }
+    }
+
+    fn coarse_eval(coarse: &[(f64, f64)], width: f64, mag: f64) -> f64 {
+        let idx = ((mag / width) as usize).min(coarse.len() - 1);
+        let (slope, bias) = coarse[idx];
+        slope * mag + bias
+    }
+
+    fn positive(&self, mag: f64) -> f64 {
+        let hi = in_fmt().max_value();
+        let width = hi / COARSE_SEGMENTS as f64;
+        let bin = hi / CORRECTION_RECORDS as f64;
+        let coarse_y = Self::coarse_eval(&self.coarse, width, mag);
+        let idx = ((mag / bin) as usize).min(self.corrections.len() - 1);
+        coarse_y + self.corrections[idx]
+    }
+}
+
+impl Default for NaminHybrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Comparator for NaminHybrid {
+    fn citation(&self) -> &'static str {
+        "[8]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "PWL + RALUT"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Tanh
+    }
+
+    fn input_format(&self) -> QFormat {
+        in_fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        out_fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), in_fmt(), "input format mismatch");
+        let mag = (x.raw().abs() as f64) * in_fmt().resolution();
+        let y = self.positive(mag);
+        let signed = if x.raw() < 0 { -y } else { y };
+        Fx::from_f64(signed, out_fmt(), Rounding::Nearest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn correction_fixes_the_coarse_estimate() {
+        let d = NaminHybrid::new();
+        let hi = in_fmt().max_value();
+        let width = hi / COARSE_SEGMENTS as f64;
+        let mut coarse_worst = 0.0_f64;
+        let mut hybrid_worst = 0.0_f64;
+        for i in 0..512 {
+            let x = hi * f64::from(i) / 512.0;
+            let want = x.tanh();
+            coarse_worst =
+                coarse_worst.max((NaminHybrid::coarse_eval(&d.coarse, width, x) - want).abs());
+            hybrid_worst = hybrid_worst.max((d.positive(x) - want).abs());
+        }
+        assert!(
+            hybrid_worst < coarse_worst / 2.0,
+            "hybrid {hybrid_worst} vs coarse {coarse_worst}"
+        );
+    }
+
+    #[test]
+    fn error_lands_in_the_ten_bit_decade() {
+        let report = measure(&NaminHybrid::new());
+        assert!(
+            report.max_error > 1e-4 && report.max_error < 3e-2,
+            "max {}",
+            report.max_error
+        );
+        assert!(report.correlation > 0.999);
+    }
+
+    #[test]
+    fn slopes_are_powers_of_two() {
+        for (slope, _) in &NaminHybrid::new().coarse {
+            if *slope != 0.0 {
+                let l = slope.log2();
+                assert!((l - l.round()).abs() < 1e-12, "slope {slope}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_symmetry() {
+        let d = NaminHybrid::new();
+        let f = in_fmt();
+        for v in [0.5, 1.5, 3.0] {
+            let p = d.eval(Fx::from_f64(v, f, Rounding::Nearest)).to_f64();
+            let n = d.eval(Fx::from_f64(-v, f, Rounding::Nearest)).to_f64();
+            assert!((p + n).abs() < 2.0 * out_fmt().resolution(), "v={v}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The 6th-order Taylor exponential of Nilsson et al. \[13\]: 18 bits.
+//!
+//! §VI: "\[13\] makes use of a 6th order Taylor expansion to describe the
+//! whole exponential curve". With base-2 range reduction the fractional
+//! power `2^F = e^{F·ln2}` is a single 6th-order polynomial over `[0, 1)`
+//! — accurate to ~2×10⁻⁵ before quantisation, which is why Fig. 6c shows
+//! NACU ~10× worse (NACU spends only 16 bits and a 1st-order model).
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::exp2;
+use crate::{Comparator, TargetFunc};
+
+/// 18-bit input `Q4.13` (range ±16, matching NACU's exp domain).
+fn in_fmt() -> QFormat {
+    QFormat::new(4, 13).expect("Q4.13 is valid")
+}
+
+/// 18-bit output `Q1.16` (range [0, 1] plus headroom).
+fn out_fmt() -> QFormat {
+    QFormat::new(1, 16).expect("Q1.16 is valid")
+}
+
+/// Taylor order.
+const ORDER: usize = 6;
+
+/// The \[13\] comparator.
+#[derive(Debug, Clone)]
+pub struct NilssonTaylor6 {
+    /// Raw Horner coefficients of `2^F = Σ (ln2)^k F^k / k!` at the
+    /// working scale (highest order first).
+    coeffs: Vec<i64>,
+    work_frac: u32,
+}
+
+impl NilssonTaylor6 {
+    /// Builds the published configuration (coefficients quantised at the
+    /// 18-bit working precision plus two guard bits).
+    #[must_use]
+    pub fn new() -> Self {
+        let work_frac = out_fmt().frac_bits() + 2;
+        let mut coeffs = Vec::with_capacity(ORDER + 1);
+        let ln2 = std::f64::consts::LN_2;
+        let mut factorial = 1.0;
+        for k in 0..=ORDER {
+            if k > 0 {
+                factorial *= k as f64;
+            }
+            let c = ln2.powi(k as i32) / factorial;
+            coeffs.push(Rounding::Nearest.quantize(c, work_frac) as i64);
+        }
+        coeffs.reverse(); // Horner order: c6, c5, ..., c0.
+        Self { coeffs, work_frac }
+    }
+
+    /// `2^F` for `F_raw ∈ [0, 2^frac)` via fixed-point Horner evaluation.
+    fn pow2_frac(&self, f_raw: i64, in_frac: u32) -> i64 {
+        // Align F to the working scale.
+        let f_work = if self.work_frac >= in_frac {
+            f_raw << (self.work_frac - in_frac)
+        } else {
+            f_raw >> (in_frac - self.work_frac)
+        };
+        let mut acc: i128 = self.coeffs[0] as i128;
+        for &c in &self.coeffs[1..] {
+            acc = Rounding::Nearest.shift_right(acc * f_work as i128, self.work_frac) + c as i128;
+        }
+        acc as i64
+    }
+}
+
+impl Default for NilssonTaylor6 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Comparator for NilssonTaylor6 {
+    fn citation(&self) -> &'static str {
+        "[13]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "6th-order Taylor"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Exp
+    }
+
+    fn input_format(&self) -> QFormat {
+        in_fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        out_fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), in_fmt(), "input format mismatch");
+        let in_frac = in_fmt().frac_bits();
+        let clamped = x.raw().min(0);
+        let t = exp2::mul_log2e(clamped, in_frac);
+        let (i, f) = exp2::split(t, in_frac);
+        let p = self.pow2_frac(f, in_frac);
+        let shifted = exp2::apply_negative_exponent(p, i);
+        // Working scale → output scale.
+        let y =
+            Rounding::Nearest.shift_right(shifted as i128, self.work_frac - out_fmt().frac_bits());
+        Fx::from_raw_saturating(y as i64, out_fmt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn pow2_polynomial_is_tight_over_unit_interval() {
+        let d = NilssonTaylor6::new();
+        let in_frac = in_fmt().frac_bits();
+        let one = 1_i64 << in_frac;
+        let scale = f64::from(1u32 << d.work_frac);
+        let mut worst = 0.0_f64;
+        for f in (0..one).step_by(7) {
+            let got = d.pow2_frac(f, in_frac) as f64 / scale;
+            let want = (f as f64 / one as f64).exp2();
+            worst = worst.max((got - want).abs());
+        }
+        assert!(worst < 1e-4, "worst {worst}");
+    }
+
+    #[test]
+    fn full_range_error_is_an_order_below_nacu() {
+        let report = measure(&NilssonTaylor6::new());
+        // Fig. 6c: [13]/[14] are ~10× better than 16-bit NACU (~2e-3).
+        assert!(report.max_error < 4e-4, "max {}", report.max_error);
+        assert!(report.correlation > 0.999_99);
+    }
+
+    #[test]
+    fn known_points() {
+        let d = NilssonTaylor6::new();
+        let f = in_fmt();
+        assert!((d.eval(Fx::zero(f)).to_f64() - 1.0).abs() < 1e-3);
+        for v in [-0.5, -1.0, -4.0, -10.0] {
+            let got = d.eval(Fx::from_f64(v, f, Rounding::Nearest)).to_f64();
+            assert!((got - v.exp()).abs() < 1e-3, "e^{v}: {got}");
+        }
+    }
+
+    #[test]
+    fn positive_inputs_clamp_to_one() {
+        let d = NilssonTaylor6::new();
+        let f = in_fmt();
+        let y = d.eval(Fx::from_f64(2.0, f, Rounding::Nearest)).to_f64();
+        assert!((y - 1.0).abs() < 1e-3);
+    }
+}

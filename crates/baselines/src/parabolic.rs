@@ -1,0 +1,208 @@
+//! The parabolic-synthesis exponential of Pouyan et al. \[14\]: 18 bits.
+//!
+//! Parabolic synthesis approximates `2^F` over `[0, 1)` as a **product of
+//! parabolic factors**: a first factor captures the bulk of the curve and
+//! each further factor flattens the remaining relative error. We implement
+//! the two-factor form — `2^F ≈ s₁(F) · s₂(F)` with `s₁ = 1 + F` (the
+//! natural first parabola degenerate to a line through both endpoints) and
+//! `s₂` a least-squares parabola of `2^F / (1 + F)` — which lands the
+//! error in the published decade for an 18-bit word.
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::exp2;
+use crate::{Comparator, TargetFunc};
+
+/// 18-bit input `Q4.13`.
+fn in_fmt() -> QFormat {
+    QFormat::new(4, 13).expect("Q4.13 is valid")
+}
+
+/// 18-bit output `Q1.16`.
+fn out_fmt() -> QFormat {
+    QFormat::new(1, 16).expect("Q1.16 is valid")
+}
+
+/// Working precision (guard bits over the output).
+const WORK_FRAC: u32 = 20;
+
+/// Least-squares quadratic fit of `g` over `[0, 1)` by Gaussian
+/// elimination on the normal equations.
+#[allow(clippy::needless_range_loop)] // Gaussian elimination reads clearest indexed
+fn fit_quadratic(g: impl Fn(f64) -> f64) -> (f64, f64, f64) {
+    let n = 512;
+    let (mut s0, mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut t0, mut t1, mut t2) = (0.0, 0.0, 0.0);
+    for k in 0..n {
+        let f = k as f64 / n as f64;
+        let y = g(f);
+        let f2 = f * f;
+        s0 += 1.0;
+        s1 += f;
+        s2 += f2;
+        s3 += f2 * f;
+        s4 += f2 * f2;
+        t0 += y;
+        t1 += y * f;
+        t2 += y * f2;
+    }
+    let mut m = [[s0, s1, s2, t0], [s1, s2, s3, t1], [s2, s3, s4, t2]];
+    for col in 0..3 {
+        let pivot_row = (col..3)
+            .max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))
+            .expect("non-empty");
+        m.swap(col, pivot_row);
+        for row in 0..3 {
+            if row != col {
+                let factor = m[row][col] / m[col][col];
+                for k in col..4 {
+                    m[row][k] -= factor * m[col][k];
+                }
+            }
+        }
+    }
+    (m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2])
+}
+
+/// The \[14\] parabolic-synthesis comparator.
+#[derive(Debug, Clone)]
+pub struct ParabolicExp {
+    /// Second-factor parabola coefficients `(c0, c1, c2)` at the working
+    /// scale: `s₂(F) = c0 + c1·F + c2·F²`.
+    s2: (i64, i64, i64),
+    /// Third-stage second-degree interpolation: one parabola per
+    /// quarter of the unit interval, same coefficient layout.
+    s3: [(i64, i64, i64); 4],
+}
+
+impl ParabolicExp {
+    /// Fits the cascaded parabolic factors and quantises the coefficients.
+    #[must_use]
+    pub fn new() -> Self {
+        // Factor 2: least-squares parabola of g(F) = 2^F / (1 + F).
+        let (a0, a1, a2) = fit_quadratic(|f| f.exp2() / (1.0 + f));
+        // Stage 3: second-degree interpolation of the remaining ratio on
+        // four sub-intervals (quadratic LS can't reduce its own residual,
+        // which is orthogonal to quadratics — the piecewise stage can).
+        let ratio = |f: f64| f.exp2() / ((1.0 + f) * (a0 + a1 * f + a2 * f * f));
+        let q = |v: f64| Rounding::Nearest.quantize(v, WORK_FRAC) as i64;
+        let s3 = std::array::from_fn(|k| {
+            let lo = k as f64 / 4.0;
+            let (b0, b1, b2) = fit_quadratic(|f| ratio(lo + f / 4.0));
+            // Re-express in the global F coordinate: g(F) = b0 + b1·u + b2·u²
+            // with u = 4(F − lo).
+            let g2 = b2 * 16.0;
+            let g1 = 4.0 * b1 - 32.0 * b2 * lo;
+            let g0 = b0 - 4.0 * b1 * lo + 16.0 * b2 * lo * lo;
+            (q(g0), q(g1), q(g2))
+        });
+        Self {
+            s2: (q(a0), q(a1), q(a2)),
+            s3,
+        }
+    }
+
+    /// `2^F` at the working scale for `F_raw ∈ [0, 2^frac)`.
+    fn pow2_frac(&self, f_raw: i64, in_frac: u32) -> i64 {
+        let f_work = (f_raw as i128) << (WORK_FRAC - in_frac);
+        let one = 1_i128 << WORK_FRAC;
+        let quad = |(c0, c1, c2): (i64, i64, i64)| -> i128 {
+            // c0 + c1·F + c2·F² by Horner at the working scale.
+            let inner = (c2 as i128 * f_work) >> WORK_FRAC;
+            let inner = ((c1 as i128 + inner) * f_work) >> WORK_FRAC;
+            c0 as i128 + inner
+        };
+        // s1(F) = 1 + F; each product is re-scaled as the hardware's
+        // truncated multipliers would. Stage 3 selects its sub-interval
+        // parabola by the top two fractional bits.
+        let s1 = one + f_work;
+        let p12 = Rounding::Nearest.shift_right(s1 * quad(self.s2), WORK_FRAC);
+        let sub = ((f_work >> (WORK_FRAC - 2)) & 3) as usize;
+        Rounding::Nearest.shift_right(p12 * quad(self.s3[sub]), WORK_FRAC) as i64
+    }
+}
+
+impl Default for ParabolicExp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Comparator for ParabolicExp {
+    fn citation(&self) -> &'static str {
+        "[14]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "Parabolic"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Exp
+    }
+
+    fn input_format(&self) -> QFormat {
+        in_fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        out_fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), in_fmt(), "input format mismatch");
+        let in_frac = in_fmt().frac_bits();
+        let clamped = x.raw().min(0);
+        let t = exp2::mul_log2e(clamped, in_frac);
+        let (i, f) = exp2::split(t, in_frac);
+        let p = self.pow2_frac(f, in_frac);
+        let shifted = exp2::apply_negative_exponent(p, i);
+        let y = Rounding::Nearest.shift_right(shifted as i128, WORK_FRAC - out_fmt().frac_bits());
+        Fx::from_raw_saturating(y as i64, out_fmt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn two_factor_synthesis_beats_the_single_line() {
+        let d = ParabolicExp::new();
+        let in_frac = in_fmt().frac_bits();
+        let one = 1_i64 << in_frac;
+        let scale = f64::from(1u32 << WORK_FRAC);
+        let mut with_s2 = 0.0_f64;
+        let mut line_only = 0.0_f64;
+        for f in (0..one).step_by(5) {
+            let ff = f as f64 / one as f64;
+            let want = ff.exp2();
+            with_s2 = with_s2.max((d.pow2_frac(f, in_frac) as f64 / scale - want).abs());
+            line_only = line_only.max(((1.0 + ff) - want).abs());
+        }
+        assert!(line_only > 0.05, "the bare 1+F line has a 6% kink");
+        assert!(
+            with_s2 < line_only / 200.0,
+            "the cascade flattens it: {with_s2}"
+        );
+    }
+
+    #[test]
+    fn full_range_error_is_an_order_below_nacu() {
+        let report = measure(&ParabolicExp::new());
+        assert!(report.max_error < 1e-3, "max {}", report.max_error);
+        assert!(report.correlation > 0.9999);
+    }
+
+    #[test]
+    fn known_points() {
+        let d = ParabolicExp::new();
+        let f = in_fmt();
+        assert!((d.eval(Fx::zero(f)).to_f64() - 1.0).abs() < 2e-3);
+        for v in [-0.3, -2.0, -8.0] {
+            let got = d.eval(Fx::from_f64(v, f, Rounding::Nearest)).to_f64();
+            assert!((got - v.exp()).abs() < 2e-3, "e^{v}: {got}");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The FPGA σ implementations of Tsmots et al. \[6\], 16-bit.
+//!
+//! Three variants appear in Table I:
+//!
+//! * a 7-segment **NUPWL** whose slopes are rounded to powers of two so the
+//!   multiplications become shifts ("all the works mentioned above use
+//!   coefficients that are powers of two", §VI) — the shift restriction is
+//!   what costs it the ~10× max-error gap to NACU (§VII.A);
+//! * a 4-interval **2nd-order Taylor** expansion;
+//! * an optimised variant of the same Taylor design (re-centred expansion
+//!   points, one extra pipeline cycle in Table I).
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+use nacu_funcapprox::reference::RefFunc;
+use nacu_funcapprox::segment::{self, FitMethod, Segment, SegmentKind};
+
+use crate::{Comparator, TargetFunc};
+
+/// 16-bit working format dimensioned by Eq. 7 (`Q4.11`).
+fn fmt() -> QFormat {
+    QFormat::new(4, 11).expect("Q4.11 is valid")
+}
+
+/// Rounds a slope to the nearest power of two (or zero when it underflows
+/// the format's resolution) — the shift-only multiplier constraint.
+fn power_of_two_slope(slope: f64, resolution: f64) -> f64 {
+    if slope.abs() < resolution {
+        return 0.0;
+    }
+    let exp = slope.abs().log2().round();
+    slope.signum() * exp.exp2()
+}
+
+/// Shared mirror logic: σ's negative range from the positive-range value.
+fn mirror(x_raw: i64, positive: impl Fn(i64) -> f64) -> f64 {
+    if x_raw >= 0 {
+        positive(x_raw)
+    } else {
+        1.0 - positive(-x_raw)
+    }
+}
+
+/// The 7-segment power-of-two-slope NUPWL of \[6\].
+#[derive(Debug, Clone)]
+pub struct TsmotsNupwl {
+    /// `(segment, slope, bias)` with slope a power of two, values quantised
+    /// to the output grid at evaluation.
+    pieces: Vec<(Segment, f64, f64)>,
+}
+
+impl TsmotsNupwl {
+    /// Builds the 7-segment table over σ's positive range.
+    #[must_use]
+    pub fn new() -> Self {
+        let f = fmt();
+        let (lo, hi) = (0.0, f.max_value());
+        // Gradient-adapted 7 segments, then the power-of-two restriction.
+        let mut tol_lo = 1e-6_f64;
+        let mut tol_hi = 1.0_f64;
+        let mut segs = vec![Segment::new(lo, hi)];
+        for _ in 0..50 {
+            let tol = (tol_lo * tol_hi).sqrt();
+            match segment::greedy_segments(RefFunc::Sigmoid, lo, hi, tol, SegmentKind::Linear, 64) {
+                Some(s) if s.len() <= 7 => {
+                    segs = s;
+                    tol_hi = tol;
+                }
+                _ => tol_lo = tol,
+            }
+        }
+        let pieces = segs
+            .into_iter()
+            .map(|seg| {
+                let fit = segment::fit_line(RefFunc::Sigmoid, seg, FitMethod::Minimax);
+                let slope = power_of_two_slope(fit.slope, f.resolution());
+                let bias = segment::refit_bias(RefFunc::Sigmoid, seg, slope);
+                (seg, slope, bias)
+            })
+            .collect();
+        Self { pieces }
+    }
+
+    fn positive(&self, mag_raw: i64) -> f64 {
+        let f = fmt();
+        let x = mag_raw as f64 * f.resolution();
+        let piece = self
+            .pieces
+            .iter()
+            .find(|(seg, _, _)| seg.contains(x))
+            .unwrap_or(self.pieces.last().expect("non-empty"));
+        // Shift-multiply plus bias, quantised once to the output grid.
+        let y = piece.1 * x + piece.2;
+        Fx::from_f64(y, f, Rounding::Nearest).to_f64()
+    }
+}
+
+impl Default for TsmotsNupwl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Comparator for TsmotsNupwl {
+    fn citation(&self) -> &'static str {
+        "[6]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "NUPWL"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Sigmoid
+    }
+
+    fn input_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), fmt(), "input format mismatch");
+        let y = mirror(x.raw(), |m| self.positive(m));
+        Fx::from_f64(y, fmt(), Rounding::Nearest)
+    }
+}
+
+/// The 4-interval 2nd-order Taylor σ of \[6\].
+#[derive(Debug, Clone)]
+pub struct TsmotsTaylor2 {
+    /// Expansion centres of the four intervals.
+    centres: [f64; 4],
+    /// Interval upper edges.
+    edges: [f64; 4],
+}
+
+impl TsmotsTaylor2 {
+    /// Builds the published 4-interval design (uniform intervals over the
+    /// non-saturated range, expansion at interval midpoints).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            edges: [2.0, 4.0, 6.0, f64::INFINITY],
+            centres: [1.0, 3.0, 5.0, 7.0],
+        }
+    }
+
+    /// Variant with re-centred expansion points (the "opt" row).
+    #[must_use]
+    fn optimised() -> Self {
+        // Shift each centre towards the steep side of its interval, where
+        // the truncated third-order term is largest.
+        Self {
+            edges: [2.0, 4.0, 6.0, f64::INFINITY],
+            centres: [0.85, 2.9, 4.95, 7.0],
+        }
+    }
+
+    fn positive(&self, mag_raw: i64) -> f64 {
+        let f = fmt();
+        let x = mag_raw as f64 * f.resolution();
+        let idx = self.edges.iter().position(|&e| x < e).unwrap_or(3);
+        let c = self.centres[idx];
+        let s = nacu_funcapprox::reference::sigmoid(c);
+        let d1 = s * (1.0 - s);
+        let d2 = d1 * (1.0 - 2.0 * s);
+        let dx = x - c;
+        // Coefficients and the result are quantised to the 16-bit grid.
+        let quant = |v: f64| Fx::from_f64(v, f, Rounding::Nearest).to_f64();
+        let y = quant(s) + quant(d1) * dx + quant(d2 / 2.0) * dx * dx;
+        Fx::from_f64(y, f, Rounding::Nearest).to_f64()
+    }
+}
+
+impl Default for TsmotsTaylor2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Comparator for TsmotsTaylor2 {
+    fn citation(&self) -> &'static str {
+        "[6]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "2nd-order Taylor"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Sigmoid
+    }
+
+    fn input_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), fmt(), "input format mismatch");
+        let y = mirror(x.raw(), |m| self.positive(m));
+        Fx::from_f64(y, fmt(), Rounding::Nearest)
+    }
+}
+
+/// The optimised 2nd-order Taylor σ of \[6\] (Table I's third column).
+#[derive(Debug, Clone)]
+pub struct TsmotsTaylor2Opt {
+    inner: TsmotsTaylor2,
+}
+
+impl TsmotsTaylor2Opt {
+    /// Builds the re-centred variant.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: TsmotsTaylor2::optimised(),
+        }
+    }
+}
+
+impl Default for TsmotsTaylor2Opt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Comparator for TsmotsTaylor2Opt {
+    fn citation(&self) -> &'static str {
+        "[6]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "2nd-order Taylor opt"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Sigmoid
+    }
+
+    fn input_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), fmt(), "input format mismatch");
+        let y = mirror(x.raw(), |m| self.inner.positive(m));
+        Fx::from_f64(y, fmt(), Rounding::Nearest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn power_of_two_rounding() {
+        let res = 2.0_f64.powi(-11);
+        assert_eq!(power_of_two_slope(0.25, res), 0.25);
+        assert_eq!(power_of_two_slope(0.2, res), 0.25);
+        assert_eq!(power_of_two_slope(0.15, res), 0.125);
+        assert_eq!(power_of_two_slope(1e-5, res), 0.0);
+        assert_eq!(power_of_two_slope(-0.3, res), -0.25);
+    }
+
+    #[test]
+    fn nupwl_uses_seven_pieces_with_power_of_two_slopes() {
+        let d = TsmotsNupwl::new();
+        assert!(d.pieces.len() <= 7);
+        for (_, slope, _) in &d.pieces {
+            if *slope != 0.0 {
+                let l = slope.abs().log2();
+                assert!((l - l.round()).abs() < 1e-12, "slope {slope}");
+            }
+        }
+    }
+
+    #[test]
+    fn nupwl_error_is_an_order_worse_than_fine_pwl() {
+        // §VII.A: the shift-only NUPWL has ~10× worse max error than NACU.
+        let report = measure(&TsmotsNupwl::new());
+        assert!(
+            report.max_error > 2e-3 && report.max_error < 5e-2,
+            "max {}",
+            report.max_error
+        );
+    }
+
+    #[test]
+    fn taylor_does_not_beat_the_nupwl_by_much() {
+        // §VII.A: "the use of a multiplier in the Taylor series does not
+        // result in any accuracy improvement".
+        let nupwl = measure(&TsmotsNupwl::new());
+        let taylor = measure(&TsmotsTaylor2::new());
+        assert!(
+            taylor.max_error > nupwl.max_error / 10.0,
+            "taylor {} vs nupwl {}",
+            taylor.max_error,
+            nupwl.max_error
+        );
+    }
+
+    #[test]
+    fn optimised_taylor_is_no_worse() {
+        let base = measure(&TsmotsTaylor2::new());
+        let opt = measure(&TsmotsTaylor2Opt::new());
+        assert!(opt.max_error <= base.max_error * 1.05);
+    }
+
+    #[test]
+    fn all_variants_are_symmetric() {
+        let f = fmt();
+        for d in [
+            Box::new(TsmotsNupwl::new()) as Box<dyn Comparator>,
+            Box::new(TsmotsTaylor2::new()),
+            Box::new(TsmotsTaylor2Opt::new()),
+        ] {
+            let x = Fx::from_f64(2.2, f, Rounding::Nearest);
+            let nx = Fx::from_f64(-2.2, f, Rounding::Nearest);
+            let sum = d.eval(x).to_f64() + d.eval(nx).to_f64();
+            assert!((sum - 1.0).abs() < 2e-3, "{}: {sum}", d.implementation());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The 3-region RALUT tanh of Zamanlooy & Mirhassani \[4\]: 9-bit input,
+//! 6-bit output, 14 table entries.
+//!
+//! The input range is split into a **pass region** where `tanh(x) ≈ x`, an
+//! **elaboration region** covered by a range-addressable LUT, and a
+//! **saturation region** where the output is the constant 1 (§VI). The
+//! coarse 6-bit output grid bounds the achievable accuracy at ~2⁻⁶ — the
+//! ~10× gap to NACU that Fig. 6b shows.
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+use nacu_funcapprox::segment::{self, Segment, SegmentKind};
+
+use crate::{Comparator, TargetFunc};
+
+/// 9-bit input `Q2.6` (range ±4, enough for tanh saturation at 6-bit
+/// output precision).
+fn in_fmt() -> QFormat {
+    QFormat::new(2, 6).expect("Q2.6 is valid")
+}
+
+/// 6-bit output `Q0.5`.
+fn out_fmt() -> QFormat {
+    QFormat::new(0, 5).expect("Q0.5 is valid")
+}
+
+/// Pass-region edge: `tanh(x) ≈ x` within half an output LSB for
+/// `x³/3 < 2⁻⁶`, i.e. `x < 0.36`; quantised to the input grid.
+const PASS_EDGE: f64 = 0.359_375; // 23/64
+
+/// Saturation edge: `1 − tanh(x) < 2⁻⁶` for `x > atanh(1 − 2⁻⁶) ≈ 2.4`.
+const SAT_EDGE: f64 = 2.406_25; // 154/64
+
+/// The \[4\] comparator.
+#[derive(Debug, Clone)]
+pub struct ZamanlooyRalut {
+    /// `(upper_edge, constant)` records of the elaboration region.
+    table: Vec<(f64, f64)>,
+}
+
+impl ZamanlooyRalut {
+    /// Builds the 14-entry elaboration table between the pass and
+    /// saturation edges.
+    #[must_use]
+    pub fn new() -> Self {
+        // Bisect the tolerance to land at ≤ 14 gradient-adapted segments.
+        let mut tol_lo = 1e-4_f64;
+        let mut tol_hi = 0.5_f64;
+        let mut segs: Vec<Segment> = vec![Segment::new(PASS_EDGE, SAT_EDGE)];
+        for _ in 0..50 {
+            let tol = (tol_lo * tol_hi).sqrt();
+            match segment::greedy_segments(
+                nacu_funcapprox::reference::RefFunc::Tanh,
+                PASS_EDGE,
+                SAT_EDGE,
+                tol,
+                SegmentKind::Constant,
+                256,
+            ) {
+                Some(s) if s.len() <= 14 => {
+                    segs = s;
+                    tol_hi = tol;
+                }
+                _ => tol_lo = tol,
+            }
+        }
+        let table = segs
+            .into_iter()
+            .map(|seg| {
+                let c = 0.5 * (seg.lo.tanh() + seg.hi.tanh());
+                // Constants live on the 6-bit output grid.
+                let q = Fx::from_f64(c, out_fmt(), Rounding::Nearest).to_f64();
+                (seg.hi, q)
+            })
+            .collect();
+        Self { table }
+    }
+
+    fn positive(&self, mag: f64) -> f64 {
+        if mag < PASS_EDGE {
+            // Pass region: the input bits are forwarded (requantised to
+            // the narrower output word).
+            return mag;
+        }
+        if mag >= SAT_EDGE {
+            return 1.0;
+        }
+        self.table
+            .iter()
+            .find(|(hi, _)| mag < *hi)
+            .map_or(1.0, |(_, c)| *c)
+    }
+}
+
+impl Default for ZamanlooyRalut {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Comparator for ZamanlooyRalut {
+    fn citation(&self) -> &'static str {
+        "[4]"
+    }
+
+    fn implementation(&self) -> &'static str {
+        "RALUT"
+    }
+
+    fn func(&self) -> TargetFunc {
+        TargetFunc::Tanh
+    }
+
+    fn input_format(&self) -> QFormat {
+        in_fmt()
+    }
+
+    fn output_format(&self) -> QFormat {
+        out_fmt()
+    }
+
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), in_fmt(), "input format mismatch");
+        let mag = (x.raw().abs() as f64) * in_fmt().resolution();
+        let y = self.positive(mag);
+        let signed = if x.raw() < 0 { -y } else { y };
+        Fx::from_f64(signed, out_fmt(), Rounding::Nearest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn table_respects_the_entry_budget() {
+        assert!(ZamanlooyRalut::new().table.len() <= 14);
+    }
+
+    #[test]
+    fn three_regions_behave_as_described() {
+        let d = ZamanlooyRalut::new();
+        let f = in_fmt();
+        // Pass region: output ≈ input.
+        let x = Fx::from_f64(0.25, f, Rounding::Nearest);
+        assert!((d.eval(x).to_f64() - 0.25).abs() < 2.0 * out_fmt().resolution());
+        // Saturation region: output = max code ≈ 1.
+        let x = Fx::from_f64(3.5, f, Rounding::Nearest);
+        assert!(d.eval(x).to_f64() > 0.95);
+    }
+
+    #[test]
+    fn error_sits_in_the_six_bit_decade() {
+        let report = measure(&ZamanlooyRalut::new());
+        // 6-bit output: error in the 2^-6..2^-4 decade, ~10× NACU's.
+        assert!(
+            report.max_error > 2.0_f64.powi(-7) && report.max_error < 2.0_f64.powi(-4),
+            "max {}",
+            report.max_error
+        );
+    }
+
+    #[test]
+    fn odd_symmetry() {
+        let d = ZamanlooyRalut::new();
+        let f = in_fmt();
+        for v in [0.2, 1.0, 2.0, 3.9] {
+            let p = d.eval(Fx::from_f64(v, f, Rounding::Nearest)).to_f64();
+            let n = d.eval(Fx::from_f64(-v, f, Rounding::Nearest)).to_f64();
+            assert!((p + n).abs() < 2.0 * out_fmt().resolution(), "v={v}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion benches for the DESIGN.md ablations: fitting method, rounding
+//! mode and coefficient-LUT size — the design choices behind NACU's
+//! accuracy, measured as construction + sweep cost and reported error.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nacu::{Nacu, NacuConfig};
+use nacu_fixed::{Fx, Rounding};
+use nacu_funcapprox::segment::FitMethod;
+
+fn bench_lut_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut-construction");
+    for entries in [16usize, 53, 256] {
+        group.bench_function(format!("entries-{entries}"), |b| {
+            let cfg = NacuConfig::paper_16bit().with_lut_entries(entries);
+            b.iter(|| black_box(Nacu::new(black_box(cfg)).expect("valid config")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit-method");
+    for (name, method) in [
+        ("minimax", FitMethod::Minimax),
+        ("interpolate", FitMethod::Interpolate),
+        ("least-squares", FitMethod::LeastSquares),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = NacuConfig::paper_16bit().with_fit_method(method);
+            b.iter(|| black_box(Nacu::new(black_box(cfg)).expect("valid config")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_divider(c: &mut Criterion) {
+    let mut group = c.benchmark_group("divider");
+    let fmt = nacu_fixed::QFormat::new(2, 13).expect("Q2.13");
+    let xs: Vec<Fx> = (0..256)
+        .map(|i| Fx::from_f64(0.5 + 0.5 * (i as f64) / 256.0, fmt, Rounding::Nearest))
+        .collect();
+    group.bench_function("restoring-reciprocal", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(nacu::divider::reciprocal(black_box(x)).expect("non-zero"));
+            }
+        });
+    });
+    group.bench_function("exact-reference", |b| {
+        let one = Fx::one(fmt);
+        b.iter(|| {
+            for &x in &xs {
+                black_box(
+                    one.checked_div(black_box(x), Rounding::Floor)
+                        .expect("fits"),
+                );
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_lut_construction, bench_fit_methods, bench_divider
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches of the CGRA fabric: cycle-simulation throughput for
+//! the dense and distributed-softmax mappings.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use nacu::{Nacu, NacuConfig};
+use nacu_cgra::mapper::{self, convention, MappedActivation};
+use nacu_cgra::Fabric;
+
+fn bench_dense_row(c: &mut Criterion) {
+    let nacu = Arc::new(Nacu::new(NacuConfig::paper_16bit()).expect("paper config"));
+    let fmt = nacu.config().format;
+    let weights: Vec<f64> = (0..8).map(|i| 0.1 * f64::from(i) - 0.3).collect();
+    let mut group = c.benchmark_group("fabric");
+    group.bench_function("dense-16cells-8in", |b| {
+        b.iter_batched(
+            || {
+                let mut f = Fabric::new(1, 16, Arc::clone(&nacu));
+                for col in 0..16 {
+                    for (j, &v) in weights.iter().enumerate() {
+                        let q = f.cell((0, col)).quantize(v * 0.5);
+                        f.cell_mut((0, col)).set_reg(convention::input(j), q);
+                    }
+                    f.load(
+                        (0, col),
+                        mapper::compile_dense(&weights, 0.05, MappedActivation::Tanh, fmt),
+                    );
+                }
+                f
+            },
+            |mut f| black_box(f.run_to_quiescence(10_000)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("softmax-row-16", |b| {
+        b.iter_batched(
+            || {
+                let mut f = Fabric::new(1, 16, Arc::clone(&nacu));
+                for col in 0..16 {
+                    let q = f.cell((0, col)).quantize(0.3 * f64::from(col as u32) - 2.0);
+                    f.cell_mut((0, col)).set_reg(convention::value(), q);
+                }
+                for (col, p) in mapper::compile_softmax_row(16).into_iter().enumerate() {
+                    f.load((0, col), p);
+                }
+                f
+            },
+            |mut f| black_box(f.run_to_quiescence(10_000)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_dense_row
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches: end-to-end network inference with NACU activations
+//! vs the f64 reference — the workload-level cost of the approximation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nacu_fixed::QFormat;
+use nacu_nn::activation::{NacuActivation, Nonlinearity, ReferenceActivation};
+use nacu_nn::data;
+use nacu_nn::lstm::{LstmCell, LstmState};
+use nacu_nn::tensor::quantize_vec;
+use nacu_nn::train;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_mlp(c: &mut Criterion) {
+    let fmt = QFormat::new(4, 11).expect("Q4.11");
+    let dataset = data::gaussian_blobs(64, 3, 5.0, 42);
+    let net = train::train_mlp(&dataset, 16, 20, 0.05, 1).quantize(fmt);
+    let nacu = NacuActivation::paper_16bit();
+    let reference = ReferenceActivation::new(fmt);
+    let mut group = c.benchmark_group("mlp-forward");
+    for (name, nl) in [
+        ("nacu", &nacu as &dyn Nonlinearity),
+        ("reference", &reference as &dyn Nonlinearity),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for f in &dataset.features {
+                    black_box(net.classify(black_box(f), nl));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let fmt = QFormat::new(4, 11).expect("Q4.11");
+    let mut rng = StdRng::seed_from_u64(3);
+    let (inputs, hidden) = (8, 16);
+    let mut vals = |n: usize| -> Vec<f64> { (0..n).map(|_| rng.gen_range(-0.4..0.4)).collect() };
+    let w = vals(4 * hidden * inputs);
+    let u = vals(4 * hidden * hidden);
+    let bias = vals(4 * hidden);
+    let cell = LstmCell::from_f64(inputs, hidden, &w, &u, &bias, fmt);
+    let x = quantize_vec(&vals(inputs), fmt);
+    let state = LstmState::zeros(hidden, fmt);
+    let nacu = NacuActivation::paper_16bit();
+    let reference = ReferenceActivation::new(fmt);
+    let mut group = c.benchmark_group("lstm-step");
+    for (name, nl) in [
+        ("nacu", &nacu as &dyn Nonlinearity),
+        ("reference", &reference as &dyn Nonlinearity),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(cell.step(black_box(&x), black_box(&state), nl)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mlp, bench_lstm
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benches: per-sample throughput of the NACU model vs the
+//! related-work comparators — the software-model counterpart of Table I's
+//! clock/latency row.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use nacu::{Nacu, NacuConfig};
+use nacu_baselines::{exp_designs, sigmoid_designs, tanh_designs, Comparator};
+use nacu_fixed::{Fx, Rounding};
+
+fn operands(fmt: nacu_fixed::QFormat, n: usize, lo: f64, hi: f64) -> Vec<Fx> {
+    (0..n)
+        .map(|i| {
+            let v = lo + (hi - lo) * (i as f64) / (n as f64);
+            Fx::from_f64(v, fmt, Rounding::Nearest)
+        })
+        .collect()
+}
+
+fn bench_nacu(c: &mut Criterion) {
+    let nacu = Nacu::new(NacuConfig::paper_16bit()).expect("paper config");
+    let fmt = nacu.config().format;
+    let xs = operands(fmt, 1024, -8.0, 8.0);
+    let neg = operands(fmt, 1024, -15.9, 0.0);
+    let mut group = c.benchmark_group("nacu");
+    group.bench_function("sigmoid", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(nacu.sigmoid(black_box(x)));
+            }
+        });
+    });
+    group.bench_function("tanh", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(nacu.tanh(black_box(x)));
+            }
+        });
+    });
+    group.bench_function("exp", |b| {
+        b.iter(|| {
+            for &x in &neg {
+                black_box(nacu.exp(black_box(x)));
+            }
+        });
+    });
+    group.bench_function("softmax-16", |b| {
+        let v: Vec<Fx> = xs.iter().copied().take(16).collect();
+        b.iter_batched(
+            || v.clone(),
+            |v| black_box(nacu.softmax(&v).expect("non-empty")),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_comparators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    let all: Vec<(String, Box<dyn Comparator>)> = sigmoid_designs()
+        .into_iter()
+        .chain(tanh_designs())
+        .chain(exp_designs())
+        .map(|d| {
+            (
+                format!("{} {} ({})", d.citation(), d.implementation(), d.func()),
+                d,
+            )
+        })
+        .collect();
+    for (name, design) in all {
+        let fmt = design.input_format();
+        let lo = if matches!(design.func(), nacu_baselines::TargetFunc::Exp) {
+            fmt.min_value()
+        } else {
+            fmt.min_value() / 2.0
+        };
+        let hi = if matches!(design.func(), nacu_baselines::TargetFunc::Exp) {
+            0.0
+        } else {
+            fmt.max_value() / 2.0
+        };
+        let xs = operands(fmt, 256, lo, hi);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for &x in &xs {
+                    black_box(design.eval(black_box(x)));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_nacu, bench_comparators
+}
+criterion_main!(benches);

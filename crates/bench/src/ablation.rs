@@ -1,0 +1,188 @@
+//! Accuracy ablations of the design choices DESIGN.md calls out:
+//! per-segment fitting method, LUT size scaling, and the first- vs
+//! second-order trade (one more multiplier vs ~3× fewer entries).
+
+use nacu::{Nacu, NacuConfig};
+use nacu_fixed::QFormat;
+use nacu_funcapprox::reference::RefFunc;
+use nacu_funcapprox::segment::FitMethod;
+use nacu_funcapprox::{metrics, FixedApprox, SecondOrderTable, UniformPwl};
+
+use crate::nacu_metrics::{report_for, NacuFuncKind};
+
+/// One fitting-method ablation row.
+#[derive(Debug, Clone)]
+pub struct FitRow {
+    /// Method label.
+    pub method: &'static str,
+    /// Full-range σ RMSE of a NACU built with this method.
+    pub rmse: f64,
+    /// Full-range σ max error.
+    pub max_error: f64,
+}
+
+/// Fitting-method ablation at the paper configuration.
+#[must_use]
+pub fn fit_methods() -> Vec<FitRow> {
+    [
+        ("minimax", FitMethod::Minimax),
+        ("interpolate", FitMethod::Interpolate),
+        ("least-squares", FitMethod::LeastSquares),
+    ]
+    .into_iter()
+    .map(|(name, method)| {
+        let nacu = Nacu::new(NacuConfig::paper_16bit().with_fit_method(method))
+            .expect("paper config variants build");
+        let report = report_for(&nacu, NacuFuncKind::Sigmoid);
+        FitRow {
+            method: name,
+            rmse: report.rmse,
+            max_error: report.max_error,
+        }
+    })
+    .collect()
+}
+
+/// One LUT-size ablation row.
+#[derive(Debug, Clone)]
+pub struct LutSizeRow {
+    /// Coefficient-LUT entries.
+    pub entries: usize,
+    /// Full-range σ max error.
+    pub max_error: f64,
+    /// Table storage in bits.
+    pub table_bits: u64,
+}
+
+/// σ accuracy vs coefficient-LUT size around the paper's 53 entries.
+#[must_use]
+pub fn lut_sizes() -> Vec<LutSizeRow> {
+    [8usize, 16, 32, 53, 64, 128, 256]
+        .into_iter()
+        .map(|entries| {
+            let nacu = Nacu::new(NacuConfig::paper_16bit().with_lut_entries(entries))
+                .expect("entry-count variants build");
+            let report = report_for(&nacu, NacuFuncKind::Sigmoid);
+            LutSizeRow {
+                entries: nacu.lut_entries(),
+                max_error: report.max_error,
+                table_bits: nacu.lut_entries() as u64 * 32,
+            }
+        })
+        .collect()
+}
+
+/// One polynomial-order ablation row.
+#[derive(Debug, Clone)]
+pub struct OrderRow {
+    /// Family label.
+    pub family: &'static str,
+    /// Table entries.
+    pub entries: usize,
+    /// Positive-range σ max error.
+    pub max_error: f64,
+    /// Table storage in bits.
+    pub table_bits: u64,
+}
+
+/// First- vs second-order tables at matched accuracy.
+#[must_use]
+pub fn polynomial_order() -> Vec<OrderRow> {
+    let fmt = QFormat::new(4, 11).expect("Q4.11");
+    let mut rows = Vec::new();
+    for entries in [16usize, 53] {
+        let pwl = UniformPwl::fit(RefFunc::Sigmoid, entries, fmt, fmt).expect("pwl builds");
+        rows.push(OrderRow {
+            family: "PWL",
+            entries: pwl.entries(),
+            max_error: metrics::sweep(&pwl, RefFunc::Sigmoid).max_error,
+            table_bits: pwl.table_bits(),
+        });
+    }
+    for entries in [8usize, 16] {
+        let quad =
+            SecondOrderTable::fit(RefFunc::Sigmoid, entries, fmt, fmt).expect("poly2 builds");
+        rows.push(OrderRow {
+            family: "POLY2",
+            entries: quad.entries(),
+            max_error: metrics::sweep(&quad, RefFunc::Sigmoid).max_error,
+            table_bits: quad.table_bits(),
+        });
+    }
+    rows
+}
+
+/// Prints all three ablations.
+pub fn print() {
+    println!("# Ablation 1: per-segment fitting method (NACU-16, sigma, full range)");
+    println!("method\trmse\tmax_error");
+    for r in fit_methods() {
+        println!(
+            "{}\t{}\t{}",
+            r.method,
+            crate::sci(r.rmse),
+            crate::sci(r.max_error)
+        );
+    }
+    println!();
+    println!("# Ablation 2: coefficient-LUT size (NACU-16, sigma)");
+    println!("entries\tmax_error\ttable_bits");
+    for r in lut_sizes() {
+        println!(
+            "{}\t{}\t{}",
+            r.entries,
+            crate::sci(r.max_error),
+            r.table_bits
+        );
+    }
+    println!();
+    println!("# Ablation 3: polynomial order (positive-range sigma tables)");
+    println!("family\tentries\tmax_error\ttable_bits");
+    for r in polynomial_order() {
+        println!(
+            "{}\t{}\t{}\t{}",
+            r.family,
+            r.entries,
+            crate::sci(r.max_error),
+            r.table_bits
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimax_is_the_best_method() {
+        let rows = fit_methods();
+        let find = |m: &str| rows.iter().find(|r| r.method == m).unwrap().max_error;
+        assert!(find("minimax") <= find("interpolate"));
+        assert!(find("minimax") <= find("least-squares") * 1.2);
+    }
+
+    #[test]
+    fn accuracy_saturates_past_the_paper_size() {
+        let rows = lut_sizes();
+        let at = |n: usize| rows.iter().find(|r| r.entries == n).unwrap().max_error;
+        // Fewer entries: clearly worse. Many more: only marginally better
+        // (the quantisation floor) — the paper's 53 sits near the knee.
+        assert!(at(8) > 4.0 * at(53));
+        assert!(at(256) > at(53) / 4.0);
+    }
+
+    #[test]
+    fn second_order_buys_entries_with_a_multiplier() {
+        let rows = polynomial_order();
+        let quad16 = rows
+            .iter()
+            .find(|r| r.family == "POLY2" && r.entries == 16)
+            .unwrap();
+        let pwl53 = rows
+            .iter()
+            .find(|r| r.family == "PWL" && r.entries == 53)
+            .unwrap();
+        assert!(quad16.max_error < 2.0 * pwl53.max_error);
+        assert!(quad16.entries < pwl53.entries);
+    }
+}

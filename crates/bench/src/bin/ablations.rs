@@ -1,0 +1,5 @@
+//! Regenerates the DESIGN.md accuracy ablations. Run with `--release`.
+
+fn main() {
+    nacu_bench::ablation::print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 1: σ/tanh curves and gradients.
+
+fn main() {
+    let rows = nacu_bench::fig1::series(8.0, 65);
+    nacu_bench::fig1::print(&rows);
+}

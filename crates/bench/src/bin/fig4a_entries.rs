@@ -1,0 +1,13 @@
+//! Regenerates Fig. 4a: minimum table entries vs fractional bits.
+//!
+//! Run with `--release`; the exhaustive search sweeps every input code of
+//! every candidate table.
+
+fn main() {
+    let rows = nacu_bench::fig4::fig4a(6..=14);
+    nacu_bench::fig4::print_fig4a(&rows);
+    assert!(
+        nacu_bench::fig4::orderings_hold(&rows),
+        "family ordering should match the paper"
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4b: max error vs entry count at 11 fractional bits.
+
+fn main() {
+    let grid = nacu_bench::fig4::default_entry_grid();
+    let rows = nacu_bench::fig4::fig4b(&grid);
+    nacu_bench::fig4::print_fig4b(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5: area breakdown, power and latency per function.
+
+fn main() {
+    let data = nacu_bench::fig5::compute();
+    nacu_bench::fig5::print(&data);
+}

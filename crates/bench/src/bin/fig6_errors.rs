@@ -1,0 +1,12 @@
+//! Regenerates Fig. 6a–e: error comparison against the related work,
+//! normalised to the 16-bit NACU. Run with `--release`.
+
+fn main() {
+    for panel in [
+        nacu_bench::fig6::sigmoid_panel(),
+        nacu_bench::fig6::tanh_panel(),
+        nacu_bench::fig6::exp_panel(),
+    ] {
+        nacu_bench::fig6::print_panel(&panel);
+    }
+}

@@ -1,0 +1,23 @@
+//! Runs every reproduction in sequence — the EXPERIMENTS.md generator.
+//! Run with `--release`; the Fig. 4 searches take a few minutes.
+
+fn main() {
+    nacu_bench::fig1::print(&nacu_bench::fig1::series(8.0, 33));
+    nacu_bench::formats::print(&nacu_bench::formats::table());
+    let f4a = nacu_bench::fig4::fig4a(6..=14);
+    nacu_bench::fig4::print_fig4a(&f4a);
+    let grid = nacu_bench::fig4::default_entry_grid();
+    nacu_bench::fig4::print_fig4b(&nacu_bench::fig4::fig4b(&grid));
+    nacu_bench::fig5::print(&nacu_bench::fig5::compute());
+    for panel in [
+        nacu_bench::fig6::sigmoid_panel(),
+        nacu_bench::fig6::tanh_panel(),
+        nacu_bench::fig6::exp_panel(),
+    ] {
+        nacu_bench::fig6::print_panel(&panel);
+    }
+    nacu_bench::table1::print(&nacu_bench::table1::rows());
+    nacu_bench::rmse::print(&nacu_bench::rmse::rows());
+    nacu_bench::scaling::print(&nacu_bench::scaling::rows());
+    nacu_bench::ablation::print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §VII.A/B RMSE/correlation comparison. Run with
+//! `--release`.
+
+fn main() {
+    let rows = nacu_bench::rmse::rows();
+    nacu_bench::rmse::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §VII.C technology-scaled area/delay comparison.
+
+fn main() {
+    let rows = nacu_bench::scaling::rows();
+    nacu_bench::scaling::print(&rows);
+}

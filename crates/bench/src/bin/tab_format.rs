@@ -1,0 +1,6 @@
+//! Regenerates the §III Eq. 7 format-selection table.
+
+fn main() {
+    let rows = nacu_bench::formats::table();
+    nacu_bench::formats::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table I: the implementation summary.
+
+fn main() {
+    let rows = nacu_bench::table1::rows();
+    nacu_bench::table1::print(&rows);
+}

@@ -1,0 +1,7 @@
+//! Workload-level bit-width sweep (extension experiment). Run with
+//! `--release`.
+
+fn main() {
+    let sweep = nacu_bench::width_sweep::run(&[8, 10, 12, 14, 16, 18]);
+    nacu_bench::width_sweep::print(&sweep);
+}

@@ -1,0 +1,87 @@
+//! Fig. 1 — σ and tanh curves, gradients and the centrosymmetry the whole
+//! design rests on.
+
+use nacu_funcapprox::reference::{sigmoid, RefFunc};
+
+/// One sample of the Fig. 1 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveSample {
+    /// Input value.
+    pub x: f64,
+    /// σ(x).
+    pub sigmoid: f64,
+    /// tanh(x).
+    pub tanh: f64,
+    /// σ′(x) — the gradient that sizes the σ LUT.
+    pub sigmoid_gradient: f64,
+    /// tanh′(x) — steeper, hence the "model σ, derive tanh" choice.
+    pub tanh_gradient: f64,
+}
+
+/// Samples both curves uniformly over `[-range, range]`.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or `range` is not positive.
+#[must_use]
+pub fn series(range: f64, points: usize) -> Vec<CurveSample> {
+    assert!(points >= 2 && range > 0.0, "need ≥2 points, positive range");
+    (0..points)
+        .map(|i| {
+            let x = -range + 2.0 * range * i as f64 / (points - 1) as f64;
+            CurveSample {
+                x,
+                sigmoid: sigmoid(x),
+                tanh: x.tanh(),
+                sigmoid_gradient: RefFunc::Sigmoid.derivative(x),
+                tanh_gradient: RefFunc::Tanh.derivative(x),
+            }
+        })
+        .collect()
+}
+
+/// Prints the series as TSV (x, σ, tanh, σ′, tanh′).
+pub fn print(rows: &[CurveSample]) {
+    println!("# Fig. 1: sigmoid / tanh curves and gradients");
+    println!("x\tsigmoid\ttanh\td_sigmoid\td_tanh");
+    for r in rows {
+        println!(
+            "{:+.4}\t{:.6}\t{:+.6}\t{:.6}\t{:.6}",
+            r.x, r.sigmoid, r.tanh, r.sigmoid_gradient, r.tanh_gradient
+        );
+    }
+    println!();
+    println!("# tanh gradient at 0 is 4x sigmoid's: the paper's reason to model σ in the LUT");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_is_steeper_than_sigmoid_at_zero() {
+        let rows = series(8.0, 129);
+        let centre = &rows[64];
+        assert!((centre.x).abs() < 1e-9);
+        assert!((centre.sigmoid_gradient - 0.25).abs() < 1e-12);
+        assert!((centre.tanh_gradient - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curves_respect_eqs_4_and_5() {
+        let rows = series(8.0, 257);
+        let n = rows.len();
+        for i in 0..n {
+            let a = &rows[i];
+            let b = &rows[n - 1 - i];
+            assert!((a.sigmoid + b.sigmoid - 1.0).abs() < 1e-12);
+            assert!((a.tanh + b.tanh).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive range")]
+    fn bad_args_panic() {
+        let _ = series(-1.0, 10);
+    }
+}

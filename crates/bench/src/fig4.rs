@@ -1,0 +1,108 @@
+//! Fig. 4 — the LUT/RALUT/PWL/NUPWL design-space comparison.
+//!
+//! Fig. 4a: minimum table entries to reach a `2^{-f_b}` max error, per
+//! family, for `f_b ∈ 6..=14` (e.g. fb = 10: PWL ≈ 50 vs RALUT ≈ 668 and
+//! LUT ≈ 1026 in the paper). Fig. 4b: max error vs entry count at 11
+//! fractional bits, showing PWL/NUPWL scaling better and all families
+//! flattening at the quantisation floor.
+
+use nacu_fixed::QFormat;
+use nacu_funcapprox::reference::RefFunc;
+use nacu_funcapprox::search::{self, EntriesRow, ErrorRow};
+
+/// Computes the Fig. 4a series for σ.
+#[must_use]
+pub fn fig4a(frac_bits: std::ops::RangeInclusive<u32>) -> Vec<EntriesRow> {
+    search::fig4a_series(RefFunc::Sigmoid, frac_bits)
+}
+
+/// Prints Fig. 4a.
+pub fn print_fig4a(rows: &[EntriesRow]) {
+    println!("# Fig. 4a: table entries needed vs fractional bits (sigmoid)");
+    println!("frac_bits\tLUT\tRALUT\tPWL\tNUPWL");
+    for r in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{}",
+            r.frac_bits,
+            crate::count_cell(r.entries[0]),
+            crate::count_cell(r.entries[1]),
+            crate::count_cell(r.entries[2]),
+            crate::count_cell(r.entries[3]),
+        );
+    }
+    println!();
+    println!("# paper anchor at fb=10: PWL ~50, RALUT ~668, LUT ~1026");
+}
+
+/// Computes the Fig. 4b series at 11 fractional bits (the paper's grid).
+#[must_use]
+pub fn fig4b(entry_counts: &[usize]) -> Vec<ErrorRow> {
+    let fb = 11;
+    let fmt = QFormat::new(search::eq7_min_int_bits(fb), fb).expect("valid format");
+    search::fig4b_series(RefFunc::Sigmoid, entry_counts, fmt)
+}
+
+/// Prints Fig. 4b.
+pub fn print_fig4b(rows: &[ErrorRow]) {
+    println!("# Fig. 4b: max error vs entries at 11 fractional bits (sigmoid)");
+    println!("entries\tLUT\tRALUT\tPWL\tNUPWL");
+    for r in rows {
+        let cell = |v: Option<f64>| v.map_or_else(|| "-".to_string(), crate::sci);
+        println!(
+            "{}\t{}\t{}\t{}\t{}",
+            r.entries,
+            cell(r.max_error[0]),
+            cell(r.max_error[1]),
+            cell(r.max_error[2]),
+            cell(r.max_error[3]),
+        );
+    }
+    println!();
+    println!("# PWL/NUPWL reach the knee with ~10x fewer entries; all flatten at the 2^-12 floor");
+}
+
+/// The default Fig. 4b entry-count grid.
+#[must_use]
+pub fn default_entry_grid() -> Vec<usize> {
+    vec![4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+}
+
+/// Checks the headline orderings the figure must show (used by tests and
+/// the repro harness to assert the *shape* matches the paper).
+#[must_use]
+pub fn orderings_hold(rows4a: &[EntriesRow]) -> bool {
+    rows4a.iter().all(|r| {
+        match (r.entries[0], r.entries[1], r.entries[2]) {
+            // LUT ≥ RALUT ≥ PWL whenever all are measurable.
+            (Some(lut), Some(ralut), Some(pwl)) => lut >= ralut && ralut >= pwl,
+            _ => true,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_orderings_hold_on_a_small_slice() {
+        let rows = fig4a(6..=8);
+        assert_eq!(rows.len(), 3);
+        assert!(orderings_hold(&rows));
+    }
+
+    #[test]
+    fn fig4b_errors_decrease_then_flatten() {
+        let rows = fig4b(&[8, 64, 1024]);
+        let pwl = |i: usize| rows[i].max_error[2].unwrap();
+        assert!(pwl(1) < pwl(0));
+        // Flattening: the last step gains less than 4x.
+        assert!(pwl(2) > pwl(1) / 8.0);
+    }
+
+    #[test]
+    fn grid_is_ascending() {
+        let g = default_entry_grid();
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig. 5 — NACU's area breakdown, per-function power and latency, plus
+//! the discussion's two ablations (generic subtractors, sequential
+//! divider).
+
+use nacu_hwmodel::area::NacuAreaModel;
+use nacu_hwmodel::gates;
+use nacu_hwmodel::power;
+use nacu_hwmodel::timing::{self, NacuFunction};
+
+/// The Fig. 5 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// `(component, µm²)` area rows at 28 nm.
+    pub area_rows: Vec<(&'static str, f64)>,
+    /// Total area (µm²).
+    pub total_um2: f64,
+    /// `(function, mW, latency cycles)` at 267 MHz.
+    pub per_function: Vec<(NacuFunction, f64, u32)>,
+    /// Total with the sequential-divider alternative (µm²).
+    pub sequential_total_um2: f64,
+    /// Coefficient-unit growth factor with a dedicated tanh LUT.
+    pub dedicated_tanh_growth: f64,
+}
+
+/// Computes the Fig. 5 dataset from the structural models.
+#[must_use]
+pub fn compute() -> Fig5 {
+    let model = NacuAreaModel::paper_config();
+    let breakdown = model.breakdown();
+    let per_function = NacuFunction::all()
+        .into_iter()
+        .map(|f| {
+            let p = power::estimate(&model, f, timing::clock_mhz(nacu_hwmodel::TechNode::N28));
+            (f, p.total_mw(), timing::latency_cycles(f))
+        })
+        .collect();
+    let sequential = NacuAreaModel {
+        pipelined_divider: false,
+        ..model
+    };
+    let second_lut = gates::rom(model.lut_entries, 2 * model.bits);
+    let coeff = breakdown.coeff_unit;
+    Fig5 {
+        area_rows: breakdown.rows(),
+        total_um2: breakdown.total_um2(),
+        per_function,
+        sequential_total_um2: sequential.breakdown().total_um2(),
+        dedicated_tanh_growth: (coeff + second_lut).get() / coeff.get(),
+    }
+}
+
+/// Prints the Fig. 5 report.
+pub fn print(data: &Fig5) {
+    println!("# Fig. 5: NACU area breakdown, power and latency (28 nm, 267 MHz)");
+    println!("component\tarea_um2\tshare");
+    for (name, area) in &data.area_rows {
+        println!("{name}\t{area:.0}\t{:.1}%", 100.0 * area / data.total_um2);
+    }
+    println!("TOTAL\t{:.0}\t(paper: 9671)", data.total_um2);
+    println!();
+    println!("function\tpower_mw\tlatency_cycles\tlatency_ns");
+    for (f, mw, cycles) in &data.per_function {
+        println!(
+            "{f}\t{mw:.2}\t{cycles}\t{:.2}",
+            f64::from(*cycles) * timing::CLOCK_PERIOD_NS_28NM
+        );
+    }
+    println!();
+    println!("# ablations called out in the Fig. 5 discussion:");
+    println!(
+        "sequential divider total: {:.0} um2 ({:.0}% of pipelined)",
+        data.sequential_total_um2,
+        100.0 * data.sequential_total_um2 / data.total_um2
+    );
+    println!(
+        "dedicated tanh LUT would grow the coefficient unit {:.2}x (\"nearly doubled\")",
+        data.dedicated_tanh_growth
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shapes_match_the_paper() {
+        let d = compute();
+        assert!((d.total_um2 - 9671.0).abs() / 9671.0 < 0.05);
+        // Divider dominates.
+        let divider = d.area_rows.iter().find(|(n, _)| *n == "divider").unwrap();
+        assert!(divider.1 / d.total_um2 > 0.4);
+        // Sequential divider saves a lot.
+        assert!(d.sequential_total_um2 < 0.6 * d.total_um2);
+        // Dedicated tanh LUT nearly doubles the coefficient unit.
+        assert!((1.6..=2.1).contains(&d.dedicated_tanh_growth));
+    }
+
+    #[test]
+    fn per_function_rows_cover_all_modes() {
+        let d = compute();
+        assert_eq!(d.per_function.len(), 5);
+        let latency = |f: NacuFunction| d.per_function.iter().find(|r| r.0 == f).unwrap().2;
+        assert_eq!(latency(NacuFunction::Sigmoid), 3);
+        assert_eq!(latency(NacuFunction::Exp), 8);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fig. 6 — max / average error of NACU vs the related work, normalised
+//! to the 16-bit NACU (values > 1 are worse than NACU; lower is better).
+
+use nacu_baselines::{self as baselines, Comparator};
+use nacu_funcapprox::metrics::ErrorReport;
+
+use crate::nacu_metrics::{nacu_report, NacuFuncKind};
+
+/// One bar of a Fig. 6 panel.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Design label, e.g. `"\[10\] 1st-order Taylor"` or `"NACU-14"`.
+    pub label: String,
+    /// Bit width of the design.
+    pub bits: u32,
+    /// Measured report.
+    pub report: ErrorReport,
+    /// Max error normalised to the 16-bit NACU.
+    pub norm_max: f64,
+    /// Average error normalised to the 16-bit NACU.
+    pub norm_avg: f64,
+}
+
+/// One panel (one function) of Fig. 6.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Which function the panel compares.
+    pub kind: NacuFuncKind,
+    /// The 16-bit NACU anchor.
+    pub nacu16: ErrorReport,
+    /// All bars, related work first, then NACU at the extra bit widths.
+    pub bars: Vec<Bar>,
+}
+
+fn bars_for(
+    kind: NacuFuncKind,
+    designs: Vec<Box<dyn Comparator>>,
+    extra_nacu_widths: &[u32],
+) -> Panel {
+    let nacu16 = nacu_report(kind, 16);
+    let mut bars: Vec<Bar> = designs
+        .into_iter()
+        .map(|d| {
+            let report = baselines::measure(d.as_ref());
+            Bar {
+                label: format!("{} {}", d.citation(), d.implementation()),
+                bits: d.input_format().total_bits(),
+                norm_max: report.max_error / nacu16.max_error,
+                norm_avg: report.avg_error / nacu16.avg_error,
+                report,
+            }
+        })
+        .collect();
+    for &w in extra_nacu_widths {
+        let report = nacu_report(kind, w);
+        bars.push(Bar {
+            label: format!("NACU-{w}"),
+            bits: w,
+            norm_max: report.max_error / nacu16.max_error,
+            norm_avg: report.avg_error / nacu16.avg_error,
+            report,
+        });
+    }
+    Panel { kind, nacu16, bars }
+}
+
+/// Fig. 6a/6d — σ comparison (related work at 16/16/16/16/16/14 bits,
+/// NACU also at the matching widths).
+#[must_use]
+pub fn sigmoid_panel() -> Panel {
+    bars_for(
+        NacuFuncKind::Sigmoid,
+        baselines::sigmoid_designs(),
+        &[14, 16],
+    )
+}
+
+/// Fig. 6b/6e — tanh comparison (RALUT designs at 9/10/10 bits, \[11\] at
+/// 14; NACU at the matching widths).
+#[must_use]
+pub fn tanh_panel() -> Panel {
+    bars_for(
+        NacuFuncKind::Tanh,
+        baselines::tanh_designs(),
+        &[9, 10, 14, 16],
+    )
+}
+
+/// Fig. 6c — exp comparison (\[13\] at 18, \[14\] at 21/18 bits; NACU at the
+/// matching widths, where it recovers the gap).
+#[must_use]
+pub fn exp_panel() -> Panel {
+    bars_for(NacuFuncKind::Exp, baselines::exp_designs(), &[16, 18, 21])
+}
+
+/// Prints one panel in the paper's normalised form.
+pub fn print_panel(panel: &Panel) {
+    println!(
+        "# Fig. 6 ({0}): errors normalised to 16-bit NACU (norm > 1 is worse than NACU)",
+        panel.kind
+    );
+    println!(
+        "# NACU-16 anchor: max {} avg {} rmse {}",
+        crate::sci(panel.nacu16.max_error),
+        crate::sci(panel.nacu16.avg_error),
+        crate::sci(panel.nacu16.rmse)
+    );
+    println!("design\tbits\tmax_err\tnorm_max\tavg_err\tnorm_avg");
+    for b in &panel.bars {
+        println!(
+            "{}\t{}\t{}\t{:.2}\t{}\t{:.2}",
+            b.label,
+            b.bits,
+            crate::sci(b.report.max_error),
+            b.norm_max,
+            crate::sci(b.report.avg_error),
+            b.norm_avg
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_panel_shape_matches_the_paper() {
+        let p = sigmoid_panel();
+        let find = |needle: &str| {
+            p.bars
+                .iter()
+                .find(|b| b.label.contains(needle))
+                .unwrap_or_else(|| panic!("missing {needle}"))
+        };
+        // §VII.A: the [6] NUPWL is ~10x worse than NACU.
+        assert!(find("[6] NUPWL").norm_max > 3.0);
+        // §VII.A: the [10] 102-segment Taylor is several times better.
+        assert!(find("[10] 1st-order Taylor").norm_max < 0.8);
+        // §VII.A: the exp-based [11] is an order worse.
+        assert!(find("[11]").norm_max > 3.0);
+    }
+
+    #[test]
+    fn exp_panel_shows_nacu_10x_worse_but_recovering_with_width() {
+        let p = exp_panel();
+        // §VII.C: the 18-21 bit designs beat 16-bit NACU by ~10x.
+        for b in p.bars.iter().filter(|b| !b.label.starts_with("NACU")) {
+            assert!(b.norm_max < 0.6, "{}: {}", b.label, b.norm_max);
+        }
+        // Wider NACUs close the gap.
+        let n21 = p.bars.iter().find(|b| b.label == "NACU-21").unwrap();
+        assert!(n21.norm_max < 0.15, "NACU-21 norm {}", n21.norm_max);
+    }
+
+    #[test]
+    fn tanh_panel_orders_ralut_designs_by_size() {
+        let p = tanh_panel();
+        let z = p.bars.iter().find(|b| b.label.contains("[4]")).unwrap();
+        let l = p.bars.iter().find(|b| b.label.contains("[5]")).unwrap();
+        assert!(z.norm_max > l.norm_max, "[4] coarser than [5]");
+        assert!(z.norm_max > 2.0, "RALUTs are ~10x worse than NACU");
+    }
+}

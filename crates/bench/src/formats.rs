@@ -1,0 +1,51 @@
+//! §III — the Eq. 7 format-selection table (N → minimal i_b).
+
+use nacu::format::{self, FormatRow};
+
+/// Computes the dimensioning table over the widths the paper and its
+/// related work use.
+#[must_use]
+pub fn table() -> Vec<FormatRow> {
+    format::format_table(6..=24)
+}
+
+/// Prints the table plus the paper's N = 16 walkthrough.
+pub fn print(rows: &[FormatRow]) {
+    println!("# Section III: Eq. 7 fixed-point dimensioning");
+    println!("N\ti_b\tf_b\tIn_max\t1-sigma(In_max)\tlsb");
+    for r in rows {
+        let fmt = nacu_fixed::QFormat::new(r.int_bits, r.frac_bits).expect("row format");
+        let gap = 1.0 - format::sigma_at_in_max(fmt);
+        println!(
+            "{}\t{}\t{}\t{:.4}\t{:.3e}\t{:.3e}",
+            r.total_bits,
+            r.int_bits,
+            r.frac_bits,
+            format::in_max(fmt),
+            gap,
+            fmt.resolution()
+        );
+    }
+    println!();
+    println!("# paper check: N=16 -> Q4.11 (i_b=4, f_b=11)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_the_paper_case() {
+        let rows = table();
+        let n16 = rows.iter().find(|r| r.total_bits == 16).unwrap();
+        assert_eq!((n16.int_bits, n16.frac_bits), (4, 11));
+    }
+
+    #[test]
+    fn every_row_saturates_within_one_lsb() {
+        for r in table() {
+            let fmt = nacu_fixed::QFormat::new(r.int_bits, r.frac_bits).unwrap();
+            assert!(1.0 - format::sigma_at_in_max(fmt) < fmt.resolution());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Reproduction harness for every table and figure in the NACU paper.
+//!
+//! Each experiment lives in its own module as a pure function returning
+//! structured rows plus a `print_*` helper that renders the same series
+//! the paper plots; the `src/bin/*` binaries are thin wrappers, and
+//! `repro_all` chains everything for the EXPERIMENTS.md record.
+//!
+//! | module | regenerates |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — σ/tanh curves and gradients |
+//! | [`formats`] | §III — Eq. 7 format-selection table |
+//! | [`fig4`] | Fig. 4a/4b — entries vs precision, error vs entries |
+//! | [`fig5`] | Fig. 5 — area breakdown, power, latency |
+//! | [`fig6`] | Fig. 6a–e — error comparison vs related work |
+//! | [`table1`] | Table I — implementation summary |
+//! | [`rmse`] | §VII.A/B — RMSE and correlation numbers |
+//! | [`ablation`] | DESIGN.md ablations: fit method, LUT size, polynomial order |
+//! | [`width_sweep`] | extension: workload-level accuracy vs NACU word width |
+//! | [`scaling`] | §VII.C — technology-scaled area/delay comparison |
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod formats;
+pub mod nacu_metrics;
+pub mod rmse;
+pub mod scaling;
+pub mod table1;
+pub mod width_sweep;
+
+/// Renders a float in compact scientific notation for table cells.
+#[must_use]
+pub fn sci(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+/// Renders an optional count cell.
+#[must_use]
+pub fn count_cell(v: Option<usize>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(sci(0.000207), "2.070e-4");
+        assert_eq!(count_cell(Some(53)), "53");
+        assert_eq!(count_cell(None), "-");
+    }
+}

@@ -1,0 +1,85 @@
+//! Shared NACU measurement kernel: full-range error reports at any width.
+
+use nacu::{Nacu, NacuConfig};
+use nacu_funcapprox::metrics::{self, ErrorReport};
+use nacu_funcapprox::reference;
+
+/// Which NACU output a measurement targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NacuFuncKind {
+    /// σ over the full signed range.
+    Sigmoid,
+    /// tanh over the full signed range.
+    Tanh,
+    /// e^x over the normalised range `[−2^{i_b}, 0]`.
+    Exp,
+}
+
+impl std::fmt::Display for NacuFuncKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            NacuFuncKind::Sigmoid => "sigmoid",
+            NacuFuncKind::Tanh => "tanh",
+            NacuFuncKind::Exp => "exp",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Builds a NACU at `width` total bits (§III dimensioning) and sweeps the
+/// requested function exhaustively against the f64 reference.
+///
+/// # Panics
+///
+/// Panics if `width` cannot satisfy Eq. 7 (below 5 bits).
+#[must_use]
+pub fn nacu_report(kind: NacuFuncKind, width: u32) -> ErrorReport {
+    let nacu = Nacu::new(NacuConfig::for_width(width).expect("constructible width"))
+        .expect("config validates");
+    report_for(&nacu, kind)
+}
+
+/// Sweeps an existing instance.
+#[must_use]
+pub fn report_for(nacu: &Nacu, kind: NacuFuncKind) -> ErrorReport {
+    let fmt = nacu.config().format;
+    match kind {
+        NacuFuncKind::Sigmoid => {
+            metrics::sweep_raw_range(fmt, fmt.min_raw(), fmt.max_raw(), reference::sigmoid, |x| {
+                nacu.sigmoid(x).to_f64()
+            })
+        }
+        NacuFuncKind::Tanh => metrics::sweep_raw_range(
+            fmt,
+            fmt.min_raw(),
+            fmt.max_raw(),
+            |x| x.tanh(),
+            |x| nacu.tanh(x).to_f64(),
+        ),
+        NacuFuncKind::Exp => {
+            metrics::sweep_raw_range(fmt, fmt.min_raw(), 0, |x| x.exp(), |x| nacu.exp(x).to_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_bit_reports_match_the_paper_decade() {
+        let sig = nacu_report(NacuFuncKind::Sigmoid, 16);
+        assert!(sig.rmse < 4e-4);
+        let tanh = nacu_report(NacuFuncKind::Tanh, 16);
+        assert!(tanh.rmse < 5e-4);
+        let exp = nacu_report(NacuFuncKind::Exp, 16);
+        assert!(exp.max_error < 4e-3);
+    }
+
+    #[test]
+    fn wider_nacu_is_more_accurate() {
+        let w16 = nacu_report(NacuFuncKind::Exp, 16);
+        let w21 = nacu_report(NacuFuncKind::Exp, 21);
+        assert!(w21.max_error < w16.max_error);
+    }
+}

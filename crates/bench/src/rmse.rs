@@ -1,0 +1,112 @@
+//! §VII.A/B — the RMSE and correlation point comparisons: NACU vs the
+//! exp-based designs of Gomar et al. \[11\].
+
+use nacu_baselines::gomar::{GomarSigmoid, GomarTanh};
+use nacu_baselines::measure;
+use nacu_funcapprox::metrics::ErrorReport;
+
+use crate::nacu_metrics::{nacu_report, NacuFuncKind};
+
+/// One comparison row.
+#[derive(Debug, Clone)]
+pub struct RmseRow {
+    /// Design label.
+    pub label: &'static str,
+    /// Function name.
+    pub function: &'static str,
+    /// Measured report.
+    pub report: ErrorReport,
+    /// The paper's published RMSE for this design/function, for the
+    /// paper-vs-measured record.
+    pub paper_rmse: f64,
+}
+
+/// Computes the four §VII rows.
+#[must_use]
+pub fn rows() -> Vec<RmseRow> {
+    vec![
+        RmseRow {
+            label: "NACU-16",
+            function: "sigmoid",
+            report: nacu_report(NacuFuncKind::Sigmoid, 16),
+            paper_rmse: 2.07e-4,
+        },
+        RmseRow {
+            label: "[11] exp-based",
+            function: "sigmoid",
+            report: measure(&GomarSigmoid::new()),
+            paper_rmse: 9.1e-3,
+        },
+        RmseRow {
+            label: "NACU-16",
+            function: "tanh",
+            report: nacu_report(NacuFuncKind::Tanh, 16),
+            paper_rmse: 2.09e-4,
+        },
+        RmseRow {
+            label: "[11] exp-based",
+            function: "tanh",
+            report: measure(&GomarTanh::new()),
+            paper_rmse: 1.77e-2,
+        },
+    ]
+}
+
+/// Prints the §VII.A/B record.
+pub fn print(rows: &[RmseRow]) {
+    println!("# Section VII.A/B: RMSE and correlation, paper vs measured");
+    println!("design\tfunction\trmse_measured\trmse_paper\tcorrelation");
+    for r in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{:.4}",
+            r.label,
+            r.function,
+            crate::sci(r.report.rmse),
+            crate::sci(r.paper_rmse),
+            r.report.correlation
+        );
+    }
+    println!();
+    println!("# headline: NACU is ~40-80x better in RMSE than [11] on both functions");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nacu_rows_land_within_2x_of_paper_rmse() {
+        for r in rows().iter().filter(|r| r.label == "NACU-16") {
+            assert!(
+                r.report.rmse < 2.0 * r.paper_rmse,
+                "{} {}: {} vs paper {}",
+                r.label,
+                r.function,
+                r.report.rmse,
+                r.paper_rmse
+            );
+            assert!(r.report.correlation > 0.999);
+        }
+    }
+
+    #[test]
+    fn gomar_rows_land_in_the_paper_decade() {
+        for r in rows().iter().filter(|r| r.label.starts_with("[11]")) {
+            assert!(
+                r.report.rmse > r.paper_rmse / 10.0 && r.report.rmse < r.paper_rmse * 10.0,
+                "{}: {} vs paper {}",
+                r.function,
+                r.report.rmse,
+                r.paper_rmse
+            );
+        }
+    }
+
+    #[test]
+    fn nacu_beats_gomar_by_an_order_of_magnitude() {
+        let all = rows();
+        let nacu_sig = &all[0];
+        let gomar_sig = &all[1];
+        assert!(nacu_sig.report.rmse * 10.0 < gomar_sig.report.rmse);
+    }
+}

@@ -1,0 +1,113 @@
+//! §VII.C — technology-scaled area/delay comparison of the exp designs.
+//!
+//! The paper scales \[13\]'s and \[14\]'s 65 nm figures to NACU's 28 nm node
+//! and argues NACU's extra area buys four functions instead of one.
+
+use nacu_hwmodel::area::NacuAreaModel;
+use nacu_hwmodel::scaling::{scale_area, scale_delay, TechNode};
+
+/// One scaled-comparison row.
+#[derive(Debug, Clone)]
+pub struct ScaledRow {
+    /// Design label.
+    pub label: &'static str,
+    /// Area at its native node (µm²).
+    pub native_area_um2: f64,
+    /// Native node.
+    pub native_node: TechNode,
+    /// Area scaled to 28 nm (µm²).
+    pub scaled_area_um2: f64,
+    /// The paper's quoted scaled area (µm²), for the record.
+    pub paper_scaled_um2: f64,
+    /// Per-result latency scaled to 28 nm (ns).
+    pub scaled_latency_ns: f64,
+}
+
+/// Computes the §VII.C rows.
+#[must_use]
+pub fn rows() -> Vec<ScaledRow> {
+    let scale = |area: f64| scale_area(area, TechNode::N65, TechNode::N28);
+    vec![
+        ScaledRow {
+            label: "[14] CORDIC (sequential)",
+            native_area_um2: 19150.0,
+            native_node: TechNode::N65,
+            scaled_area_um2: scale(19150.0),
+            paper_scaled_um2: 5800.0,
+            scaled_latency_ns: scale_delay(86.0, TechNode::N65, TechNode::N28),
+        },
+        ScaledRow {
+            label: "[13] 6th-order Taylor",
+            native_area_um2: 20700.0,
+            native_node: TechNode::N65,
+            scaled_area_um2: scale(20700.0),
+            paper_scaled_um2: 6200.0,
+            scaled_latency_ns: scale_delay(40.3, TechNode::N65, TechNode::N28),
+        },
+        ScaledRow {
+            label: "[14] Parabolic",
+            native_area_um2: 26400.0,
+            native_node: TechNode::N65,
+            scaled_area_um2: scale(26400.0),
+            paper_scaled_um2: 8000.0,
+            scaled_latency_ns: scale_delay(20.8, TechNode::N65, TechNode::N28),
+        },
+    ]
+}
+
+/// Prints the §VII.C record against the NACU model total.
+pub fn print(rows: &[ScaledRow]) {
+    let nacu = NacuAreaModel::paper_config().breakdown().total_um2();
+    println!("# Section VII.C: exp designs scaled to 28 nm vs NACU");
+    println!("design\tnative_um2\tnode\tscaled_um2\tpaper_scaled\tscaled_latency_ns");
+    for r in rows {
+        println!(
+            "{}\t{:.0}\t{}\t{:.0}\t{:.0}\t{:.1}",
+            r.label,
+            r.native_area_um2,
+            r.native_node,
+            r.scaled_area_um2,
+            r.paper_scaled_um2,
+            r.scaled_latency_ns
+        );
+    }
+    println!("NACU (4 functions)\t{nacu:.0}\t28 nm\t{nacu:.0}\t9671\t3.75 per result after fill");
+    println!();
+    println!("# NACU is larger than any single-function exp unit but replaces all of them");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_areas_match_paper_quotes_within_3_percent() {
+        for r in rows() {
+            let rel = (r.scaled_area_um2 - r.paper_scaled_um2).abs() / r.paper_scaled_um2;
+            assert!(
+                rel < 0.03,
+                "{}: {} vs {}",
+                r.label,
+                r.scaled_area_um2,
+                r.paper_scaled_um2
+            );
+        }
+    }
+
+    #[test]
+    fn cordic_latency_scales_to_42ns() {
+        let cordic = &rows()[0];
+        assert!((cordic.scaled_latency_ns - 42.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn nacu_is_larger_than_each_but_smaller_than_the_sum() {
+        let nacu = NacuAreaModel::paper_config().breakdown().total_um2();
+        let all = rows();
+        let sum: f64 = all.iter().map(|r| r.scaled_area_um2).sum();
+        for r in &all {
+            assert!(nacu > r.scaled_area_um2, "{}", r.label);
+        }
+        assert!(nacu < sum, "one NACU beats owning all three exp units");
+    }
+}

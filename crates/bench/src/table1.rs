@@ -1,0 +1,50 @@
+//! Table I — the implementation-summary table, with the NACU row fed by
+//! the structural models.
+
+use nacu_hwmodel::area::NacuAreaModel;
+use nacu_hwmodel::table1::{self, Table1Row};
+
+/// The full thirteen-row table.
+#[must_use]
+pub fn rows() -> Vec<Table1Row> {
+    table1::full_table(&NacuAreaModel::paper_config())
+}
+
+/// Prints the table in the paper's column order.
+pub fn print(rows: &[Table1Row]) {
+    println!("# Table I: related work vs NACU (areas as reported at each design's own node)");
+    println!(
+        "work\timplementation\tarea_um2\tnode\tlut_entries\tbits\tclock_ns\tlatency\tfunctions"
+    );
+    for r in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.label,
+            r.implementation,
+            r.area_um2
+                .map_or_else(|| "-".to_string(), |a| format!("{a:.0}")),
+            r.tech,
+            r.lut_entries
+                .map_or_else(|| "-".to_string(), |e| e.to_string()),
+            r.bits,
+            r.clock_ns
+                .map_or_else(|| "-".to_string(), |c| format!("{c}")),
+            r.latency,
+            r.functions
+        );
+    }
+    println!();
+    println!("# NACU is the only row covering sigmoid + tanh + exp + softmax in one unit");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_rows_ending_in_nacu() {
+        let r = rows();
+        assert_eq!(r.len(), 13);
+        assert_eq!(r.last().unwrap().label, "NACU");
+    }
+}

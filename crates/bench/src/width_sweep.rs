@@ -1,0 +1,106 @@
+//! Workload-level bit-width sweep: what the Fig. 6c–e per-function curves
+//! mean for an actual network.
+//!
+//! For each word width, a NACU is dimensioned by Eq. 7, dropped into a
+//! trained MLP, and the test accuracy compared against f64 inference —
+//! locating the width below which the activation error starts costing
+//! decisions (the system-level justification for the paper's 16-bit pick).
+
+use nacu::NacuConfig;
+use nacu_nn::activation::{NacuActivation, Nonlinearity, ReferenceActivation};
+use nacu_nn::{data, train};
+
+/// One sweep row.
+#[derive(Debug, Clone)]
+pub struct WidthRow {
+    /// Word width `N`.
+    pub width: u32,
+    /// Test accuracy with NACU activations.
+    pub nacu_accuracy: f64,
+    /// Test accuracy with exact activations at the same fixed-point width.
+    pub reference_accuracy: f64,
+}
+
+/// Result of the sweep, with the f64 ceiling.
+#[derive(Debug, Clone)]
+pub struct WidthSweep {
+    /// f64 inference accuracy (the ceiling).
+    pub f64_accuracy: f64,
+    /// Per-width rows (ascending widths).
+    pub rows: Vec<WidthRow>,
+}
+
+/// Runs the sweep on the two-spirals task (the hardest shipped dataset).
+#[must_use]
+pub fn run(widths: &[u32]) -> WidthSweep {
+    let dataset = data::two_spirals(700, 0.15, 77);
+    let (train_set, test_set) = dataset.split(0.75);
+    let trained = train::train_mlp(&train_set, 24, 300, 0.05, 13);
+    let f64_accuracy = trained.accuracy_f64(&test_set);
+    let rows = widths
+        .iter()
+        .map(|&width| {
+            let config = NacuConfig::for_width(width).expect("Eq. 7 solvable width");
+            let fixed = trained.quantize(config.format);
+            let nacu = NacuActivation::new(config).expect("config validates");
+            let reference = ReferenceActivation::new(config.format);
+            WidthRow {
+                width,
+                nacu_accuracy: fixed.accuracy(&test_set, &nacu as &dyn Nonlinearity),
+                reference_accuracy: fixed.accuracy(&test_set, &reference as &dyn Nonlinearity),
+            }
+        })
+        .collect();
+    WidthSweep { f64_accuracy, rows }
+}
+
+/// Prints the sweep.
+pub fn print(sweep: &WidthSweep) {
+    println!("# Workload-level width sweep: two-spirals MLP test accuracy");
+    println!("# f64 ceiling: {:.3}", sweep.f64_accuracy);
+    println!("width\tnacu_acc\tref_fx_acc\tgap_to_ref");
+    for r in &sweep.rows {
+        println!(
+            "{}\t{:.3}\t{:.3}\t{:+.3}",
+            r.width,
+            r.nacu_accuracy,
+            r.reference_accuracy,
+            r.nacu_accuracy - r.reference_accuracy
+        );
+    }
+    println!();
+    println!("# at 16 bits the activation error is invisible at workload level;");
+    println!("# the floor where decisions flip sits several bits lower.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_bit_nacu_matches_reference_at_workload_level() {
+        let sweep = run(&[10, 16]);
+        let w16 = sweep.rows.iter().find(|r| r.width == 16).unwrap();
+        assert!(
+            (w16.nacu_accuracy - w16.reference_accuracy).abs() <= 0.02,
+            "16-bit gap: {} vs {}",
+            w16.nacu_accuracy,
+            w16.reference_accuracy
+        );
+        assert!(w16.reference_accuracy > 0.9, "the task is learnable");
+    }
+
+    #[test]
+    fn narrow_widths_track_their_own_reference() {
+        // Any accuracy loss at 10 bits must come from quantisation itself,
+        // not from NACU's approximation on top of it.
+        let sweep = run(&[10]);
+        let w10 = &sweep.rows[0];
+        assert!(
+            w10.nacu_accuracy >= w10.reference_accuracy - 0.06,
+            "{} vs {}",
+            w10.nacu_accuracy,
+            w10.reference_accuracy
+        );
+    }
+}

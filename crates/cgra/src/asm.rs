@@ -1,0 +1,182 @@
+//! A two-way assembler for cell programs.
+//!
+//! The [`crate::isa::Instruction`] `Display` impl already prints assembly;
+//! this module parses it back, so programs can live as inspectable text in
+//! examples and tests (`parse` ∘ `to_string` = identity).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Direction, Instruction, Program, Reg};
+
+/// Error produced when a line cannot be assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseProgramError {}
+
+fn parse_reg(token: &str) -> Result<Reg, String> {
+    let trimmed = token.trim().trim_end_matches(',');
+    let idx = trimmed
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| (n as usize) < Reg::COUNT)
+        .ok_or_else(|| format!("not a register: {trimmed:?}"))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_dir(token: &str) -> Result<Direction, String> {
+    match token.trim().trim_end_matches(',') {
+        "west" => Ok(Direction::West),
+        "east" => Ok(Direction::East),
+        "north" => Ok(Direction::North),
+        "south" => Ok(Direction::South),
+        other => Err(format!("not a direction: {other:?}")),
+    }
+}
+
+fn parse_imm(token: &str) -> Result<i64, String> {
+    let trimmed = token.trim().trim_end_matches(',');
+    trimmed
+        .parse::<i64>()
+        .map_err(|_| format!("not an immediate: {trimmed:?}"))
+}
+
+fn parse_line(line: &str) -> Result<Option<Instruction>, String> {
+    // Strip comments (`;` or `#`) and blanks.
+    let code = line
+        .split([';', '#'])
+        .next()
+        .unwrap_or("")
+        .trim();
+    if code.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = code.split_whitespace();
+    let mnemonic = parts.next().expect("non-empty line has a mnemonic");
+    let rest: Vec<&str> = parts.collect();
+    let arg = |i: usize| -> Result<&str, String> {
+        rest.get(i)
+            .copied()
+            .ok_or_else(|| format!("{mnemonic}: missing operand {i}"))
+    };
+    let ins = match mnemonic {
+        "ldi" => Instruction::Ldi(parse_reg(arg(0)?)?, parse_imm(arg(1)?)?),
+        "mov" => Instruction::Mov(parse_reg(arg(0)?)?, parse_reg(arg(1)?)?),
+        "clr" => Instruction::ClearAcc,
+        "mac" => Instruction::Mac(parse_reg(arg(0)?)?, parse_reg(arg(1)?)?),
+        "sta" => Instruction::StoreAcc(parse_reg(arg(0)?)?),
+        "add" => Instruction::Add(
+            parse_reg(arg(0)?)?,
+            parse_reg(arg(1)?)?,
+            parse_reg(arg(2)?)?,
+        ),
+        "sub" => Instruction::Sub(
+            parse_reg(arg(0)?)?,
+            parse_reg(arg(1)?)?,
+            parse_reg(arg(2)?)?,
+        ),
+        "max" => Instruction::Max(
+            parse_reg(arg(0)?)?,
+            parse_reg(arg(1)?)?,
+            parse_reg(arg(2)?)?,
+        ),
+        "div" => Instruction::Div(
+            parse_reg(arg(0)?)?,
+            parse_reg(arg(1)?)?,
+            parse_reg(arg(2)?)?,
+        ),
+        "sig" => Instruction::Sigmoid(parse_reg(arg(0)?)?, parse_reg(arg(1)?)?),
+        "tnh" => Instruction::Tanh(parse_reg(arg(0)?)?, parse_reg(arg(1)?)?),
+        "exp" => Instruction::Exp(parse_reg(arg(0)?)?, parse_reg(arg(1)?)?),
+        "snd" => Instruction::Send(parse_dir(arg(0)?)?, parse_reg(arg(1)?)?),
+        "rcv" => Instruction::Recv(parse_reg(arg(0)?)?, parse_dir(arg(1)?)?),
+        "hlt" => Instruction::Halt,
+        other => return Err(format!("unknown mnemonic: {other:?}")),
+    };
+    Ok(Some(ins))
+}
+
+/// Assembles a multi-line program. Blank lines and `;`/`#` comments are
+/// ignored.
+///
+/// # Errors
+///
+/// Returns [`ParseProgramError`] with the offending line number.
+pub fn parse(text: &str) -> Result<Program, ParseProgramError> {
+    let mut program = Program::new();
+    for (i, line) in text.lines().enumerate() {
+        match parse_line(line) {
+            Ok(Some(ins)) => program.push(ins),
+            Ok(None) => {}
+            Err(reason) => {
+                return Err(ParseProgramError {
+                    line: i + 1,
+                    reason,
+                })
+            }
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_instruction() {
+        let r = Reg::new;
+        let all = vec![
+            Instruction::Ldi(r(1), -2048),
+            Instruction::Mov(r(2), r(1)),
+            Instruction::ClearAcc,
+            Instruction::Mac(r(1), r(2)),
+            Instruction::StoreAcc(r(3)),
+            Instruction::Add(r(4), r(3), r(1)),
+            Instruction::Sub(r(5), r(4), r(1)),
+            Instruction::Max(r(6), r(5), r(4)),
+            Instruction::Div(r(7), r(6), r(5)),
+            Instruction::Sigmoid(r(8), r(7)),
+            Instruction::Tanh(r(9), r(8)),
+            Instruction::Exp(r(10), r(9)),
+            Instruction::Send(Direction::South, r(10)),
+            Instruction::Recv(r(11), Direction::North),
+            Instruction::Halt,
+        ];
+        let program = Program::from_instructions(all.clone());
+        let text = program.to_string();
+        let back = parse(&text).expect("own output parses");
+        assert_eq!(back, program);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let p = parse("; dot product\n\nclr\nmac r0, r1  # partial\nhlt\n").unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("clr\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown mnemonic"));
+        let err = parse("ldi r99, 0\n").unwrap_err();
+        assert!(err.reason.contains("not a register"));
+        let err = parse("snd up, r1\n").unwrap_err();
+        assert!(err.reason.contains("not a direction"));
+        let err = parse("mac r0\n").unwrap_err();
+        assert!(err.reason.contains("missing operand"));
+    }
+}

@@ -1,0 +1,385 @@
+//! A cycle-accurate processing cell: registers, MAC, one NACU.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use nacu::datapath::MacAccumulator;
+use nacu::Nacu;
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::isa::{Direction, Instruction, Program, Reg};
+
+/// Execution state of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellState {
+    /// Executing instructions.
+    Running,
+    /// Stalled on a NACU/divider latency (`n` cycles remaining).
+    Busy(u32),
+    /// Blocked on an empty mailbox.
+    WaitingOn(Direction),
+    /// Halted (program finished or `hlt`).
+    Halted,
+}
+
+/// One processing cell of the fabric.
+///
+/// The NACU instance is shared (`Arc`) across cells — in silicon every
+/// cell has its own unit, but they are identical ROMs, so sharing the
+/// model keeps construction cheap without changing any result.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    nacu: Arc<Nacu>,
+    format: QFormat,
+    regs: [Fx; Reg::COUNT],
+    acc: MacAccumulator,
+    program: Program,
+    pc: usize,
+    state: CellState,
+    /// Inbound mailboxes, one per direction.
+    inbox: [VecDeque<Fx>; 4],
+    /// Outbound words produced this cycle: `(direction, word)`.
+    outbox: Vec<(Direction, Fx)>,
+    retired: u64,
+}
+
+fn dir_index(dir: Direction) -> usize {
+    match dir {
+        Direction::West => 0,
+        Direction::East => 1,
+        Direction::North => 2,
+        Direction::South => 3,
+    }
+}
+
+impl Cell {
+    /// Creates an idle cell around a shared NACU instance.
+    #[must_use]
+    pub fn new(nacu: Arc<Nacu>) -> Self {
+        let format = nacu.config().format;
+        Self {
+            nacu,
+            format,
+            regs: [Fx::zero(format); Reg::COUNT],
+            acc: MacAccumulator::new(format),
+            program: Program::new(),
+            pc: 0,
+            state: CellState::Halted,
+            inbox: [const { VecDeque::new() }; 4],
+            outbox: Vec::new(),
+            retired: 0,
+        }
+    }
+
+    /// Loads (reconfigures) a program and restarts the cell. Registers and
+    /// mailboxes survive reconfiguration — that is what lets one phase
+    /// hand data to the next, the "morphing" use case.
+    pub fn load_program(&mut self, program: Program) {
+        self.program = program;
+        self.pc = 0;
+        self.state = if self.program.is_empty() {
+            CellState::Halted
+        } else {
+            CellState::Running
+        };
+    }
+
+    /// Current execution state.
+    #[must_use]
+    pub fn state(&self) -> CellState {
+        self.state
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> Fx {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register directly (test benches and data loading).
+    pub fn set_reg(&mut self, r: Reg, v: Fx) {
+        assert_eq!(v.format(), self.format, "format mismatch");
+        self.regs[r.index()] = v;
+    }
+
+    /// Instructions retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The datapath format.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Delivers a word into a mailbox (called by the fabric router).
+    pub fn deliver(&mut self, from: Direction, word: Fx) {
+        self.inbox[dir_index(from)].push_back(word);
+    }
+
+    /// Drains the words sent this cycle (called by the fabric router).
+    pub fn take_outbox(&mut self) -> Vec<(Direction, Fx)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Executes one clock cycle.
+    pub fn tick(&mut self) {
+        match self.state {
+            CellState::Halted => {}
+            CellState::Busy(n) => {
+                self.state = if n <= 1 {
+                    CellState::Running
+                } else {
+                    CellState::Busy(n - 1)
+                };
+            }
+            CellState::WaitingOn(dir) => {
+                if let Some(word) = self.inbox[dir_index(dir)].pop_front() {
+                    // The blocked `rcv` completes this cycle.
+                    if let Some(Instruction::Recv(rd, _)) = self.program.fetch(self.pc) {
+                        self.regs[rd.index()] = word;
+                    }
+                    self.pc += 1;
+                    self.retired += 1;
+                    self.state = CellState::Running;
+                }
+            }
+            CellState::Running => self.execute(),
+        }
+    }
+
+    fn execute(&mut self) {
+        let Some(ins) = self.program.fetch(self.pc) else {
+            self.state = CellState::Halted;
+            return;
+        };
+        let mut advance = true;
+        match ins {
+            Instruction::Ldi(rd, raw) => {
+                self.regs[rd.index()] = Fx::from_raw_saturating(raw, self.format);
+            }
+            Instruction::Mov(rd, rs) => self.regs[rd.index()] = self.regs[rs.index()],
+            Instruction::ClearAcc => self.acc.clear(),
+            Instruction::Mac(ra, rb) => {
+                self.acc.step(self.regs[ra.index()], self.regs[rb.index()]);
+            }
+            Instruction::StoreAcc(rd) => self.regs[rd.index()] = self.acc.value(),
+            Instruction::Add(rd, ra, rb) => {
+                self.regs[rd.index()] = self.regs[ra.index()] + self.regs[rb.index()];
+            }
+            Instruction::Sub(rd, ra, rb) => {
+                self.regs[rd.index()] = self.regs[ra.index()] - self.regs[rb.index()];
+            }
+            Instruction::Max(rd, ra, rb) => {
+                let (a, b) = (self.regs[ra.index()], self.regs[rb.index()]);
+                self.regs[rd.index()] = if a.raw() >= b.raw() { a } else { b };
+            }
+            Instruction::Sigmoid(rd, rs) => {
+                self.regs[rd.index()] = self.nacu.sigmoid(self.regs[rs.index()]);
+                self.stall(nacu::pipeline::latency_cycles(nacu::Function::Sigmoid));
+            }
+            Instruction::Tanh(rd, rs) => {
+                self.regs[rd.index()] = self.nacu.tanh(self.regs[rs.index()]);
+                self.stall(nacu::pipeline::latency_cycles(nacu::Function::Tanh));
+            }
+            Instruction::Exp(rd, rs) => {
+                self.regs[rd.index()] = self.nacu.exp(self.regs[rs.index()]);
+                self.stall(nacu::pipeline::latency_cycles(nacu::Function::Exp));
+            }
+            Instruction::Div(rd, ra, rb) => {
+                let numer = self.regs[ra.index()];
+                let denom = self.regs[rb.index()];
+                // Division by zero saturates high — the hardware raises a
+                // sticky flag; the model keeps the worst-case value. The
+                // restoring array is unsigned; signs are fixed up around
+                // it, as the sign-magnitude front-end of the RTL does.
+                self.regs[rd.index()] = if denom.is_zero() {
+                    Fx::max(self.format)
+                } else {
+                    let negative = numer.is_negative() != denom.is_negative();
+                    let q = nacu::divider::divide(numer.abs_saturating(), denom.abs_saturating())
+                        .expect("same format, non-zero denominator");
+                    if negative {
+                        q.neg_saturating()
+                    } else {
+                        q
+                    }
+                };
+                self.stall(nacu::pipeline::latency_cycles(nacu::Function::Exp));
+            }
+            Instruction::Send(dir, rs) => {
+                self.outbox.push((dir, self.regs[rs.index()]));
+            }
+            Instruction::Recv(rd, dir) => {
+                if let Some(word) = self.inbox[dir_index(dir)].pop_front() {
+                    self.regs[rd.index()] = word;
+                } else {
+                    self.state = CellState::WaitingOn(dir);
+                    advance = false;
+                }
+            }
+            Instruction::Halt => {
+                self.state = CellState::Halted;
+                advance = false;
+                self.retired += 1;
+            }
+        }
+        if advance {
+            self.pc += 1;
+            self.retired += 1;
+        }
+    }
+
+    fn stall(&mut self, latency: u32) {
+        if latency > 1 {
+            self.state = CellState::Busy(latency - 1);
+        }
+    }
+
+    /// Convenience: quantises a real value into the cell's format.
+    #[must_use]
+    pub fn quantize(&self, v: f64) -> Fx {
+        Fx::from_f64(v, self.format, Rounding::Nearest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nacu::NacuConfig;
+
+    fn cell() -> Cell {
+        Cell::new(Arc::new(Nacu::new(NacuConfig::paper_16bit()).unwrap()))
+    }
+
+    fn run_to_halt(c: &mut Cell, max_cycles: u32) -> u32 {
+        let mut cycles = 0;
+        while c.state() != CellState::Halted {
+            c.tick();
+            cycles += 1;
+            assert!(cycles <= max_cycles, "cell did not halt");
+        }
+        cycles
+    }
+
+    #[test]
+    fn mac_program_computes_a_dot_product() {
+        let mut c = cell();
+        let r = Reg::new;
+        let one = c.format().scale();
+        // acc = 1.5*2 + (-0.5)*4 = 1.0
+        c.load_program(Program::from_instructions(vec![
+            Instruction::Ldi(r(0), 3 * one / 2),
+            Instruction::Ldi(r(1), 2 * one),
+            Instruction::Ldi(r(2), -one / 2),
+            Instruction::Ldi(r(3), 4 * one),
+            Instruction::ClearAcc,
+            Instruction::Mac(r(0), r(1)),
+            Instruction::Mac(r(2), r(3)),
+            Instruction::StoreAcc(r(4)),
+            Instruction::Halt,
+        ]));
+        run_to_halt(&mut c, 20);
+        assert_eq!(c.reg(r(4)).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn nacu_ops_stall_for_their_table1_latency() {
+        let mut c = cell();
+        let r = Reg::new;
+        c.load_program(Program::from_instructions(vec![
+            Instruction::Ldi(r(0), 0),
+            Instruction::Sigmoid(r(1), r(0)), // 3 cycles
+            Instruction::Exp(r(2), r(0)),     // 8 cycles
+            Instruction::Halt,
+        ]));
+        let cycles = run_to_halt(&mut c, 40);
+        // ldi(1) + sig(3) + exp(8) + hlt(1) = 13.
+        assert_eq!(cycles, 13);
+        assert!((c.reg(r(1)).to_f64() - 0.5).abs() < 1e-3);
+        assert!((c.reg(r(2)).to_f64() - 1.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn results_match_the_bare_nacu() {
+        let mut c = cell();
+        let r = Reg::new;
+        let x = c.quantize(-1.3);
+        c.set_reg(r(0), x);
+        c.load_program(Program::from_instructions(vec![
+            Instruction::Tanh(r(1), r(0)),
+            Instruction::Halt,
+        ]));
+        run_to_halt(&mut c, 10);
+        let direct = Nacu::new(NacuConfig::paper_16bit()).unwrap().tanh(x);
+        assert_eq!(c.reg(r(1)), direct, "cell result is bit-identical");
+    }
+
+    #[test]
+    fn recv_blocks_until_delivery() {
+        let mut c = cell();
+        let r = Reg::new;
+        c.load_program(Program::from_instructions(vec![
+            Instruction::Recv(r(0), Direction::West),
+            Instruction::Halt,
+        ]));
+        c.tick();
+        assert_eq!(c.state(), CellState::WaitingOn(Direction::West));
+        c.tick();
+        assert_eq!(c.state(), CellState::WaitingOn(Direction::West));
+        let word = c.quantize(2.5);
+        c.deliver(Direction::West, word);
+        c.tick(); // the blocked rcv completes
+        c.tick(); // hlt
+        assert_eq!(c.state(), CellState::Halted);
+        assert_eq!(c.reg(r(0)), word);
+    }
+
+    #[test]
+    fn send_words_appear_in_the_outbox() {
+        let mut c = cell();
+        let r = Reg::new;
+        let v = c.quantize(1.25);
+        c.set_reg(r(3), v);
+        c.load_program(Program::from_instructions(vec![
+            Instruction::Send(Direction::South, r(3)),
+            Instruction::Halt,
+        ]));
+        c.tick();
+        let out = c.take_outbox();
+        assert_eq!(out, vec![(Direction::South, v)]);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        let mut c = cell();
+        let r = Reg::new;
+        c.set_reg(r(0), c.quantize(1.0));
+        c.load_program(Program::from_instructions(vec![
+            Instruction::Div(r(2), r(0), r(1)), // r1 is zero
+            Instruction::Halt,
+        ]));
+        run_to_halt(&mut c, 20);
+        assert_eq!(c.reg(r(2)).raw(), c.format().max_raw());
+    }
+
+    #[test]
+    fn reconfiguration_preserves_registers() {
+        let mut c = cell();
+        let r = Reg::new;
+        c.load_program(Program::from_instructions(vec![
+            Instruction::Ldi(r(5), 1000),
+            Instruction::Halt,
+        ]));
+        run_to_halt(&mut c, 10);
+        // Morph into a different program: r5 survives.
+        c.load_program(Program::from_instructions(vec![
+            Instruction::Mov(r(6), r(5)),
+            Instruction::Halt,
+        ]));
+        run_to_halt(&mut c, 10);
+        assert_eq!(c.reg(r(6)).raw(), 1000);
+    }
+}

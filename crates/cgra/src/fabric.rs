@@ -1,0 +1,261 @@
+//! The 2-D mesh of processing cells with single-cycle neighbour links.
+
+use std::sync::Arc;
+
+use nacu::Nacu;
+
+use crate::cell::{Cell, CellState};
+use crate::isa::{Direction, Program};
+
+/// Grid coordinates: `(row, col)`.
+pub type Coord = (usize, usize);
+
+/// A `rows × cols` fabric of NACU cells.
+///
+/// Every cycle, all cells execute one tick, then the router moves every
+/// word sent this cycle into the destination cell's mailbox (available
+/// next cycle — a one-cycle link, as in a register-bounded mesh).
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    rows: usize,
+    cols: usize,
+    cells: Vec<Cell>,
+    cycle: u64,
+}
+
+impl Fabric {
+    /// Builds a fabric whose cells share one NACU configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, nacu: Arc<Nacu>) -> Self {
+        assert!(rows > 0 && cols > 0, "fabric dimensions must be positive");
+        let cells = (0..rows * cols)
+            .map(|_| Cell::new(Arc::clone(&nacu)))
+            .collect();
+        Self {
+            rows,
+            cols,
+            cells,
+            cycle: 0,
+        }
+    }
+
+    /// Grid dimensions.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Elapsed cycles.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn index(&self, at: Coord) -> usize {
+        assert!(at.0 < self.rows && at.1 < self.cols, "coordinate off-grid");
+        at.0 * self.cols + at.1
+    }
+
+    /// Immutable cell access.
+    #[must_use]
+    pub fn cell(&self, at: Coord) -> &Cell {
+        &self.cells[self.index(at)]
+    }
+
+    /// Mutable cell access (loading data/programs).
+    pub fn cell_mut(&mut self, at: Coord) -> &mut Cell {
+        let idx = self.index(at);
+        &mut self.cells[idx]
+    }
+
+    /// Loads a program into one cell.
+    pub fn load(&mut self, at: Coord, program: Program) {
+        self.cell_mut(at).load_program(program);
+    }
+
+    /// The neighbour of `at` in `dir`, if on the grid.
+    #[must_use]
+    pub fn neighbour(&self, at: Coord, dir: Direction) -> Option<Coord> {
+        let (r, c) = at;
+        match dir {
+            Direction::West => c.checked_sub(1).map(|c| (r, c)),
+            Direction::East => (c + 1 < self.cols).then_some((r, c + 1)),
+            Direction::North => r.checked_sub(1).map(|r| (r, c)),
+            Direction::South => (r + 1 < self.rows).then_some((r + 1, c)),
+        }
+    }
+
+    /// Executes one fabric cycle: tick every cell, then route.
+    pub fn step(&mut self) {
+        for cell in &mut self.cells {
+            cell.tick();
+        }
+        // Route: a word sent towards `dir` arrives at the neighbour's
+        // opposite-side mailbox; words sent off-grid are dropped (edge
+        // cells talk to the outside world through explicit I/O in tests).
+        let mut deliveries: Vec<(usize, Direction, nacu_fixed::Fx)> = Vec::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let idx = r * self.cols + c;
+                for (dir, word) in self.cells[idx].take_outbox() {
+                    if let Some(to) = self.neighbour((r, c), dir) {
+                        let from_side = match dir {
+                            Direction::West => Direction::East,
+                            Direction::East => Direction::West,
+                            Direction::North => Direction::South,
+                            Direction::South => Direction::North,
+                        };
+                        deliveries.push((self.index(to), from_side, word));
+                    }
+                }
+            }
+        }
+        for (idx, side, word) in deliveries {
+            self.cells[idx].deliver(side, word);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs until every cell halts, up to `max_cycles`.
+    ///
+    /// Returns the cycles consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric has not quiesced after `max_cycles` (a
+    /// deadlocked `rcv` or runaway program).
+    pub fn run_to_quiescence(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        while self.cells.iter().any(|c| c.state() != CellState::Halted) {
+            assert!(
+                self.cycle - start < max_cycles,
+                "fabric did not quiesce within {max_cycles} cycles"
+            );
+            self.step();
+        }
+        self.cycle - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instruction, Reg};
+    use nacu::NacuConfig;
+
+    fn fabric(rows: usize, cols: usize) -> Fabric {
+        Fabric::new(
+            rows,
+            cols,
+            Arc::new(Nacu::new(NacuConfig::paper_16bit()).unwrap()),
+        )
+    }
+
+    #[test]
+    fn neighbour_topology() {
+        let f = fabric(2, 3);
+        assert_eq!(f.neighbour((0, 0), Direction::West), None);
+        assert_eq!(f.neighbour((0, 0), Direction::East), Some((0, 1)));
+        assert_eq!(f.neighbour((0, 0), Direction::South), Some((1, 0)));
+        assert_eq!(f.neighbour((1, 2), Direction::East), None);
+        assert_eq!(f.neighbour((1, 2), Direction::North), Some((0, 2)));
+    }
+
+    #[test]
+    fn word_crosses_a_link_in_one_cycle() {
+        let mut f = fabric(1, 2);
+        let r = Reg::new;
+        let v = f.cell((0, 0)).quantize(0.75);
+        f.cell_mut((0, 0)).set_reg(r(0), v);
+        f.load(
+            (0, 0),
+            Program::from_instructions(vec![
+                Instruction::Send(Direction::East, r(0)),
+                Instruction::Halt,
+            ]),
+        );
+        f.load(
+            (0, 1),
+            Program::from_instructions(vec![
+                Instruction::Recv(r(1), Direction::West),
+                Instruction::Halt,
+            ]),
+        );
+        let cycles = f.run_to_quiescence(20);
+        assert_eq!(f.cell((0, 1)).reg(r(1)), v);
+        assert!(cycles <= 5, "took {cycles} cycles");
+    }
+
+    #[test]
+    fn pipeline_of_cells_relays_data() {
+        // Four cells in a row: each forwards west->east.
+        let mut f = fabric(1, 4);
+        let r = Reg::new;
+        let v = f.cell((0, 0)).quantize(-1.5);
+        f.cell_mut((0, 0)).set_reg(r(0), v);
+        f.load(
+            (0, 0),
+            Program::from_instructions(vec![
+                Instruction::Send(Direction::East, r(0)),
+                Instruction::Halt,
+            ]),
+        );
+        for c in 1..3 {
+            f.load(
+                (0, c),
+                Program::from_instructions(vec![
+                    Instruction::Recv(r(0), Direction::West),
+                    Instruction::Send(Direction::East, r(0)),
+                    Instruction::Halt,
+                ]),
+            );
+        }
+        f.load(
+            (0, 3),
+            Program::from_instructions(vec![
+                Instruction::Recv(r(0), Direction::West),
+                Instruction::Halt,
+            ]),
+        );
+        f.run_to_quiescence(50);
+        assert_eq!(f.cell((0, 3)).reg(r(0)), v);
+    }
+
+    #[test]
+    fn off_grid_sends_are_dropped() {
+        let mut f = fabric(1, 1);
+        let r = Reg::new;
+        f.load(
+            (0, 0),
+            Program::from_instructions(vec![
+                Instruction::Send(Direction::North, r(0)),
+                Instruction::Halt,
+            ]),
+        );
+        // Must simply not panic.
+        f.run_to_quiescence(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn deadlock_is_detected() {
+        let mut f = fabric(1, 1);
+        let r = Reg::new;
+        f.load(
+            (0, 0),
+            Program::from_instructions(vec![Instruction::Recv(r(0), Direction::West)]),
+        );
+        f.run_to_quiescence(25);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate off-grid")]
+    fn off_grid_access_panics() {
+        let f = fabric(2, 2);
+        let _ = f.cell((2, 0));
+    }
+}

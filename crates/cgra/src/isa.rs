@@ -1,0 +1,248 @@
+//! The processing-cell instruction set.
+//!
+//! Deliberately minimal: enough to express MAC-heavy layer kernels, the
+//! non-linear activations, and neighbour communication. Each instruction
+//! retires in one cycle except the NACU ops, which stall the cell for
+//! their Table I latency (3 cycles for σ/tanh, 8 for exp — modelled in
+//! [`crate::cell`]).
+
+use std::fmt;
+
+/// A cell register, `r0`–`r15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers per cell.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < Self::COUNT,
+            "register index out of range"
+        );
+        Self(index)
+    }
+
+    /// The register index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Neighbour directions of the 2-D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Decreasing column.
+    West,
+    /// Increasing column.
+    East,
+    /// Decreasing row.
+    North,
+    /// Increasing row.
+    South,
+}
+
+impl Direction {
+    /// All four directions.
+    #[must_use]
+    pub fn all() -> [Direction; 4] {
+        [
+            Direction::West,
+            Direction::East,
+            Direction::North,
+            Direction::South,
+        ]
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Direction::West => "west",
+            Direction::East => "east",
+            Direction::North => "north",
+            Direction::South => "south",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One cell instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Instruction {
+    /// `ldi rd, raw` — load an immediate raw code (datapath format).
+    Ldi(Reg, i64),
+    /// `mov rd, rs`.
+    Mov(Reg, Reg),
+    /// `clr` — clear the MAC accumulator.
+    ClearAcc,
+    /// `mac ra, rb` — accumulate `ra·rb` into the MAC.
+    Mac(Reg, Reg),
+    /// `sta rd` — store the accumulator into a register.
+    StoreAcc(Reg),
+    /// `add rd, ra, rb` — saturating add.
+    Add(Reg, Reg, Reg),
+    /// `sig rd, rs` — NACU sigmoid (3-cycle latency).
+    Sigmoid(Reg, Reg),
+    /// `tnh rd, rs` — NACU tanh (3-cycle latency).
+    Tanh(Reg, Reg),
+    /// `exp rd, rs` — NACU normalised exponential (8-cycle latency).
+    Exp(Reg, Reg),
+    /// `div rd, ra, rb` — restoring divide through the shared divider
+    /// (8-cycle latency; the softmax normalisation step).
+    Div(Reg, Reg, Reg),
+    /// `max rd, ra, rb` — signed maximum (the softmax max-reduce).
+    Max(Reg, Reg, Reg),
+    /// `sub rd, ra, rb` — saturating subtract.
+    Sub(Reg, Reg, Reg),
+    /// `snd dir, rs` — push a word to a neighbour mailbox (1 cycle).
+    Send(Direction, Reg),
+    /// `rcv rd, dir` — pop from a mailbox; stalls until a word arrives.
+    Recv(Reg, Direction),
+    /// `hlt` — stop the cell.
+    Halt,
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Ldi(d, v) => write!(f, "ldi {d}, {v}"),
+            Instruction::Mov(d, s) => write!(f, "mov {d}, {s}"),
+            Instruction::ClearAcc => write!(f, "clr"),
+            Instruction::Mac(a, b) => write!(f, "mac {a}, {b}"),
+            Instruction::StoreAcc(d) => write!(f, "sta {d}"),
+            Instruction::Add(d, a, b) => write!(f, "add {d}, {a}, {b}"),
+            Instruction::Sigmoid(d, s) => write!(f, "sig {d}, {s}"),
+            Instruction::Tanh(d, s) => write!(f, "tnh {d}, {s}"),
+            Instruction::Exp(d, s) => write!(f, "exp {d}, {s}"),
+            Instruction::Div(d, a, b) => write!(f, "div {d}, {a}, {b}"),
+            Instruction::Max(d, a, b) => write!(f, "max {d}, {a}, {b}"),
+            Instruction::Sub(d, a, b) => write!(f, "sub {d}, {a}, {b}"),
+            Instruction::Send(dir, s) => write!(f, "snd {dir}, {s}"),
+            Instruction::Recv(d, dir) => write!(f, "rcv {d}, {dir}"),
+            Instruction::Halt => write!(f, "hlt"),
+        }
+    }
+}
+
+/// A cell program: a plain instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// An empty program (a halted cell).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from an instruction list.
+    #[must_use]
+    pub fn from_instructions(instructions: Vec<Instruction>) -> Self {
+        Self { instructions }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instruction: Instruction) {
+        self.instructions.push(instruction);
+    }
+
+    /// The instruction at `pc`, if any.
+    #[must_use]
+    pub fn fetch(&self, pc: usize) -> Option<Instruction> {
+        self.instructions.get(pc).copied()
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` if the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> impl Iterator<Item = &Instruction> {
+        self.instructions.iter()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ins in &self.instructions {
+            writeln!(f, "{ins}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<I: IntoIterator<Item = Instruction>>(iter: I) -> Self {
+        Self {
+            instructions: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_bounds() {
+        assert_eq!(Reg::new(0).index(), 0);
+        assert_eq!(Reg::new(15).index(), 15);
+        assert_eq!(Reg::new(7).to_string(), "r7");
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn register_16_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn display_is_assembly_syntax() {
+        let r = Reg::new;
+        assert_eq!(Instruction::Ldi(r(1), -2048).to_string(), "ldi r1, -2048");
+        assert_eq!(Instruction::Mac(r(2), r(3)).to_string(), "mac r2, r3");
+        assert_eq!(Instruction::Sigmoid(r(0), r(1)).to_string(), "sig r0, r1");
+        assert_eq!(
+            Instruction::Send(Direction::East, r(5)).to_string(),
+            "snd east, r5"
+        );
+        assert_eq!(Instruction::Halt.to_string(), "hlt");
+    }
+
+    #[test]
+    fn program_collects_and_fetches() {
+        let p: Program = [Instruction::ClearAcc, Instruction::Halt]
+            .into_iter()
+            .collect();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fetch(0), Some(Instruction::ClearAcc));
+        assert_eq!(p.fetch(2), None);
+        assert!(!p.is_empty());
+    }
+}

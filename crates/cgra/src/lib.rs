@@ -1,0 +1,36 @@
+//! A small coarse-grain reconfigurable fabric with NACU-equipped cells.
+//!
+//! The paper's opening argument is that CGRAs "customised for ANNs provide
+//! ASIC comparable efficiency while retaining a degree of flexibility to
+//! morph into different ANN topologies like CNN or LSTM", and that such
+//! fabrics "need these varieties of non-linearity available in the same
+//! unit". This crate builds that deployment context:
+//!
+//! * [`isa`] — a compact register ISA for one processing cell: MAC
+//!   accumulation, the four NACU non-linearities, register moves and
+//!   nearest-neighbour communication;
+//! * [`cell`] — a cycle-accurate processing cell: 16 registers, a MAC
+//!   accumulator, one NACU instance, per-function latencies matching
+//!   Table I (3/3/8 cycles);
+//! * [`fabric`] — a grid of cells with single-cycle neighbour links;
+//! * [`asm`] — a tiny two-way assembler so programs are inspectable text;
+//! * [`mapper`] — compiles a dense layer (one output neuron per cell) and
+//!   a softmax head onto the fabric, bit-identical to the `nacu-nn`
+//!   reference execution;
+//! * [`trace`] — VCD waveform capture of a fabric run (cell states and a
+//!   probed register, viewable in any waveform viewer).
+//!
+//! "Reconfiguration" is literal here: the same cell program memory is
+//! rewritten between phases ([`cell::Cell::load_program`]) and the same
+//! NACU switches functions instruction by instruction.
+
+pub mod asm;
+pub mod cell;
+pub mod fabric;
+pub mod isa;
+pub mod mapper;
+pub mod trace;
+
+pub use cell::Cell;
+pub use fabric::Fabric;
+pub use isa::{Instruction, Program, Reg};

@@ -1,0 +1,275 @@
+//! Compiling NN kernels onto the fabric.
+//!
+//! Two mappings, matching the paper's deployment story:
+//!
+//! * [`compile_dense`] — one output neuron per cell: weights are inlined
+//!   as immediates, the dot product runs on the MAC, the activation on
+//!   the cell's NACU. Bit-identical to the `nacu-nn` reference layer.
+//! * [`compile_softmax_row`] — a row of cells holding one logit each
+//!   cooperates through the mesh: max-scan (Eq. 13's normalisation),
+//!   exp, sum-scan, broadcast, divide. The numerically stable softmax as
+//!   a *distributed* program.
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::isa::{Direction, Instruction, Program};
+
+/// Register conventions used by the generated programs.
+pub mod convention {
+    use crate::isa::Reg;
+
+    /// Input activations occupy `r0..r{n}` (dense mapping, n ≤ 12).
+    #[must_use]
+    pub fn input(i: usize) -> Reg {
+        assert!(i < 12, "dense mapping supports at most 12 inputs");
+        Reg::new(i as u8)
+    }
+
+    /// The cell's logit / result value.
+    #[must_use]
+    pub fn value() -> Reg {
+        Reg::new(12)
+    }
+
+    /// Scratch register for immediates.
+    #[must_use]
+    pub fn scratch() -> Reg {
+        Reg::new(14)
+    }
+
+    /// Second scratch (scan partials).
+    #[must_use]
+    pub fn scratch2() -> Reg {
+        Reg::new(13)
+    }
+
+    /// The final output of a program.
+    #[must_use]
+    pub fn output() -> Reg {
+        Reg::new(15)
+    }
+}
+
+/// Which non-linearity a dense mapping applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappedActivation {
+    /// NACU sigmoid.
+    Sigmoid,
+    /// NACU tanh.
+    Tanh,
+    /// No activation (logits for a softmax head).
+    Identity,
+}
+
+/// Compiles one output neuron: `out = act(Σ w_j·x_j + b)`.
+///
+/// Inputs are expected in `r0..r{w.len()}` ([`convention::input`]); the
+/// result lands in [`convention::output`].
+///
+/// # Panics
+///
+/// Panics if more than 12 weights are given (the register budget).
+#[must_use]
+pub fn compile_dense(
+    weights: &[f64],
+    bias: f64,
+    activation: MappedActivation,
+    format: QFormat,
+) -> Program {
+    assert!(weights.len() <= 12, "at most 12 inputs per cell");
+    let mut p = Program::new();
+    let scratch = convention::scratch();
+    let out = convention::output();
+    p.push(Instruction::ClearAcc);
+    for (j, &w) in weights.iter().enumerate() {
+        let w_raw = Fx::from_f64(w, format, Rounding::Nearest).raw();
+        p.push(Instruction::Ldi(scratch, w_raw));
+        p.push(Instruction::Mac(scratch, convention::input(j)));
+    }
+    p.push(Instruction::StoreAcc(out));
+    let b_raw = Fx::from_f64(bias, format, Rounding::Nearest).raw();
+    p.push(Instruction::Ldi(scratch, b_raw));
+    p.push(Instruction::Add(out, out, scratch));
+    match activation {
+        MappedActivation::Sigmoid => p.push(Instruction::Sigmoid(out, out)),
+        MappedActivation::Tanh => p.push(Instruction::Tanh(out, out)),
+        MappedActivation::Identity => {}
+    }
+    p.push(Instruction::Halt);
+    p
+}
+
+/// Compiles the distributed softmax for a west–east row of `n` cells, each
+/// holding its logit in [`convention::value`]. Returns one program per
+/// cell; results land in [`convention::output`].
+///
+/// Schedule (all scans single-cycle links):
+/// 1. **max-scan east**: running maximum flows west→east;
+/// 2. **broadcast west**: the global max returns east→west;
+/// 3. each cell computes `e = exp(x − max)` on its NACU;
+/// 4. **sum-scan east** and **broadcast west** of the denominator;
+/// 5. each cell divides `e / Σe` on the shared divider.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn compile_softmax_row(n: usize) -> Vec<Program> {
+    assert!(n > 0, "softmax over an empty row");
+    let x = convention::value();
+    let acc = convention::scratch2();
+    let out = convention::output();
+    (0..n)
+        .map(|i| {
+            let first = i == 0;
+            let last = i == n - 1;
+            let mut p = Program::new();
+            // 1/2: max-scan east, broadcast west.
+            if first {
+                p.push(Instruction::Mov(acc, x));
+            } else {
+                p.push(Instruction::Recv(acc, Direction::West));
+                p.push(Instruction::Max(acc, acc, x));
+            }
+            if !last {
+                p.push(Instruction::Send(Direction::East, acc));
+                p.push(Instruction::Recv(acc, Direction::East));
+            }
+            if !first {
+                p.push(Instruction::Send(Direction::West, acc));
+            }
+            // 3: e = exp(x − max); `acc` now holds the global max.
+            p.push(Instruction::Sub(out, x, acc));
+            p.push(Instruction::Exp(out, out));
+            // 4: sum-scan east, broadcast west.
+            if first {
+                p.push(Instruction::Mov(acc, out));
+            } else {
+                p.push(Instruction::Recv(acc, Direction::West));
+                p.push(Instruction::Add(acc, acc, out));
+            }
+            if !last {
+                p.push(Instruction::Send(Direction::East, acc));
+                p.push(Instruction::Recv(acc, Direction::East));
+            }
+            if !first {
+                p.push(Instruction::Send(Direction::West, acc));
+            }
+            // 5: normalise.
+            p.push(Instruction::Div(out, out, acc));
+            p.push(Instruction::Halt);
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use nacu::{Nacu, NacuConfig};
+    use std::sync::Arc;
+
+    fn fabric(rows: usize, cols: usize) -> Fabric {
+        Fabric::new(
+            rows,
+            cols,
+            Arc::new(Nacu::new(NacuConfig::paper_16bit()).unwrap()),
+        )
+    }
+
+    #[test]
+    fn dense_cell_is_bit_identical_to_the_nn_layer() {
+        use nacu_nn::activation::{NacuActivation, Nonlinearity};
+        use nacu_nn::dense::{Dense, LayerActivation};
+
+        let weights = [0.5, -0.75, 0.25];
+        let bias = 0.125;
+        let inputs = [1.0, 2.0, -0.5];
+        let mut f = fabric(1, 1);
+        let fmt = f.cell((0, 0)).format();
+        // Load inputs, run the compiled neuron.
+        for (j, &v) in inputs.iter().enumerate() {
+            let q = f.cell((0, 0)).quantize(v);
+            f.cell_mut((0, 0)).set_reg(convention::input(j), q);
+        }
+        f.load(
+            (0, 0),
+            compile_dense(&weights, bias, MappedActivation::Sigmoid, fmt),
+        );
+        f.run_to_quiescence(100);
+        let fabric_out = f.cell((0, 0)).reg(convention::output());
+        // Reference: the nn crate's layer with the same NACU.
+        let layer = Dense::from_f64(1, 3, &weights, &[bias], LayerActivation::Sigmoid, fmt);
+        let nl = NacuActivation::paper_16bit();
+        let x = nacu_nn::tensor::quantize_vec(&inputs, fmt);
+        let golden = layer.forward(&x, &nl as &dyn Nonlinearity)[0];
+        assert_eq!(fabric_out, golden, "fabric neuron must be bit-identical");
+    }
+
+    #[test]
+    fn softmax_row_matches_the_reference_distribution() {
+        let logits = [1.5_f64, -0.5, 3.0, 0.0];
+        let mut f = fabric(1, logits.len());
+        for (i, &v) in logits.iter().enumerate() {
+            let q = f.cell((0, i)).quantize(v);
+            f.cell_mut((0, i)).set_reg(convention::value(), q);
+        }
+        for (i, p) in compile_softmax_row(logits.len()).into_iter().enumerate() {
+            f.load((0, i), p);
+        }
+        f.run_to_quiescence(500);
+        let golden = nacu_funcapprox::reference::softmax(&logits);
+        let mut sum = 0.0;
+        for (i, want) in golden.iter().enumerate() {
+            let got = f.cell((0, i)).reg(convention::output()).to_f64();
+            assert!(
+                (got - want).abs() < 0.02,
+                "cell {i}: {got} vs reference {want}"
+            );
+            sum += got;
+        }
+        assert!((sum - 1.0).abs() < 0.03, "probabilities sum to {sum}");
+    }
+
+    #[test]
+    fn softmax_row_handles_saturating_logits() {
+        // The Eq. 13 point, now distributed: inputs at the format ceiling.
+        let mut f = fabric(1, 3);
+        let fmt = f.cell((0, 0)).format();
+        let raws = [fmt.max_raw(), fmt.max_raw(), fmt.min_raw()];
+        for (i, &raw) in raws.iter().enumerate() {
+            let v = nacu_fixed::Fx::from_raw(raw, fmt).unwrap();
+            f.cell_mut((0, i)).set_reg(convention::value(), v);
+        }
+        for (i, p) in compile_softmax_row(3).into_iter().enumerate() {
+            f.load((0, i), p);
+        }
+        f.run_to_quiescence(500);
+        let p0 = f.cell((0, 0)).reg(convention::output()).to_f64();
+        let p2 = f.cell((0, 2)).reg(convention::output()).to_f64();
+        assert!(
+            (p0 - 0.5).abs() < 0.02,
+            "tied max logits split evenly: {p0}"
+        );
+        assert!(p2 < 0.01, "the tiny logit vanishes: {p2}");
+    }
+
+    #[test]
+    fn single_cell_softmax_degenerates_to_one() {
+        let mut f = fabric(1, 1);
+        let q = f.cell((0, 0)).quantize(-2.0);
+        f.cell_mut((0, 0)).set_reg(convention::value(), q);
+        f.load((0, 0), compile_softmax_row(1).remove(0));
+        f.run_to_quiescence(100);
+        let p = f.cell((0, 0)).reg(convention::output()).to_f64();
+        assert!((p - 1.0).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 12 inputs")]
+    fn oversized_dense_panics() {
+        let fmt = nacu_fixed::QFormat::new(4, 11).unwrap();
+        let _ = compile_dense(&[0.0; 13], 0.0, MappedActivation::Identity, fmt);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the assembler and cell semantics.
+
+use nacu_cgra::cell::CellState;
+use nacu_cgra::isa::{Direction, Instruction, Program, Reg};
+use nacu_cgra::{asm, Cell};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn any_dir() -> impl Strategy<Value = Direction> {
+    prop_oneof![
+        Just(Direction::West),
+        Just(Direction::East),
+        Just(Direction::North),
+        Just(Direction::South),
+    ]
+}
+
+fn any_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (any_reg(), -40_000_i64..40_000).prop_map(|(r, v)| Instruction::Ldi(r, v)),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Instruction::Mov(a, b)),
+        Just(Instruction::ClearAcc),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Instruction::Mac(a, b)),
+        any_reg().prop_map(Instruction::StoreAcc),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(d, a, b)| Instruction::Add(d, a, b)),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(d, a, b)| Instruction::Sub(d, a, b)),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(d, a, b)| Instruction::Max(d, a, b)),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(d, a, b)| Instruction::Div(d, a, b)),
+        (any_reg(), any_reg()).prop_map(|(d, s)| Instruction::Sigmoid(d, s)),
+        (any_reg(), any_reg()).prop_map(|(d, s)| Instruction::Tanh(d, s)),
+        (any_reg(), any_reg()).prop_map(|(d, s)| Instruction::Exp(d, s)),
+        (any_dir(), any_reg()).prop_map(|(d, r)| Instruction::Send(d, r)),
+        Just(Instruction::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn assembler_round_trips_arbitrary_programs(
+        instructions in proptest::collection::vec(any_instruction(), 0..40),
+    ) {
+        let program = Program::from_instructions(instructions);
+        let text = program.to_string();
+        let back = asm::parse(&text).expect("own output parses");
+        prop_assert_eq!(back, program);
+    }
+
+    #[test]
+    fn receive_free_programs_always_halt(
+        instructions in proptest::collection::vec(any_instruction(), 0..30),
+    ) {
+        // Without `rcv`, a straight-line program must halt within
+        // (instructions × max-latency) cycles, whatever it computes.
+        let nacu = Arc::new(
+            nacu::Nacu::new(nacu::NacuConfig::paper_16bit()).expect("paper config"),
+        );
+        let mut cell = Cell::new(nacu);
+        let budget = (instructions.len() as u32 + 1) * 9;
+        cell.load_program(Program::from_instructions(instructions));
+        for _ in 0..budget {
+            cell.tick();
+        }
+        prop_assert_eq!(cell.state(), CellState::Halted);
+    }
+
+    #[test]
+    fn register_values_always_fit_the_datapath_format(
+        instructions in proptest::collection::vec(any_instruction(), 0..30),
+        probe in 0u8..16,
+    ) {
+        let nacu = Arc::new(
+            nacu::Nacu::new(nacu::NacuConfig::paper_16bit()).expect("paper config"),
+        );
+        let fmt = nacu.config().format;
+        let mut cell = Cell::new(Arc::clone(&nacu));
+        let budget = (instructions.len() as u32 + 1) * 9;
+        cell.load_program(Program::from_instructions(instructions));
+        for _ in 0..budget {
+            cell.tick();
+        }
+        let v = cell.reg(Reg::new(probe));
+        prop_assert!(fmt.contains_raw(v.raw()));
+    }
+}

@@ -1,0 +1,608 @@
+//! The NACU datapath (Fig. 2), bit-accurately.
+//!
+//! One coefficient LUT holds `(m₁, q)` pairs for the **positive range of σ
+//! only**. Everything else is derived exactly as the hardware does it:
+//!
+//! | function | address        | slope          | bias                  |
+//! |----------|----------------|----------------|-----------------------|
+//! | σ, x ≥ 0 | `x`            | `m₁`           | `q`                   |
+//! | σ, x < 0 | `|x|`          | `−m₁`          | `1 − q` (Fig. 3a)     |
+//! | tanh, x ≥ 0 | `2x`        | `4·m₁` (shift) | `2q − 1` (Fig. 3b)    |
+//! | tanh, x < 0 | `2|x|`      | `−4·m₁`        | `1 − 2q` (Fig. 3c)    |
+//! | e^x, x ≤ 0  | `|x|`       | σ path, then `1/σ` (divider) `− 1` (Fig. 3b) |
+//!
+//! The multiply-add runs at full internal precision and rounds **once**
+//! into the output word, as the widened MAC of Fig. 2 does. The exp path
+//! keeps σ in a `Q2.(N−3)` working word (the divider's operand register)
+//! so the division sees more fractional bits than the output format
+//! carries — the reason the measured exp error stays within the Eq. 16
+//! bound of 4·δσ.
+
+use nacu_fixed::{Fx, Overflow, QFormat, Rounding};
+use nacu_funcapprox::reference::RefFunc;
+use nacu_funcapprox::segment::{self, Segment};
+
+use crate::bias;
+use crate::config::{Function, NacuConfig};
+use crate::divider;
+use crate::NacuError;
+
+/// One coefficient-LUT record: raw `(m₁, q)` codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CoeffEntry {
+    /// Slope in the coefficient format `Q1.(N−2)`.
+    slope_raw: i64,
+    /// Bias in the bias format `Q2.(N−3)`.
+    bias_raw: i64,
+}
+
+/// A configured NACU instance.
+///
+/// Construction fits and quantises the σ coefficient LUT; evaluation is
+/// pure integer arithmetic on raw codes. The struct is immutable and
+/// `Send + Sync`, so one instance can serve a whole simulated fabric.
+#[derive(Debug, Clone)]
+pub struct Nacu {
+    config: NacuConfig,
+    entries: Vec<CoeffEntry>,
+    /// Raw-code boundaries of the LUT segments (ascending, positive).
+    bounds: Vec<i64>,
+    coef_fmt: QFormat,
+    bias_fmt: QFormat,
+    /// Divider working format `Q2.(N−3)` (holds σ ∈ [0.5, 1], σ′ ∈ [1, 2]).
+    work_fmt: QFormat,
+}
+
+impl Nacu {
+    /// Builds a NACU instance: validates the configuration, fits the σ PWL
+    /// segments over `[0, In_max]` and quantises the coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NacuConfig::validate`] failures.
+    pub fn new(config: NacuConfig) -> Result<Self, NacuError> {
+        config.validate()?;
+        let fmt = config.format;
+        let n = fmt.total_bits();
+        let coef_fmt = QFormat::new(1, n - 2).expect("coef format");
+        let bias_fmt = QFormat::new(2, n - 3).expect("bias format");
+        let work_fmt = bias_fmt;
+        // Uniform segment boundaries in raw input codes over [0, max_raw].
+        let entries_n = config.lut_entries as i64;
+        let span = fmt.max_raw() + 1;
+        let mut bounds: Vec<i64> = (0..=entries_n).map(|i| i * span / entries_n).collect();
+        bounds.dedup();
+        let res = fmt.resolution();
+        let entries = bounds
+            .windows(2)
+            .map(|w| {
+                let seg = Segment::new(w[0] as f64 * res, w[1] as f64 * res);
+                let fit = segment::fit_line(RefFunc::Sigmoid, seg, config.fit_method);
+                let slope = Fx::from_f64(fit.slope, coef_fmt, Rounding::Nearest);
+                let bias_val = segment::refit_bias(RefFunc::Sigmoid, seg, slope.to_f64());
+                let bias = Fx::from_f64(bias_val, bias_fmt, Rounding::Nearest);
+                CoeffEntry {
+                    slope_raw: slope.raw(),
+                    bias_raw: bias.raw(),
+                }
+            })
+            .collect();
+        Ok(Self {
+            config,
+            entries,
+            bounds,
+            coef_fmt,
+            bias_fmt,
+            work_fmt,
+        })
+    }
+
+    /// Builds an instance with **explicit ROM contents** instead of fitted
+    /// ones: `coefficients[i]` is the `(m₁, q)` raw pair of segment `i`.
+    /// Used by the fault-injection tooling ([`crate::faults`]) and by
+    /// round-trip tests against externally authored ROMs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NacuConfig::validate`] failures, and returns
+    /// [`NacuError::BadLutSize`] if the coefficient count does not match
+    /// `config.lut_entries`.
+    pub fn from_coefficients(
+        config: NacuConfig,
+        coefficients: &[(i64, i64)],
+    ) -> Result<Self, NacuError> {
+        let mut nacu = Self::new(config)?;
+        if coefficients.len() != nacu.entries.len() {
+            return Err(NacuError::BadLutSize {
+                entries: coefficients.len(),
+            });
+        }
+        for (slot, &(slope_raw, bias_raw)) in nacu.entries.iter_mut().zip(coefficients) {
+            *slot = CoeffEntry {
+                slope_raw: nacu.coef_fmt.saturate_raw(slope_raw as i128),
+                bias_raw: nacu.bias_fmt.saturate_raw(bias_raw as i128),
+            };
+        }
+        Ok(nacu)
+    }
+
+    /// The configuration this instance was built with.
+    #[must_use]
+    pub fn config(&self) -> &NacuConfig {
+        &self.config
+    }
+
+    /// Number of coefficient-LUT entries actually stored (may be below the
+    /// requested count if segments collapsed at the input resolution).
+    #[must_use]
+    pub fn lut_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The stored coefficient records as `(m₁, q)` raw-code pairs — the
+    /// exact ROM contents (used by the Verilog exporter and inspection
+    /// tooling).
+    #[must_use]
+    pub fn coefficients(&self) -> Vec<(i64, i64)> {
+        self.entries
+            .iter()
+            .map(|e| (e.slope_raw, e.bias_raw))
+            .collect()
+    }
+
+    /// The coefficient (slope) storage format, `Q1.(N−2)`.
+    #[must_use]
+    pub fn coef_format(&self) -> QFormat {
+        self.coef_fmt
+    }
+
+    /// The bias storage format, `Q2.(N−3)` — the word the Fig. 3 units
+    /// operate on.
+    #[must_use]
+    pub fn bias_format(&self) -> QFormat {
+        self.bias_fmt
+    }
+
+    /// LUT lookup by positive raw address (clamped into range).
+    fn lookup(&self, mag_raw: i64) -> CoeffEntry {
+        let hi = self.bounds[self.bounds.len() - 1] - 1;
+        let raw = mag_raw.clamp(0, hi);
+        let idx = self.bounds[1..self.bounds.len() - 1].partition_point(|&b| b <= raw);
+        self.entries[idx.min(self.entries.len() - 1)]
+    }
+
+    /// Magnitude of an input code, saturating the asymmetric minimum.
+    fn magnitude(&self, x: Fx) -> i64 {
+        if x.raw() < 0 {
+            (-(x.raw() as i128)).min(self.config.format.max_raw() as i128) as i64
+        } else {
+            x.raw()
+        }
+    }
+
+    /// The shared multiply-add: `slope·mag + bias`, computed at the
+    /// internal scale and rounded once into `out_frac` fractional bits.
+    fn mul_add(&self, slope_raw: i64, mag_raw: i64, bias_raw: i64, out_frac: u32) -> i64 {
+        let internal_f = self.coef_fmt.frac_bits() + self.config.format.frac_bits();
+        let product = slope_raw as i128 * mag_raw as i128;
+        let bias_shift = internal_f - self.bias_fmt.frac_bits();
+        let bias = (bias_raw as i128) << bias_shift;
+        let sum = product + bias;
+        Rounding::Nearest.shift_right(sum, internal_f - out_frac) as i64
+    }
+
+    /// Computes σ(x) over the full input range (Eqs. 8–9).
+    #[must_use]
+    pub fn sigmoid(&self, x: Fx) -> Fx {
+        self.assert_format(x);
+        let raw = self.sigmoid_raw(x, self.config.format.frac_bits());
+        Fx::from_raw_saturating(
+            self.config.format.saturate_raw(raw as i128),
+            self.config.format,
+        )
+    }
+
+    /// σ at an arbitrary output scale (the exp path asks for the working
+    /// format's extra fractional bits).
+    fn sigmoid_raw(&self, x: Fx, out_frac: u32) -> i64 {
+        let mag = self.magnitude(x);
+        let entry = self.lookup(mag);
+        if x.raw() >= 0 {
+            self.mul_add(entry.slope_raw, mag, entry.bias_raw, out_frac)
+        } else {
+            let bias = bias::one_minus_q(entry.bias_raw, self.bias_fmt.frac_bits());
+            self.mul_add(-entry.slope_raw, mag, bias, out_frac)
+        }
+    }
+
+    /// Computes tanh(x) over the full input range (Eqs. 10–11).
+    #[must_use]
+    pub fn tanh(&self, x: Fx) -> Fx {
+        self.assert_format(x);
+        let mag = self.magnitude(x);
+        // Address the σ LUT at 2x (Eq. 3's stretch), saturating.
+        let address = (2 * mag).min(self.config.format.max_raw());
+        let entry = self.lookup(address);
+        // Slope scaling 2^{i+1}·m₁ = 4·m₁: arithmetic left shift by 2,
+        // saturating in the coefficient word.
+        let slope4 = self.coef_fmt.saturate_raw((entry.slope_raw as i128) << 2);
+        let f = self.bias_fmt.frac_bits();
+        let out_frac = self.config.format.frac_bits();
+        let raw = if x.raw() >= 0 {
+            let bias = bias::two_q_minus_one(entry.bias_raw, f);
+            self.mul_add(slope4, mag, bias, out_frac)
+        } else {
+            let bias = bias::one_minus_two_q(entry.bias_raw, f);
+            self.mul_add(-slope4, mag, bias, out_frac)
+        };
+        Fx::from_raw_saturating(
+            self.config.format.saturate_raw(raw as i128),
+            self.config.format,
+        )
+    }
+
+    /// Computes `e^x` for a non-positive (max-normalised) input via Eq. 14:
+    /// `σ(−x)` → pipelined divider → Fig. 3b decrementor.
+    ///
+    /// Positive inputs clamp to 0 (softmax normalisation guarantees the
+    /// operand is never positive; the clamp mirrors the address saturation
+    /// a real unit performs).
+    #[must_use]
+    pub fn exp(&self, x: Fx) -> Fx {
+        self.assert_format(x);
+        let clamped = if x.raw() > 0 { Fx::zero(x.format()) } else { x };
+        // σ(−x) = σ(|x|) ∈ [0.5, 1], kept in the divider's working word.
+        let wf = self.work_fmt.frac_bits();
+        let neg = Fx::from_raw_saturating(-clamped.raw(), self.config.format);
+        let sigma_raw = self
+            .work_fmt
+            .saturate_raw(self.sigmoid_raw(neg, wf) as i128);
+        // σ quantised below 0.5 can only happen through rounding at the
+        // segment edge; the divider operand clamps into [0.5, 1].
+        let one = 1_i64 << wf;
+        let sigma_raw = sigma_raw.clamp(one / 2, one);
+        let sigma = Fx::from_raw_saturating(sigma_raw, self.work_fmt);
+        let sigma_prime = divider::reciprocal(sigma).expect("σ ≥ 0.5 is non-zero");
+        // σ' ∈ [1, 2]: the Fig. 3b structure decrements it to e^x ∈ [0, 1].
+        let sp = sigma_prime.raw().clamp(one, 2 * one);
+        let e_raw = bias::decrement_unit(sp, wf);
+        Fx::from_raw_saturating(e_raw, self.work_fmt).resize(
+            self.config.format,
+            Rounding::Nearest,
+            Overflow::Saturate,
+        )
+    }
+
+    /// Computes the max-normalised softmax (Eq. 13) of a vector: one pass
+    /// accumulating the exp sum in the MAC, one pass normalising each
+    /// element through the shared divider.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NacuError::EmptyVector`] for an empty input, or
+    /// [`NacuError::Fixed`] if the inputs carry mixed formats.
+    pub fn softmax(&self, inputs: &[Fx]) -> Result<Vec<Fx>, NacuError> {
+        if inputs.is_empty() {
+            return Err(NacuError::EmptyVector);
+        }
+        for x in inputs {
+            if x.format() != self.config.format {
+                return Err(NacuError::Fixed(nacu_fixed::FxError::FormatMismatch {
+                    lhs: x.format(),
+                    rhs: self.config.format,
+                }));
+            }
+        }
+        let max_raw = inputs.iter().map(Fx::raw).max().expect("non-empty");
+        let max = Fx::from_raw_saturating(max_raw, self.config.format);
+        // Pass 1: e^{x_i - x_max} in the working word; MAC accumulates the
+        // denominator in a widened accumulator (Fig. 2's feedback path).
+        let wf = self.work_fmt.frac_bits();
+        let acc_fmt = QFormat::new(self.config.format.int_bits() + 7, wf).expect("acc format");
+        let mut denom = Fx::zero(acc_fmt);
+        let mut exps = Vec::with_capacity(inputs.len());
+        for &x in inputs {
+            let diff = x.saturating_sub(max)?;
+            let e = self.exp(diff);
+            // Keep the full working precision for normalisation.
+            let e_work = e.resize(self.work_fmt, Rounding::Nearest, Overflow::Saturate);
+            exps.push(e_work);
+            denom = denom.saturating_add(e_work.resize(
+                acc_fmt,
+                Rounding::Nearest,
+                Overflow::Saturate,
+            ))?;
+        }
+        // Pass 2: scale each exp by the common normalisation factor.
+        let mut out = Vec::with_capacity(inputs.len());
+        for e in exps {
+            let q =
+                divider::restoring_divide(e.raw(), denom.raw(), wf).map_err(NacuError::Fixed)?;
+            let q_work =
+                Fx::from_raw_saturating(self.work_fmt.saturate_raw(q as i128), self.work_fmt);
+            out.push(q_work.resize(self.config.format, Rounding::Nearest, Overflow::Saturate));
+        }
+        Ok(out)
+    }
+
+    /// Single-input dispatch over the configured functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with [`Function::Softmax`] or [`Function::Mac`],
+    /// which need a vector/accumulator — use [`Nacu::softmax`] /
+    /// [`MacAccumulator`].
+    #[must_use]
+    pub fn compute(&self, function: Function, x: Fx) -> Fx {
+        match function {
+            Function::Sigmoid => self.sigmoid(x),
+            Function::Tanh => self.tanh(x),
+            Function::Exp => self.exp(x),
+            Function::Softmax | Function::Mac => {
+                panic!("{function} needs the vector/accumulator interface")
+            }
+        }
+    }
+
+    fn assert_format(&self, x: Fx) {
+        assert_eq!(
+            x.format(),
+            self.config.format,
+            "input format {} does not match the configured {}",
+            x.format(),
+            self.config.format
+        );
+    }
+}
+
+/// The MAC mode of Fig. 2: multiply-accumulate with the widened adder's
+/// feedback register (used for convolution sums before the non-linearity
+/// and for the softmax denominator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacAccumulator {
+    acc: Fx,
+}
+
+impl MacAccumulator {
+    /// A cleared accumulator in the datapath format.
+    #[must_use]
+    pub fn new(format: QFormat) -> Self {
+        Self {
+            acc: Fx::zero(format),
+        }
+    }
+
+    /// One MAC step: `acc ← acc + a·b` (saturating, round-to-nearest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand formats differ from the accumulator's.
+    pub fn step(&mut self, a: Fx, b: Fx) {
+        self.acc += a * b;
+    }
+
+    /// The accumulated value.
+    #[must_use]
+    pub fn value(&self) -> Fx {
+        self.acc
+    }
+
+    /// Clears the accumulator.
+    pub fn clear(&mut self) {
+        self.acc = Fx::zero(self.acc.format());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nacu_funcapprox::metrics;
+
+    fn paper() -> Nacu {
+        Nacu::new(NacuConfig::paper_16bit()).expect("paper config builds")
+    }
+
+    fn fx(nacu: &Nacu, v: f64) -> Fx {
+        Fx::from_f64(v, nacu.config().format, Rounding::Nearest)
+    }
+
+    #[test]
+    fn sigmoid_hits_paper_accuracy_over_full_range() {
+        let n = paper();
+        let fmt = n.config().format;
+        let report = metrics::sweep_raw_range(
+            fmt,
+            fmt.min_raw(),
+            fmt.max_raw(),
+            nacu_funcapprox::reference::sigmoid,
+            |x| n.sigmoid(x).to_f64(),
+        );
+        // §VII.A: RMSE 2.07e-4, correlation 0.999 at 16 bits.
+        assert!(report.rmse < 4e-4, "rmse {}", report.rmse);
+        assert!(report.max_error < 1.2e-3, "max {}", report.max_error);
+        assert!(report.correlation > 0.999, "corr {}", report.correlation);
+    }
+
+    #[test]
+    fn tanh_hits_paper_accuracy_over_full_range() {
+        let n = paper();
+        let fmt = n.config().format;
+        let report = metrics::sweep_raw_range(
+            fmt,
+            fmt.min_raw(),
+            fmt.max_raw(),
+            |x| x.tanh(),
+            |x| n.tanh(x).to_f64(),
+        );
+        // §VII.B: RMSE 2.09e-4, correlation 0.999 at 16 bits.
+        assert!(report.rmse < 5e-4, "rmse {}", report.rmse);
+        assert!(report.max_error < 2.5e-3, "max {}", report.max_error);
+        assert!(report.correlation > 0.999, "corr {}", report.correlation);
+    }
+
+    #[test]
+    fn exp_respects_the_eq16_error_bound() {
+        let n = paper();
+        let fmt = n.config().format;
+        // δσ in the working word ≈ PWL fit error (~6e-4 worst segment);
+        // Eq. 16 bounds the exp error by 4·δσ.
+        let report =
+            metrics::sweep_raw_range(fmt, fmt.min_raw(), 0, |x| x.exp(), |x| n.exp(x).to_f64());
+        assert!(report.max_error < 4.0 * 1e-3, "max {}", report.max_error);
+        assert!(report.rmse < 1e-3, "rmse {}", report.rmse);
+    }
+
+    #[test]
+    fn sigmoid_centrosymmetry_is_bit_exact() {
+        // Eq. 4 is implemented structurally, so σ(−x) + σ(x) must equal
+        // 1.0 exactly in raw codes (both branches read the same LUT entry).
+        let n = paper();
+        let fmt = n.config().format;
+        let one = 1_i64 << fmt.frac_bits();
+        for raw in (0..=fmt.max_raw()).step_by(97) {
+            let pos = n.sigmoid(Fx::from_raw(raw, fmt).unwrap()).raw();
+            let neg = n.sigmoid(Fx::from_raw(-raw, fmt).unwrap()).raw();
+            assert!(
+                (pos + neg - one).abs() <= 1,
+                "raw {raw}: {pos} + {neg} != {one}"
+            );
+        }
+    }
+
+    #[test]
+    fn tanh_odd_symmetry_is_bit_exact() {
+        // Eq. 5: tanh(−x) = −tanh(x), structurally.
+        let n = paper();
+        let fmt = n.config().format;
+        // Start at 1: raw 0 is its own negation in two's complement, so
+        // oddness only constrains non-zero codes (tanh(0) itself may carry
+        // the segment's fit offset of ~1 LSB).
+        for raw in (1..=fmt.max_raw()).step_by(89) {
+            let pos = n.tanh(Fx::from_raw(raw, fmt).unwrap()).raw();
+            let neg = n.tanh(Fx::from_raw(-raw, fmt).unwrap()).raw();
+            assert!((pos + neg).abs() <= 1, "raw {raw}: {pos} vs {neg}");
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        let n = paper();
+        assert!((n.sigmoid(fx(&n, 0.0)).to_f64() - 0.5).abs() < 1e-3);
+        assert!(n.tanh(fx(&n, 0.0)).to_f64().abs() < 1e-3);
+        assert!((n.exp(fx(&n, 0.0)).to_f64() - 1.0).abs() < 2e-3);
+        assert!((n.exp(fx(&n, -1.0)).to_f64() - (-1.0f64).exp()).abs() < 2e-3);
+        assert!((n.sigmoid(fx(&n, 15.9)).to_f64() - 1.0).abs() < 1e-3);
+        assert!(n.exp(fx(&n, -15.9)).to_f64() < 1e-3);
+    }
+
+    #[test]
+    fn exp_clamps_positive_inputs() {
+        let n = paper();
+        assert_eq!(n.exp(fx(&n, 3.0)), n.exp(fx(&n, 0.0)));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_preserves_order() {
+        let n = paper();
+        let inputs: Vec<Fx> = [1.5, -0.5, 3.0, 0.0].iter().map(|&v| fx(&n, v)).collect();
+        let out = n.softmax(&inputs).unwrap();
+        let sum: f64 = out.iter().map(Fx::to_f64).sum();
+        assert!((sum - 1.0).abs() < 0.02, "sum {sum}");
+        // Largest input gets the largest probability.
+        assert!(out[2] > out[0] && out[0] > out[3] && out[3] > out[1]);
+        let golden = nacu_funcapprox::reference::softmax(&[1.5, -0.5, 3.0, 0.0]);
+        for (got, want) in out.iter().zip(&golden) {
+            assert!((got.to_f64() - want).abs() < 5e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn softmax_survives_saturating_inputs() {
+        // Eq. 13's point: even inputs at the format limits normalise
+        // sanely because only differences reach the exp.
+        let n = paper();
+        let fmt = n.config().format;
+        let inputs = vec![Fx::max(fmt), Fx::max(fmt), Fx::min(fmt)];
+        let out = n.softmax(&inputs).unwrap();
+        assert!((out[0].to_f64() - 0.5).abs() < 0.01);
+        assert!((out[1].to_f64() - 0.5).abs() < 0.01);
+        assert!(out[2].to_f64() < 0.01);
+    }
+
+    #[test]
+    fn softmax_rejects_empty_and_mixed_formats() {
+        let n = paper();
+        assert!(matches!(n.softmax(&[]), Err(NacuError::EmptyVector)));
+        let alien = Fx::zero(QFormat::new(2, 13).unwrap());
+        assert!(n.softmax(&[alien]).is_err());
+    }
+
+    #[test]
+    fn mac_accumulates_products() {
+        let n = paper();
+        let fmt = n.config().format;
+        let mut mac = MacAccumulator::new(fmt);
+        for i in 1..=4 {
+            mac.step(fx(&n, f64::from(i) * 0.5), fx(&n, 2.0));
+        }
+        // Σ i·0.5·2 = 1+2+3+4 = 10... wait: Σ (i·0.5)·2 = Σ i = 10? No:
+        // (0.5+1.0+1.5+2.0)·2 = 10. Saturates at 15.999 so 10 is exact.
+        assert!((mac.value().to_f64() - 10.0).abs() < 1e-9);
+        mac.clear();
+        assert!(mac.value().is_zero());
+    }
+
+    #[test]
+    fn compute_dispatch_matches_direct_calls() {
+        let n = paper();
+        let x = fx(&n, 0.7);
+        assert_eq!(n.compute(Function::Sigmoid, x), n.sigmoid(x));
+        assert_eq!(n.compute(Function::Tanh, x), n.tanh(x));
+        assert_eq!(n.compute(Function::Exp, fx(&n, -0.7)), n.exp(fx(&n, -0.7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the vector/accumulator interface")]
+    fn compute_rejects_softmax() {
+        let n = paper();
+        let x = fx(&n, 0.0);
+        let _ = n.compute(Function::Softmax, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the configured")]
+    fn wrong_input_format_panics() {
+        let n = paper();
+        let _ = n.sigmoid(Fx::zero(QFormat::new(2, 13).unwrap()));
+    }
+
+    #[test]
+    fn narrower_widths_degrade_gracefully() {
+        // Fig. 6c–e: NACU error grows as the width shrinks but the unit
+        // still works at 10 bits.
+        let mut last_rmse = 0.0;
+        for width in [16u32, 14, 10] {
+            let n = Nacu::new(NacuConfig::for_width(width).unwrap()).unwrap();
+            let fmt = n.config().format;
+            let report = metrics::sweep_raw_range(
+                fmt,
+                fmt.min_raw(),
+                fmt.max_raw(),
+                nacu_funcapprox::reference::sigmoid,
+                |x| n.sigmoid(x).to_f64(),
+            );
+            assert!(
+                report.rmse > last_rmse,
+                "narrower width should be less accurate"
+            );
+            assert!(report.correlation > 0.99);
+            last_rmse = report.rmse;
+        }
+    }
+
+    #[test]
+    fn instance_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Nacu>();
+    }
+}

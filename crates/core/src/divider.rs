@@ -1,0 +1,187 @@
+//! The restoring divider behind NACU's exp and softmax paths.
+//!
+//! §V.B computes `e^x = 1/σ(−x) − 1` (Eq. 14): the σ result feeds a
+//! divider, then the decrementor. The paper uses a **pipelined** divider
+//! (one quotient bit group per stage) shared between exp and softmax and
+//! notes a sequential divider as a lower-area alternative.
+//!
+//! [`restoring_divide`] is the bit-exact algorithm both variants compute:
+//! a classic non-performing/restoring division producing a quotient with
+//! `frac_bits` fractional bits, i.e. `floor((a << frac_bits) / b)` for
+//! non-negative operands. The pipelined/sequential distinction is a
+//! latency/area trade-off modelled in [`crate::pipeline`] and
+//! `nacu-hwmodel`; the quotient bits are identical.
+
+use nacu_fixed::{Fx, FxError, QFormat};
+
+/// Bit-exact restoring division of non-negative raw codes: returns the raw
+/// quotient of `numer / denom` carrying `frac_bits` fractional bits
+/// (truncated, as hardware restoring division is).
+///
+/// The loop peels one quotient bit per iteration from MSB to LSB —
+/// exactly one divider pipeline stage per iteration in the paper's design.
+///
+/// # Errors
+///
+/// Returns [`FxError::DivideByZero`] if `denom` is zero.
+///
+/// # Panics
+///
+/// Panics if either operand is negative (the exp path divides values in
+/// `[0.5, 1]`; signed division never occurs in NACU).
+pub fn restoring_divide(numer: i64, denom: i64, frac_bits: u32) -> Result<i64, FxError> {
+    assert!(
+        numer >= 0 && denom >= 0,
+        "restoring divider operands are unsigned"
+    );
+    if denom == 0 {
+        return Err(FxError::DivideByZero);
+    }
+    // Quotient bit width: enough for the integer part plus frac_bits.
+    let numer_bits = 64 - (numer as u64).leading_zeros();
+    let total_q_bits = numer_bits + frac_bits;
+    let mut remainder: i128 = 0;
+    let mut quotient: i128 = 0;
+    // Treat the dividend as numer << frac_bits and scan its bits MSB-first.
+    let dividend = (numer as i128) << frac_bits;
+    for i in (0..total_q_bits).rev() {
+        // Shift in the next dividend bit.
+        remainder = (remainder << 1) | ((dividend >> i) & 1);
+        quotient <<= 1;
+        let trial = remainder - denom as i128;
+        if trial >= 0 {
+            // Non-restoring step accepted: keep the subtracted remainder.
+            remainder = trial;
+            quotient |= 1;
+        }
+        // else: "restore" — remainder unchanged (never actually mutated).
+    }
+    Ok(quotient as i64)
+}
+
+/// Divides `1 / x` in the exp path's working format: `x = σ(−·) ∈ (0, 1]`
+/// in a `Q2.f` working word, quotient `σ′ ∈ [1, 2]` in the same word.
+///
+/// # Errors
+///
+/// Returns [`FxError::DivideByZero`] if `x` is zero (σ quantised to zero —
+/// only possible for inputs beyond the Eq. 7 saturation point, which the
+/// datapath clamps before dividing).
+pub fn reciprocal(x: Fx) -> Result<Fx, FxError> {
+    let f = x.format().frac_bits();
+    let one = 1_i64 << f;
+    let q = restoring_divide(one, x.raw(), f)?;
+    Ok(Fx::from_raw_saturating(q, x.format()))
+}
+
+/// Quotient of two same-format non-negative values through the restoring
+/// array, saturating into the shared format.
+///
+/// # Errors
+///
+/// Returns [`FxError::DivideByZero`] if `denom` is zero, or
+/// [`FxError::FormatMismatch`] if the formats differ.
+pub fn divide(numer: Fx, denom: Fx) -> Result<Fx, FxError> {
+    if numer.format() != denom.format() {
+        return Err(FxError::FormatMismatch {
+            lhs: numer.format(),
+            rhs: denom.format(),
+        });
+    }
+    let q = restoring_divide(numer.raw(), denom.raw(), numer.format().frac_bits())?;
+    Ok(Fx::from_raw_saturating(q, numer.format()))
+}
+
+/// Number of divider stages for a given working format at `radix_bits`
+/// quotient bits per stage (the paper's pipelined divider resolves the
+/// quotient over multiple stages; radix-4 → 2 bits/stage).
+#[must_use]
+pub fn stage_count(format: QFormat, radix_bits: u32) -> u32 {
+    let q_bits = format.total_bits();
+    q_bits.div_ceil(radix_bits.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nacu_fixed::Rounding;
+
+    #[test]
+    fn matches_integer_division_exhaustively_small() {
+        for frac in [0u32, 3, 7] {
+            for numer in 0..128i64 {
+                for denom in 1..128i64 {
+                    let expected = ((numer as i128) << frac) / denom as i128;
+                    assert_eq!(
+                        restoring_divide(numer, denom, frac).unwrap(),
+                        expected as i64,
+                        "n={numer} d={denom} f={frac}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_is_reported() {
+        assert_eq!(restoring_divide(5, 0, 4), Err(FxError::DivideByZero));
+    }
+
+    #[test]
+    fn reciprocal_covers_the_exp_working_range() {
+        // σ(−x) ∈ [0.5, 1] → σ' = 1/σ ∈ [1, 2].
+        let fmt = QFormat::new(2, 13).unwrap();
+        for val in [0.5, 0.6, 0.731, 0.9, 0.999, 1.0] {
+            let x = Fx::from_f64(val, fmt, Rounding::Nearest);
+            let r = reciprocal(x).unwrap();
+            let exact = 1.0 / x.to_f64();
+            assert!(
+                (r.to_f64() - exact).abs() <= fmt.resolution(),
+                "1/{val}: got {} want {exact}",
+                r.to_f64()
+            );
+            assert!(r.to_f64() >= 1.0 - 1e-12 && r.to_f64() <= 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn reciprocal_of_zero_fails() {
+        let fmt = QFormat::new(2, 13).unwrap();
+        assert_eq!(reciprocal(Fx::zero(fmt)), Err(FxError::DivideByZero));
+    }
+
+    #[test]
+    fn divide_matches_fx_division_floor() {
+        let fmt = QFormat::new(4, 11).unwrap();
+        for (a, b) in [(3.5, 0.75), (1.0, 3.0), (15.0, 1.0), (0.125, 0.5)] {
+            let x = Fx::from_f64(a, fmt, Rounding::Nearest);
+            let y = Fx::from_f64(b, fmt, Rounding::Nearest);
+            let hw = divide(x, y).unwrap();
+            let golden = x.checked_div(y, Rounding::Floor);
+            match golden {
+                Ok(g) => assert_eq!(hw, g, "{a}/{b}"),
+                Err(_) => assert_eq!(hw.raw(), fmt.max_raw(), "{a}/{b} saturates"),
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_formats_are_rejected() {
+        let a = Fx::zero(QFormat::new(4, 11).unwrap());
+        let b = Fx::one(QFormat::new(2, 13).unwrap());
+        assert!(matches!(divide(a, b), Err(FxError::FormatMismatch { .. })));
+    }
+
+    #[test]
+    fn stage_counts() {
+        let fmt = QFormat::new(4, 11).unwrap();
+        assert_eq!(stage_count(fmt, 1), 16); // radix-2: one bit per stage
+        assert_eq!(stage_count(fmt, 2), 8); // radix-4: Table I's 8-cycle exp
+    }
+
+    #[test]
+    #[should_panic(expected = "unsigned")]
+    fn negative_operands_panic() {
+        let _ = restoring_divide(-1, 3, 4);
+    }
+}

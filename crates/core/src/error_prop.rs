@@ -1,0 +1,95 @@
+//! Error propagation from σ to the exponential (§IV.B, Eqs. 15–16).
+//!
+//! `e^x = 1/(1 − σ(x)) − 1` amplifies a σ error `δσ` by the coefficient
+//! `1/(1 − σ)²`, which diverges as σ saturates. Max-normalising the exp
+//! input (Eq. 13) confines it to `[−2^{i_b}, 0]`, hence `σ(x − x_max) ∈
+//! [0, 0.5]`, hence the amplification is bounded by
+//! `1/(1 − 0.5)² = 4` (Eq. 16).
+//!
+//! Note the change of variable: the *datapath* divides by `σ(−x) ∈
+//! [0.5, 1]`, which is `1 − σ(x)`; the bound derived on `σ(x) ≤ 0.5` is the
+//! same statement seen from Eq. 14's first form.
+
+/// The Eq. 15 error-propagation coefficient `∂e/∂σ = 1/(1 − σ)²`.
+///
+/// # Panics
+///
+/// Panics if `sigma >= 1` (the coefficient diverges — exactly the
+/// instability Eq. 13's normalisation removes).
+#[must_use]
+pub fn propagation_coefficient(sigma: f64) -> f64 {
+    assert!(sigma < 1.0, "propagation coefficient diverges at σ = 1");
+    (1.0 - sigma).powi(-2)
+}
+
+/// The Eq. 15 propagated uncertainty `δe = |∂e/∂σ| · δσ`.
+#[must_use]
+pub fn propagated_error(sigma: f64, delta_sigma: f64) -> f64 {
+    propagation_coefficient(sigma) * delta_sigma.abs()
+}
+
+/// The Eq. 16 worst-case bound for a max-normalised input: `δe ≤ 4·δσ`.
+#[must_use]
+pub fn normalized_bound(delta_sigma: f64) -> f64 {
+    4.0 * delta_sigma.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nacu_funcapprox::reference::sigmoid;
+
+    #[test]
+    fn coefficient_matches_eq16_at_the_boundary() {
+        assert_eq!(propagation_coefficient(0.5), 4.0);
+        assert_eq!(propagation_coefficient(0.0), 1.0);
+    }
+
+    #[test]
+    fn coefficient_diverges_towards_saturation() {
+        assert!(propagation_coefficient(0.9) > 99.0);
+        assert!(propagation_coefficient(0.99) > 9_999.0);
+    }
+
+    #[test]
+    fn normalised_inputs_keep_sigma_below_half() {
+        // x' = x − x_max ≤ 0 ⇒ σ(x') ≤ 0.5 ⇒ coefficient ≤ 4.
+        for x in [-16.0, -3.0, -0.5, 0.0] {
+            let s = sigmoid(x);
+            assert!(s <= 0.5 + 1e-12);
+            assert!(propagation_coefficient(s) <= 4.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bound_dominates_the_exact_propagation_on_the_normalised_range() {
+        let delta = 1e-3;
+        for x in [-8.0, -2.0, -0.25, 0.0] {
+            let s = sigmoid(x);
+            assert!(propagated_error(s, delta) <= normalized_bound(delta) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_order_model_predicts_actual_exp_perturbation() {
+        // Perturb σ by δ and compare the actual change in e = 1/(1−σ) − 1
+        // with the Eq. 15 linearisation.
+        let delta = 1e-6;
+        for x in [-4.0_f64, -1.0, -0.1] {
+            let s = sigmoid(x);
+            let e = |sig: f64| (1.0 - sig).recip() - 1.0;
+            let actual = (e(s + delta) - e(s)).abs();
+            let predicted = propagated_error(s, delta);
+            assert!(
+                (actual - predicted).abs() / predicted < 1e-3,
+                "x={x}: actual {actual} vs predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "diverges")]
+    fn saturated_sigma_panics() {
+        let _ = propagation_coefficient(1.0);
+    }
+}

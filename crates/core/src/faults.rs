@@ -1,0 +1,229 @@
+//! Coefficient-ROM fault injection.
+//!
+//! A hardware unit's accuracy story is incomplete without its failure
+//! modes: what does one stuck bit in the coefficient ROM cost? This module
+//! flips individual bits of the stored `(m₁, q)` words and measures the
+//! damage, supporting the kind of reliability ablation reviewers of
+//! VLSI papers expect (and that the paper's CGRA context — shared fabric,
+//! many instances — makes practically relevant).
+//!
+//! Key structural insight verified by the tests: because the negative σ
+//! range and both tanh ranges **derive** their coefficients from the same
+//! ROM word (Fig. 3), a single ROM fault corrupts all four branches
+//! symmetrically — there is exactly one copy of the truth.
+
+use nacu_funcapprox::metrics::{self, ErrorReport};
+use nacu_funcapprox::reference;
+
+use crate::config::NacuConfig;
+use crate::datapath::Nacu;
+use crate::NacuError;
+
+/// Which word of a coefficient record a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// The slope word `m₁`.
+    Slope,
+    /// The bias word `q`.
+    Bias,
+}
+
+/// A single stuck/flipped bit in the coefficient ROM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RomFault {
+    /// LUT entry index.
+    pub entry: usize,
+    /// Which word of the record.
+    pub target: FaultTarget,
+    /// Bit position (0 = LSB) within the word.
+    pub bit: u32,
+}
+
+/// Builds a NACU whose ROM carries the given bit-flip faults.
+///
+/// # Errors
+///
+/// Propagates configuration errors; returns [`NacuError::BadLutSize`] if a
+/// fault addresses a non-existent entry.
+pub fn inject(config: NacuConfig, faults: &[RomFault]) -> Result<Nacu, NacuError> {
+    let golden = Nacu::new(config)?;
+    let mut coefficients = golden.coefficients();
+    for fault in faults {
+        let Some(record) = coefficients.get_mut(fault.entry) else {
+            return Err(NacuError::BadLutSize {
+                entries: fault.entry,
+            });
+        };
+        let word = match fault.target {
+            FaultTarget::Slope => &mut record.0,
+            FaultTarget::Bias => &mut record.1,
+        };
+        // Flip within the stored word's two's-complement pattern.
+        let n = config.format.total_bits();
+        let bit = fault.bit.min(n - 1);
+        let mask = (1_i64 << n) - 1;
+        let pattern = (*word & mask) ^ (1_i64 << bit);
+        // Sign-extend back from bit N-1.
+        *word = if pattern & (1_i64 << (n - 1)) != 0 {
+            pattern - (1_i64 << n)
+        } else {
+            pattern
+        };
+    }
+    Nacu::from_coefficients(config, &coefficients)
+}
+
+/// Measures the full-range σ error of a faulted unit.
+#[must_use]
+pub fn measure_sigma(nacu: &Nacu) -> ErrorReport {
+    let fmt = nacu.config().format;
+    metrics::sweep_raw_range(fmt, fmt.min_raw(), fmt.max_raw(), reference::sigmoid, |x| {
+        nacu.sigmoid(x).to_f64()
+    })
+}
+
+/// One row of a fault-sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// The injected fault.
+    pub fault: RomFault,
+    /// σ max error with the fault present.
+    pub max_error: f64,
+    /// Ratio to the fault-free max error.
+    pub degradation: f64,
+}
+
+/// Sweeps a single-bit fault over every bit of one entry's two words.
+///
+/// # Errors
+///
+/// Propagates [`inject`] errors.
+pub fn bit_sensitivity(config: NacuConfig, entry: usize) -> Result<Vec<SensitivityRow>, NacuError> {
+    let baseline = measure_sigma(&Nacu::new(config)?).max_error;
+    let mut rows = Vec::new();
+    for target in [FaultTarget::Slope, FaultTarget::Bias] {
+        for bit in 0..config.format.total_bits() {
+            let fault = RomFault { entry, target, bit };
+            let nacu = inject(config, &[fault])?;
+            let max_error = measure_sigma(&nacu).max_error;
+            rows.push(SensitivityRow {
+                fault,
+                max_error,
+                degradation: max_error / baseline,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nacu_fixed::{Fx, Rounding};
+
+    fn cfg() -> NacuConfig {
+        NacuConfig::paper_16bit()
+    }
+
+    #[test]
+    fn lsb_fault_is_nearly_harmless() {
+        let fault = RomFault {
+            entry: 3,
+            target: FaultTarget::Bias,
+            bit: 0,
+        };
+        let faulted = inject(cfg(), &[fault]).unwrap();
+        let report = measure_sigma(&faulted);
+        let baseline = measure_sigma(&Nacu::new(cfg()).unwrap());
+        // One bias LSB (2^-13) perturbs one segment by at most one LSB.
+        assert!(report.max_error < baseline.max_error + 2e-4);
+    }
+
+    #[test]
+    fn msb_fault_is_catastrophic_and_detectable() {
+        let fault = RomFault {
+            entry: 0,
+            target: FaultTarget::Bias,
+            bit: 14, // top magnitude bit of the bias word
+        };
+        let faulted = inject(cfg(), &[fault]).unwrap();
+        let report = measure_sigma(&faulted);
+        assert!(
+            report.max_error > 0.1,
+            "an MSB flip must be glaring: {}",
+            report.max_error
+        );
+    }
+
+    #[test]
+    fn fault_corrupts_all_derived_branches_symmetrically() {
+        // One ROM word feeds σ(+), σ(−), tanh(+), tanh(−): Eq. 4's
+        // structural symmetry must hold even on a faulted unit.
+        let fault = RomFault {
+            entry: 5,
+            target: FaultTarget::Slope,
+            bit: 9,
+        };
+        let faulted = inject(cfg(), &[fault]).unwrap();
+        let fmt = faulted.config().format;
+        let one = 1_i64 << fmt.frac_bits();
+        for raw in (1..fmt.max_raw()).step_by(501) {
+            let pos = faulted.sigmoid(Fx::from_raw(raw, fmt).unwrap()).raw();
+            let neg = faulted.sigmoid(Fx::from_raw(-raw, fmt).unwrap()).raw();
+            assert!(
+                (pos + neg - one).abs() <= 1,
+                "faulted unit keeps σ(x)+σ(−x)=1 at raw {raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivity_grows_with_bit_position() {
+        let rows = bit_sensitivity(cfg(), 2).unwrap();
+        let bias_rows: Vec<&SensitivityRow> = rows
+            .iter()
+            .filter(|r| r.fault.target == FaultTarget::Bias)
+            .collect();
+        let low = bias_rows[1].max_error; // bit 1
+        let high = bias_rows[13].max_error; // bit 13
+        assert!(
+            high > 10.0 * low,
+            "high bits must hurt more: {high} vs {low}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_entry_is_rejected() {
+        let fault = RomFault {
+            entry: 10_000,
+            target: FaultTarget::Slope,
+            bit: 0,
+        };
+        assert!(matches!(
+            inject(cfg(), &[fault]),
+            Err(NacuError::BadLutSize { .. })
+        ));
+    }
+
+    #[test]
+    fn from_coefficients_round_trips_the_golden_rom() {
+        let golden = Nacu::new(cfg()).unwrap();
+        let rebuilt = Nacu::from_coefficients(cfg(), &golden.coefficients()).unwrap();
+        let fmt = golden.config().format;
+        for raw in (fmt.min_raw()..fmt.max_raw()).step_by(997) {
+            let x = Fx::from_raw(raw, fmt).unwrap();
+            assert_eq!(golden.sigmoid(x), rebuilt.sigmoid(x));
+            assert_eq!(golden.tanh(x), rebuilt.tanh(x));
+        }
+        let x = Fx::from_f64(-1.0, fmt, Rounding::Nearest);
+        assert_eq!(golden.exp(x), rebuilt.exp(x));
+    }
+
+    #[test]
+    fn wrong_coefficient_count_is_rejected() {
+        assert!(matches!(
+            Nacu::from_coefficients(cfg(), &[(0, 0); 3]),
+            Err(NacuError::BadLutSize { .. })
+        ));
+    }
+}

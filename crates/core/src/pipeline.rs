@@ -1,0 +1,252 @@
+//! Cycle-accurate pipeline model of the NACU datapath.
+//!
+//! The functional model in [`crate::datapath`] answers *what* the hardware
+//! computes; this module answers *when*. NACU is fully pipelined: one
+//! operand can be issued per cycle and results emerge after the function's
+//! latency (Table I: 3 cycles for σ/tanh, 8 for exp through the radix-4
+//! divider; §VII.C's deep view of the e path fills in 24 cycles at
+//! 3.75 ns = 90 ns and then streams one result per cycle).
+//!
+//! The model is a plain shift register of in-flight operations — exactly
+//! the timing behaviour of a stall-free pipeline — and is what the
+//! throughput benches and the softmax two-pass schedule are measured on.
+
+use std::collections::VecDeque;
+
+use nacu_fixed::Fx;
+
+use crate::config::Function;
+use crate::datapath::Nacu;
+
+/// Latency in cycles for one result of `function` (Table I).
+#[must_use]
+pub fn latency_cycles(function: Function) -> u32 {
+    match function {
+        Function::Mac => 1,
+        Function::Sigmoid | Function::Tanh => 3,
+        Function::Exp | Function::Softmax => 8,
+    }
+}
+
+/// An in-flight operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InFlight {
+    function: Function,
+    operand: Fx,
+    /// Cycle at which the result reaches the output register.
+    ready_at: u64,
+}
+
+/// A cycle-accurate wrapper around a [`Nacu`] instance.
+///
+/// # Example
+///
+/// ```
+/// use nacu::{Nacu, NacuConfig, Function};
+/// use nacu::pipeline::NacuPipeline;
+/// use nacu_fixed::{Fx, Rounding};
+///
+/// # fn main() -> Result<(), nacu::NacuError> {
+/// let nacu = Nacu::new(NacuConfig::paper_16bit())?;
+/// let fmt = nacu.config().format;
+/// let mut pipe = NacuPipeline::new(nacu);
+/// pipe.issue(Function::Sigmoid, Fx::from_f64(1.0, fmt, Rounding::Nearest));
+/// // Two idle cycles: nothing out yet (latency 3).
+/// assert!(pipe.tick().is_none());
+/// assert!(pipe.tick().is_none());
+/// // Third cycle: the result retires.
+/// assert!(pipe.tick().is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NacuPipeline {
+    nacu: Nacu,
+    cycle: u64,
+    in_flight: VecDeque<InFlight>,
+    issued: u64,
+    retired: u64,
+}
+
+impl NacuPipeline {
+    /// Wraps a functional instance.
+    #[must_use]
+    pub fn new(nacu: Nacu) -> Self {
+        Self {
+            nacu,
+            cycle: 0,
+            in_flight: VecDeque::new(),
+            issued: 0,
+            retired: 0,
+        }
+    }
+
+    /// The wrapped functional model.
+    #[must_use]
+    pub fn nacu(&self) -> &Nacu {
+        &self.nacu
+    }
+
+    /// The current cycle count.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Operations issued / retired so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.issued, self.retired)
+    }
+
+    /// Issues one operation in the current cycle (one issue slot per
+    /// cycle, as in the hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Function::Softmax`]/[`Function::Mac`] (vector and
+    /// stateful modes are scheduled by their own drivers) and on a second
+    /// issue in the same cycle.
+    pub fn issue(&mut self, function: Function, operand: Fx) {
+        assert!(
+            !matches!(function, Function::Softmax | Function::Mac),
+            "issue scalar functions only; softmax/mac have dedicated drivers"
+        );
+        assert!(
+            self.in_flight.back().is_none_or(|op| op.ready_at
+                != self.cycle + u64::from(latency_cycles(function))
+                || op.ready_at < self.cycle),
+            "one issue per cycle"
+        );
+        self.in_flight.push_back(InFlight {
+            function,
+            operand,
+            ready_at: self.cycle + u64::from(latency_cycles(function)),
+        });
+        self.issued += 1;
+    }
+
+    /// Advances one clock cycle; returns the result retiring this cycle,
+    /// if any.
+    pub fn tick(&mut self) -> Option<Fx> {
+        self.cycle += 1;
+        if let Some(front) = self.in_flight.front() {
+            if front.ready_at <= self.cycle {
+                let op = self.in_flight.pop_front().expect("front exists");
+                self.retired += 1;
+                return Some(self.nacu.compute(op.function, op.operand));
+            }
+        }
+        None
+    }
+
+    /// Drains the pipeline, returning all remaining results in order.
+    pub fn drain(&mut self) -> Vec<Fx> {
+        let mut out = Vec::new();
+        while !self.in_flight.is_empty() {
+            if let Some(r) = self.tick() {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Streams a whole batch through the pipeline and reports the cycle
+    /// count: `latency + n − 1` for a stall-free pipeline.
+    pub fn run_batch(&mut self, function: Function, operands: &[Fx]) -> (Vec<Fx>, u64) {
+        let start = self.cycle;
+        let mut results = Vec::with_capacity(operands.len());
+        for &x in operands {
+            self.issue(function, x);
+            if let Some(r) = self.tick() {
+                results.push(r);
+            }
+        }
+        results.extend(self.drain());
+        (results, self.cycle - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NacuConfig;
+    use nacu_fixed::Rounding;
+
+    fn pipe() -> NacuPipeline {
+        NacuPipeline::new(Nacu::new(NacuConfig::paper_16bit()).unwrap())
+    }
+
+    fn operands(pipe: &NacuPipeline, n: usize) -> Vec<Fx> {
+        let fmt = pipe.nacu().config().format;
+        (0..n)
+            .map(|i| Fx::from_f64(i as f64 * 0.1 - 0.5, fmt, Rounding::Nearest))
+            .collect()
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        assert_eq!(latency_cycles(Function::Sigmoid), 3);
+        assert_eq!(latency_cycles(Function::Tanh), 3);
+        assert_eq!(latency_cycles(Function::Exp), 8);
+        assert_eq!(latency_cycles(Function::Mac), 1);
+    }
+
+    #[test]
+    fn single_sigmoid_takes_three_cycles() {
+        let mut p = pipe();
+        let x = operands(&p, 1)[0];
+        p.issue(Function::Sigmoid, x);
+        assert!(p.tick().is_none());
+        assert!(p.tick().is_none());
+        let r = p.tick().expect("result after 3 cycles");
+        assert_eq!(r, p.nacu().sigmoid(x));
+    }
+
+    #[test]
+    fn batch_throughput_is_one_per_cycle() {
+        let mut p = pipe();
+        let xs = operands(&p, 100);
+        let (results, cycles) = p.run_batch(Function::Tanh, &xs);
+        assert_eq!(results.len(), 100);
+        // Stall-free pipeline: n + latency − 1 cycles.
+        assert_eq!(cycles, 100 + 3 - 1);
+    }
+
+    #[test]
+    fn exp_batch_pays_the_divider_latency_once() {
+        let mut p = pipe();
+        let fmt = p.nacu().config().format;
+        let xs: Vec<Fx> = (0..50)
+            .map(|i| Fx::from_f64(-0.1 * f64::from(i), fmt, Rounding::Nearest))
+            .collect();
+        let (results, cycles) = p.run_batch(Function::Exp, &xs);
+        assert_eq!(results.len(), 50);
+        assert_eq!(cycles, 50 + 8 - 1);
+    }
+
+    #[test]
+    fn results_retire_in_issue_order() {
+        let mut p = pipe();
+        let xs = operands(&p, 10);
+        let (results, _) = p.run_batch(Function::Sigmoid, &xs);
+        let direct: Vec<Fx> = xs.iter().map(|&x| p.nacu().sigmoid(x)).collect();
+        assert_eq!(results, direct);
+    }
+
+    #[test]
+    fn stats_track_issue_and_retire() {
+        let mut p = pipe();
+        let xs = operands(&p, 5);
+        p.run_batch(Function::Sigmoid, &xs);
+        assert_eq!(p.stats(), (5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dedicated drivers")]
+    fn softmax_issue_panics() {
+        let mut p = pipe();
+        let x = operands(&p, 1)[0];
+        p.issue(Function::Softmax, x);
+    }
+}

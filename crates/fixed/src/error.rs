@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::QFormat;
+
+/// Errors produced by fixed-point construction and arithmetic.
+///
+/// Every fallible operation in this crate reports one of these variants;
+/// they are deliberately fine-grained so that a datapath model can assert
+/// *which* hardware misbehaviour (overflow, divide-by-zero, ...) a stimulus
+/// provokes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FxError {
+    /// The requested format does not fit the backing integer type
+    /// (`1 + int_bits + frac_bits` must be between 2 and 63).
+    InvalidFormat {
+        /// Requested integer bits (excluding sign).
+        int_bits: u32,
+        /// Requested fractional bits.
+        frac_bits: u32,
+    },
+    /// Two operands of a binary operation carry different formats.
+    ///
+    /// NACU's datapath is a fixed-width design; mixed-format arithmetic is a
+    /// modelling bug, not a hardware behaviour, so it is an error rather
+    /// than an implicit conversion.
+    FormatMismatch {
+        /// Format of the left-hand operand.
+        lhs: QFormat,
+        /// Format of the right-hand operand.
+        rhs: QFormat,
+    },
+    /// The exact result does not fit the destination format.
+    Overflow {
+        /// Format the result was to be stored in.
+        format: QFormat,
+    },
+    /// Division by a zero raw code.
+    DivideByZero,
+    /// A string could not be parsed as a fixed-point literal.
+    Parse {
+        /// Human-readable description of the first offending condition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FxError::InvalidFormat {
+                int_bits,
+                frac_bits,
+            } => write!(
+                f,
+                "invalid fixed-point format Q{int_bits}.{frac_bits}: total width must be 2..=63 bits"
+            ),
+            FxError::FormatMismatch { lhs, rhs } => {
+                write!(f, "operand formats differ: {lhs} vs {rhs}")
+            }
+            FxError::Overflow { format } => {
+                write!(f, "result does not fit {format}")
+            }
+            FxError::DivideByZero => write!(f, "division by zero"),
+            FxError::Parse { reason } => write!(f, "invalid fixed-point literal: {reason}"),
+        }
+    }
+}
+
+impl Error for FxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let q = QFormat::new(4, 11).unwrap();
+        let cases: Vec<(FxError, &str)> = vec![
+            (
+                FxError::InvalidFormat {
+                    int_bits: 80,
+                    frac_bits: 3,
+                },
+                "invalid fixed-point format",
+            ),
+            (
+                FxError::FormatMismatch { lhs: q, rhs: q },
+                "operand formats differ",
+            ),
+            (FxError::Overflow { format: q }, "does not fit"),
+            (FxError::DivideByZero, "division by zero"),
+            (
+                FxError::Parse {
+                    reason: "empty".into(),
+                },
+                "invalid fixed-point literal",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "error messages start lowercase: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FxError>();
+    }
+}

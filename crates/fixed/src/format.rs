@@ -1,0 +1,240 @@
+use std::fmt;
+
+use crate::{FxError, Result};
+
+/// A signed fixed-point format in the paper's `Q(i_b).(f_b)` notation.
+///
+/// The total width is `N = 1 + int_bits + frac_bits`: one sign bit, `i_b`
+/// integer bits and `f_b` fractional bits (§III of the paper). Raw codes are
+/// stored in an `i64`, so `N` must be at most 63 bits; that comfortably
+/// covers the 6–21 bit formats evaluated in the paper and in the related
+/// work it compares against.
+///
+/// `QFormat` is plain data: `Copy`, comparable and hashable, so bit-width
+/// sweeps (Fig. 4, Fig. 6c–e) can treat formats as loop variables.
+///
+/// # Example
+///
+/// ```
+/// use nacu_fixed::QFormat;
+///
+/// # fn main() -> Result<(), nacu_fixed::FxError> {
+/// let q = QFormat::new(4, 11)?; // the paper's 16-bit format
+/// assert_eq!(q.total_bits(), 16);
+/// assert_eq!(q.resolution(), 2.0_f64.powi(-11));
+/// assert_eq!(q.max_value(), 16.0 - 2.0_f64.powi(-11)); // In_max of Eq. 6
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QFormat {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a format with `int_bits` integer bits (excluding sign) and
+    /// `frac_bits` fractional bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FxError::InvalidFormat`] if the total width
+    /// `1 + int_bits + frac_bits` is below 2 or above 63 bits.
+    pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self> {
+        let total = 1 + int_bits as u64 + frac_bits as u64;
+        if !(2..=63).contains(&total) {
+            return Err(FxError::InvalidFormat {
+                int_bits,
+                frac_bits,
+            });
+        }
+        Ok(Self {
+            int_bits,
+            frac_bits,
+        })
+    }
+
+    /// Integer bits, excluding the sign bit (`i_b`).
+    #[must_use]
+    pub fn int_bits(&self) -> u32 {
+        self.int_bits
+    }
+
+    /// Fractional bits (`f_b`).
+    #[must_use]
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total number of bits `N = 1 + i_b + f_b`.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        1 + self.int_bits + self.frac_bits
+    }
+
+    /// The weight of one least-significant bit, `2^{-f_b}`.
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        (self.scale() as f64).recip()
+    }
+
+    /// The scale factor `2^{f_b}` relating real values to raw codes.
+    #[must_use]
+    pub fn scale(&self) -> i64 {
+        1_i64 << self.frac_bits
+    }
+
+    /// Largest representable raw code, `2^{N-1} - 1`.
+    #[must_use]
+    pub fn max_raw(&self) -> i64 {
+        (1_i64 << (self.total_bits() - 1)) - 1
+    }
+
+    /// Smallest representable raw code, `-2^{N-1}`.
+    #[must_use]
+    pub fn min_raw(&self) -> i64 {
+        -(1_i64 << (self.total_bits() - 1))
+    }
+
+    /// Largest representable real value, `2^{i_b} - 2^{-f_b}`.
+    ///
+    /// This is the `In_max` of the paper's Eq. 6.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.max_raw() as f64 * self.resolution()
+    }
+
+    /// Smallest (most negative) representable real value, `-2^{i_b}`.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.min_raw() as f64 * self.resolution()
+    }
+
+    /// Returns `true` if the raw code fits this format without wrapping.
+    #[must_use]
+    pub fn contains_raw(&self, raw: i64) -> bool {
+        (self.min_raw()..=self.max_raw()).contains(&raw)
+    }
+
+    /// Clamps a (possibly widened) raw code into this format's range.
+    #[must_use]
+    pub fn saturate_raw(&self, raw: i128) -> i64 {
+        raw.clamp(self.min_raw() as i128, self.max_raw() as i128) as i64
+    }
+
+    /// Wraps a (possibly widened) raw code into this format's range, i.e.
+    /// keeps the low `N` bits and sign-extends — exactly what an `N`-bit
+    /// register does on overflow.
+    #[must_use]
+    pub fn wrap_raw(&self, raw: i128) -> i64 {
+        let n = self.total_bits();
+        let mask = (1_i128 << n) - 1;
+        let low = raw & mask;
+        let sign_bit = 1_i128 << (n - 1);
+        let val = if low & sign_bit != 0 {
+            low - (1_i128 << n)
+        } else {
+            low
+        };
+        val as i64
+    }
+
+    /// Iterates over every raw code of this format, from `min_raw` to
+    /// `max_raw`.
+    ///
+    /// Exhaustive sweeps over all `2^N` codes are how the paper measures
+    /// max/average error; for the 16-bit format that is only 65 536 values.
+    pub fn raw_codes(&self) -> impl Iterator<Item = i64> {
+        self.min_raw()..=self.max_raw()
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+impl Default for QFormat {
+    /// The paper's reference 16-bit format, `Q4.11` (§III).
+    fn default() -> Self {
+        Self {
+            int_bits: 4,
+            frac_bits: 11,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q4_11_matches_paper_section_iii() {
+        let q = QFormat::new(4, 11).unwrap();
+        assert_eq!(q.total_bits(), 16);
+        assert_eq!(q.scale(), 2048);
+        assert_eq!(q.max_raw(), 32767);
+        assert_eq!(q.min_raw(), -32768);
+        // In_max = 2^4 - 2^-11
+        assert!((q.max_value() - (16.0 - 2.0_f64.powi(-11))).abs() < 1e-15);
+        assert_eq!(q.min_value(), -16.0);
+    }
+
+    #[test]
+    fn default_is_q4_11() {
+        assert_eq!(QFormat::default(), QFormat::new(4, 11).unwrap());
+    }
+
+    #[test]
+    fn rejects_too_wide_and_too_narrow() {
+        assert!(QFormat::new(40, 40).is_err());
+        assert!(QFormat::new(0, 0).is_err()); // only a sign bit
+        assert!(QFormat::new(0, 1).is_ok()); // 2-bit format is legal
+        assert!(QFormat::new(31, 31).is_ok()); // 63-bit is the ceiling
+        assert!(QFormat::new(31, 32).is_err());
+    }
+
+    #[test]
+    fn display_uses_q_notation() {
+        assert_eq!(QFormat::new(4, 11).unwrap().to_string(), "Q4.11");
+        assert_eq!(QFormat::new(0, 7).unwrap().to_string(), "Q0.7");
+    }
+
+    #[test]
+    fn wrap_raw_behaves_like_register_truncation() {
+        let q = QFormat::new(3, 4).unwrap(); // 8-bit
+        assert_eq!(q.wrap_raw(127), 127);
+        assert_eq!(q.wrap_raw(128), -128);
+        assert_eq!(q.wrap_raw(-129), 127);
+        assert_eq!(q.wrap_raw(256), 0);
+        assert_eq!(q.wrap_raw(-1), -1);
+    }
+
+    #[test]
+    fn saturate_raw_clamps() {
+        let q = QFormat::new(3, 4).unwrap();
+        assert_eq!(q.saturate_raw(1_000_000), 127);
+        assert_eq!(q.saturate_raw(-1_000_000), -128);
+        assert_eq!(q.saturate_raw(5), 5);
+    }
+
+    #[test]
+    fn raw_codes_covers_full_range() {
+        let q = QFormat::new(1, 2).unwrap(); // 4-bit: -8..=7
+        let codes: Vec<i64> = q.raw_codes().collect();
+        assert_eq!(codes.len(), 16);
+        assert_eq!(codes[0], -8);
+        assert_eq!(*codes.last().unwrap(), 7);
+    }
+
+    #[test]
+    fn formats_order_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(QFormat::new(4, 11).unwrap());
+        set.insert(QFormat::new(4, 11).unwrap());
+        set.insert(QFormat::new(2, 13).unwrap());
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! Interval arithmetic over fixed-point values.
+//!
+//! Worst-case error analysis (the `nacu::bounds` module, LUT dimensioning,
+//! accumulator-width selection) needs *guaranteed* enclosures, not point
+//! estimates. [`FxInterval`] tracks a `[lo, hi]` pair of same-format
+//! values through the datapath operations with outward rounding, so any
+//! real intermediate value is provably inside the interval.
+
+use crate::{Fx, QFormat, Rounding};
+
+/// A closed interval `[lo, hi]` of same-format fixed-point values.
+///
+/// # Example
+///
+/// ```
+/// use nacu_fixed::{interval::FxInterval, QFormat};
+///
+/// # fn main() -> Result<(), nacu_fixed::FxError> {
+/// let fmt = QFormat::new(4, 11)?;
+/// let x = FxInterval::from_f64(0.9, 1.1, fmt);
+/// let y = x.mul(&x);
+/// assert!(y.contains_f64(1.0));
+/// assert!(y.width_f64() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FxInterval {
+    lo: Fx,
+    hi: Fx,
+}
+
+impl FxInterval {
+    /// The degenerate interval `[v, v]`.
+    #[must_use]
+    pub fn point(v: Fx) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Builds an interval from bounds, swapping if given out of order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds carry different formats.
+    #[must_use]
+    pub fn new(a: Fx, b: Fx) -> Self {
+        assert_eq!(a.format(), b.format(), "interval bounds share a format");
+        if a.raw() <= b.raw() {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// Quantises real bounds outward (floor the low edge, ceil the high
+    /// edge) so the real interval is always enclosed.
+    #[must_use]
+    pub fn from_f64(lo: f64, hi: f64, format: QFormat) -> Self {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        Self {
+            lo: Fx::from_f64(lo, format, Rounding::Floor),
+            hi: Fx::from_f64(hi, format, Rounding::Ceil),
+        }
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(&self) -> Fx {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(&self) -> Fx {
+        self.hi
+    }
+
+    /// Interval width as f64.
+    #[must_use]
+    pub fn width_f64(&self) -> f64 {
+        self.hi.to_f64() - self.lo.to_f64()
+    }
+
+    /// `true` if the real value lies inside the interval.
+    #[must_use]
+    pub fn contains_f64(&self, v: f64) -> bool {
+        v >= self.lo.to_f64() && v <= self.hi.to_f64()
+    }
+
+    /// `true` if the fixed-point value lies inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a format mismatch.
+    #[must_use]
+    pub fn contains(&self, v: Fx) -> bool {
+        assert_eq!(v.format(), self.lo.format(), "format mismatch");
+        (self.lo.raw()..=self.hi.raw()).contains(&v.raw())
+    }
+
+    /// Interval sum (saturating at the format edges, which keeps the
+    /// enclosure: saturation is monotone).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a format mismatch.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        Self {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+
+    /// Interval difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a format mismatch.
+    #[must_use]
+    pub fn sub(&self, other: &Self) -> Self {
+        Self {
+            lo: self.lo - other.hi,
+            hi: self.hi - other.lo,
+        }
+    }
+
+    /// Interval product: min/max over the four corner products, each
+    /// rounded outward.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a format mismatch.
+    #[must_use]
+    pub fn mul(&self, other: &Self) -> Self {
+        let fmt = self.lo.format();
+        let corners = [
+            (self.lo, other.lo),
+            (self.lo, other.hi),
+            (self.hi, other.lo),
+            (self.hi, other.hi),
+        ];
+        let mut lo_raw = i64::MAX;
+        let mut hi_raw = i64::MIN;
+        for (a, b) in corners {
+            let down = a
+                .saturating_mul(b, Rounding::Floor)
+                .expect("formats checked");
+            let up = a
+                .saturating_mul(b, Rounding::Ceil)
+                .expect("formats checked");
+            lo_raw = lo_raw.min(down.raw());
+            hi_raw = hi_raw.max(up.raw());
+        }
+        Self {
+            lo: Fx::from_raw_saturating(lo_raw, fmt),
+            hi: Fx::from_raw_saturating(hi_raw, fmt),
+        }
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        Self {
+            lo: self.hi.neg_saturating(),
+            hi: self.lo.neg_saturating(),
+        }
+    }
+
+    /// Hull of two intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a format mismatch.
+    #[must_use]
+    pub fn hull(&self, other: &Self) -> Self {
+        assert_eq!(self.lo.format(), other.lo.format(), "format mismatch");
+        Self {
+            lo: Fx::from_raw_saturating(self.lo.raw().min(other.lo.raw()), self.lo.format()),
+            hi: Fx::from_raw_saturating(self.hi.raw().max(other.hi.raw()), self.hi.format()),
+        }
+    }
+
+    /// Applies a monotone non-decreasing function to both edges (enclosure
+    /// holds by monotonicity — σ, tanh and e^x all qualify).
+    #[must_use]
+    pub fn map_monotone(&self, f: impl Fn(Fx) -> Fx) -> Self {
+        Self::new(f(self.lo), f(self.hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn outward_quantisation_always_encloses() {
+        let iv = FxInterval::from_f64(0.1234567, 0.1234568, q());
+        assert!(iv.contains_f64(0.1234567));
+        assert!(iv.contains_f64(0.1234568));
+        assert!(iv.width_f64() <= 2.0 * q().resolution());
+    }
+
+    #[test]
+    fn arithmetic_encloses_real_arithmetic() {
+        let a = FxInterval::from_f64(-1.5, 2.0, q());
+        let b = FxInterval::from_f64(0.5, 0.75, q());
+        assert!(a.add(&b).contains_f64(-1.0));
+        assert!(a.add(&b).contains_f64(2.75));
+        assert!(a.sub(&b).contains_f64(-2.25));
+        assert!(a.mul(&b).contains_f64(-1.125));
+        assert!(a.mul(&b).contains_f64(1.5));
+    }
+
+    #[test]
+    fn product_handles_sign_crossings() {
+        let a = FxInterval::from_f64(-2.0, 3.0, q());
+        let b = FxInterval::from_f64(-1.0, 4.0, q());
+        let p = a.mul(&b);
+        // Extremes: min = -2*4 = -8, max = 3*4 = 12.
+        assert!(p.contains_f64(-8.0));
+        assert!(p.contains_f64(12.0));
+    }
+
+    #[test]
+    fn neg_and_hull() {
+        let a = FxInterval::from_f64(1.0, 2.0, q());
+        let n = a.neg();
+        assert!(n.contains_f64(-1.5));
+        let b = FxInterval::from_f64(5.0, 6.0, q());
+        let h = a.hull(&b);
+        assert!(h.contains_f64(1.0) && h.contains_f64(6.0) && h.contains_f64(3.5));
+    }
+
+    #[test]
+    fn monotone_map_preserves_enclosure() {
+        let a = FxInterval::from_f64(-1.0, 1.0, q());
+        let doubled = a.map_monotone(|v| v.shl_saturating(1));
+        assert!(doubled.contains_f64(-2.0) && doubled.contains_f64(2.0));
+    }
+
+    #[test]
+    fn disordered_bounds_are_normalised() {
+        let hi = Fx::from_f64(3.0, q(), Rounding::Nearest);
+        let lo = Fx::from_f64(-3.0, q(), Rounding::Nearest);
+        let iv = FxInterval::new(hi, lo);
+        assert_eq!(iv.lo(), lo);
+        assert_eq!(iv.hi(), hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval bounds share a format")]
+    fn mixed_formats_panic() {
+        let a = Fx::zero(QFormat::new(4, 11).unwrap());
+        let b = Fx::zero(QFormat::new(2, 13).unwrap());
+        let _ = FxInterval::new(a, b);
+    }
+}

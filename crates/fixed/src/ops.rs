@@ -1,0 +1,163 @@
+//! Operator overloads for [`Fx`].
+//!
+//! The `std::ops` impls use the policies NACU's datapath itself uses:
+//! **saturating** arithmetic with **round-to-nearest** re-scaling. They
+//! panic on format mismatch (a modelling bug) and on division by zero; use
+//! the `checked_*` methods when those conditions must be handled as values.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::{Fx, Rounding};
+
+impl Add for Fx {
+    type Output = Fx;
+
+    /// Saturating addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands carry different formats.
+    fn add(self, rhs: Fx) -> Fx {
+        self.saturating_add(rhs).expect("fx add: format mismatch")
+    }
+}
+
+impl Sub for Fx {
+    type Output = Fx;
+
+    /// Saturating subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands carry different formats.
+    fn sub(self, rhs: Fx) -> Fx {
+        self.saturating_sub(rhs).expect("fx sub: format mismatch")
+    }
+}
+
+impl Mul for Fx {
+    type Output = Fx;
+
+    /// Saturating multiplication with round-to-nearest re-scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands carry different formats.
+    fn mul(self, rhs: Fx) -> Fx {
+        self.saturating_mul(rhs, Rounding::Nearest)
+            .expect("fx mul: format mismatch")
+    }
+}
+
+impl Div for Fx {
+    type Output = Fx;
+
+    /// Saturating division with round-to-nearest quotient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands carry different formats or `rhs` is zero.
+    fn div(self, rhs: Fx) -> Fx {
+        self.saturating_div(rhs, Rounding::Nearest)
+            .expect("fx div: format mismatch or divide by zero")
+    }
+}
+
+impl Neg for Fx {
+    type Output = Fx;
+
+    /// Saturating two's-complement negation.
+    fn neg(self) -> Fx {
+        self.neg_saturating()
+    }
+}
+
+impl AddAssign for Fx {
+    /// # Panics
+    ///
+    /// Panics if the operands carry different formats.
+    fn add_assign(&mut self, rhs: Fx) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Fx {
+    /// # Panics
+    ///
+    /// Panics if the operands carry different formats.
+    fn sub_assign(&mut self, rhs: Fx) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Fx {
+    /// Saturating sum; an empty iterator panics because the format of zero
+    /// is unknown. Seed with [`Fx::zero`] via `fold` when emptiness is
+    /// possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty iterator or mixed formats.
+    fn sum<I: Iterator<Item = Fx>>(iter: I) -> Fx {
+        iter.reduce(|a, b| a + b)
+            .expect("fx sum: empty iterator has no format")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Fx, QFormat, Rounding};
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    fn fx(v: f64) -> Fx {
+        Fx::from_f64(v, q(), Rounding::Nearest)
+    }
+
+    #[test]
+    fn operator_arithmetic_matches_methods() {
+        let a = fx(1.5);
+        let b = fx(0.25);
+        assert_eq!((a + b).to_f64(), 1.75);
+        assert_eq!((a - b).to_f64(), 1.25);
+        assert_eq!((a * b).to_f64(), 0.375);
+        assert_eq!((a / b).to_f64(), 6.0);
+        assert_eq!((-a).to_f64(), -1.5);
+    }
+
+    #[test]
+    fn assign_ops_accumulate() {
+        let mut acc = Fx::zero(q());
+        for _ in 0..4 {
+            acc += fx(0.5);
+        }
+        assert_eq!(acc.to_f64(), 2.0);
+        acc -= fx(1.0);
+        assert_eq!(acc.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn sum_reduces() {
+        let total: Fx = (0..8).map(|_| fx(0.125)).sum();
+        assert_eq!(total.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn operators_saturate() {
+        let m = Fx::max(q());
+        assert_eq!((m + fx(1.0)).raw(), q().max_raw());
+        let lo = Fx::min(q());
+        assert_eq!((lo - fx(1.0)).raw(), q().min_raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn mixed_format_addition_panics() {
+        let a = Fx::zero(QFormat::new(4, 11).unwrap());
+        let b = Fx::zero(QFormat::new(2, 13).unwrap());
+        let _ = a + b;
+    }
+}

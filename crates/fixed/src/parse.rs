@@ -1,0 +1,148 @@
+//! Parsing of fixed-point literals.
+//!
+//! Supported forms (all relative to an explicit target [`QFormat`]):
+//!
+//! * decimal: `"3.25"`, `"-0.5"`, `".75"`, `"7"`,
+//! * raw hexadecimal bit patterns: `"0xF800"` (interpreted as the N-bit
+//!   two's-complement register contents),
+//! * raw binary bit patterns: `"0b1111100000000000"`.
+//!
+//! Decimal literals are quantised with a caller-supplied [`Rounding`]; bit
+//! patterns must fit the format exactly.
+
+use crate::{Fx, FxError, QFormat, Result, Rounding};
+
+impl Fx {
+    /// Parses a fixed-point literal in the given format.
+    ///
+    /// Decimal values are quantised with `rounding` and saturated at the
+    /// format's range; `0x`/`0b` bit patterns are taken verbatim as register
+    /// contents (sign-extended from bit `N-1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FxError::Parse`] for malformed input, and
+    /// [`FxError::Overflow`] for a bit pattern wider than the format.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nacu_fixed::{Fx, QFormat, Rounding};
+    ///
+    /// # fn main() -> Result<(), nacu_fixed::FxError> {
+    /// let q = QFormat::new(4, 11)?;
+    /// let a = Fx::parse("1.5", q, Rounding::Nearest)?;
+    /// let b = Fx::parse("0x0C00", q, Rounding::Nearest)?; // same bits
+    /// assert_eq!(a, b);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(text: &str, format: QFormat, rounding: Rounding) -> Result<Self> {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return Err(FxError::Parse {
+                reason: "empty string".to_string(),
+            });
+        }
+        if let Some(hex) = trimmed
+            .strip_prefix("0x")
+            .or_else(|| trimmed.strip_prefix("0X"))
+        {
+            return Self::from_bit_pattern(hex, 16, format);
+        }
+        if let Some(bin) = trimmed
+            .strip_prefix("0b")
+            .or_else(|| trimmed.strip_prefix("0B"))
+        {
+            return Self::from_bit_pattern(bin, 2, format);
+        }
+        let value: f64 = trimmed.parse().map_err(|_| FxError::Parse {
+            reason: format!("not a decimal number: {trimmed:?}"),
+        })?;
+        if !value.is_finite() {
+            return Err(FxError::Parse {
+                reason: "non-finite value".to_string(),
+            });
+        }
+        Ok(Fx::from_f64(value, format, rounding))
+    }
+
+    fn from_bit_pattern(digits: &str, radix: u32, format: QFormat) -> Result<Self> {
+        let clean: String = digits.chars().filter(|c| *c != '_').collect();
+        let bits = u64::from_str_radix(&clean, radix).map_err(|_| FxError::Parse {
+            reason: format!("invalid base-{radix} digits: {digits:?}"),
+        })?;
+        let n = format.total_bits();
+        if n < 64 && bits >> n != 0 {
+            return Err(FxError::Overflow { format });
+        }
+        // Sign-extend from bit N-1.
+        let sign_bit = 1u64 << (n - 1);
+        let raw = if bits & sign_bit != 0 {
+            (bits as i64) - (1i64 << n)
+        } else {
+            bits as i64
+        };
+        Fx::from_raw(raw, format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn parses_decimal() {
+        let v = Fx::parse("1.5", q(), Rounding::Nearest).unwrap();
+        assert_eq!(v.to_f64(), 1.5);
+        let v = Fx::parse("-0.25", q(), Rounding::Nearest).unwrap();
+        assert_eq!(v.to_f64(), -0.25);
+        let v = Fx::parse(".75", q(), Rounding::Nearest).unwrap();
+        assert_eq!(v.to_f64(), 0.75);
+        let v = Fx::parse("7", q(), Rounding::Nearest).unwrap();
+        assert_eq!(v.to_f64(), 7.0);
+    }
+
+    #[test]
+    fn parses_hex_pattern_with_sign_extension() {
+        // 0xF800 = raw -2048 = -1.0 in Q4.11
+        let v = Fx::parse("0xF800", q(), Rounding::Nearest).unwrap();
+        assert_eq!(v.to_f64(), -1.0);
+        let v = Fx::parse("0x0800", q(), Rounding::Nearest).unwrap();
+        assert_eq!(v.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn parses_binary_pattern_with_underscores() {
+        let v = Fx::parse("0b0000_1000_0000_0000", q(), Rounding::Nearest).unwrap();
+        assert_eq!(v.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn rejects_oversized_pattern() {
+        assert!(matches!(
+            Fx::parse("0x1_F800", q(), Rounding::Nearest),
+            Err(FxError::Overflow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "  ", "abc", "1.2.3", "0xzz", "0b102", "inf", "nan"] {
+            assert!(
+                Fx::parse(bad, q(), Rounding::Nearest).is_err(),
+                "{bad:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn decimal_saturates_rather_than_failing() {
+        let v = Fx::parse("999", q(), Rounding::Nearest).unwrap();
+        assert_eq!(v.raw(), q().max_raw());
+    }
+}

@@ -1,0 +1,212 @@
+/// Quantisation (rounding) policy applied when low-order bits are discarded.
+///
+/// Fixed-point multiplication, format conversion and `f64` quantisation all
+/// drop fractional bits; *how* they are dropped is a micro-architectural
+/// choice with a visible accuracy cost, so it is explicit everywhere in this
+/// workspace. The paper's reference model uses round-to-nearest; truncation
+/// is what the cheapest hardware does, and the Fig. 4 harness ablates the
+/// difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Rounding {
+    /// Round to the nearest representable value, ties away from zero
+    /// (the behaviour of an "add half LSB then truncate" hardware rounder).
+    #[default]
+    Nearest,
+    /// Drop the discarded bits (round toward negative infinity) — free in
+    /// hardware.
+    Floor,
+    /// Round toward zero.
+    TowardZero,
+    /// Round toward positive infinity.
+    Ceil,
+}
+
+impl Rounding {
+    /// Rounds `value / 2^shift` according to the policy, operating on a
+    /// widened intermediate exactly as a hardware rounder would.
+    ///
+    /// `shift == 0` returns `value` unchanged.
+    #[must_use]
+    pub fn shift_right(&self, value: i128, shift: u32) -> i128 {
+        if shift == 0 {
+            return value;
+        }
+        // Guard: a shift that discards the whole value still behaves sanely.
+        if shift >= 127 {
+            return match self {
+                Rounding::Nearest | Rounding::TowardZero => 0,
+                Rounding::Floor => {
+                    if value < 0 {
+                        -1
+                    } else {
+                        0
+                    }
+                }
+                Rounding::Ceil => {
+                    if value > 0 {
+                        1
+                    } else {
+                        0
+                    }
+                }
+            };
+        }
+        let floor = value >> shift;
+        let remainder = value - (floor << shift);
+        if remainder == 0 {
+            return floor;
+        }
+        let half = 1_i128 << (shift - 1);
+        match self {
+            Rounding::Floor => floor,
+            Rounding::Ceil => floor + 1,
+            Rounding::TowardZero => {
+                if value < 0 {
+                    floor + 1
+                } else {
+                    floor
+                }
+            }
+            Rounding::Nearest => {
+                // Ties away from zero: for negative values a remainder of
+                // exactly half rounds down (more negative).
+                if value >= 0 {
+                    if remainder >= half {
+                        floor + 1
+                    } else {
+                        floor
+                    }
+                } else if remainder > half {
+                    floor + 1
+                } else {
+                    floor
+                }
+            }
+        }
+    }
+
+    /// Quantises a real value to an integer raw code at scale `2^frac_bits`.
+    ///
+    /// Non-finite inputs map to the extreme of the sign so that downstream
+    /// saturation produces the hardware-natural clamp.
+    #[must_use]
+    pub fn quantize(&self, value: f64, frac_bits: u32) -> i128 {
+        if value.is_nan() {
+            return 0;
+        }
+        if value.is_infinite() {
+            return if value > 0.0 { i128::MAX } else { i128::MIN };
+        }
+        let scaled = value * (frac_bits as f64).exp2();
+        let rounded = match self {
+            Rounding::Nearest => scaled.round(),
+            Rounding::Floor => scaled.floor(),
+            Rounding::TowardZero => scaled.trunc(),
+            Rounding::Ceil => scaled.ceil(),
+        };
+        // f64 has 53 bits of mantissa; the formats in this crate are at most
+        // 63 bits but quantised *values* used in practice are far smaller.
+        if rounded >= i128::MAX as f64 {
+            i128::MAX
+        } else if rounded <= i128::MIN as f64 {
+            i128::MIN
+        } else {
+            rounded as i128
+        }
+    }
+}
+
+/// Overflow policy applied when a result exceeds the destination format.
+///
+/// `Saturate` is what NACU's output stage does (an activation that exceeds
+/// the representable range clamps, matching the mathematical saturation of
+/// σ and tanh); `Wrap` is what a bare register does and is provided for
+/// failure-injection tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Overflow {
+    /// Clamp to the representable range.
+    #[default]
+    Saturate,
+    /// Keep the low `N` bits, sign-extended (two's-complement wraparound).
+    Wrap,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rounds_half_away_from_zero() {
+        let r = Rounding::Nearest;
+        assert_eq!(r.shift_right(5, 1), 3); // 2.5 -> 3
+        assert_eq!(r.shift_right(-5, 1), -3); // -2.5 -> -3
+        assert_eq!(r.shift_right(4, 1), 2);
+        assert_eq!(r.shift_right(-4, 1), -2);
+        assert_eq!(r.shift_right(7, 2), 2); // 1.75 -> 2
+        assert_eq!(r.shift_right(-7, 2), -2);
+    }
+
+    #[test]
+    fn floor_truncates_toward_negative_infinity() {
+        let r = Rounding::Floor;
+        assert_eq!(r.shift_right(5, 1), 2);
+        assert_eq!(r.shift_right(-5, 1), -3);
+        assert_eq!(r.shift_right(-1, 4), -1);
+    }
+
+    #[test]
+    fn toward_zero_matches_integer_division() {
+        let r = Rounding::TowardZero;
+        for v in -64_i128..=64 {
+            for s in 1..5u32 {
+                assert_eq!(r.shift_right(v, s), v / (1 << s), "v={v} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_rounds_up() {
+        let r = Rounding::Ceil;
+        assert_eq!(r.shift_right(5, 1), 3);
+        assert_eq!(r.shift_right(-5, 1), -2);
+        assert_eq!(r.shift_right(4, 2), 1);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        for r in [
+            Rounding::Nearest,
+            Rounding::Floor,
+            Rounding::TowardZero,
+            Rounding::Ceil,
+        ] {
+            assert_eq!(r.shift_right(-12345, 0), -12345);
+        }
+    }
+
+    #[test]
+    fn quantize_matches_manual_scaling() {
+        let r = Rounding::Nearest;
+        assert_eq!(r.quantize(1.5, 11), 3072);
+        assert_eq!(r.quantize(-0.25, 11), -512);
+        // 2^-12 is half an LSB at 11 fractional bits: ties away from zero.
+        assert_eq!(r.quantize(2.0_f64.powi(-12), 11), 1);
+    }
+
+    #[test]
+    fn quantize_handles_non_finite() {
+        let r = Rounding::Nearest;
+        assert_eq!(r.quantize(f64::NAN, 11), 0);
+        assert_eq!(r.quantize(f64::INFINITY, 11), i128::MAX);
+        assert_eq!(r.quantize(f64::NEG_INFINITY, 11), i128::MIN);
+    }
+
+    #[test]
+    fn extreme_shift_is_total_loss() {
+        assert_eq!(Rounding::Floor.shift_right(-1, 127), -1);
+        assert_eq!(Rounding::Nearest.shift_right(123, 127), 0);
+        assert_eq!(Rounding::Ceil.shift_right(1, 127), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Compile-time-formatted fixed-point values.
+//!
+//! [`Q<I, F>`] is a zero-cost newtype over a raw `i64` code whose format is
+//! carried in the type: `Q<4, 11>` is the paper's 16-bit datapath word and
+//! cannot be added to a `Q<2, 13>` without an explicit conversion — the
+//! compiler enforces what [`crate::Fx`] checks at runtime. Use `Q` where a
+//! module is committed to one format (e.g. the `nacu-nn` layers) and
+//! [`crate::Fx`] where formats are swept at runtime.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::{Fx, Overflow, QFormat, Result, Rounding};
+
+/// A fixed-point value whose `Q(I).(F)` format is part of the type.
+///
+/// # Example
+///
+/// ```
+/// use nacu_fixed::typed::Q;
+///
+/// let a = Q::<4, 11>::from_f64(1.5);
+/// let b = Q::<4, 11>::from_f64(0.25);
+/// assert_eq!((a + b).to_f64(), 1.75);
+/// // let c = a + Q::<2, 13>::from_f64(0.1); // <- does not compile
+/// ```
+pub struct Q<const I: u32, const F: u32> {
+    raw: i64,
+    _marker: PhantomData<()>,
+}
+
+impl<const I: u32, const F: u32> Q<I, F> {
+    /// The format of this type as a runtime [`QFormat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `1 + I + F` is outside `2..=63` (an invalid instantiation;
+    /// caught the first time any constructor runs).
+    #[must_use]
+    pub fn format() -> QFormat {
+        QFormat::new(I, F).expect("invalid const Q format")
+    }
+
+    /// Quantises an `f64` (round-to-nearest, saturating).
+    #[must_use]
+    pub fn from_f64(value: f64) -> Self {
+        Self::from_fx(Fx::from_f64(value, Self::format(), Rounding::Nearest))
+    }
+
+    /// Wraps a raw code, saturating it into range.
+    #[must_use]
+    pub fn from_raw(raw: i64) -> Self {
+        Self::from_fx(Fx::from_raw_saturating(raw, Self::format()))
+    }
+
+    /// Converts from a runtime-formatted value, resizing if necessary
+    /// (round-to-nearest, saturating).
+    #[must_use]
+    pub fn from_fx(value: Fx) -> Self {
+        let resized = value.resize(Self::format(), Rounding::Nearest, Overflow::Saturate);
+        Self {
+            raw: resized.raw(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The zero value.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::from_raw(0)
+    }
+
+    /// Converts to the runtime-formatted representation.
+    #[must_use]
+    pub fn to_fx(self) -> Fx {
+        Fx::from_raw(self.raw, Self::format()).expect("typed raw always fits")
+    }
+
+    /// The raw two's-complement code.
+    #[must_use]
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Converts to `f64`.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.to_fx().to_f64()
+    }
+
+    /// Checked addition; see [`Fx::checked_add`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FxError::Overflow`] if the exact sum does not fit.
+    pub fn checked_add(self, rhs: Self) -> Result<Self> {
+        Ok(Self::from_fx(self.to_fx().checked_add(rhs.to_fx())?))
+    }
+}
+
+impl<const I: u32, const F: u32> Clone for Q<I, F> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<const I: u32, const F: u32> Copy for Q<I, F> {}
+
+impl<const I: u32, const F: u32> PartialEq for Q<I, F> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<const I: u32, const F: u32> Eq for Q<I, F> {}
+
+impl<const I: u32, const F: u32> PartialOrd for Q<I, F> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const I: u32, const F: u32> Ord for Q<I, F> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+
+impl<const I: u32, const F: u32> std::hash::Hash for Q<I, F> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+
+impl<const I: u32, const F: u32> Default for Q<I, F> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<const I: u32, const F: u32> fmt::Debug for Q<I, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q<{I},{F}>({})", self.to_f64())
+    }
+}
+
+impl<const I: u32, const F: u32> fmt::Display for Q<I, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl<const I: u32, const F: u32> std::ops::Add for Q<I, F> {
+    type Output = Self;
+
+    /// Saturating addition.
+    fn add(self, rhs: Self) -> Self {
+        Self::from_fx(self.to_fx() + rhs.to_fx())
+    }
+}
+
+impl<const I: u32, const F: u32> std::ops::Sub for Q<I, F> {
+    type Output = Self;
+
+    /// Saturating subtraction.
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_fx(self.to_fx() - rhs.to_fx())
+    }
+}
+
+impl<const I: u32, const F: u32> std::ops::Mul for Q<I, F> {
+    type Output = Self;
+
+    /// Saturating multiplication, round-to-nearest.
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_fx(self.to_fx() * rhs.to_fx())
+    }
+}
+
+impl<const I: u32, const F: u32> std::ops::Neg for Q<I, F> {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        Self::from_fx(-self.to_fx())
+    }
+}
+
+impl<const I: u32, const F: u32> From<Q<I, F>> for Fx {
+    fn from(value: Q<I, F>) -> Fx {
+        value.to_fx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Word = Q<4, 11>;
+
+    #[test]
+    fn arithmetic_matches_runtime_fx() {
+        let a = Word::from_f64(1.5);
+        let b = Word::from_f64(-0.75);
+        assert_eq!((a + b).to_f64(), 0.75);
+        assert_eq!((a - b).to_f64(), 2.25);
+        assert_eq!((a * b).to_f64(), (a.to_fx() * b.to_fx()).to_f64());
+        assert_eq!((-a).to_f64(), -1.5);
+    }
+
+    #[test]
+    fn default_is_zero_and_ord_is_total() {
+        assert_eq!(Word::default(), Word::zero());
+        let mut v = [
+            Word::from_f64(1.0),
+            Word::from_f64(-2.0),
+            Word::from_f64(0.5),
+        ];
+        v.sort();
+        assert_eq!(v[0].to_f64(), -2.0);
+        assert_eq!(v[2].to_f64(), 1.0);
+    }
+
+    #[test]
+    fn from_fx_resizes() {
+        let q8 = QFormat::new(3, 4).unwrap();
+        let x = Fx::from_f64(1.25, q8, Rounding::Nearest);
+        let w = Word::from_fx(x);
+        assert_eq!(w.to_f64(), 1.25);
+    }
+
+    #[test]
+    fn debug_identifies_format() {
+        let d = format!("{:?}", Word::from_f64(0.5));
+        assert_eq!(d, "Q<4,11>(0.5)");
+    }
+
+    #[test]
+    fn checked_add_overflows() {
+        let max = Word::from_fx(Fx::max(Word::format()));
+        assert!(max.checked_add(Word::from_f64(1.0)).is_err());
+    }
+}

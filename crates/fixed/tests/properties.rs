@@ -1,0 +1,157 @@
+//! Property-based tests for the fixed-point substrate.
+//!
+//! These pin down the algebraic invariants every downstream crate relies on:
+//! quantisation error bounds, two's-complement consistency, and agreement
+//! between the fixed-point operators and exact rational arithmetic.
+
+use nacu_fixed::{Fx, Overflow, QFormat, Rounding};
+use proptest::prelude::*;
+
+/// An arbitrary format between 4 and 24 total bits — the range the paper
+/// and its related work evaluate.
+fn any_format() -> impl Strategy<Value = QFormat> {
+    (0u32..=8, 1u32..=16).prop_map(|(ib, fb)| QFormat::new(ib, fb).expect("valid format"))
+}
+
+proptest! {
+    #[test]
+    fn quantisation_error_is_at_most_half_ulp(
+        fmt in any_format(),
+        val in -300.0f64..300.0,
+    ) {
+        let x = Fx::from_f64(val, fmt, Rounding::Nearest);
+        let clamped = val.clamp(fmt.min_value(), fmt.max_value());
+        prop_assert!((x.to_f64() - clamped).abs() <= fmt.resolution() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn floor_quantisation_never_exceeds_value(
+        fmt in any_format(),
+        val in -100.0f64..100.0,
+    ) {
+        let x = Fx::from_f64(val, fmt, Rounding::Floor);
+        let clamped = val.clamp(fmt.min_value(), fmt.max_value());
+        prop_assert!(x.to_f64() <= clamped + 1e-12);
+        prop_assert!(clamped - x.to_f64() < fmt.resolution() + 1e-12);
+    }
+
+    #[test]
+    fn addition_is_commutative(
+        fmt in any_format(),
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+    ) {
+        let x = Fx::from_f64(a, fmt, Rounding::Nearest);
+        let y = Fx::from_f64(b, fmt, Rounding::Nearest);
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn multiplication_is_commutative(
+        fmt in any_format(),
+        a in -10.0f64..10.0,
+        b in -10.0f64..10.0,
+    ) {
+        let x = Fx::from_f64(a, fmt, Rounding::Nearest);
+        let y = Fx::from_f64(b, fmt, Rounding::Nearest);
+        prop_assert_eq!(x * y, y * x);
+    }
+
+    #[test]
+    fn add_then_sub_round_trips_when_in_range(
+        fmt in any_format(),
+        a in -1.0f64..1.0,
+        b in -0.5f64..0.5,
+    ) {
+        // Stay well inside the range so saturation never triggers.
+        let x = Fx::from_f64(a * fmt.max_value() / 4.0, fmt, Rounding::Nearest);
+        let y = Fx::from_f64(b * fmt.max_value() / 4.0, fmt, Rounding::Nearest);
+        prop_assert_eq!((x + y) - y, x);
+    }
+
+    #[test]
+    fn negation_is_involutive_except_at_min(
+        fmt in any_format(),
+        raw in proptest::num::i64::ANY,
+    ) {
+        let raw = raw.rem_euclid(fmt.max_raw().max(1));
+        let x = Fx::from_raw(raw, fmt).unwrap();
+        prop_assert_eq!(-(-x), x);
+    }
+
+    #[test]
+    fn resize_round_trips_through_wider_format(
+        a in -7.9f64..7.9,
+    ) {
+        let narrow = QFormat::new(3, 4).unwrap();
+        let wide = QFormat::new(6, 12).unwrap();
+        let x = Fx::from_f64(a, narrow, Rounding::Nearest);
+        let up = x.resize(wide, Rounding::Nearest, Overflow::Saturate);
+        prop_assert_eq!(up.to_f64(), x.to_f64());
+        let back = up.resize(narrow, Rounding::Nearest, Overflow::Saturate);
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn mul_matches_exact_rational_within_half_ulp(
+        fmt in any_format(),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let x = Fx::from_f64(a, fmt, Rounding::Nearest);
+        let y = Fx::from_f64(b, fmt, Rounding::Nearest);
+        if let Ok(p) = x.checked_mul(y, Rounding::Nearest) {
+            let exact = x.to_f64() * y.to_f64();
+            prop_assert!((p.to_f64() - exact).abs() <= fmt.resolution() / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn div_then_mul_is_close(
+        fmt in any_format(),
+        a in 0.1f64..3.0,
+        b in 0.1f64..3.0,
+    ) {
+        let x = Fx::from_f64(a, fmt, Rounding::Nearest);
+        let y = Fx::from_f64(b, fmt, Rounding::Nearest);
+        prop_assume!(!y.is_zero());
+        if let Ok(q) = x.checked_div(y, Rounding::Nearest) {
+            let exact = x.to_f64() / y.to_f64();
+            prop_assert!((q.to_f64() - exact).abs() <= fmt.resolution() / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrap_equals_saturate_when_in_range(
+        fmt in any_format(),
+        a in -1.0f64..1.0,
+    ) {
+        let x = Fx::from_f64(a, fmt, Rounding::Nearest);
+        let wide = QFormat::new(fmt.int_bits() + 2, fmt.frac_bits()).unwrap();
+        let sat = x.resize(wide, Rounding::Nearest, Overflow::Saturate);
+        let wrap = x.resize(wide, Rounding::Nearest, Overflow::Wrap);
+        prop_assert_eq!(sat, wrap);
+    }
+
+    #[test]
+    fn binary_rendering_round_trips(
+        fmt in any_format(),
+        a in -10.0f64..10.0,
+    ) {
+        let x = Fx::from_f64(a, fmt, Rounding::Nearest);
+        let text = format!("0b{x:b}");
+        let back = Fx::parse(&text, fmt, Rounding::Nearest).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn hex_rendering_round_trips_for_nibble_aligned_widths(
+        a in -7.9f64..7.9,
+    ) {
+        let fmt = QFormat::new(4, 11).unwrap(); // 16 bits, nibble aligned
+        let x = Fx::from_f64(a, fmt, Rounding::Nearest);
+        let text = format!("0x{x:x}");
+        let back = Fx::parse(&text, fmt, Rounding::Nearest).unwrap();
+        prop_assert_eq!(back, x);
+    }
+}

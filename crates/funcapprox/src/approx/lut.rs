@@ -1,0 +1,164 @@
+//! Uniform-segment constant lookup table (the *LUT* family of §VI).
+
+use nacu_fixed::{Fx, QFormat};
+
+use crate::approx::table::SegTable;
+use crate::approx::{ApproxError, FixedApprox};
+use crate::reference::RefFunc;
+use crate::segment;
+
+/// A classic LUT: the domain is split into equal segments and each segment
+/// stores one pre-computed output constant.
+///
+/// This is the cheapest family per access but the most expensive per unit
+/// accuracy — Fig. 4a shows it needing ~1026 entries where PWL needs ~50.
+///
+/// # Example
+///
+/// ```
+/// use nacu_fixed::{Fx, QFormat, Rounding};
+/// use nacu_funcapprox::{reference::RefFunc, FixedApprox, UniformLut};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fmt = QFormat::new(4, 11)?;
+/// let lut = UniformLut::fit(RefFunc::Sigmoid, 1024, fmt, fmt)?;
+/// let y = lut.eval(Fx::from_f64(1.0, fmt, Rounding::Nearest));
+/// assert!((y.to_f64() - 0.731_058).abs() < 2e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformLut {
+    table: SegTable,
+}
+
+impl UniformLut {
+    /// Builds a LUT with `entries` equal-width segments over the function's
+    /// canonical domain, each holding its minimax constant quantised to
+    /// `out_fmt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::BadEntryCount`] if `entries` is zero or
+    /// exceeds the number of representable input codes.
+    pub fn fit(
+        func: RefFunc,
+        entries: usize,
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> Result<Self, ApproxError> {
+        let codes = usize::try_from(in_fmt.max_raw()).unwrap_or(usize::MAX);
+        if entries == 0 || entries > codes {
+            return Err(ApproxError::BadEntryCount { entries });
+        }
+        let (lo, hi) = func.domain(in_fmt.max_value());
+        let edges: Vec<f64> = segment::uniform_segments(lo, hi, entries)
+            .iter()
+            .map(|s| s.lo)
+            .chain(std::iter::once(hi))
+            .collect();
+        Ok(Self {
+            table: SegTable::constants(func, &edges, in_fmt, out_fmt)?,
+        })
+    }
+}
+
+impl FixedApprox for UniformLut {
+    fn eval(&self, x: Fx) -> Fx {
+        self.table.eval(x)
+    }
+
+    fn entries(&self) -> usize {
+        self.table.entries()
+    }
+
+    fn family(&self) -> &'static str {
+        "LUT"
+    }
+
+    fn func(&self) -> RefFunc {
+        self.table.func
+    }
+
+    fn input_format(&self) -> QFormat {
+        self.table.in_fmt
+    }
+
+    fn output_format(&self) -> QFormat {
+        self.table.out_fmt
+    }
+
+    fn table_bits(&self) -> u64 {
+        self.table.entries() as u64 * self.table.payload_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use nacu_fixed::Rounding;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn error_shrinks_with_entries() {
+        let coarse = UniformLut::fit(RefFunc::Sigmoid, 16, q(), q()).unwrap();
+        let fine = UniformLut::fit(RefFunc::Sigmoid, 1024, q(), q()).unwrap();
+        let e_coarse = metrics::sweep(&coarse, RefFunc::Sigmoid).max_error;
+        let e_fine = metrics::sweep(&fine, RefFunc::Sigmoid).max_error;
+        assert!(e_fine < e_coarse / 8.0, "{e_fine} vs {e_coarse}");
+    }
+
+    #[test]
+    fn thousand_entry_lut_reaches_quantisation_decade() {
+        // Fig. 4a: ~1026 entries reach the 10-fractional-bit level (2^-10)
+        // at the Eq. 7 minimal range for f_b = 10, which is i_b = 3.
+        let fmt = QFormat::new(3, 10).unwrap();
+        let lut = UniformLut::fit(RefFunc::Sigmoid, 1026, fmt, fmt).unwrap();
+        let report = metrics::sweep(&lut, RefFunc::Sigmoid);
+        assert!(
+            report.max_error <= 2.0_f64.powi(-10) * 1.5,
+            "max error {}",
+            report.max_error
+        );
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_tables() {
+        assert!(UniformLut::fit(RefFunc::Sigmoid, 0, q(), q()).is_err());
+        assert!(UniformLut::fit(RefFunc::Sigmoid, 1 << 20, q(), q()).is_err());
+    }
+
+    #[test]
+    fn output_is_monotone_for_monotone_function() {
+        let lut = UniformLut::fit(RefFunc::Sigmoid, 256, q(), q()).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for raw in (0..q().max_raw()).step_by(64) {
+            let y = lut.eval(Fx::from_raw(raw, q()).unwrap()).to_f64();
+            assert!(y >= prev, "LUT output must not decrease");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn table_bits_counts_entries_times_width() {
+        let lut = UniformLut::fit(RefFunc::Sigmoid, 64, q(), q()).unwrap();
+        assert_eq!(lut.table_bits(), 64 * 16);
+    }
+
+    #[test]
+    fn works_for_exp_family_domain() {
+        let lut = UniformLut::fit(RefFunc::ExpNeg, 512, q(), q()).unwrap();
+        // A 512-entry constant LUT over [-16, 0] has segments ~0.031 wide;
+        // near x = 0 the exp gradient is 1, so the error bound is w/2.
+        let y0 = lut.eval(Fx::zero(q())).to_f64();
+        assert!((y0 - 1.0).abs() < 0.02, "y0 = {y0}");
+        let ym = lut
+            .eval(Fx::from_f64(-16.0, q(), Rounding::Nearest))
+            .to_f64();
+        assert!(ym.abs() < 0.01);
+    }
+}

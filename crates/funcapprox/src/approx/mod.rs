@@ -1,0 +1,104 @@
+//! The four hardware approximation families of §VI, evaluated bit-accurately.
+
+pub(crate) mod table;
+
+pub mod lut;
+pub mod nupwl;
+pub mod poly2;
+pub mod pwl;
+pub mod ralut;
+
+use std::error::Error;
+use std::fmt;
+
+use nacu_fixed::{Fx, FxError, QFormat};
+
+use crate::reference::RefFunc;
+
+/// Errors produced while constructing an approximation table.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ApproxError {
+    /// The requested entry count is zero or exceeds the table budget.
+    BadEntryCount {
+        /// The offending count.
+        entries: usize,
+    },
+    /// The requested tolerance cannot be met within `max_entries` segments
+    /// (or at all, if it is below the output quantisation floor).
+    ToleranceUnreachable {
+        /// The requested tolerance.
+        tolerance: f64,
+    },
+    /// A fixed-point operation failed while quantising table contents.
+    Fixed(FxError),
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxError::BadEntryCount { entries } => {
+                write!(f, "invalid table entry count: {entries}")
+            }
+            ApproxError::ToleranceUnreachable { tolerance } => {
+                write!(f, "tolerance {tolerance:e} is unreachable")
+            }
+            ApproxError::Fixed(e) => write!(f, "fixed-point failure: {e}"),
+        }
+    }
+}
+
+impl Error for ApproxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ApproxError::Fixed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<FxError> for ApproxError {
+    fn from(e: FxError) -> Self {
+        ApproxError::Fixed(e)
+    }
+}
+
+/// A bit-accurate fixed-point approximation of one [`RefFunc`] over its
+/// canonical domain.
+///
+/// Implementations receive the raw input code and return the raw output
+/// code exactly as the corresponding hardware block would; inputs outside
+/// the approximation domain clamp to the nearest edge (the saturation
+/// behaviour of a real table address decoder).
+///
+/// The trait is object-safe so sweeps (Fig. 4) can treat the families
+/// uniformly.
+pub trait FixedApprox {
+    /// Evaluates the approximation for one input sample.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x` is not in [`Self::input_format`];
+    /// build inputs with the same format the table was fitted for.
+    fn eval(&self, x: Fx) -> Fx;
+
+    /// Number of table entries (LUT words / segment records).
+    fn entries(&self) -> usize;
+
+    /// The family's §VI name (`"LUT"`, `"RALUT"`, `"PWL"`, `"NUPWL"`).
+    fn family(&self) -> &'static str;
+
+    /// The reference function this table approximates.
+    fn func(&self) -> RefFunc;
+
+    /// Input fixed-point format.
+    fn input_format(&self) -> QFormat;
+
+    /// Output fixed-point format.
+    fn output_format(&self) -> QFormat;
+
+    /// Storage cost in bits (entries × payload width), the quantity behind
+    /// the area axis of Fig. 4a.
+    fn table_bits(&self) -> u64;
+}

@@ -1,0 +1,216 @@
+//! Non-uniform piecewise-linear approximation (the *NUPWL* family of §VI,
+//! used by the σ implementation of \[6\]).
+
+use nacu_fixed::{Fx, QFormat};
+
+use crate::approx::table::{default_coef_format, SegTable};
+use crate::approx::{ApproxError, FixedApprox};
+use crate::reference::RefFunc;
+use crate::segment::{self, FitMethod, SegmentKind};
+
+/// Segment-count ceiling for the greedy tolerance search.
+const MAX_ENTRIES: usize = 1 << 16;
+
+/// A NUPWL table: gradient-adapted segment widths, each storing a quantised
+/// `(m₁, q)` line.
+///
+/// Fig. 4b shows NUPWL edging out uniform PWL at equal entry counts, but
+/// only marginally once past the knee of the error curve — one of the
+/// paper's arguments for choosing plain PWL in NACU.
+///
+/// # Example
+///
+/// ```
+/// use nacu_fixed::QFormat;
+/// use nacu_funcapprox::{reference::RefFunc, FixedApprox, NonUniformPwl};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fmt = QFormat::new(4, 11)?;
+/// let nupwl = NonUniformPwl::fit_tolerance(RefFunc::Sigmoid, 1e-3, fmt, fmt)?;
+/// assert!(nupwl.entries() < 40);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NonUniformPwl {
+    table: SegTable,
+}
+
+impl NonUniformPwl {
+    /// Builds the smallest NUPWL whose per-segment minimax fit error is
+    /// within `tolerance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::ToleranceUnreachable`] if more than 2¹⁶
+    /// segments would be required.
+    pub fn fit_tolerance(
+        func: RefFunc,
+        tolerance: f64,
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> Result<Self, ApproxError> {
+        let (lo, hi) = func.domain(in_fmt.max_value());
+        let segs =
+            segment::greedy_segments(func, lo, hi, tolerance, SegmentKind::Linear, MAX_ENTRIES)
+                .ok_or(ApproxError::ToleranceUnreachable { tolerance })?;
+        let edges: Vec<f64> = segs
+            .iter()
+            .map(|s| s.lo)
+            .chain(std::iter::once(hi))
+            .collect();
+        Ok(Self {
+            table: SegTable::lines(
+                func,
+                &edges,
+                in_fmt,
+                out_fmt,
+                default_coef_format(out_fmt),
+                FitMethod::Minimax,
+            )?,
+        })
+    }
+
+    /// Builds the most accurate NUPWL using at most `entries` segments
+    /// (bisection on the tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::BadEntryCount`] if `entries` is zero.
+    pub fn fit_entries(
+        func: RefFunc,
+        entries: usize,
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> Result<Self, ApproxError> {
+        if entries == 0 {
+            return Err(ApproxError::BadEntryCount { entries });
+        }
+        let (lo, hi) = func.domain(in_fmt.max_value());
+        let mut tol_lo = 1e-14_f64;
+        let mut tol_hi = 1.0_f64;
+        let mut best: Option<Vec<segment::Segment>> = None;
+        for _ in 0..26 {
+            let tol = (tol_lo * tol_hi).sqrt();
+            match segment::greedy_segments(func, lo, hi, tol, SegmentKind::Linear, MAX_ENTRIES) {
+                Some(segs) if segs.len() <= entries => {
+                    let used = segs.len();
+                    best = Some(segs);
+                    tol_hi = tol;
+                    if used * 10 >= entries * 9 {
+                        break; // within 10% of the budget: good enough
+                    }
+                }
+                _ => tol_lo = tol,
+            }
+        }
+        let segs = best.ok_or(ApproxError::BadEntryCount { entries })?;
+        let edges: Vec<f64> = segs
+            .iter()
+            .map(|s| s.lo)
+            .chain(std::iter::once(hi))
+            .collect();
+        Ok(Self {
+            table: SegTable::lines(
+                func,
+                &edges,
+                in_fmt,
+                out_fmt,
+                default_coef_format(out_fmt),
+                FitMethod::Minimax,
+            )?,
+        })
+    }
+}
+
+impl FixedApprox for NonUniformPwl {
+    fn eval(&self, x: Fx) -> Fx {
+        self.table.eval(x)
+    }
+
+    fn entries(&self) -> usize {
+        self.table.entries()
+    }
+
+    fn family(&self) -> &'static str {
+        "NUPWL"
+    }
+
+    fn func(&self) -> RefFunc {
+        self.table.func
+    }
+
+    fn input_format(&self) -> QFormat {
+        self.table.in_fmt
+    }
+
+    fn output_format(&self) -> QFormat {
+        self.table.out_fmt
+    }
+
+    fn table_bits(&self) -> u64 {
+        // Range bound + slope + bias per record.
+        self.table.entries() as u64
+            * (u64::from(self.table.in_fmt.total_bits())
+                + u64::from(self.table.out_fmt.total_bits())
+                + u64::from(self.table.coef_fmt.total_bits()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::UniformPwl;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn needs_fewer_entries_than_uniform_pwl_for_same_tolerance() {
+        let tol = 1e-4;
+        let nupwl = NonUniformPwl::fit_tolerance(RefFunc::Sigmoid, tol, q(), q()).unwrap();
+        // Find the uniform PWL entry count that reaches the same fit error.
+        let mut uniform_entries = None;
+        for n in (nupwl.entries()..400).step_by(1) {
+            let pwl = UniformPwl::fit(RefFunc::Sigmoid, n, q(), q()).unwrap();
+            if metrics::sweep(&pwl, RefFunc::Sigmoid).max_error
+                <= metrics::sweep(&nupwl, RefFunc::Sigmoid).max_error
+            {
+                uniform_entries = Some(n);
+                break;
+            }
+        }
+        let uniform_entries = uniform_entries.expect("uniform PWL should catch up eventually");
+        assert!(
+            nupwl.entries() <= uniform_entries,
+            "nupwl {} vs uniform {}",
+            nupwl.entries(),
+            uniform_entries
+        );
+    }
+
+    #[test]
+    fn meets_tolerance_modulo_quantisation() {
+        let tol = 1e-3;
+        let nupwl = NonUniformPwl::fit_tolerance(RefFunc::Tanh, tol, q(), q()).unwrap();
+        let report = metrics::sweep(&nupwl, RefFunc::Tanh);
+        // Fit error ≤ tol; quantisation of x, m, q and y adds a few LSBs.
+        assert!(report.max_error <= tol + 3.0 * q().resolution());
+    }
+
+    #[test]
+    fn entry_budget_is_respected() {
+        let nupwl = NonUniformPwl::fit_entries(RefFunc::Sigmoid, 7, q(), q()).unwrap();
+        assert!(nupwl.entries() <= 7);
+    }
+
+    #[test]
+    fn family_metadata() {
+        let nupwl = NonUniformPwl::fit_entries(RefFunc::Sigmoid, 8, q(), q()).unwrap();
+        assert_eq!(nupwl.family(), "NUPWL");
+        assert_eq!(nupwl.func(), RefFunc::Sigmoid);
+        assert_eq!(nupwl.input_format(), q());
+    }
+}

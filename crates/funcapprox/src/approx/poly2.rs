@@ -1,0 +1,203 @@
+//! Second-order polynomial table — the "higher-order" family §VI mentions
+//! has "no widely accepted acronym". Used by the Taylor-based related work
+//! (\[6\], \[10\], \[13\]) and by the Fig. 4 ablations: one more multiplier per
+//! evaluation buys quadratically better per-segment accuracy.
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::approx::{ApproxError, FixedApprox};
+use crate::reference::RefFunc;
+use crate::segment::{self, Segment};
+
+/// A uniform-segment second-order table: each entry stores quantised
+/// `(a, b, c)` with `y = a·x² + b·x + c` evaluated at full internal
+/// precision and rounded once.
+///
+/// # Example
+///
+/// ```
+/// use nacu_fixed::QFormat;
+/// use nacu_funcapprox::{reference::RefFunc, FixedApprox, SecondOrderTable, metrics};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fmt = QFormat::new(4, 11)?;
+/// // 16 quadratic segments rival ~50 linear ones.
+/// let table = SecondOrderTable::fit(RefFunc::Sigmoid, 16, fmt, fmt)?;
+/// let report = metrics::sweep(&table, RefFunc::Sigmoid);
+/// assert!(report.max_error < 2e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecondOrderTable {
+    /// Raw segment boundaries (ascending input codes).
+    bounds: Vec<i64>,
+    /// Quantised `(a, b, c)` raw codes per segment.
+    coeffs: Vec<(i64, i64, i64)>,
+    func: RefFunc,
+    in_fmt: QFormat,
+    out_fmt: QFormat,
+    /// Coefficient format (shared by a, b, c): `Q2.(N−3)` of a double-width
+    /// word, giving quadratic terms enough headroom.
+    coef_fmt: QFormat,
+}
+
+impl SecondOrderTable {
+    /// Builds a table with `entries` uniform segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::BadEntryCount`] if `entries` is zero or
+    /// exceeds the representable input codes.
+    pub fn fit(
+        func: RefFunc,
+        entries: usize,
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> Result<Self, ApproxError> {
+        let codes = usize::try_from(in_fmt.max_raw()).unwrap_or(usize::MAX);
+        if entries == 0 || entries > codes {
+            return Err(ApproxError::BadEntryCount { entries });
+        }
+        // Double-width coefficient words: quadratic coefficients of σ/tanh
+        // are small but their products need fractional headroom.
+        let coef_fmt = QFormat::new(2, (2 * out_fmt.total_bits() - 3).min(40))
+            .expect("valid coefficient format");
+        let (lo, hi) = func.domain(in_fmt.max_value());
+        let lo_raw =
+            Rounding::Floor.quantize(lo.max(in_fmt.min_value()), in_fmt.frac_bits()) as i64;
+        let hi_raw =
+            Rounding::Floor.quantize(hi.min(in_fmt.max_value()), in_fmt.frac_bits()) as i64;
+        let span = hi_raw - lo_raw + 1;
+        let mut bounds: Vec<i64> = (0..=entries as i64)
+            .map(|i| lo_raw + i * span / entries as i64)
+            .collect();
+        bounds.dedup();
+        let res = in_fmt.resolution();
+        let coeffs = bounds
+            .windows(2)
+            .map(|w| {
+                let seg = Segment::new(w[0] as f64 * res, w[1] as f64 * res);
+                let fit = segment::fit_quadratic(func, seg);
+                let q = |v: f64| Fx::from_f64(v, coef_fmt, Rounding::Nearest).raw();
+                (q(fit.a), q(fit.b), q(fit.c))
+            })
+            .collect();
+        Ok(Self {
+            bounds,
+            coeffs,
+            func,
+            in_fmt,
+            out_fmt,
+            coef_fmt,
+        })
+    }
+}
+
+impl FixedApprox for SecondOrderTable {
+    fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), self.in_fmt, "input format mismatch");
+        let lo = self.bounds[0];
+        let hi = self.bounds[self.bounds.len() - 1] - 1;
+        let raw = x.raw().clamp(lo, hi);
+        let idx = self.bounds[1..self.bounds.len() - 1]
+            .partition_point(|&b| b <= raw)
+            .min(self.coeffs.len() - 1);
+        let (a, b, c) = self.coeffs[idx];
+        let cf = self.coef_fmt.frac_bits();
+        let xf = self.in_fmt.frac_bits();
+        // Horner at full precision: ((a·x >> xf) + b)·x, then add c and
+        // round once to the output scale (everything at 2^(cf+xf) … 2^cf).
+        let ax = Rounding::Nearest.shift_right(a as i128 * raw as i128, xf);
+        let inner = ax + b as i128; // scale 2^cf
+        let inner_x = inner * raw as i128; // scale 2^(cf+xf)
+        let c_aligned = (c as i128) << xf; // scale 2^(cf+xf)
+        let total = inner_x + c_aligned;
+        let shift = i64::from(cf) + i64::from(xf) - i64::from(self.out_fmt.frac_bits());
+        let y = if shift >= 0 {
+            Rounding::Nearest.shift_right(total, shift as u32)
+        } else {
+            total << (-shift).min(64)
+        };
+        Fx::from_raw_saturating(self.out_fmt.saturate_raw(y), self.out_fmt)
+    }
+
+    fn entries(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    fn family(&self) -> &'static str {
+        "POLY2"
+    }
+
+    fn func(&self) -> RefFunc {
+        self.func
+    }
+
+    fn input_format(&self) -> QFormat {
+        self.in_fmt
+    }
+
+    fn output_format(&self) -> QFormat {
+        self.out_fmt
+    }
+
+    fn table_bits(&self) -> u64 {
+        self.coeffs.len() as u64 * 3 * u64::from(self.coef_fmt.total_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::UniformPwl;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn sixteen_quadratic_segments_rival_fifty_linear_ones() {
+        // Quadratic residual scales as w³: 16 segments of width 1 match
+        // the 53-segment linear table's error decade with ~3x fewer entries.
+        let quad = SecondOrderTable::fit(RefFunc::Sigmoid, 16, q(), q()).unwrap();
+        let pwl = UniformPwl::fit(RefFunc::Sigmoid, 53, q(), q()).unwrap();
+        let e_quad = metrics::sweep(&quad, RefFunc::Sigmoid).max_error;
+        let e_pwl = metrics::sweep(&pwl, RefFunc::Sigmoid).max_error;
+        assert!(
+            e_quad < 2.0 * e_pwl,
+            "16-entry quad {e_quad} vs 53-entry pwl {e_pwl}"
+        );
+    }
+
+    #[test]
+    fn error_shrinks_fast_with_entries() {
+        let coarse = SecondOrderTable::fit(RefFunc::Tanh, 4, q(), q()).unwrap();
+        let fine = SecondOrderTable::fit(RefFunc::Tanh, 16, q(), q()).unwrap();
+        let e_coarse = metrics::sweep(&coarse, RefFunc::Tanh).max_error;
+        let e_fine = metrics::sweep(&fine, RefFunc::Tanh).max_error;
+        assert!(e_fine < e_coarse, "{e_fine} vs {e_coarse}");
+    }
+
+    #[test]
+    fn exp_family_works_too() {
+        let t = SecondOrderTable::fit(RefFunc::ExpNeg, 32, q(), q()).unwrap();
+        let report = metrics::sweep(&t, RefFunc::ExpNeg);
+        assert!(report.max_error < 2e-3, "max {}", report.max_error);
+    }
+
+    #[test]
+    fn metadata_and_cost() {
+        let t = SecondOrderTable::fit(RefFunc::Sigmoid, 4, q(), q()).unwrap();
+        assert_eq!(t.family(), "POLY2");
+        assert_eq!(t.entries(), 4);
+        assert!(t.table_bits() > 4 * 3 * 16);
+    }
+
+    #[test]
+    fn rejects_bad_entry_counts() {
+        assert!(SecondOrderTable::fit(RefFunc::Sigmoid, 0, q(), q()).is_err());
+        assert!(SecondOrderTable::fit(RefFunc::Sigmoid, 1 << 20, q(), q()).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Uniform-segment piecewise-linear approximation (the *PWL* family of
+//! §VI — the family NACU's coefficient LUT belongs to).
+
+use nacu_fixed::{Fx, QFormat};
+
+use crate::approx::table::{default_coef_format, SegTable};
+use crate::approx::{ApproxError, FixedApprox};
+use crate::reference::RefFunc;
+use crate::segment::{self, FitMethod};
+
+/// A uniform PWL table: equal-width segments, each storing a quantised
+/// `(m₁, q)` pair evaluated as `m₁·x + q` (Eq. 8).
+///
+/// The fitting pipeline matches what a careful hardware designer does:
+/// minimax line fit → quantise the slope → **refit** the bias around the
+/// quantised slope → quantise the bias. The refit step is what keeps `q`
+/// inside `[0.5, 1]` for σ, the property §V.A's bit-trick units rely on.
+///
+/// # Example
+///
+/// ```
+/// use nacu_fixed::QFormat;
+/// use nacu_funcapprox::{reference::RefFunc, FixedApprox, UniformPwl, metrics};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fmt = QFormat::new(4, 11)?;
+/// let pwl = UniformPwl::fit(RefFunc::Sigmoid, 53, fmt, fmt)?; // the paper's table
+/// let report = metrics::sweep(&pwl, RefFunc::Sigmoid);
+/// assert!(report.max_error < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformPwl {
+    table: SegTable,
+}
+
+impl UniformPwl {
+    /// Builds a PWL table with `entries` equal segments using the minimax
+    /// fit and the default coefficient format (`Q1.(N−2)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::BadEntryCount`] if `entries` is zero or
+    /// exceeds the representable input codes.
+    pub fn fit(
+        func: RefFunc,
+        entries: usize,
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> Result<Self, ApproxError> {
+        Self::fit_with(
+            func,
+            entries,
+            in_fmt,
+            out_fmt,
+            default_coef_format(out_fmt),
+            FitMethod::Minimax,
+        )
+    }
+
+    /// Builds a PWL table with full control over the coefficient format and
+    /// fitting method (used by the Fig. 4 ablations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::BadEntryCount`] if `entries` is zero or
+    /// exceeds the representable input codes.
+    pub fn fit_with(
+        func: RefFunc,
+        entries: usize,
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+        coef_fmt: QFormat,
+        method: FitMethod,
+    ) -> Result<Self, ApproxError> {
+        let codes = usize::try_from(in_fmt.max_raw()).unwrap_or(usize::MAX);
+        if entries == 0 || entries > codes {
+            return Err(ApproxError::BadEntryCount { entries });
+        }
+        let (lo, hi) = func.domain(in_fmt.max_value());
+        let edges: Vec<f64> = segment::uniform_segments(lo, hi, entries)
+            .iter()
+            .map(|s| s.lo)
+            .chain(std::iter::once(hi))
+            .collect();
+        Ok(Self {
+            table: SegTable::lines(func, &edges, in_fmt, out_fmt, coef_fmt, method)?,
+        })
+    }
+
+    /// The coefficient (slope) storage format.
+    #[must_use]
+    pub fn coef_format(&self) -> QFormat {
+        self.table.coef_fmt
+    }
+}
+
+impl FixedApprox for UniformPwl {
+    fn eval(&self, x: Fx) -> Fx {
+        self.table.eval(x)
+    }
+
+    fn entries(&self) -> usize {
+        self.table.entries()
+    }
+
+    fn family(&self) -> &'static str {
+        "PWL"
+    }
+
+    fn func(&self) -> RefFunc {
+        self.table.func
+    }
+
+    fn input_format(&self) -> QFormat {
+        self.table.in_fmt
+    }
+
+    fn output_format(&self) -> QFormat {
+        self.table.out_fmt
+    }
+
+    fn table_bits(&self) -> u64 {
+        self.table.entries() as u64 * self.table.payload_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::UniformLut;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn paper_53_entry_table_reaches_sub_milli_error() {
+        let pwl = UniformPwl::fit(RefFunc::Sigmoid, 53, q(), q()).unwrap();
+        let report = metrics::sweep(&pwl, RefFunc::Sigmoid);
+        // §VII.A: RMSE 2.07e-4 at 16 bits; max error stays in the same decade.
+        assert!(report.max_error < 1e-3, "max error {}", report.max_error);
+        assert!(report.rmse < 4e-4, "rmse {}", report.rmse);
+        assert!(report.correlation > 0.999);
+    }
+
+    #[test]
+    fn pwl_crushes_lut_at_equal_entries() {
+        let pwl = UniformPwl::fit(RefFunc::Sigmoid, 53, q(), q()).unwrap();
+        let lut = UniformLut::fit(RefFunc::Sigmoid, 53, q(), q()).unwrap();
+        let e_pwl = metrics::sweep(&pwl, RefFunc::Sigmoid).max_error;
+        let e_lut = metrics::sweep(&lut, RefFunc::Sigmoid).max_error;
+        assert!(
+            e_pwl * 4.0 < e_lut,
+            "PWL {e_pwl} should be ≫ better than LUT {e_lut}"
+        );
+    }
+
+    #[test]
+    fn minimax_fit_beats_interpolation_fit() {
+        let mm = UniformPwl::fit_with(
+            RefFunc::Tanh,
+            16,
+            q(),
+            q(),
+            super::default_coef_format(q()),
+            FitMethod::Minimax,
+        )
+        .unwrap();
+        let it = UniformPwl::fit_with(
+            RefFunc::Tanh,
+            16,
+            q(),
+            q(),
+            super::default_coef_format(q()),
+            FitMethod::Interpolate,
+        )
+        .unwrap();
+        let e_mm = metrics::sweep(&mm, RefFunc::Tanh).max_error;
+        let e_it = metrics::sweep(&it, RefFunc::Tanh).max_error;
+        assert!(e_mm <= e_it);
+    }
+
+    #[test]
+    fn table_bits_accounts_for_two_words_per_entry() {
+        let pwl = UniformPwl::fit(RefFunc::Sigmoid, 53, q(), q()).unwrap();
+        assert_eq!(pwl.table_bits(), 53 * (16 + 16));
+    }
+
+    #[test]
+    fn rejects_zero_entries() {
+        assert!(UniformPwl::fit(RefFunc::Sigmoid, 0, q(), q()).is_err());
+    }
+
+    #[test]
+    fn exp_pwl_is_accurate_on_negative_domain() {
+        let pwl = UniformPwl::fit(RefFunc::ExpNeg, 64, q(), q()).unwrap();
+        let report = metrics::sweep(&pwl, RefFunc::ExpNeg);
+        assert!(report.max_error < 5e-3, "max error {}", report.max_error);
+    }
+}

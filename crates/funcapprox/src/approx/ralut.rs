@@ -1,0 +1,196 @@
+//! Range-addressable constant lookup table (the *RALUT* family of §VI).
+
+use nacu_fixed::{Fx, QFormat};
+
+use crate::approx::table::SegTable;
+use crate::approx::{ApproxError, FixedApprox};
+use crate::reference::RefFunc;
+use crate::segment::{self, SegmentKind};
+
+/// Hard ceiling on RALUT sizes considered by the tolerance search; larger
+/// tables would dominate a real design's area budget by orders of magnitude.
+const MAX_ENTRIES: usize = 1 << 16;
+
+/// A RALUT: non-uniform segments sized by the local gradient, one constant
+/// per segment. Used by the tanh implementations of \[4\], \[5\] and \[8\] the
+/// paper compares against.
+///
+/// # Example
+///
+/// ```
+/// use nacu_fixed::QFormat;
+/// use nacu_funcapprox::{reference::RefFunc, FixedApprox, RangeLut};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fmt = QFormat::new(4, 11)?;
+/// let ralut = RangeLut::fit_tolerance(RefFunc::Tanh, 1e-2, fmt, fmt)?;
+/// assert!(ralut.entries() < 100); // far fewer than a uniform LUT at 1e-2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RangeLut {
+    table: SegTable,
+}
+
+impl RangeLut {
+    /// Builds the smallest RALUT whose per-segment minimax error is within
+    /// `tolerance`, via the greedy widest-segment-first construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::ToleranceUnreachable`] if more than 2¹⁶
+    /// segments would be required.
+    pub fn fit_tolerance(
+        func: RefFunc,
+        tolerance: f64,
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> Result<Self, ApproxError> {
+        let (lo, hi) = func.domain(in_fmt.max_value());
+        let segs =
+            segment::greedy_segments(func, lo, hi, tolerance, SegmentKind::Constant, MAX_ENTRIES)
+                .ok_or(ApproxError::ToleranceUnreachable { tolerance })?;
+        let edges: Vec<f64> = segs
+            .iter()
+            .map(|s| s.lo)
+            .chain(std::iter::once(hi))
+            .collect();
+        Ok(Self {
+            table: SegTable::constants(func, &edges, in_fmt, out_fmt)?,
+        })
+    }
+
+    /// Builds the most accurate RALUT with at most `entries` segments, by
+    /// bisecting on the tolerance (the error is monotone in the tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::BadEntryCount`] if `entries` is zero.
+    pub fn fit_entries(
+        func: RefFunc,
+        entries: usize,
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> Result<Self, ApproxError> {
+        if entries == 0 {
+            return Err(ApproxError::BadEntryCount { entries });
+        }
+        let (lo, hi) = func.domain(in_fmt.max_value());
+        // Bisect tolerance until the greedy construction lands at or just
+        // under the entry budget.
+        let mut tol_lo = 1e-12_f64; // too tight: too many segments
+        let mut tol_hi = 1.0_f64; // loose: one segment
+        let mut best: Option<Vec<segment::Segment>> = None;
+        for _ in 0..26 {
+            let tol = (tol_lo * tol_hi).sqrt();
+            match segment::greedy_segments(func, lo, hi, tol, SegmentKind::Constant, MAX_ENTRIES) {
+                Some(segs) if segs.len() <= entries => {
+                    let used = segs.len();
+                    best = Some(segs);
+                    tol_hi = tol;
+                    if used * 10 >= entries * 9 {
+                        break; // within 10% of the budget: good enough
+                    }
+                }
+                _ => tol_lo = tol,
+            }
+        }
+        let segs = best.ok_or(ApproxError::BadEntryCount { entries })?;
+        let edges: Vec<f64> = segs
+            .iter()
+            .map(|s| s.lo)
+            .chain(std::iter::once(hi))
+            .collect();
+        Ok(Self {
+            table: SegTable::constants(func, &edges, in_fmt, out_fmt)?,
+        })
+    }
+}
+
+impl FixedApprox for RangeLut {
+    fn eval(&self, x: Fx) -> Fx {
+        self.table.eval(x)
+    }
+
+    fn entries(&self) -> usize {
+        self.table.entries()
+    }
+
+    fn family(&self) -> &'static str {
+        "RALUT"
+    }
+
+    fn func(&self) -> RefFunc {
+        self.table.func
+    }
+
+    fn input_format(&self) -> QFormat {
+        self.table.in_fmt
+    }
+
+    fn output_format(&self) -> QFormat {
+        self.table.out_fmt
+    }
+
+    fn table_bits(&self) -> u64 {
+        // Each record stores its range bound alongside the constant.
+        self.table.entries() as u64
+            * (u64::from(self.table.out_fmt.total_bits())
+                + u64::from(self.table.in_fmt.total_bits()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::UniformLut;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn meets_requested_tolerance() {
+        let tol = 1e-2;
+        let ralut = RangeLut::fit_tolerance(RefFunc::Sigmoid, tol, q(), q()).unwrap();
+        let report = metrics::sweep(&ralut, RefFunc::Sigmoid);
+        // Quantisation adds at most one output LSB on top of the fit error.
+        assert!(report.max_error <= tol + q().resolution());
+    }
+
+    #[test]
+    fn beats_uniform_lut_at_equal_entries() {
+        let ralut = RangeLut::fit_entries(RefFunc::Sigmoid, 64, q(), q()).unwrap();
+        let lut = UniformLut::fit(RefFunc::Sigmoid, 64, q(), q()).unwrap();
+        let e_ralut = metrics::sweep(&ralut, RefFunc::Sigmoid).max_error;
+        let e_lut = metrics::sweep(&lut, RefFunc::Sigmoid).max_error;
+        assert!(ralut.entries() <= 64);
+        assert!(
+            e_ralut < e_lut,
+            "non-uniform {e_ralut} should beat uniform {e_lut}"
+        );
+    }
+
+    #[test]
+    fn entry_budget_is_respected() {
+        for budget in [4, 16, 127] {
+            let ralut = RangeLut::fit_entries(RefFunc::Tanh, budget, q(), q()).unwrap();
+            assert!(ralut.entries() <= budget, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn impossible_tolerance_is_reported() {
+        assert!(matches!(
+            RangeLut::fit_tolerance(RefFunc::Sigmoid, 1e-13, q(), q()),
+            Err(ApproxError::ToleranceUnreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_entry_budget_is_rejected() {
+        assert!(RangeLut::fit_entries(RefFunc::Sigmoid, 0, q(), q()).is_err());
+    }
+}

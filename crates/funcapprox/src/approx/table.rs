@@ -1,0 +1,308 @@
+//! Shared segment-table machinery for the four approximation families.
+//!
+//! Every family stores (a) a sorted list of segment boundaries in **raw
+//! input codes** and (b) one payload per segment — a constant output code or
+//! a quantised `(m₁, q)` line. Evaluation is: clamp the input code into the
+//! table's range, locate its segment, apply the payload. All arithmetic is
+//! integer arithmetic on raw codes, matching what the RTL would compute.
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::reference::RefFunc;
+use crate::segment::{self, FitMethod, Segment};
+use crate::ApproxError;
+
+/// A line with coefficients quantised into hardware formats:
+/// `y = m·x + q` evaluated as integer ops on raw codes.
+///
+/// The slope lives in the coefficient format and the bias in a same-width
+/// maximal-fraction format (`Q0.(N−1)`, enough for `q ∈ [0.5, 1]`); the
+/// multiply-add is carried at full internal precision and rounded **once**
+/// to the output format, as the paper's widened MAC does. Rounding the bias
+/// to the output grid instead would waste half the error budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct QuantLine {
+    /// Raw slope code, in `coef_format`.
+    pub slope_raw: i64,
+    /// Raw bias code, in the bias format `Q0.(N−1)`.
+    pub bias_raw: i64,
+}
+
+/// Per-segment payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Entry {
+    /// Constant output code (LUT / RALUT families).
+    Const(i64),
+    /// First-order polynomial (PWL / NUPWL families).
+    Line(QuantLine),
+}
+
+/// The shared table: boundaries in raw input codes plus payloads.
+#[derive(Debug, Clone)]
+pub(crate) struct SegTable {
+    /// `entries + 1` ascending raw codes; segment `i` covers
+    /// `bounds[i] ..= bounds[i+1] - 1`.
+    bounds: Vec<i64>,
+    payload: Vec<Entry>,
+    pub(crate) func: RefFunc,
+    pub(crate) in_fmt: QFormat,
+    pub(crate) out_fmt: QFormat,
+    /// Format slopes are stored in (line payloads only).
+    pub(crate) coef_fmt: QFormat,
+    /// Format biases are stored in (line payloads only).
+    pub(crate) bias_fmt: QFormat,
+}
+
+impl SegTable {
+    /// Quantises real-valued segment edges into raw-code boundaries over the
+    /// function's canonical domain, merging segments that collapse to zero
+    /// codes at this input resolution.
+    fn raw_bounds(in_fmt: QFormat, func: RefFunc, edges: &[f64]) -> Vec<i64> {
+        let in_max = in_fmt.max_value();
+        let (lo, hi) = func.domain(in_max);
+        let lo_raw =
+            Rounding::Floor.quantize(lo.max(in_fmt.min_value()), in_fmt.frac_bits()) as i64;
+        let hi_raw =
+            Rounding::Floor.quantize(hi.min(in_fmt.max_value()), in_fmt.frac_bits()) as i64;
+        let mut bounds = Vec::with_capacity(edges.len());
+        bounds.push(lo_raw);
+        for &e in &edges[1..edges.len() - 1] {
+            let r =
+                (Rounding::Floor.quantize(e, in_fmt.frac_bits()) as i64).clamp(lo_raw, hi_raw + 1);
+            if r > *bounds.last().expect("non-empty") {
+                bounds.push(r);
+            }
+        }
+        if hi_raw + 1 > *bounds.last().expect("non-empty") {
+            bounds.push(hi_raw + 1);
+        }
+        bounds
+    }
+
+    /// Builds a constant-per-segment table (LUT/RALUT).
+    pub(crate) fn constants(
+        func: RefFunc,
+        edges: &[f64],
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> Result<Self, ApproxError> {
+        let bounds = Self::raw_bounds(in_fmt, func, edges);
+        if bounds.len() < 2 {
+            return Err(ApproxError::BadEntryCount { entries: 0 });
+        }
+        let res = in_fmt.resolution();
+        let payload = bounds
+            .windows(2)
+            .map(|w| {
+                let seg = Segment::new(w[0] as f64 * res, w[1] as f64 * res);
+                let c = segment::fit_constant(func, seg);
+                Entry::Const(Fx::from_f64(c, out_fmt, Rounding::Nearest).raw())
+            })
+            .collect();
+        Ok(Self {
+            bounds,
+            payload,
+            func,
+            in_fmt,
+            out_fmt,
+            coef_fmt: out_fmt,
+            bias_fmt: out_fmt,
+        })
+    }
+
+    /// Builds a line-per-segment table (PWL/NUPWL): fit, quantise the slope,
+    /// refit and quantise the bias (§V.A's procedure keeps `q` in a narrow
+    /// range precisely because it is refit after slope quantisation).
+    pub(crate) fn lines(
+        func: RefFunc,
+        edges: &[f64],
+        in_fmt: QFormat,
+        out_fmt: QFormat,
+        coef_fmt: QFormat,
+        method: FitMethod,
+    ) -> Result<Self, ApproxError> {
+        let bounds = Self::raw_bounds(in_fmt, func, edges);
+        if bounds.len() < 2 {
+            return Err(ApproxError::BadEntryCount { entries: 0 });
+        }
+        let res = in_fmt.resolution();
+        // Bias words hold q in [-1, 1): a same-width maximal-fraction
+        // format. (Negative biases occur for the exp family's tail.)
+        let bias_fmt = QFormat::new(0, out_fmt.total_bits() - 1).expect("valid bias format");
+        let payload = bounds
+            .windows(2)
+            .map(|w| {
+                let seg = Segment::new(w[0] as f64 * res, w[1] as f64 * res);
+                let fit = segment::fit_line(func, seg, method);
+                let slope_fx = Fx::from_f64(fit.slope, coef_fmt, Rounding::Nearest);
+                let bias = segment::refit_bias(func, seg, slope_fx.to_f64());
+                let bias_fx = Fx::from_f64(bias, bias_fmt, Rounding::Nearest);
+                Entry::Line(QuantLine {
+                    slope_raw: slope_fx.raw(),
+                    bias_raw: bias_fx.raw(),
+                })
+            })
+            .collect();
+        Ok(Self {
+            bounds,
+            payload,
+            func,
+            in_fmt,
+            out_fmt,
+            coef_fmt,
+            bias_fmt,
+        })
+    }
+
+    pub(crate) fn entries(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Bits of one payload word.
+    pub(crate) fn payload_bits(&self) -> u64 {
+        match self.payload.first() {
+            Some(Entry::Const(_)) => u64::from(self.out_fmt.total_bits()),
+            Some(Entry::Line(_)) => {
+                u64::from(self.bias_fmt.total_bits()) + u64::from(self.coef_fmt.total_bits())
+            }
+            None => 0,
+        }
+    }
+
+    /// Segment index for a raw input code (already clamped).
+    fn locate(&self, raw: i64) -> usize {
+        // partition_point returns the count of bounds <= raw among
+        // bounds[1..]; that count is exactly the segment index.
+        let idx = self.bounds[1..self.bounds.len() - 1].partition_point(|&b| b <= raw);
+        idx.min(self.payload.len() - 1)
+    }
+
+    /// Bit-accurate evaluation of one input sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in the table's input format.
+    pub(crate) fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(
+            x.format(),
+            self.in_fmt,
+            "input format {} does not match table format {}",
+            x.format(),
+            self.in_fmt
+        );
+        let lo = self.bounds[0];
+        let hi = self.bounds[self.bounds.len() - 1] - 1;
+        let raw = x.raw().clamp(lo, hi);
+        match self.payload[self.locate(raw)] {
+            Entry::Const(c) => Fx::from_raw(c, self.out_fmt).expect("table code fits"),
+            Entry::Line(line) => {
+                // Full-precision multiply-add at the internal scale
+                // 2^(coef_f + in_f), rounded once to the output format.
+                let internal_f =
+                    i64::from(self.coef_fmt.frac_bits()) + i64::from(self.in_fmt.frac_bits());
+                let product = line.slope_raw as i128 * raw as i128;
+                let bias_shift = internal_f - i64::from(self.bias_fmt.frac_bits());
+                let bias = if bias_shift >= 0 {
+                    (line.bias_raw as i128) << bias_shift.min(64)
+                } else {
+                    Rounding::Nearest.shift_right(line.bias_raw as i128, (-bias_shift) as u32)
+                };
+                let shift = internal_f - i64::from(self.out_fmt.frac_bits());
+                let sum = product + bias;
+                let scaled = if shift >= 0 {
+                    Rounding::Nearest.shift_right(sum, shift as u32)
+                } else {
+                    sum << (-shift).min(64)
+                };
+                Fx::from_raw_saturating(self.out_fmt.saturate_raw(scaled), self.out_fmt)
+            }
+        }
+    }
+
+    /// Raw segment boundaries (for inspection/tests).
+    #[cfg(test)]
+    pub(crate) fn bounds(&self) -> &[i64] {
+        &self.bounds
+    }
+}
+
+/// Default slope storage format for line tables: same total width as the
+/// output word with maximal fractional precision (`Q1.(N−2)`), enough to
+/// hold every σ/tanh/exp slope magnitude (≤ 1 after the paper's ×4 tanh
+/// scaling) at the finest precision a same-width word allows.
+pub(crate) fn default_coef_format(out_fmt: QFormat) -> QFormat {
+    QFormat::new(1, out_fmt.total_bits() - 2).expect("valid coefficient format")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn locate_maps_codes_to_segments() {
+        let edges = [0.0, 4.0, 8.0, 16.0];
+        let t = SegTable::constants(RefFunc::Sigmoid, &edges, q(), q()).unwrap();
+        assert_eq!(t.entries(), 3);
+        assert_eq!(t.locate(0), 0);
+        assert_eq!(t.locate(4 * 2048 - 1), 0);
+        assert_eq!(t.locate(4 * 2048), 1);
+        assert_eq!(t.locate(8 * 2048), 2);
+        assert_eq!(t.locate(q().max_raw()), 2);
+    }
+
+    #[test]
+    fn eval_clamps_out_of_domain_inputs() {
+        let edges = [0.0, 8.0, 16.0];
+        let t = SegTable::constants(RefFunc::Sigmoid, &edges, q(), q()).unwrap();
+        let neg = Fx::from_f64(-3.0, q(), Rounding::Nearest);
+        let zero = Fx::zero(q());
+        assert_eq!(t.eval(neg), t.eval(zero));
+    }
+
+    #[test]
+    fn degenerate_edges_are_merged() {
+        // Two edges closer than one input LSB collapse into one segment.
+        let edges = [0.0, 1.0, 1.0 + 1e-9, 16.0];
+        let t = SegTable::constants(RefFunc::Sigmoid, &edges, q(), q()).unwrap();
+        assert_eq!(t.entries(), 2);
+    }
+
+    #[test]
+    fn line_eval_matches_f64_model_within_quantisation() {
+        let edges: Vec<f64> = (0..=53).map(|i| 16.0 * i as f64 / 53.0).collect();
+        let t = SegTable::lines(
+            RefFunc::Sigmoid,
+            &edges,
+            q(),
+            q(),
+            default_coef_format(q()),
+            FitMethod::Minimax,
+        )
+        .unwrap();
+        for raw in (0..q().max_raw()).step_by(997) {
+            let x = Fx::from_raw(raw, q()).unwrap();
+            let y = t.eval(x).to_f64();
+            let reference = RefFunc::Sigmoid.eval(x.to_f64());
+            assert!(
+                (y - reference).abs() < 2e-3,
+                "x={} y={y} ref={reference}",
+                x.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn exp_domain_covers_negative_codes() {
+        let edges = [-16.0, -8.0, -1.0, 0.0];
+        let t = SegTable::constants(RefFunc::ExpNeg, &edges, q(), q()).unwrap();
+        // The table reaches the format's most negative code, -2^ib.
+        assert_eq!(t.bounds()[0], q().min_raw());
+        let x = Fx::from_f64(-0.5, q(), Rounding::Nearest);
+        let y = t.eval(x).to_f64();
+        assert!(y > 0.0 && y <= 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Exhaustive-sweep error metrics.
+//!
+//! The paper reports **max error**, **average error**, **RMSE** and
+//! **correlation** against the floating-point reference, measured over the
+//! full fixed-point input range (§VII). For ≤ 21-bit formats the sweep over
+//! every representable code is exact and cheap, so no sampling is involved.
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::approx::FixedApprox;
+use crate::reference::RefFunc;
+
+/// The error statistics the paper reports for one implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// Largest absolute error over the sweep.
+    pub max_error: f64,
+    /// Mean absolute error.
+    pub avg_error: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Pearson correlation between approximation and reference outputs.
+    pub correlation: f64,
+    /// Input (real value) at which the max error occurred.
+    pub worst_input: f64,
+    /// Number of swept input codes.
+    pub samples: usize,
+}
+
+impl ErrorReport {
+    /// Ratio of this report's max error to `baseline`'s — the normalised
+    /// quantity plotted in Fig. 6 (values > 1 mean worse than baseline).
+    #[must_use]
+    pub fn max_error_vs(&self, baseline: &ErrorReport) -> f64 {
+        self.max_error / baseline.max_error
+    }
+}
+
+impl std::fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max {:.3e}  avg {:.3e}  rmse {:.3e}  corr {:.6}",
+            self.max_error, self.avg_error, self.rmse, self.correlation
+        )
+    }
+}
+
+/// Sweeps a [`FixedApprox`] over every input code in its function's domain
+/// and compares against the f64 reference.
+#[must_use]
+pub fn sweep(approx: &dyn FixedApprox, func: RefFunc) -> ErrorReport {
+    let in_fmt = approx.input_format();
+    sweep_fn(in_fmt, func, |x| approx.eval(x).to_f64())
+}
+
+/// Sweeps an arbitrary fixed-point evaluator against a reference function
+/// over the function's canonical domain in `in_fmt`.
+///
+/// This is the shared measurement kernel: the `nacu` datapath and every
+/// `nacu-baselines` comparator funnel through here so all Fig. 6 numbers
+/// are measured identically.
+#[must_use]
+pub fn sweep_fn(in_fmt: QFormat, func: RefFunc, mut eval: impl FnMut(Fx) -> f64) -> ErrorReport {
+    let (lo, hi) = func.domain(in_fmt.max_value());
+    let lo_raw = Rounding::Ceil.quantize(lo.max(in_fmt.min_value()), in_fmt.frac_bits()) as i64;
+    let hi_raw = Rounding::Floor.quantize(hi.min(in_fmt.max_value()), in_fmt.frac_bits()) as i64;
+    sweep_raw_range(in_fmt, lo_raw, hi_raw, |x| func.eval(x), &mut eval)
+}
+
+/// Sweeps an explicit raw-code range; the most general measurement entry
+/// point (used e.g. for full-range σ including the negative half).
+///
+/// # Panics
+///
+/// Panics if the range is empty or not contained in `in_fmt`.
+#[must_use]
+pub fn sweep_raw_range(
+    in_fmt: QFormat,
+    lo_raw: i64,
+    hi_raw: i64,
+    reference: impl Fn(f64) -> f64,
+    mut eval: impl FnMut(Fx) -> f64,
+) -> ErrorReport {
+    assert!(lo_raw <= hi_raw, "empty sweep range");
+    let mut max_error = 0.0_f64;
+    let mut worst_input = lo_raw as f64 * in_fmt.resolution();
+    let mut sum_abs = 0.0_f64;
+    let mut sum_sq = 0.0_f64;
+    // Correlation accumulators.
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let mut n = 0usize;
+    for raw in lo_raw..=hi_raw {
+        let x = Fx::from_raw(raw, in_fmt).expect("raw in range");
+        let approx_y = eval(x);
+        let ref_y = reference(x.to_f64());
+        let err = (approx_y - ref_y).abs();
+        if err > max_error {
+            max_error = err;
+            worst_input = x.to_f64();
+        }
+        sum_abs += err;
+        sum_sq += err * err;
+        sx += approx_y;
+        sy += ref_y;
+        sxx += approx_y * approx_y;
+        syy += ref_y * ref_y;
+        sxy += approx_y * ref_y;
+        n += 1;
+    }
+    let nf = n as f64;
+    let cov = sxy - sx * sy / nf;
+    let var_x = sxx - sx * sx / nf;
+    let var_y = syy - sy * sy / nf;
+    let correlation = if var_x <= 0.0 || var_y <= 0.0 {
+        // A constant series is perfectly correlated with a constant
+        // reference and uncorrelated otherwise.
+        if var_x <= 0.0 && var_y <= 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        cov / (var_x.sqrt() * var_y.sqrt())
+    };
+    ErrorReport {
+        max_error,
+        avg_error: sum_abs / nf,
+        rmse: (sum_sq / nf).sqrt(),
+        correlation,
+        worst_input,
+        samples: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformPwl;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn perfect_quantised_model_hits_quantisation_floor() {
+        // Evaluating the reference itself, quantised to the output format,
+        // must give exactly the quantisation error bound: half an LSB.
+        let report = sweep_fn(q(), RefFunc::Sigmoid, |x| {
+            Fx::from_f64(RefFunc::Sigmoid.eval(x.to_f64()), q(), Rounding::Nearest).to_f64()
+        });
+        assert!(report.max_error <= q().resolution() / 2.0 + 1e-12);
+        assert!(report.correlation > 0.999_999);
+    }
+
+    #[test]
+    fn broken_model_is_flagged_by_every_metric() {
+        let report = sweep_fn(q(), RefFunc::Sigmoid, |_| 0.0);
+        assert!(report.max_error > 0.9); // σ reaches ~1
+        assert!(report.avg_error > 0.5);
+        assert!(report.rmse > 0.5);
+        assert!(report.correlation.abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmse_never_exceeds_max_and_avg_never_exceeds_rmse() {
+        let pwl = UniformPwl::fit(RefFunc::Tanh, 20, q(), q()).unwrap();
+        let r = sweep(&pwl, RefFunc::Tanh);
+        assert!(r.avg_error <= r.rmse + 1e-15);
+        assert!(r.rmse <= r.max_error + 1e-15);
+        assert_eq!(r.samples, q().max_raw() as usize + 1);
+    }
+
+    #[test]
+    fn worst_input_is_inside_domain() {
+        let pwl = UniformPwl::fit(RefFunc::ExpNeg, 16, q(), q()).unwrap();
+        let r = sweep(&pwl, RefFunc::ExpNeg);
+        assert!(r.worst_input <= 0.0 && r.worst_input >= -16.0);
+    }
+
+    #[test]
+    fn normalised_ratio_matches_division() {
+        let a = sweep_fn(q(), RefFunc::Sigmoid, |_| 0.0);
+        let b = sweep_fn(q(), RefFunc::Sigmoid, |x| {
+            RefFunc::Sigmoid.eval(x.to_f64()) + 0.001
+        });
+        let ratio = b.max_error_vs(&a);
+        assert!((ratio - b.max_error / a.max_error).abs() < 1e-15);
+        assert!(ratio < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep range")]
+    fn empty_range_panics() {
+        let _ = sweep_raw_range(q(), 5, 4, |x| x, |x| x.to_f64());
+    }
+}

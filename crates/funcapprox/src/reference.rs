@@ -1,0 +1,295 @@
+//! Golden f64 reference functions.
+//!
+//! These play the role of the paper's Matlab reference model: every error
+//! metric in the workspace is measured against the values returned here.
+//! The domain conventions follow the paper: σ and tanh are approximated on
+//! their **positive** input range (negative inputs come from centrosymmetry,
+//! Eqs. 4–5), while the exponential is approximated on the **non-positive**
+//! range produced by softmax max-normalisation (Eq. 13).
+
+use std::fmt;
+
+/// The non-linear functions NACU computes, as exact f64 references.
+///
+/// # Example
+///
+/// ```
+/// use nacu_funcapprox::reference::RefFunc;
+///
+/// assert!((RefFunc::Sigmoid.eval(0.0) - 0.5).abs() < 1e-15);
+/// assert!((RefFunc::Tanh.eval(0.0)).abs() < 1e-15);
+/// assert!((RefFunc::ExpNeg.eval(0.0) - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RefFunc {
+    /// Logistic sigmoid `σ(x) = 1 / (1 + e^{-x})` (Eq. 1), approximated on
+    /// `x ≥ 0` where `σ ∈ [0.5, 1)`.
+    Sigmoid,
+    /// Hyperbolic tangent (Eq. 2), approximated on `x ≥ 0` where
+    /// `tanh ∈ [0, 1)`.
+    Tanh,
+    /// Exponential of a non-positive argument, `e^{x}` for `x ≤ 0`, the
+    /// max-normalised softmax operand of Eq. 13 with range `(0, 1]`.
+    ExpNeg,
+}
+
+impl RefFunc {
+    /// Evaluates the reference function.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        match self {
+            RefFunc::Sigmoid => sigmoid(x),
+            RefFunc::Tanh => x.tanh(),
+            RefFunc::ExpNeg => x.exp(),
+        }
+    }
+
+    /// First derivative, used by segmentation heuristics (RALUT sizing is
+    /// driven by the local gradient — §VI).
+    #[must_use]
+    pub fn derivative(&self, x: f64) -> f64 {
+        match self {
+            RefFunc::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+            RefFunc::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            RefFunc::ExpNeg => x.exp(),
+        }
+    }
+
+    /// Second derivative, used by PWL segmentation (linear-interpolation
+    /// error scales with `|f''| · w²`).
+    #[must_use]
+    pub fn second_derivative(&self, x: f64) -> f64 {
+        match self {
+            RefFunc::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s) * (1.0 - 2.0 * s)
+            }
+            RefFunc::Tanh => {
+                let t = x.tanh();
+                -2.0 * t * (1.0 - t * t)
+            }
+            RefFunc::ExpNeg => x.exp(),
+        }
+    }
+
+    /// Canonical approximation domain `[lo, hi]` for a given input `In_max`
+    /// (the largest representable input, Eq. 6).
+    ///
+    /// σ and tanh use `[0, In_max]`. The normalised exponential's input is
+    /// `x − x_max ∈ [−2^{i_b}, 0]` (§IV.B); since `In_max = 2^{i_b} −
+    /// 2^{−f_b}`, the lower edge is `−In_max` rounded up to the enclosing
+    /// power of two, i.e. the format's most negative code.
+    #[must_use]
+    pub fn domain(&self, in_max: f64) -> (f64, f64) {
+        match self {
+            RefFunc::Sigmoid | RefFunc::Tanh => (0.0, in_max),
+            RefFunc::ExpNeg => (-in_max.ceil(), 0.0),
+        }
+    }
+
+    /// The mathematical output range of the function over [`RefFunc::domain`].
+    #[must_use]
+    pub fn output_range(&self) -> (f64, f64) {
+        match self {
+            RefFunc::Sigmoid => (0.5, 1.0),
+            RefFunc::Tanh => (0.0, 1.0),
+            RefFunc::ExpNeg => (0.0, 1.0),
+        }
+    }
+
+    /// All variants, for sweeps.
+    #[must_use]
+    pub fn all() -> [RefFunc; 3] {
+        [RefFunc::Sigmoid, RefFunc::Tanh, RefFunc::ExpNeg]
+    }
+}
+
+impl fmt::Display for RefFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RefFunc::Sigmoid => "sigmoid",
+            RefFunc::Tanh => "tanh",
+            RefFunc::ExpNeg => "exp",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Numerically stable logistic sigmoid (Eq. 1).
+///
+/// # Example
+///
+/// ```
+/// assert!((nacu_funcapprox::reference::sigmoid(0.0) - 0.5).abs() < 1e-15);
+/// ```
+#[must_use]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Full-range sigmoid via the positive-range value and centrosymmetry
+/// (Eq. 4): `σ(-x) = 1 - σ(x)`.
+#[must_use]
+pub fn sigmoid_from_positive(positive_value: f64, x_was_negative: bool) -> f64 {
+    if x_was_negative {
+        1.0 - positive_value
+    } else {
+        positive_value
+    }
+}
+
+/// `tanh` from σ via Eq. 3: `tanh(x) = 2σ(2x) − 1`.
+///
+/// # Example
+///
+/// ```
+/// let x = 0.7;
+/// assert!((nacu_funcapprox::reference::tanh_from_sigmoid(x) - x.tanh()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn tanh_from_sigmoid(x: f64) -> f64 {
+    2.0 * sigmoid(2.0 * x) - 1.0
+}
+
+/// `e^x` from σ via Eq. 14: `e^x = 1/σ(−x) − 1`.
+///
+/// # Example
+///
+/// ```
+/// let x = -1.3;
+/// assert!((nacu_funcapprox::reference::exp_from_sigmoid(x) - x.exp()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn exp_from_sigmoid(x: f64) -> f64 {
+    sigmoid(-x).recip() - 1.0
+}
+
+/// Max-normalised softmax (Eq. 13), the numerically stable form NACU
+/// implements.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+#[must_use]
+pub fn softmax(inputs: &[f64]) -> Vec<f64> {
+    assert!(!inputs.is_empty(), "softmax of an empty vector");
+    let max = inputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = inputs.iter().map(|x| (x - max).exp()).collect();
+    let denom: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / denom).collect()
+}
+
+/// Naive softmax (Eq. 12), kept for the numerical-stability ablation: it
+/// overflows/saturates for large inputs, which is exactly the failure mode
+/// §IV.B describes.
+#[must_use]
+pub fn softmax_naive(inputs: &[f64]) -> Vec<f64> {
+    let exps: Vec<f64> = inputs.iter().map(|x| x.exp()).collect();
+    let denom: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / denom).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_matches_definition() {
+        for x in [-20.0, -3.0, -0.5, 0.0, 0.5, 3.0, 20.0] {
+            let direct = 1.0 / (1.0 + f64::exp(-x));
+            assert!((sigmoid(x) - direct).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable_for_large_negative() {
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(-800.0) < 1e-300);
+        assert_eq!(sigmoid(800.0), 1.0);
+    }
+
+    #[test]
+    fn eq3_tanh_identity_holds() {
+        for x in [-5.0, -1.2, 0.0, 0.3, 2.0, 7.9] {
+            assert!((tanh_from_sigmoid(x) - f64::tanh(x)).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn eq4_eq5_centrosymmetry() {
+        for x in [0.1, 0.9, 2.5, 7.0] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+            assert!((f64::tanh(-x) + f64::tanh(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eq14_exp_identity_holds() {
+        for x in [-8.0, -2.0, -0.1, 0.0] {
+            assert!((exp_from_sigmoid(x) - f64::exp(x)).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for f in RefFunc::all() {
+            for x in [-3.0, -0.7, 0.0, 0.4, 2.0] {
+                let fd = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
+                assert!(
+                    (f.derivative(x) - fd).abs() < 1e-6,
+                    "{f} first derivative at {x}"
+                );
+                let fd2 = (f.derivative(x + h) - f.derivative(x - h)) / (2.0 * h);
+                assert!(
+                    (f.second_derivative(x) - fd2).abs() < 1e-5,
+                    "{f} second derivative at {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_inputs() {
+        let s = softmax(&[1.0, 3.0, 2.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[1] > s[2] && s[2] > s[0]);
+    }
+
+    #[test]
+    fn naive_softmax_fails_where_normalised_succeeds() {
+        // Eq. 12 saturates: e^1000 overflows to inf, giving NaN.
+        let naive = softmax_naive(&[1000.0, 999.0]);
+        assert!(naive.iter().any(|v| v.is_nan()));
+        let stable = softmax(&[1000.0, 999.0]);
+        assert!(stable.iter().all(|v| v.is_finite()));
+        assert!((stable.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domains_follow_paper_conventions() {
+        let in_max = 16.0 - 2.0_f64.powi(-11); // Q4.11 In_max
+        assert_eq!(RefFunc::Sigmoid.domain(in_max), (0.0, in_max));
+        // Exp covers the full normalised range [-2^ib, 0].
+        assert_eq!(RefFunc::ExpNeg.domain(in_max), (-16.0, 0.0));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RefFunc::Sigmoid.to_string(), "sigmoid");
+        assert_eq!(RefFunc::Tanh.to_string(), "tanh");
+        assert_eq!(RefFunc::ExpNeg.to_string(), "exp");
+    }
+}

@@ -1,0 +1,534 @@
+//! Segmentation and per-segment fitting of non-linear functions.
+//!
+//! All four approximation families divide the input domain into segments
+//! and approximate the function inside each segment by a constant or a
+//! first-order polynomial (§VI). This module provides the real-valued
+//! fitting machinery; the `approx` module quantises the results into
+//! hardware table contents.
+
+use crate::reference::RefFunc;
+
+/// Number of sample points used when scanning a segment for its error
+/// extremum. The functions involved are smooth and monotone-gradient, so a
+/// modest dense scan is accurate to well below the quantisation floors
+/// being measured.
+const SCAN_POINTS: usize = 257;
+
+/// A half-open input interval `[lo, hi)` of the approximation domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+}
+
+impl Segment {
+    /// Creates a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad segment");
+        Self { lo, hi }
+    }
+
+    /// Segment width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Segment midpoint.
+    #[must_use]
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// `true` if `x` lies inside `[lo, hi)`.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x < self.hi
+    }
+}
+
+/// A first-order approximation `f(x) ≈ slope·x + bias` valid on one segment
+/// (the `m₁`/`q` pair of the paper's Eq. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope `m₁`.
+    pub slope: f64,
+    /// Bias `q`.
+    pub bias: f64,
+}
+
+impl LineFit {
+    /// Evaluates the line.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.bias
+    }
+}
+
+/// How per-segment coefficients are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum FitMethod {
+    /// Chord through the segment endpoints, bias shifted to split the peak
+    /// deviation — the minimax line for a segment on which the function is
+    /// convex or concave (true for σ, tanh and e^x away from x = 0). This
+    /// is the best-accuracy choice the paper's Fig. 4 search would select.
+    #[default]
+    Minimax,
+    /// Chord through the segment endpoints (simple interpolation).
+    Interpolate,
+    /// Ordinary least squares over a dense sample of the segment.
+    LeastSquares,
+}
+
+/// Fits a line to `func` on `seg` with the requested method.
+#[must_use]
+pub fn fit_line(func: RefFunc, seg: Segment, method: FitMethod) -> LineFit {
+    let f_lo = func.eval(seg.lo);
+    let f_hi = func.eval(seg.hi);
+    let chord_slope = (f_hi - f_lo) / seg.width();
+    match method {
+        FitMethod::Interpolate => LineFit {
+            slope: chord_slope,
+            bias: f_lo - chord_slope * seg.lo,
+        },
+        FitMethod::Minimax => {
+            let chord = LineFit {
+                slope: chord_slope,
+                bias: f_lo - chord_slope * seg.lo,
+            };
+            // The residual f - chord is zero at both endpoints; shift the
+            // bias by half the peak residual so the error splits evenly.
+            let (min_r, max_r) = residual_extrema(func, seg, chord);
+            LineFit {
+                slope: chord_slope,
+                bias: chord.bias + 0.5 * (min_r + max_r),
+            }
+        }
+        FitMethod::LeastSquares => {
+            let n = SCAN_POINTS as f64;
+            let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+            for i in 0..SCAN_POINTS {
+                let x = seg.lo + seg.width() * i as f64 / (SCAN_POINTS - 1) as f64;
+                let y = func.eval(x);
+                sx += x;
+                sy += y;
+                sxx += x * x;
+                sxy += x * y;
+            }
+            let denom = n * sxx - sx * sx;
+            let slope = if denom.abs() < f64::EPSILON {
+                0.0
+            } else {
+                (n * sxy - sx * sy) / denom
+            };
+            LineFit {
+                slope,
+                bias: (sy - slope * sx) / n,
+            }
+        }
+    }
+}
+
+/// Best constant approximation of `func` on `seg` (the minimax constant:
+/// halfway between the segment's min and max — the functions here are
+/// monotone so those are the endpoint values).
+#[must_use]
+pub fn fit_constant(func: RefFunc, seg: Segment) -> f64 {
+    let a = func.eval(seg.lo);
+    let b = func.eval(seg.hi);
+    0.5 * (a + b)
+}
+
+/// Given a fixed (e.g. already-quantised) slope, returns the bias that
+/// minimises the maximum deviation on the segment.
+#[must_use]
+pub fn refit_bias(func: RefFunc, seg: Segment, slope: f64) -> f64 {
+    let zero_bias = LineFit { slope, bias: 0.0 };
+    let (min_r, max_r) = residual_extrema(func, seg, zero_bias);
+    0.5 * (min_r + max_r)
+}
+
+/// Maximum absolute deviation `|f(x) − fit(x)|` over the segment.
+#[must_use]
+pub fn max_abs_error(func: RefFunc, seg: Segment, fit: LineFit) -> f64 {
+    let (min_r, max_r) = residual_extrema(func, seg, fit);
+    min_r.abs().max(max_r.abs())
+}
+
+/// (min, max) of the residual `f(x) − fit(x)` over a dense scan of the
+/// segment.
+fn residual_extrema(func: RefFunc, seg: Segment, fit: LineFit) -> (f64, f64) {
+    let mut min_r = f64::INFINITY;
+    let mut max_r = f64::NEG_INFINITY;
+    for i in 0..SCAN_POINTS {
+        let x = seg.lo + seg.width() * i as f64 / (SCAN_POINTS - 1) as f64;
+        let r = func.eval(x) - fit.eval(x);
+        min_r = min_r.min(r);
+        max_r = max_r.max(r);
+    }
+    (min_r, max_r)
+}
+
+/// A second-order approximation `f(x) ≈ a·x² + b·x + c` on one segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadFit {
+    /// Quadratic coefficient.
+    pub a: f64,
+    /// Linear coefficient.
+    pub b: f64,
+    /// Constant coefficient.
+    pub c: f64,
+}
+
+impl QuadFit {
+    /// Evaluates the parabola.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        (self.a * x + self.b) * x + self.c
+    }
+}
+
+/// Fits a parabola to `func` on `seg`: least-squares over a dense sample,
+/// then a minimax bias shift (near-optimal for the smooth, low-curvature
+/// functions involved).
+#[must_use]
+#[allow(clippy::needless_range_loop)] // Gaussian elimination reads clearest indexed
+pub fn fit_quadratic(func: RefFunc, seg: Segment) -> QuadFit {
+    // Least-squares normal equations for [1, x, x²] on SCAN_POINTS samples.
+    let mut s = [0.0_f64; 5]; // Σ x^k, k = 0..4
+    let mut t = [0.0_f64; 3]; // Σ y·x^k, k = 0..2
+    for i in 0..SCAN_POINTS {
+        let x = seg.lo + seg.width() * i as f64 / (SCAN_POINTS - 1) as f64;
+        let y = func.eval(x);
+        let mut xk = 1.0;
+        for k in 0..5 {
+            s[k] += xk;
+            if k < 3 {
+                t[k] += y * xk;
+            }
+            xk *= x;
+        }
+    }
+    let mut m = [
+        [s[0], s[1], s[2], t[0]],
+        [s[1], s[2], s[3], t[1]],
+        [s[2], s[3], s[4], t[2]],
+    ];
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
+            .expect("non-empty");
+        m.swap(col, pivot);
+        for row in 0..3 {
+            if row != col && m[col][col].abs() > f64::EPSILON {
+                let f = m[row][col] / m[col][col];
+                for k in col..4 {
+                    m[row][k] -= f * m[col][k];
+                }
+            }
+        }
+    }
+    let c = m[0][3] / m[0][0];
+    let b = m[1][3] / m[1][1];
+    let a = m[2][3] / m[2][2];
+    // Centre the residual (minimax shift of the constant term).
+    let mut min_r = f64::INFINITY;
+    let mut max_r = f64::NEG_INFINITY;
+    let fit = QuadFit { a, b, c };
+    for i in 0..SCAN_POINTS {
+        let x = seg.lo + seg.width() * i as f64 / (SCAN_POINTS - 1) as f64;
+        let r = func.eval(x) - fit.eval(x);
+        min_r = min_r.min(r);
+        max_r = max_r.max(r);
+    }
+    QuadFit {
+        a,
+        b,
+        c: c + 0.5 * (min_r + max_r),
+    }
+}
+
+/// Maximum absolute deviation of a quadratic fit over the segment.
+#[must_use]
+pub fn max_abs_error_quad(func: RefFunc, seg: Segment, fit: QuadFit) -> f64 {
+    let mut worst = 0.0_f64;
+    for i in 0..SCAN_POINTS {
+        let x = seg.lo + seg.width() * i as f64 / (SCAN_POINTS - 1) as f64;
+        worst = worst.max((func.eval(x) - fit.eval(x)).abs());
+    }
+    worst
+}
+
+/// Splits `[lo, hi]` into `count` equal-width segments.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or the bounds are not an ascending finite pair.
+#[must_use]
+pub fn uniform_segments(lo: f64, hi: f64, count: usize) -> Vec<Segment> {
+    assert!(count > 0, "segment count must be positive");
+    let width = (hi - lo) / count as f64;
+    (0..count)
+        .map(|i| Segment::new(lo + width * i as f64, lo + width * (i + 1) as f64))
+        .collect()
+}
+
+/// Approximation order used by the greedy non-uniform segmenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// One constant per segment (RALUT).
+    Constant,
+    /// One line per segment (NUPWL).
+    Linear,
+}
+
+/// Greedy non-uniform segmentation: starting at `lo`, each segment is grown
+/// to the widest interval whose per-segment minimax error stays within
+/// `tolerance`. This is the standard construction for RALUT/NUPWL tables
+/// (smaller segments where the gradient — or curvature — is large, §VI).
+///
+/// Returns `None` if `tolerance` would need more than `max_segments`
+/// segments.
+#[must_use]
+pub fn greedy_segments(
+    func: RefFunc,
+    lo: f64,
+    hi: f64,
+    tolerance: f64,
+    kind: SegmentKind,
+    max_segments: usize,
+) -> Option<Vec<Segment>> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut segments = Vec::new();
+    let mut cursor = lo;
+    let min_width = (hi - lo) * 1e-9;
+    while cursor < hi {
+        if segments.len() >= max_segments {
+            return None;
+        }
+        // Binary search on the segment width: error is monotone in width
+        // for these smooth functions.
+        let mut good = cursor + min_width;
+        let mut bad = hi + min_width;
+        if segment_error(func, cursor, hi.min(bad), kind) <= tolerance {
+            segments.push(Segment::new(cursor, hi));
+            break;
+        }
+        // 22 halvings of a ≤32-wide domain resolve the edge to ~1e-5,
+        // far finer than any input grid swept in this workspace.
+        for _ in 0..22 {
+            let mid = 0.5 * (good + bad);
+            if segment_error(func, cursor, mid, kind) <= tolerance {
+                good = mid;
+            } else {
+                bad = mid;
+            }
+        }
+        let end = good.min(hi);
+        if end <= cursor + min_width / 2.0 {
+            // Tolerance unreachable even with an infinitesimal segment
+            // (it is below the function's own representable variation).
+            return None;
+        }
+        segments.push(Segment::new(cursor, end));
+        cursor = end;
+    }
+    Some(segments)
+}
+
+fn segment_error(func: RefFunc, lo: f64, hi: f64, kind: SegmentKind) -> f64 {
+    if hi <= lo {
+        return 0.0;
+    }
+    let seg = Segment::new(lo, hi);
+    match kind {
+        SegmentKind::Constant => {
+            let c = fit_constant(func, seg);
+            max_abs_error(
+                func,
+                seg,
+                LineFit {
+                    slope: 0.0,
+                    bias: c,
+                },
+            )
+        }
+        SegmentKind::Linear => {
+            let fit = fit_line(func, seg, FitMethod::Minimax);
+            max_abs_error(func, seg, fit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimax_beats_interpolation() {
+        let seg = Segment::new(0.0, 1.0);
+        let interp = fit_line(RefFunc::Sigmoid, seg, FitMethod::Interpolate);
+        let minimax = fit_line(RefFunc::Sigmoid, seg, FitMethod::Minimax);
+        let e_interp = max_abs_error(RefFunc::Sigmoid, seg, interp);
+        let e_minimax = max_abs_error(RefFunc::Sigmoid, seg, minimax);
+        assert!(e_minimax < e_interp);
+        // For a concave/convex function the minimax line halves the chord error.
+        assert!(e_minimax < 0.51 * e_interp);
+    }
+
+    #[test]
+    fn least_squares_is_between() {
+        let seg = Segment::new(0.0, 2.0);
+        let ls = fit_line(RefFunc::Tanh, seg, FitMethod::LeastSquares);
+        let e_ls = max_abs_error(RefFunc::Tanh, seg, ls);
+        let e_interp = max_abs_error(
+            RefFunc::Tanh,
+            seg,
+            fit_line(RefFunc::Tanh, seg, FitMethod::Interpolate),
+        );
+        let e_minimax = max_abs_error(
+            RefFunc::Tanh,
+            seg,
+            fit_line(RefFunc::Tanh, seg, FitMethod::Minimax),
+        );
+        assert!(e_ls <= e_interp + 1e-12);
+        assert!(e_ls >= e_minimax - 1e-12);
+    }
+
+    #[test]
+    fn fit_constant_is_minimax_for_monotone_functions() {
+        let seg = Segment::new(0.5, 1.5);
+        let c = fit_constant(RefFunc::Sigmoid, seg);
+        let half_variation =
+            0.5 * (RefFunc::Sigmoid.eval(seg.hi) - RefFunc::Sigmoid.eval(seg.lo)).abs();
+        let err = max_abs_error(
+            RefFunc::Sigmoid,
+            seg,
+            LineFit {
+                slope: 0.0,
+                bias: c,
+            },
+        );
+        assert!((err - half_variation).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refit_bias_recovers_minimax_bias_for_exact_slope() {
+        let seg = Segment::new(0.0, 1.0);
+        let minimax = fit_line(RefFunc::Sigmoid, seg, FitMethod::Minimax);
+        let bias = refit_bias(RefFunc::Sigmoid, seg, minimax.slope);
+        assert!((bias - minimax.bias).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_segments_tile_the_domain() {
+        let segs = uniform_segments(0.0, 16.0, 53);
+        assert_eq!(segs.len(), 53);
+        assert_eq!(segs[0].lo, 0.0);
+        assert!((segs.last().unwrap().hi - 16.0).abs() < 1e-12);
+        for pair in segs.windows(2) {
+            assert!((pair[0].hi - pair[1].lo).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_segments_respect_tolerance() {
+        let tol = 1e-3;
+        let segs =
+            greedy_segments(RefFunc::Sigmoid, 0.0, 16.0, tol, SegmentKind::Linear, 4096).unwrap();
+        for seg in &segs {
+            let fit = fit_line(RefFunc::Sigmoid, *seg, FitMethod::Minimax);
+            assert!(max_abs_error(RefFunc::Sigmoid, *seg, fit) <= tol * 1.0001);
+        }
+        assert!((segs.last().unwrap().hi - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_constant_needs_more_segments_than_linear() {
+        let tol = 1e-3;
+        let constant = greedy_segments(
+            RefFunc::Sigmoid,
+            0.0,
+            16.0,
+            tol,
+            SegmentKind::Constant,
+            65536,
+        )
+        .unwrap();
+        let linear =
+            greedy_segments(RefFunc::Sigmoid, 0.0, 16.0, tol, SegmentKind::Linear, 65536).unwrap();
+        assert!(
+            constant.len() > 4 * linear.len(),
+            "constant {} vs linear {}",
+            constant.len(),
+            linear.len()
+        );
+    }
+
+    #[test]
+    fn greedy_gives_up_when_budget_exceeded() {
+        assert!(
+            greedy_segments(RefFunc::Sigmoid, 0.0, 16.0, 1e-6, SegmentKind::Constant, 8).is_none()
+        );
+    }
+
+    #[test]
+    fn greedy_segments_are_smaller_near_steep_region() {
+        let segs = greedy_segments(
+            RefFunc::Sigmoid,
+            0.0,
+            16.0,
+            1e-4,
+            SegmentKind::Constant,
+            65536,
+        )
+        .unwrap();
+        // σ is steepest at 0, nearly flat at 16.
+        assert!(segs.first().unwrap().width() < segs.last().unwrap().width());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad segment")]
+    fn inverted_segment_panics() {
+        let _ = Segment::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn quadratic_fit_beats_linear_on_wide_segments() {
+        let seg = Segment::new(0.0, 4.0);
+        let line = fit_line(RefFunc::Sigmoid, seg, FitMethod::Minimax);
+        let quad = fit_quadratic(RefFunc::Sigmoid, seg);
+        let e_line = max_abs_error(RefFunc::Sigmoid, seg, line);
+        let e_quad = max_abs_error_quad(RefFunc::Sigmoid, seg, quad);
+        assert!(
+            e_quad < e_line / 2.0,
+            "quad {e_quad} should clearly beat line {e_line}"
+        );
+    }
+
+    #[test]
+    fn quadratic_fit_is_near_exact_on_narrow_segments() {
+        let seg = Segment::new(1.0, 1.2);
+        let quad = fit_quadratic(RefFunc::Tanh, seg);
+        // Cubic-term residual: |f'''|·(w/2)³/24 ≈ 8e-5 for tanh at w = 0.2.
+        assert!(max_abs_error_quad(RefFunc::Tanh, seg, quad) < 1e-4);
+    }
+
+    #[test]
+    fn quad_eval_is_horner_consistent() {
+        let q = QuadFit {
+            a: 2.0,
+            b: -1.0,
+            c: 0.5,
+        };
+        assert!((q.eval(3.0) - (18.0 - 3.0 + 0.5)).abs() < 1e-12);
+    }
+}

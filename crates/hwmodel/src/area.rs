@@ -1,0 +1,219 @@
+//! Area model of the NACU macro (the Fig. 5 breakdown).
+//!
+//! Each datapath component is sized structurally in gate equivalents
+//! ([`crate::gates`]) and converted to µm² with a per-GE area calibrated so
+//! the default 16-bit configuration totals the paper's post-layout figure
+//! of ~9 671 µm² at 28 nm. With that single calibration constant fixed, the
+//! *relative* claims of Fig. 5 become model outputs:
+//!
+//! * the pipelined divider dominates the area,
+//! * the coefficient/bias-calculation block is comparable to the MAC adder,
+//! * dedicated tanh LUTs would nearly have doubled the coefficient area.
+
+use crate::gates::{self, GateCount};
+use crate::scaling::{self, TechNode};
+
+/// Calibrated NAND2-equivalent cell area (µm² per GE) at 28 nm, including
+/// routing/utilisation overhead — fixed so the default NACU configuration
+/// totals the paper's ~9 671 µm².
+pub const GE_AREA_UM2_28NM: f64 = 1.086;
+
+/// Structural parameters of a NACU instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NacuAreaModel {
+    /// Datapath word width `N` in bits.
+    pub bits: u32,
+    /// Coefficient-LUT entries (σ PWL segments).
+    pub lut_entries: usize,
+    /// `true` for the paper's pipelined divider, `false` for the
+    /// sequential alternative mentioned as future work.
+    pub pipelined_divider: bool,
+}
+
+impl NacuAreaModel {
+    /// The paper's configuration: 16 bits, 53 LUT entries, pipelined
+    /// divider.
+    #[must_use]
+    pub fn paper_config() -> Self {
+        Self {
+            bits: 16,
+            lut_entries: 53,
+            pipelined_divider: true,
+        }
+    }
+
+    /// Computes the per-component breakdown.
+    #[must_use]
+    pub fn breakdown(&self) -> AreaBreakdown {
+        let n = self.bits;
+        let divider = if self.pipelined_divider {
+            gates::pipelined_divider(n, n)
+        } else {
+            gates::sequential_divider(n)
+        };
+        let multiplier = gates::multiplier(n);
+        // The MAC adder is widened for accumulation and keeps an
+        // accumulator register (Fig. 2's feedback path).
+        let mac_adder = gates::adder(2 * n + 1) + gates::register(2 * n + 1);
+        // Coefficient LUT stores (m1, q) per entry; the three Fig. 3 bias
+        // units derive the tanh/negative-range variants.
+        let coeff_lut = gates::rom(self.lut_entries, 2 * n);
+        let bias_units = gates::bias_unit(n) * 3.0;
+        let coeff_unit = coeff_lut + bias_units;
+        // Input/output/configuration registers and control FSM.
+        let registers_control =
+            gates::register(4 * n) + gates::bias_unit(n) + GateCount::new(220.0);
+        AreaBreakdown {
+            divider,
+            multiplier,
+            mac_adder,
+            coeff_unit,
+            registers_control,
+        }
+    }
+}
+
+impl Default for NacuAreaModel {
+    fn default() -> Self {
+        Self::paper_config()
+    }
+}
+
+/// Per-component gate counts of a NACU instance, with µm² conversions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// The exp/softmax divider (pipelined by default).
+    pub divider: GateCount,
+    /// The shared multiply unit of the MAC.
+    pub multiplier: GateCount,
+    /// The widened MAC adder and accumulator.
+    pub mac_adder: GateCount,
+    /// σ coefficient LUT plus the three Fig. 3 bias-derivation units.
+    pub coeff_unit: GateCount,
+    /// I/O + configuration registers, negation unit and control.
+    pub registers_control: GateCount,
+}
+
+impl AreaBreakdown {
+    /// Total gate count.
+    #[must_use]
+    pub fn total(&self) -> GateCount {
+        self.divider + self.multiplier + self.mac_adder + self.coeff_unit + self.registers_control
+    }
+
+    /// Converts a gate count to µm² at 28 nm.
+    #[must_use]
+    pub fn area_um2(&self, count: GateCount) -> f64 {
+        count.get() * GE_AREA_UM2_28NM
+    }
+
+    /// Total area (µm²) at 28 nm.
+    #[must_use]
+    pub fn total_um2(&self) -> f64 {
+        self.area_um2(self.total())
+    }
+
+    /// Total area scaled to another node.
+    #[must_use]
+    pub fn total_um2_at(&self, node: TechNode) -> f64 {
+        scaling::scale_area(self.total_um2(), TechNode::N28, node)
+    }
+
+    /// Fraction of the total taken by the divider.
+    #[must_use]
+    pub fn divider_fraction(&self) -> f64 {
+        self.divider.get() / self.total().get()
+    }
+
+    /// `(label, µm²)` rows in Fig. 5 order, for reporting.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("divider", self.area_um2(self.divider)),
+            ("multiplier", self.area_um2(self.multiplier)),
+            ("mac adder", self.area_um2(self.mac_adder)),
+            ("coeff + bias calc", self.area_um2(self.coeff_unit)),
+            ("registers + control", self.area_um2(self.registers_control)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_total_matches_paper_figure() {
+        let total = NacuAreaModel::paper_config().breakdown().total_um2();
+        assert!(
+            (total - 9671.0).abs() / 9671.0 < 0.05,
+            "model total {total} vs paper 9671"
+        );
+    }
+
+    #[test]
+    fn divider_dominates_the_area() {
+        let b = NacuAreaModel::paper_config().breakdown();
+        assert!(b.divider_fraction() > 0.4, "{}", b.divider_fraction());
+        assert!(b.divider.get() > b.multiplier.get());
+        assert!(b.divider.get() > b.coeff_unit.get());
+    }
+
+    #[test]
+    fn coeff_unit_is_comparable_to_mac_adder() {
+        // Fig. 5 discussion: "the area of the coefficient and bias
+        // calculation is comparable to that of the adder".
+        let b = NacuAreaModel::paper_config().breakdown();
+        let ratio = b.coeff_unit.get() / b.mac_adder.get();
+        assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn dedicated_tanh_lut_would_nearly_double_coeff_area() {
+        let b = NacuAreaModel::paper_config().breakdown();
+        let second_lut = gates::rom(53, 32);
+        let with_dedicated = b.coeff_unit + second_lut;
+        let growth = with_dedicated.get() / b.coeff_unit.get();
+        assert!((1.6..=2.1).contains(&growth), "growth {growth}");
+    }
+
+    #[test]
+    fn sequential_divider_cuts_total_area_substantially() {
+        // The conclusion's future-work claim: an approximate/sequential
+        // divider significantly lowers the area cost.
+        let pipelined = NacuAreaModel::paper_config().breakdown().total_um2();
+        let sequential = NacuAreaModel {
+            pipelined_divider: false,
+            ..NacuAreaModel::paper_config()
+        }
+        .breakdown()
+        .total_um2();
+        assert!(sequential < 0.6 * pipelined, "{sequential} vs {pipelined}");
+    }
+
+    #[test]
+    fn area_grows_with_word_width() {
+        let w16 = NacuAreaModel::paper_config().breakdown().total_um2();
+        let w21 = NacuAreaModel {
+            bits: 21,
+            ..NacuAreaModel::paper_config()
+        }
+        .breakdown()
+        .total_um2();
+        assert!(w21 > w16 * 1.3);
+    }
+
+    #[test]
+    fn scaled_total_shrinks_at_smaller_nodes() {
+        let b = NacuAreaModel::paper_config().breakdown();
+        assert!(b.total_um2_at(TechNode::N16) < b.total_um2());
+        assert!(b.total_um2_at(TechNode::N65) > 2.0 * b.total_um2());
+    }
+
+    #[test]
+    fn rows_sum_to_total() {
+        let b = NacuAreaModel::paper_config().breakdown();
+        let sum: f64 = b.rows().iter().map(|(_, a)| a).sum();
+        assert!((sum - b.total_um2()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-operation energy: the efficiency metric CGRA papers ultimately
+//! care about (the paper's introduction frames the whole problem as power
+//! on "power-constrained embedded systems").
+//!
+//! Energy/op = power × latency for a single result, or power × (1 cycle)
+//! in streaming (pipelined) operation — the distinction NACU's pipelined
+//! divider is there to win.
+
+use crate::area::NacuAreaModel;
+use crate::power;
+use crate::scaling::{self, TechNode};
+use crate::timing::{self, NacuFunction};
+
+/// Energy estimate for one function mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyEstimate {
+    /// Energy per result at streaming (one result per cycle) occupancy,
+    /// picojoules.
+    pub streaming_pj: f64,
+    /// Energy per isolated result (pays the full latency), picojoules.
+    pub single_shot_pj: f64,
+}
+
+/// Computes energy per operation for `function` at the nominal 28 nm
+/// clock.
+#[must_use]
+pub fn per_op(model: &NacuAreaModel, function: NacuFunction) -> EnergyEstimate {
+    let node = TechNode::N28;
+    let mhz = timing::clock_mhz(node);
+    let p = power::estimate(model, function, mhz);
+    let period_ns = timing::clock_period_ns(node);
+    // mW × ns = pJ.
+    let streaming_pj = p.total_mw() * period_ns;
+    let single_shot_pj = p.total_mw() * period_ns * f64::from(timing::latency_cycles(function));
+    EnergyEstimate {
+        streaming_pj,
+        single_shot_pj,
+    }
+}
+
+/// Scales a 28 nm per-op energy to another node.
+#[must_use]
+pub fn scale_to(energy_pj: f64, node: TechNode) -> f64 {
+    energy_pj * scaling::energy_factor(TechNode::N28, node)
+}
+
+/// Energy of a full softmax over `n` elements (two pipelined passes).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn softmax_energy_pj(model: &NacuAreaModel, n: u32) -> f64 {
+    assert!(n > 0, "softmax of an empty vector");
+    let node = TechNode::N28;
+    let mhz = timing::clock_mhz(node);
+    let p = power::estimate(model, NacuFunction::Softmax, mhz);
+    let cycles = timing::softmax_latency_cycles(n);
+    p.total_mw() * timing::clock_period_ns(node) * f64::from(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> NacuAreaModel {
+        NacuAreaModel::paper_config()
+    }
+
+    #[test]
+    fn streaming_amortises_the_divider_latency() {
+        let e = per_op(&paper(), NacuFunction::Exp);
+        assert!((e.single_shot_pj / e.streaming_pj - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_costs_more_than_sigmoid_per_op() {
+        let sig = per_op(&paper(), NacuFunction::Sigmoid);
+        let exp = per_op(&paper(), NacuFunction::Exp);
+        assert!(exp.streaming_pj > sig.streaming_pj);
+        assert!(exp.single_shot_pj > 2.0 * sig.single_shot_pj);
+    }
+
+    #[test]
+    fn per_op_energy_is_in_the_picojoule_decade() {
+        // A few-mW macro at 3.75 ns: single-digit pJ per streamed result.
+        let e = per_op(&paper(), NacuFunction::Sigmoid);
+        assert!(
+            e.streaming_pj > 0.1 && e.streaming_pj < 50.0,
+            "{} pJ",
+            e.streaming_pj
+        );
+    }
+
+    #[test]
+    fn softmax_energy_grows_linearly_in_vector_length() {
+        let e16 = softmax_energy_pj(&paper(), 16);
+        let e32 = softmax_energy_pj(&paper(), 32);
+        assert!(e32 > e16);
+        // Two passes: slope = 2 cycles/element of the softmax-mode power.
+        let slope = (e32 - e16) / 16.0;
+        let per_cycle = per_op(&paper(), NacuFunction::Softmax).streaming_pj;
+        assert!((slope - 2.0 * per_cycle).abs() / (2.0 * per_cycle) < 1e-6);
+    }
+
+    #[test]
+    fn smaller_nodes_cost_less_energy() {
+        let e = per_op(&paper(), NacuFunction::Tanh).streaming_pj;
+        assert!(scale_to(e, TechNode::N7) < e / 2.0);
+        assert!(scale_to(e, TechNode::N65) > 2.0 * e);
+    }
+
+    #[test]
+    #[should_panic(expected = "softmax of an empty vector")]
+    fn empty_softmax_panics() {
+        let _ = softmax_energy_pj(&paper(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Gate-equivalent sizing of the datapath building blocks.
+//!
+//! One gate equivalent (GE) is the area of a NAND2 cell — the standard
+//! normalised unit for pre-synthesis sizing. The per-block counts below are
+//! textbook structural figures (a ripple/carry-select adder is ~7 GE per
+//! bit including carry logic, a DFF is ~5 GE, an array multiplier is one
+//! full-adder cell per partial-product bit, a restoring divider stage is an
+//! adder/subtractor plus the stage registers).
+
+/// Gate-equivalent count of a hardware block, with `Add`/`Sum` support so
+/// composite units are just sums of their parts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct GateCount(f64);
+
+impl GateCount {
+    /// Wraps a raw GE figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ge` is negative or non-finite.
+    #[must_use]
+    pub fn new(ge: f64) -> Self {
+        assert!(ge.is_finite() && ge >= 0.0, "gate count must be >= 0");
+        Self(ge)
+    }
+
+    /// The raw GE figure.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.0
+    }
+}
+
+impl std::ops::Add for GateCount {
+    type Output = GateCount;
+
+    fn add(self, rhs: GateCount) -> GateCount {
+        GateCount(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Mul<f64> for GateCount {
+    type Output = GateCount;
+
+    /// Scales a block count (e.g. `stage_ge * 16.0` for a 16-stage
+    /// pipeline).
+    fn mul(self, rhs: f64) -> GateCount {
+        GateCount::new(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for GateCount {
+    fn sum<I: Iterator<Item = GateCount>>(iter: I) -> GateCount {
+        iter.fold(GateCount::default(), |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for GateCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0} GE", self.0)
+    }
+}
+
+/// GE per full-adder cell (sum + carry logic).
+pub const FULL_ADDER_GE: f64 = 6.0;
+/// GE per D flip-flop (register bit).
+pub const DFF_GE: f64 = 5.0;
+/// GE per 2:1 multiplexer bit.
+pub const MUX2_GE: f64 = 2.5;
+/// GE per inverter.
+pub const INV_GE: f64 = 0.7;
+/// GE per ROM/LUT bit including its share of the address decoder.
+pub const ROM_BIT_GE: f64 = 0.35;
+
+/// Ripple/carry-select adder of `bits` bits.
+#[must_use]
+pub fn adder(bits: u32) -> GateCount {
+    GateCount::new(f64::from(bits) * (FULL_ADDER_GE + 1.0))
+}
+
+/// Array multiplier of `bits × bits` (one FA per partial-product cell plus
+/// the AND plane).
+#[must_use]
+pub fn multiplier(bits: u32) -> GateCount {
+    let b = f64::from(bits);
+    GateCount::new(b * b * (FULL_ADDER_GE + 1.3))
+}
+
+/// Register of `bits` bits.
+#[must_use]
+pub fn register(bits: u32) -> GateCount {
+    GateCount::new(f64::from(bits) * DFF_GE)
+}
+
+/// One stage of a restoring divider producing one quotient bit: an
+/// `bits+1`-wide subtract, a restore mux, and the stage's partial-remainder
+/// and operand registers (pipelined form).
+#[must_use]
+pub fn divider_stage(bits: u32) -> GateCount {
+    let sub = adder(bits + 1);
+    let restore_mux = GateCount::new(f64::from(bits + 1) * MUX2_GE);
+    let stage_regs = register(2 * bits + 2);
+    sub + restore_mux + stage_regs
+}
+
+/// Fully pipelined restoring divider: `quotient_bits` cascaded stages.
+#[must_use]
+pub fn pipelined_divider(bits: u32, quotient_bits: u32) -> GateCount {
+    divider_stage(bits) * f64::from(quotient_bits)
+}
+
+/// Sequential (one-stage, iterative) restoring divider: one stage's worth
+/// of logic, one set of working registers and a small FSM — the paper's
+/// future-work alternative that trades latency for area.
+#[must_use]
+pub fn sequential_divider(bits: u32) -> GateCount {
+    let stage = adder(bits + 1) + GateCount::new(f64::from(bits + 1) * MUX2_GE);
+    let work_regs = register(3 * bits);
+    let fsm = GateCount::new(60.0);
+    stage + work_regs + fsm
+}
+
+/// ROM/LUT storage of `entries × word_bits` plus decoder share.
+#[must_use]
+pub fn rom(entries: usize, word_bits: u32) -> GateCount {
+    GateCount::new(entries as f64 * f64::from(word_bits) * ROM_BIT_GE)
+}
+
+/// One of the paper's Fig. 3 bias units: `bits` inverters (conditional
+/// two's complement / bit propagation) plus an increment-carry chain share
+/// and a small amount of steering logic. Far smaller than a general
+/// subtractor of the same width.
+#[must_use]
+pub fn bias_unit(bits: u32) -> GateCount {
+    GateCount::new(f64::from(bits) * (INV_GE + 1.8) + 10.0)
+}
+
+/// A general two's-complement subtractor (for the "what if we had used a
+/// real subtractor" ablation in Fig. 5's discussion).
+#[must_use]
+pub fn subtractor(bits: u32) -> GateCount {
+    adder(bits) + GateCount::new(f64::from(bits) * INV_GE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_blocks_scale_with_width() {
+        assert!(adder(32).get() > adder(16).get());
+        assert!(multiplier(16).get() > 10.0 * adder(16).get());
+        assert_eq!(register(16).get(), 80.0);
+    }
+
+    #[test]
+    fn pipelined_divider_dominates_multiplier_at_16_bits() {
+        // Fig. 5: "the area of NACU is dominated by a pipelined divider".
+        let div = pipelined_divider(16, 16);
+        let mul = multiplier(16);
+        assert!(div.get() > mul.get(), "{div} vs {mul}");
+    }
+
+    #[test]
+    fn sequential_divider_is_much_smaller_than_pipelined() {
+        let seq = sequential_divider(16);
+        let pipe = pipelined_divider(16, 16);
+        assert!(seq.get() * 4.0 < pipe.get(), "{seq} vs {pipe}");
+    }
+
+    #[test]
+    fn bias_unit_is_cheaper_than_a_subtractor() {
+        // §V.A: the Fig. 3 tricks replace general subtractors.
+        assert!(bias_unit(16).get() < subtractor(16).get());
+    }
+
+    #[test]
+    fn gate_count_arithmetic() {
+        let a = GateCount::new(10.0);
+        let b = GateCount::new(5.0);
+        assert_eq!((a + b).get(), 15.0);
+        assert_eq!((a * 3.0).get(), 30.0);
+        let s: GateCount = [a, b, b].into_iter().sum();
+        assert_eq!(s.get(), 20.0);
+        assert_eq!(a.to_string(), "10 GE");
+    }
+
+    #[test]
+    #[should_panic(expected = "gate count must be >= 0")]
+    fn negative_count_panics() {
+        let _ = GateCount::new(-1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Structural hardware cost model for the NACU reproduction.
+//!
+//! The paper reports post-layout 28 nm results (Fig. 5, Table I, §VII.C):
+//! area breakdown, power, clock period and latency, plus technology-scaled
+//! comparisons against related work at 40–180 nm nodes. We cannot run a
+//! 28 nm synthesis flow, so this crate substitutes a **structural model**:
+//!
+//! * [`gates`] — gate-equivalent (GE) counts for the datapath building
+//!   blocks (adders, array multipliers, restoring-divider stages, LUT bits,
+//!   registers), the standard first-order sizing a micro-architect does
+//!   before synthesis;
+//! * [`area`] — GE counts × a calibrated per-GE area for the 28 nm node
+//!   (calibrated so the NACU total lands at the paper's ~9 671 µm², which
+//!   makes all *relative* statements — "the divider dominates", "the
+//!   coefficient unit is about an adder" — meaningful);
+//! * [`power`] — dynamic + leakage estimates from area, frequency and
+//!   per-function activity;
+//! * [`timing`] — critical-path and pipeline-latency model (3/3/8 cycles at
+//!   3.75 ns, 267 MHz);
+//! * [`scaling`] — technology scaling between nodes in the spirit of
+//!   Stillmaker & Baas \[16\], calibrated to the paper's own 65 → 28 nm
+//!   conversions (§VII.C);
+//! * [`table1`] — the Table I related-work database plus the NACU row
+//!   generated from this model.
+//!
+//! Absolute numbers are estimates; orderings and ratios are the
+//! reproduction targets (see EXPERIMENTS.md).
+
+pub mod area;
+pub mod energy;
+pub mod gates;
+pub mod power;
+pub mod scaling;
+pub mod table1;
+pub mod timing;
+
+pub use area::{AreaBreakdown, NacuAreaModel};
+pub use gates::GateCount;
+pub use scaling::TechNode;

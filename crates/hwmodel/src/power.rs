@@ -1,0 +1,160 @@
+//! Power model of the NACU macro (the Fig. 5 power-per-function chart).
+//!
+//! Dynamic power is `P = E_GE · GE_active · α · f` where `E_GE` is a
+//! calibrated per-gate switching energy at 28 nm, `GE_active` the gates on
+//! the active path for the selected function, `α` an activity factor and
+//! `f` the clock. Leakage is proportional to total gate count. The paper's
+//! Fig. 5 gives the power chart only graphically, so the reproduction
+//! target is the *ordering*: softmax ≥ exp > tanh ≈ sigmoid > MAC-only,
+//! because only the exp/softmax paths toggle the (dominant) divider.
+
+use crate::area::{AreaBreakdown, NacuAreaModel};
+use crate::timing::NacuFunction;
+
+/// Per-gate dynamic energy at 28 nm, femtojoules per toggle-cycle
+/// (calibrated to land total NACU power in the few-mW decade at 267 MHz,
+/// typical for a datapath macro of this size).
+pub const DYNAMIC_FJ_PER_GE: f64 = 1.4;
+
+/// Per-gate leakage at 28 nm, nanowatts.
+pub const LEAKAGE_NW_PER_GE: f64 = 1.1;
+
+/// Default datapath activity factor (fraction of gates toggling per cycle).
+pub const DEFAULT_ACTIVITY: f64 = 0.18;
+
+/// Power estimate for one operating mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimate {
+    /// Dynamic power in milliwatts.
+    pub dynamic_mw: f64,
+    /// Leakage power in milliwatts.
+    pub leakage_mw: f64,
+}
+
+impl PowerEstimate {
+    /// Total power in milliwatts.
+    #[must_use]
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.leakage_mw
+    }
+}
+
+/// Gates on the active path for each function mode.
+fn active_gates(breakdown: &AreaBreakdown, function: NacuFunction) -> f64 {
+    let common = breakdown.registers_control.get();
+    match function {
+        NacuFunction::Mac => common + breakdown.multiplier.get() + breakdown.mac_adder.get(),
+        NacuFunction::Sigmoid | NacuFunction::Tanh => {
+            common
+                + breakdown.multiplier.get()
+                + breakdown.mac_adder.get()
+                + breakdown.coeff_unit.get()
+        }
+        NacuFunction::Exp => {
+            common
+                + breakdown.multiplier.get()
+                + breakdown.mac_adder.get()
+                + breakdown.coeff_unit.get()
+                + breakdown.divider.get()
+        }
+        NacuFunction::Softmax => {
+            // Softmax streams exp results *and* keeps the MAC accumulating
+            // the normalisation denominator.
+            common
+                + breakdown.multiplier.get()
+                + 1.3 * breakdown.mac_adder.get()
+                + breakdown.coeff_unit.get()
+                + breakdown.divider.get()
+        }
+    }
+}
+
+/// Estimates power for `function` at `freq_mhz` with the default activity.
+#[must_use]
+pub fn estimate(model: &NacuAreaModel, function: NacuFunction, freq_mhz: f64) -> PowerEstimate {
+    estimate_with_activity(model, function, freq_mhz, DEFAULT_ACTIVITY)
+}
+
+/// Estimates power with an explicit activity factor.
+///
+/// # Panics
+///
+/// Panics if `freq_mhz` is not positive or `activity` is outside `(0, 1]`.
+#[must_use]
+pub fn estimate_with_activity(
+    model: &NacuAreaModel,
+    function: NacuFunction,
+    freq_mhz: f64,
+    activity: f64,
+) -> PowerEstimate {
+    assert!(freq_mhz > 0.0, "frequency must be positive");
+    assert!(
+        activity > 0.0 && activity <= 1.0,
+        "activity must be in (0, 1]"
+    );
+    let breakdown = model.breakdown();
+    let active = active_gates(&breakdown, function);
+    // fJ * MHz = nW; divide by 1e6 for mW.
+    let dynamic_mw = DYNAMIC_FJ_PER_GE * active * activity * freq_mhz / 1.0e6;
+    let leakage_mw = LEAKAGE_NW_PER_GE * breakdown.total().get() / 1.0e6;
+    PowerEstimate {
+        dynamic_mw,
+        leakage_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> NacuAreaModel {
+        NacuAreaModel::paper_config()
+    }
+
+    #[test]
+    fn ordering_matches_active_paths() {
+        let at = |f| estimate(&paper(), f, 267.0).total_mw();
+        let mac = at(NacuFunction::Mac);
+        let sig = at(NacuFunction::Sigmoid);
+        let tanh = at(NacuFunction::Tanh);
+        let exp = at(NacuFunction::Exp);
+        let softmax = at(NacuFunction::Softmax);
+        assert!(mac < sig);
+        assert!((sig - tanh).abs() < 1e-12, "σ and tanh share the path");
+        assert!(sig < exp, "divider adds power: {sig} vs {exp}");
+        assert!(exp <= softmax);
+    }
+
+    #[test]
+    fn total_power_is_in_the_milliwatt_decade() {
+        let p = estimate(&paper(), NacuFunction::Softmax, 267.0);
+        assert!(
+            p.total_mw() > 0.3 && p.total_mw() < 30.0,
+            "{} mW",
+            p.total_mw()
+        );
+    }
+
+    #[test]
+    fn power_scales_linearly_with_frequency_and_activity() {
+        let p1 = estimate(&paper(), NacuFunction::Exp, 100.0);
+        let p2 = estimate(&paper(), NacuFunction::Exp, 200.0);
+        assert!((p2.dynamic_mw / p1.dynamic_mw - 2.0).abs() < 1e-9);
+        let a1 = estimate_with_activity(&paper(), NacuFunction::Exp, 100.0, 0.1);
+        let a2 = estimate_with_activity(&paper(), NacuFunction::Exp, 100.0, 0.2);
+        assert!((a2.dynamic_mw / a1.dynamic_mw - 2.0).abs() < 1e-9);
+        assert_eq!(p1.leakage_mw, p2.leakage_mw, "leakage is frequency-free");
+    }
+
+    #[test]
+    fn leakage_is_a_small_fraction_at_nominal_clock() {
+        let p = estimate(&paper(), NacuFunction::Exp, 267.0);
+        assert!(p.leakage_mw < 0.2 * p.dynamic_mw);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity must be in (0, 1]")]
+    fn bad_activity_panics() {
+        let _ = estimate_with_activity(&paper(), NacuFunction::Mac, 100.0, 1.5);
+    }
+}

@@ -1,0 +1,185 @@
+//! Technology scaling between CMOS nodes.
+//!
+//! §VII.C scales related-work area and delay figures to NACU's 28 nm node
+//! "using data from \[16\]" (Stillmaker & Baas, *Integration* 2017). We
+//! reproduce that as power-law factors **calibrated to the paper's own
+//! conversions**: the paper scales 19 150 µm² @65 nm to ~5 800 µm² @28 nm
+//! (×0.303) and an 86 ns sequential latency to 42 ns (×0.49), giving
+//! exponents of ≈1.42 for area and ≈0.85 for delay — sub-quadratic and
+//! sub-linear, as Stillmaker's fitted data shows for real processes.
+
+use std::fmt;
+
+/// Area scaling exponent: `area ∝ node^1.42`.
+const AREA_EXPONENT: f64 = 1.42;
+/// Delay scaling exponent: `delay ∝ node^0.85`.
+const DELAY_EXPONENT: f64 = 0.85;
+/// Dynamic-energy scaling exponent: `energy/op ∝ node^1.6` (capacitance ×
+/// V² both shrink with the node).
+const ENERGY_EXPONENT: f64 = 1.6;
+
+/// A CMOS technology node appearing in the paper or its related work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum TechNode {
+    /// 180 nm (\[4\], \[5\], \[8\]).
+    N180,
+    /// 90 nm (\[11\] FPGA-era estimates).
+    N90,
+    /// 65 nm (\[6\], \[13\], \[14\]).
+    N65,
+    /// 40 nm (\[10\]).
+    N40,
+    /// 28 nm (NACU).
+    N28,
+    /// 16 nm (projection).
+    N16,
+    /// 7 nm (projection).
+    N7,
+}
+
+impl TechNode {
+    /// Feature size in nanometres.
+    #[must_use]
+    pub fn nm(&self) -> f64 {
+        match self {
+            TechNode::N180 => 180.0,
+            TechNode::N90 => 90.0,
+            TechNode::N65 => 65.0,
+            TechNode::N40 => 40.0,
+            TechNode::N28 => 28.0,
+            TechNode::N16 => 16.0,
+            TechNode::N7 => 7.0,
+        }
+    }
+
+    /// Parses a node from its nanometre figure.
+    #[must_use]
+    pub fn from_nm(nm: u32) -> Option<TechNode> {
+        Some(match nm {
+            180 => TechNode::N180,
+            90 => TechNode::N90,
+            65 => TechNode::N65,
+            40 => TechNode::N40,
+            28 => TechNode::N28,
+            16 => TechNode::N16,
+            7 => TechNode::N7,
+            _ => return None,
+        })
+    }
+
+    /// All nodes, largest feature size first.
+    #[must_use]
+    pub fn all() -> [TechNode; 7] {
+        [
+            TechNode::N180,
+            TechNode::N90,
+            TechNode::N65,
+            TechNode::N40,
+            TechNode::N28,
+            TechNode::N16,
+            TechNode::N7,
+        ]
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} nm", self.nm())
+    }
+}
+
+/// Multiplier converting an area at `from` into the equivalent area at `to`.
+#[must_use]
+pub fn area_factor(from: TechNode, to: TechNode) -> f64 {
+    (to.nm() / from.nm()).powf(AREA_EXPONENT)
+}
+
+/// Multiplier converting a delay (or clock period) at `from` to `to`.
+#[must_use]
+pub fn delay_factor(from: TechNode, to: TechNode) -> f64 {
+    (to.nm() / from.nm()).powf(DELAY_EXPONENT)
+}
+
+/// Multiplier converting a per-operation dynamic energy at `from` to `to`.
+#[must_use]
+pub fn energy_factor(from: TechNode, to: TechNode) -> f64 {
+    (to.nm() / from.nm()).powf(ENERGY_EXPONENT)
+}
+
+/// Scales an area figure (µm²) between nodes.
+#[must_use]
+pub fn scale_area(area_um2: f64, from: TechNode, to: TechNode) -> f64 {
+    area_um2 * area_factor(from, to)
+}
+
+/// Scales a delay figure (ns) between nodes.
+#[must_use]
+pub fn scale_delay(delay_ns: f64, from: TechNode, to: TechNode) -> f64 {
+    delay_ns * delay_factor(from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_65_to_28_conversions() {
+        // §VII.C: 19150 µm² @65 nm → ~5800 µm² @28 nm.
+        let scaled = scale_area(19150.0, TechNode::N65, TechNode::N28);
+        assert!(
+            (scaled - 5800.0).abs() / 5800.0 < 0.03,
+            "CORDIC area scaled to {scaled}"
+        );
+        // 20700 → ~6200 and 26400 → ~8000.
+        let taylor = scale_area(20700.0, TechNode::N65, TechNode::N28);
+        assert!((taylor - 6200.0).abs() / 6200.0 < 0.03, "{taylor}");
+        let parabolic = scale_area(26400.0, TechNode::N65, TechNode::N28);
+        assert!((parabolic - 8000.0).abs() / 8000.0 < 0.03, "{parabolic}");
+    }
+
+    #[test]
+    fn delay_calibration_matches_paper() {
+        // §VII.C: 86 ns sequential CORDIC @65 nm → ~42 ns @28 nm.
+        let scaled = scale_delay(86.0, TechNode::N65, TechNode::N28);
+        assert!((scaled - 42.0).abs() / 42.0 < 0.03, "{scaled}");
+        // 40.3 ns → ~20 ns and 20.8 ns → ~10 ns.
+        assert!((scale_delay(40.3, TechNode::N65, TechNode::N28) - 20.0).abs() < 0.8);
+        assert!((scale_delay(20.8, TechNode::N65, TechNode::N28) - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn scaling_is_identity_on_same_node_and_composes() {
+        assert_eq!(area_factor(TechNode::N65, TechNode::N65), 1.0);
+        let via_40 =
+            area_factor(TechNode::N65, TechNode::N40) * area_factor(TechNode::N40, TechNode::N28);
+        let direct = area_factor(TechNode::N65, TechNode::N28);
+        assert!((via_40 - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shrinking_reduces_everything() {
+        for (from, to) in [
+            (TechNode::N180, TechNode::N28),
+            (TechNode::N65, TechNode::N7),
+        ] {
+            assert!(area_factor(from, to) < 1.0);
+            assert!(delay_factor(from, to) < 1.0);
+            assert!(energy_factor(from, to) < 1.0);
+        }
+        assert!(area_factor(TechNode::N28, TechNode::N180) > 1.0);
+    }
+
+    #[test]
+    fn node_parsing_round_trips() {
+        for node in TechNode::all() {
+            assert_eq!(TechNode::from_nm(node.nm() as u32), Some(node));
+        }
+        assert_eq!(TechNode::from_nm(130), None);
+    }
+
+    #[test]
+    fn display_shows_feature_size() {
+        assert_eq!(TechNode::N28.to_string(), "28 nm");
+    }
+}

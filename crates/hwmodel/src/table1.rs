@@ -1,0 +1,258 @@
+//! The paper's Table I: related-work implementation summary, plus the NACU
+//! row generated from this crate's models.
+//!
+//! The related-work rows are transcribed from the paper (they are *inputs*
+//! to the comparison, reported "as in the original work", not scaled); the
+//! NACU row is produced by [`nacu_row`] from the structural area and timing
+//! models so the reproduction's own numbers flow into the table.
+
+use crate::area::NacuAreaModel;
+use crate::scaling::TechNode;
+use crate::timing;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Citation key, e.g. `"\[4\]"` or `"NACU"`.
+    pub label: &'static str,
+    /// Implementation style.
+    pub implementation: &'static str,
+    /// Area in µm², where reported.
+    pub area_um2: Option<f64>,
+    /// Technology node.
+    pub tech: TechNode,
+    /// LUT entries, where applicable.
+    pub lut_entries: Option<u32>,
+    /// Word width description (some designs use asymmetric in/out widths).
+    pub bits: &'static str,
+    /// Clock period in ns, where reported (first figure if several).
+    pub clock_ns: Option<f64>,
+    /// Latency in cycles, as reported.
+    pub latency: &'static str,
+    /// Functions provided.
+    pub functions: &'static str,
+}
+
+/// The twelve related-work rows of Table I, as printed in the paper.
+#[must_use]
+pub fn related_work() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            label: "[6]",
+            implementation: "NUPWL",
+            area_um2: None,
+            tech: TechNode::N65,
+            lut_entries: Some(7),
+            bits: "16",
+            clock_ns: Some(10.0),
+            latency: "2",
+            functions: "sigmoid",
+        },
+        Table1Row {
+            label: "[6]",
+            implementation: "2nd-order Taylor",
+            area_um2: None,
+            tech: TechNode::N65,
+            lut_entries: Some(4),
+            bits: "16",
+            clock_ns: Some(10.0),
+            latency: "2",
+            functions: "sigmoid",
+        },
+        Table1Row {
+            label: "[6]",
+            implementation: "2nd-order Taylor opt",
+            area_um2: None,
+            tech: TechNode::N65,
+            lut_entries: Some(4),
+            bits: "16",
+            clock_ns: Some(10.0),
+            latency: "3",
+            functions: "sigmoid",
+        },
+        Table1Row {
+            label: "[10]",
+            implementation: "1st-order Taylor",
+            area_um2: None,
+            tech: TechNode::N40,
+            lut_entries: Some(102),
+            bits: "16",
+            clock_ns: Some(2.677),
+            latency: "4",
+            functions: "sigmoid",
+        },
+        Table1Row {
+            label: "[10]",
+            implementation: "2nd-order Taylor",
+            area_um2: None,
+            tech: TechNode::N40,
+            lut_entries: Some(28),
+            bits: "16",
+            clock_ns: Some(2.677),
+            latency: "7",
+            functions: "sigmoid",
+        },
+        Table1Row {
+            label: "[11]",
+            implementation: "based on e^x",
+            area_um2: None,
+            tech: TechNode::N90,
+            lut_entries: None,
+            bits: "6 to 14",
+            clock_ns: Some(2.605),
+            latency: "4, 5",
+            functions: "sigmoid, tanh",
+        },
+        Table1Row {
+            label: "[4]",
+            implementation: "RALUT",
+            area_um2: Some(1280.66),
+            tech: TechNode::N180,
+            lut_entries: Some(14),
+            bits: "9 in, 6 out",
+            clock_ns: Some(2.12),
+            latency: "1",
+            functions: "tanh",
+        },
+        Table1Row {
+            label: "[5]",
+            implementation: "RALUT",
+            area_um2: Some(11871.53),
+            tech: TechNode::N180,
+            lut_entries: Some(127),
+            bits: "10",
+            clock_ns: Some(2.12),
+            latency: "1",
+            functions: "tanh",
+        },
+        Table1Row {
+            label: "[8]",
+            implementation: "PWL + RALUT",
+            area_um2: Some(5130.78),
+            tech: TechNode::N180,
+            lut_entries: None,
+            bits: "10",
+            clock_ns: Some(2.8),
+            latency: "1",
+            functions: "tanh",
+        },
+        Table1Row {
+            label: "[13]",
+            implementation: "6th-order Taylor",
+            area_um2: Some(20700.0),
+            tech: TechNode::N65,
+            lut_entries: None,
+            bits: "18",
+            clock_ns: Some(40.3),
+            latency: "1",
+            functions: "exp",
+        },
+        Table1Row {
+            label: "[14]",
+            implementation: "CORDIC",
+            area_um2: Some(19150.0),
+            tech: TechNode::N65,
+            lut_entries: None,
+            bits: "21",
+            clock_ns: Some(86.0),
+            latency: "1",
+            functions: "exp",
+        },
+        Table1Row {
+            label: "[14]",
+            implementation: "Parabolic",
+            area_um2: Some(26400.0),
+            tech: TechNode::N65,
+            lut_entries: None,
+            bits: "18",
+            clock_ns: Some(20.8),
+            latency: "1",
+            functions: "exp",
+        },
+    ]
+}
+
+/// The NACU row, generated from the structural models.
+#[must_use]
+pub fn nacu_row(model: &NacuAreaModel) -> Table1Row {
+    Table1Row {
+        label: "NACU",
+        implementation: "PWL",
+        area_um2: Some(model.breakdown().total_um2()),
+        tech: TechNode::N28,
+        lut_entries: Some(model.lut_entries as u32),
+        bits: "16",
+        clock_ns: Some(timing::CLOCK_PERIOD_NS_28NM),
+        latency: "3, 3, 8",
+        functions: "sigmoid, tanh, exp, softmax",
+    }
+}
+
+/// All thirteen rows: related work in paper order, then NACU.
+#[must_use]
+pub fn full_table(model: &NacuAreaModel) -> Vec<Table1Row> {
+    let mut rows = related_work();
+    rows.push(nacu_row(model));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_thirteen_rows_like_the_paper() {
+        assert_eq!(full_table(&NacuAreaModel::paper_config()).len(), 13);
+    }
+
+    #[test]
+    fn nacu_is_the_only_multi_function_unit() {
+        // The paper's reconfigurability argument: no related work covers
+        // σ, tanh *and* e in one unit.
+        let rows = full_table(&NacuAreaModel::paper_config());
+        let all_three: Vec<&Table1Row> = rows
+            .iter()
+            .filter(|r| {
+                r.functions.contains("sigmoid")
+                    && r.functions.contains("tanh")
+                    && r.functions.contains("exp")
+            })
+            .collect();
+        assert_eq!(all_three.len(), 1);
+        assert_eq!(all_three[0].label, "NACU");
+    }
+
+    #[test]
+    fn nacu_row_mirrors_the_models() {
+        let model = NacuAreaModel::paper_config();
+        let row = nacu_row(&model);
+        assert_eq!(row.lut_entries, Some(53));
+        assert_eq!(row.clock_ns, Some(3.75));
+        let area = row.area_um2.unwrap();
+        assert!((area - 9671.0).abs() / 9671.0 < 0.05);
+    }
+
+    #[test]
+    fn transcribed_areas_match_paper_values() {
+        let rows = related_work();
+        let find = |label: &str, implementation: &str| {
+            rows.iter()
+                .find(|r| r.label == label && r.implementation == implementation)
+                .unwrap()
+        };
+        assert_eq!(find("[4]", "RALUT").area_um2, Some(1280.66));
+        assert_eq!(find("[5]", "RALUT").area_um2, Some(11871.53));
+        assert_eq!(find("[13]", "6th-order Taylor").area_um2, Some(20700.0));
+        assert_eq!(find("[14]", "CORDIC").lut_entries, None);
+    }
+
+    #[test]
+    fn exp_designs_use_wider_words_than_nacu() {
+        // §VII.C explains NACU's 10× worse exp max error by the 18–21 bit
+        // words of [13]/[14] vs NACU's 16.
+        for row in related_work().iter().filter(|r| r.functions == "exp") {
+            let bits: u32 = row.bits.parse().unwrap();
+            assert!(bits > 16);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Clock-period and latency model (the Fig. 5 latency chart and Table I
+//! timing row).
+//!
+//! NACU runs at 267 MHz (3.75 ns) in 28 nm. Table I reports latencies of
+//! 3, 3 and 8 cycles for σ, tanh and e; §VII.C additionally quotes a 90 ns
+//! pipeline-fill for the e path (24 stages at 3.75 ns) with one result per
+//! cycle afterwards. We model both: [`latency_cycles`] is the Table I
+//! figure (radix-4 divider: two quotient bits per stage, overlapped with
+//! the σ stages), [`pipeline_fill_cycles`] the deep fully-pipelined view
+//! behind the 90 ns claim. EXPERIMENTS.md records the tension between the
+//! two paper figures.
+
+use crate::scaling::{self, TechNode};
+
+/// NACU's nominal clock period at 28 nm (ns) — 267 MHz.
+pub const CLOCK_PERIOD_NS_28NM: f64 = 3.75;
+
+/// Equivalent inverter-delays on the critical stage path (multiplier
+/// partial-product reduction); calibrated so 28 nm lands at 3.75 ns.
+pub const STAGE_GATE_DEPTH: f64 = 45.0;
+
+/// Per-gate delay (ns) at 28 nm implied by the calibration.
+pub const GATE_DELAY_NS_28NM: f64 = CLOCK_PERIOD_NS_28NM / STAGE_GATE_DEPTH;
+
+/// The operating modes NACU can be configured into (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum NacuFunction {
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Normalised exponential.
+    Exp,
+    /// Vector softmax (exp + normalisation).
+    Softmax,
+    /// Plain multiply-accumulate.
+    Mac,
+}
+
+impl NacuFunction {
+    /// All modes.
+    #[must_use]
+    pub fn all() -> [NacuFunction; 5] {
+        [
+            NacuFunction::Sigmoid,
+            NacuFunction::Tanh,
+            NacuFunction::Exp,
+            NacuFunction::Softmax,
+            NacuFunction::Mac,
+        ]
+    }
+}
+
+impl std::fmt::Display for NacuFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            NacuFunction::Sigmoid => "sigmoid",
+            NacuFunction::Tanh => "tanh",
+            NacuFunction::Exp => "exp",
+            NacuFunction::Softmax => "softmax",
+            NacuFunction::Mac => "mac",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Clock period (ns) scaled to `node`.
+#[must_use]
+pub fn clock_period_ns(node: TechNode) -> f64 {
+    scaling::scale_delay(CLOCK_PERIOD_NS_28NM, TechNode::N28, node)
+}
+
+/// Clock frequency (MHz) at `node`.
+#[must_use]
+pub fn clock_mhz(node: TechNode) -> f64 {
+    1000.0 / clock_period_ns(node)
+}
+
+/// Table I latency in cycles for a single result of `function`.
+///
+/// σ/tanh: LUT read → coefficient/bias derivation → MAC (3 stages). Exp
+/// adds the divider traversal and decrement (Table I reports 8). Softmax of
+/// an `n`-vector is reported per element via [`softmax_latency_cycles`].
+#[must_use]
+pub fn latency_cycles(function: NacuFunction) -> u32 {
+    match function {
+        NacuFunction::Mac => 1,
+        NacuFunction::Sigmoid | NacuFunction::Tanh => 3,
+        NacuFunction::Exp | NacuFunction::Softmax => 8,
+    }
+}
+
+/// Cycles to fill the deep e-path pipeline (§VII.C's 90 ns at 3.75 ns).
+#[must_use]
+pub fn pipeline_fill_cycles() -> u32 {
+    24
+}
+
+/// Total cycles to produce a full softmax over `n` inputs: one pass
+/// accumulating the denominator (pipelined, one element per cycle after
+/// fill), then one pass of exp + scale per element.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn softmax_latency_cycles(n: u32) -> u32 {
+    assert!(n > 0, "softmax of an empty vector");
+    let fill = pipeline_fill_cycles();
+    // Pass 1: n exps accumulate into the MAC; pass 2: n normalisations
+    // through the shared divider.
+    (fill + n) + (fill + n)
+}
+
+/// Latency in nanoseconds for one result at a node.
+#[must_use]
+pub fn latency_ns(function: NacuFunction, node: TechNode) -> f64 {
+    f64::from(latency_cycles(function)) * clock_period_ns(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_clock_is_267_mhz() {
+        assert!((clock_mhz(TechNode::N28) - 266.7).abs() < 1.0);
+        assert_eq!(clock_period_ns(TechNode::N28), 3.75);
+    }
+
+    #[test]
+    fn table1_latencies() {
+        assert_eq!(latency_cycles(NacuFunction::Sigmoid), 3);
+        assert_eq!(latency_cycles(NacuFunction::Tanh), 3);
+        assert_eq!(latency_cycles(NacuFunction::Exp), 8);
+        assert_eq!(latency_cycles(NacuFunction::Mac), 1);
+    }
+
+    #[test]
+    fn pipeline_fill_matches_90ns_claim() {
+        let fill_ns = f64::from(pipeline_fill_cycles()) * CLOCK_PERIOD_NS_28NM;
+        assert!((fill_ns - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_latency_grows_linearly() {
+        // Two passes (accumulate, normalise) → two cycles per extra element.
+        let l10 = softmax_latency_cycles(10);
+        let l20 = softmax_latency_cycles(20);
+        assert_eq!(l20 - l10, 20);
+        assert!(l10 > 2 * pipeline_fill_cycles());
+    }
+
+    #[test]
+    fn clock_slows_at_older_nodes() {
+        assert!(clock_period_ns(TechNode::N65) > 2.0 * CLOCK_PERIOD_NS_28NM * 0.9);
+        assert!(clock_period_ns(TechNode::N7) < CLOCK_PERIOD_NS_28NM);
+    }
+
+    #[test]
+    fn gate_depth_calibration_is_consistent() {
+        assert!((STAGE_GATE_DEPTH * GATE_DELAY_NS_28NM - CLOCK_PERIOD_NS_28NM).abs() < 1e-12);
+    }
+
+    #[test]
+    fn function_display_and_all() {
+        assert_eq!(NacuFunction::Softmax.to_string(), "softmax");
+        assert_eq!(NacuFunction::all().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "softmax of an empty vector")]
+    fn zero_length_softmax_panics() {
+        let _ = softmax_latency_cycles(0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Pluggable non-linearities for the fixed-point layers.
+//!
+//! Every layer takes a [`Nonlinearity`] so the same network can run with
+//! the bit-accurate NACU unit, the exact f64 reference (quantised at the
+//! output only), or any other evaluator — that is how the end-to-end
+//! "does the approximation hurt the network?" experiments are built.
+
+use nacu::{Nacu, NacuConfig, NacuError};
+use nacu_fixed::{Fx, QFormat, Rounding};
+use nacu_funcapprox::reference;
+
+/// The activation interface the layers consume.
+///
+/// Implementations receive and return values in [`Nonlinearity::format`].
+pub trait Nonlinearity {
+    /// The fixed-point format this non-linearity operates in.
+    fn format(&self) -> QFormat;
+
+    /// Logistic sigmoid.
+    fn sigmoid(&self, x: Fx) -> Fx;
+
+    /// Hyperbolic tangent.
+    fn tanh(&self, x: Fx) -> Fx;
+
+    /// Exponential of a non-positive (normalised) operand, `e^x` for
+    /// `x ≤ 0`; positive operands clamp to 0 as in the NACU datapath.
+    fn exp_neg(&self, x: Fx) -> Fx;
+
+    /// Vector softmax (max-normalised).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on an empty slice.
+    fn softmax(&self, inputs: &[Fx]) -> Vec<Fx>;
+}
+
+/// The NACU-backed non-linearity.
+#[derive(Debug, Clone)]
+pub struct NacuActivation {
+    nacu: Nacu,
+}
+
+impl NacuActivation {
+    /// Builds a NACU instance for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NacuError`] from [`Nacu::new`].
+    pub fn new(config: NacuConfig) -> Result<Self, NacuError> {
+        Ok(Self {
+            nacu: Nacu::new(config)?,
+        })
+    }
+
+    /// The paper's 16-bit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Never panics — the paper configuration always validates.
+    #[must_use]
+    pub fn paper_16bit() -> Self {
+        Self::new(NacuConfig::paper_16bit()).expect("paper config is valid")
+    }
+
+    /// The wrapped unit.
+    #[must_use]
+    pub fn nacu(&self) -> &Nacu {
+        &self.nacu
+    }
+}
+
+impl Nonlinearity for NacuActivation {
+    fn format(&self) -> QFormat {
+        self.nacu.config().format
+    }
+
+    fn sigmoid(&self, x: Fx) -> Fx {
+        self.nacu.sigmoid(x)
+    }
+
+    fn tanh(&self, x: Fx) -> Fx {
+        self.nacu.tanh(x)
+    }
+
+    fn exp_neg(&self, x: Fx) -> Fx {
+        self.nacu.exp(x)
+    }
+
+    fn softmax(&self, inputs: &[Fx]) -> Vec<Fx> {
+        self.nacu
+            .softmax(inputs)
+            .expect("layer vectors are non-empty")
+    }
+}
+
+/// The golden reference: exact f64 math, quantised only at the output.
+#[derive(Debug, Clone, Copy)]
+pub struct ReferenceActivation {
+    format: QFormat,
+}
+
+impl ReferenceActivation {
+    /// Creates a reference non-linearity in the given format.
+    #[must_use]
+    pub fn new(format: QFormat) -> Self {
+        Self { format }
+    }
+}
+
+impl Nonlinearity for ReferenceActivation {
+    fn format(&self) -> QFormat {
+        self.format
+    }
+
+    fn sigmoid(&self, x: Fx) -> Fx {
+        Fx::from_f64(
+            reference::sigmoid(x.to_f64()),
+            self.format,
+            Rounding::Nearest,
+        )
+    }
+
+    fn tanh(&self, x: Fx) -> Fx {
+        Fx::from_f64(x.to_f64().tanh(), self.format, Rounding::Nearest)
+    }
+
+    fn exp_neg(&self, x: Fx) -> Fx {
+        Fx::from_f64(x.to_f64().min(0.0).exp(), self.format, Rounding::Nearest)
+    }
+
+    fn softmax(&self, inputs: &[Fx]) -> Vec<Fx> {
+        let vals: Vec<f64> = inputs.iter().map(Fx::to_f64).collect();
+        reference::softmax(&vals)
+            .into_iter()
+            .map(|v| Fx::from_f64(v, self.format, Rounding::Nearest))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nacu_tracks_the_reference_closely() {
+        let nacu = NacuActivation::paper_16bit();
+        let golden = ReferenceActivation::new(nacu.format());
+        let fmt = nacu.format();
+        for v in [-6.0, -1.5, 0.0, 0.7, 3.2, 12.0] {
+            let x = Fx::from_f64(v, fmt, Rounding::Nearest);
+            assert!(
+                (nacu.sigmoid(x).to_f64() - golden.sigmoid(x).to_f64()).abs() < 2e-3,
+                "σ({v})"
+            );
+            assert!(
+                (nacu.tanh(x).to_f64() - golden.tanh(x).to_f64()).abs() < 3e-3,
+                "tanh({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_implementations_agree() {
+        let nacu = NacuActivation::paper_16bit();
+        let golden = ReferenceActivation::new(nacu.format());
+        let fmt = nacu.format();
+        let xs: Vec<Fx> = [0.3, 2.0, -1.0]
+            .iter()
+            .map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest))
+            .collect();
+        let a = nacu.softmax(&xs);
+        let b = golden.softmax(&xs);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.to_f64() - y.to_f64()).abs() < 5e-3);
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let acts: Vec<Box<dyn Nonlinearity>> = vec![
+            Box::new(NacuActivation::paper_16bit()),
+            Box::new(ReferenceActivation::new(QFormat::new(4, 11).unwrap())),
+        ];
+        for a in &acts {
+            let x = Fx::zero(a.format());
+            assert!((a.sigmoid(x).to_f64() - 0.5).abs() < 1e-3);
+            assert!((a.exp_neg(x).to_f64() - 1.0).abs() < 2e-3);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! A small fixed-point 2-D convolution layer.
+//!
+//! CNNs are the first workload the paper's introduction names for the
+//! reconfigurable fabric; the convolution sum is exactly what NACU's MAC
+//! mode accumulates before the non-linearity is applied (§V.B: "accumulate
+//! a convolution sum that is common in ANNs before the non-linearity").
+
+use nacu::datapath::MacAccumulator;
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::activation::Nonlinearity;
+
+/// A 2-D feature map (single channel, row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMap {
+    height: usize,
+    width: usize,
+    data: Vec<Fx>,
+    format: QFormat,
+}
+
+impl FeatureMap {
+    /// A zero map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(height: usize, width: usize, format: QFormat) -> Self {
+        assert!(height > 0 && width > 0, "dimensions must be positive");
+        Self {
+            height,
+            width,
+            data: vec![Fx::zero(format); height * width],
+            format,
+        }
+    }
+
+    /// Quantises an f64 image (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != height * width`.
+    #[must_use]
+    pub fn from_f64(height: usize, width: usize, values: &[f64], format: QFormat) -> Self {
+        assert_eq!(values.len(), height * width, "shape mismatch");
+        let mut m = Self::zeros(height, width, format);
+        for (slot, &v) in m.data.iter_mut().zip(values) {
+            *slot = Fx::from_f64(v, format, Rounding::Nearest);
+        }
+        m
+    }
+
+    /// Map height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Map width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> Fx {
+        assert!(row < self.height && col < self.width, "out of bounds");
+        self.data[row * self.width + col]
+    }
+
+    /// All elements, row-major.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Fx] {
+        &self.data
+    }
+
+    /// Flattens into a feature vector (for a dense head).
+    #[must_use]
+    pub fn into_vec(self) -> Vec<Fx> {
+        self.data
+    }
+}
+
+/// A single-channel valid-padding convolution with an optional σ/tanh
+/// non-linearity applied through the supplied [`Nonlinearity`].
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    kernel: Vec<Fx>,
+    size: usize,
+    bias: Fx,
+    format: QFormat,
+}
+
+impl Conv2d {
+    /// Builds a `size × size` kernel from f64 weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != size * size` or `size` is zero.
+    #[must_use]
+    pub fn from_f64(size: usize, weights: &[f64], bias: f64, format: QFormat) -> Self {
+        assert!(size > 0, "kernel size must be positive");
+        assert_eq!(weights.len(), size * size, "kernel shape mismatch");
+        Self {
+            kernel: crate::tensor::quantize_vec(weights, format),
+            size,
+            bias: Fx::from_f64(bias, format, Rounding::Nearest),
+            format,
+        }
+    }
+
+    /// Kernel size.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Valid-padding convolution: output is
+    /// `(H − k + 1) × (W − k + 1)`; every output pixel is one MAC chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the kernel or the formats
+    /// differ.
+    #[must_use]
+    pub fn forward(&self, input: &FeatureMap, activation: Option<&dyn Nonlinearity>) -> FeatureMap {
+        assert!(
+            input.height() >= self.size && input.width() >= self.size,
+            "input smaller than kernel"
+        );
+        assert_eq!(input.format, self.format, "format mismatch");
+        let oh = input.height() - self.size + 1;
+        let ow = input.width() - self.size + 1;
+        let mut out = FeatureMap::zeros(oh, ow, self.format);
+        for r in 0..oh {
+            for c in 0..ow {
+                let mut mac = MacAccumulator::new(self.format);
+                for kr in 0..self.size {
+                    for kc in 0..self.size {
+                        mac.step(self.kernel[kr * self.size + kc], input.get(r + kr, c + kc));
+                    }
+                }
+                let pre = mac.value() + self.bias;
+                let y = match activation {
+                    Some(nl) => nl.tanh(pre),
+                    None => pre,
+                };
+                out.data[r * ow + c] = y;
+            }
+        }
+        out
+    }
+}
+
+/// 2×2 max pooling (stride 2), the usual companion of a conv layer.
+///
+/// # Panics
+///
+/// Panics if either input dimension is below 2.
+#[must_use]
+pub fn max_pool2(input: &FeatureMap) -> FeatureMap {
+    assert!(
+        input.height() >= 2 && input.width() >= 2,
+        "pooling needs at least 2x2"
+    );
+    let oh = input.height() / 2;
+    let ow = input.width() / 2;
+    let mut out = FeatureMap::zeros(oh, ow, input.format);
+    for r in 0..oh {
+        for c in 0..ow {
+            let m = [
+                input.get(2 * r, 2 * c),
+                input.get(2 * r, 2 * c + 1),
+                input.get(2 * r + 1, 2 * c),
+                input.get(2 * r + 1, 2 * c + 1),
+            ]
+            .into_iter()
+            .max_by(|a, b| a.raw().cmp(&b.raw()))
+            .expect("four elements");
+            out.data[r * ow + c] = m;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{NacuActivation, ReferenceActivation};
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn identity_kernel_passes_the_image_through() {
+        let img = FeatureMap::from_f64(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], q());
+        let conv = Conv2d::from_f64(1, &[1.0], 0.0, q());
+        let out = conv.forward(&img, None);
+        assert_eq!(out.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn box_filter_averages_up_to_scaling() {
+        let img = FeatureMap::from_f64(2, 2, &[1.0, 1.0, 1.0, 1.0], q());
+        let conv = Conv2d::from_f64(2, &[0.25; 4], 0.0, q());
+        let out = conv.forward(&img, None);
+        assert_eq!(out.height(), 1);
+        assert_eq!(out.width(), 1);
+        assert_eq!(out.get(0, 0).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn activation_is_applied_when_requested() {
+        let img = FeatureMap::from_f64(1, 1, &[3.0], q());
+        let conv = Conv2d::from_f64(1, &[2.0], 0.0, q());
+        let nl = ReferenceActivation::new(q());
+        let out = conv.forward(&img, Some(&nl));
+        assert!((out.get(0, 0).to_f64() - 6.0_f64.tanh()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn nacu_activation_matches_reference_on_the_feature_map() {
+        let vals: Vec<f64> = (0..25).map(|i| f64::from(i) * 0.1 - 1.2).collect();
+        let img = FeatureMap::from_f64(5, 5, &vals, q());
+        let conv = Conv2d::from_f64(
+            3,
+            &[0.1, -0.2, 0.1, 0.3, 0.2, -0.1, 0.0, 0.1, -0.3],
+            0.05,
+            q(),
+        );
+        let nacu = NacuActivation::paper_16bit();
+        let golden = ReferenceActivation::new(q());
+        let a = conv.forward(&img, Some(&nacu));
+        let b = conv.forward(&img, Some(&golden));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x.to_f64() - y.to_f64()).abs() < 3e-3);
+        }
+    }
+
+    #[test]
+    fn pooling_halves_dimensions_and_keeps_maxima() {
+        let img = FeatureMap::from_f64(2, 4, &[1.0, 2.0, 5.0, 3.0, 4.0, 0.0, -1.0, 6.0], q());
+        let out = max_pool2(&img);
+        assert_eq!((out.height(), out.width()), (1, 2));
+        assert_eq!(out.get(0, 0).to_f64(), 4.0);
+        assert_eq!(out.get(0, 1).to_f64(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input smaller than kernel")]
+    fn undersized_input_panics() {
+        let img = FeatureMap::zeros(2, 2, q());
+        let conv = Conv2d::from_f64(3, &[0.0; 9], 0.0, q());
+        let _ = conv.forward(&img, None);
+    }
+}

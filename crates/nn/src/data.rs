@@ -1,0 +1,203 @@
+//! Seeded synthetic datasets.
+//!
+//! The paper's motivating workloads (image/sequence classification on a
+//! CGRA) use datasets we do not ship; these generators produce the same
+//! *shape* of problem — low-dimensional multi-class classification with
+//! controllable separability — deterministically from a seed, so every
+//! experiment is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled dataset: `features[i]` belongs to class `labels[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature vectors (all the same dimension).
+    pub features: Vec<Vec<f64>>,
+    /// Class labels in `0..classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if the dataset holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.features.first().expect("non-empty dataset").len()
+    }
+
+    /// Splits into (train, test) at `train_fraction` (samples are already
+    /// shuffled by the generators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `(0, 1)`.
+    #[must_use]
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "fraction must be in (0, 1)"
+        );
+        let cut = ((self.len() as f64) * train_fraction) as usize;
+        let take = |range: std::ops::Range<usize>| Dataset {
+            features: self.features[range.clone()].to_vec(),
+            labels: self.labels[range].to_vec(),
+            classes: self.classes,
+        };
+        (take(0..cut), take(cut..self.len()))
+    }
+}
+
+/// Gaussian blobs: `classes` clusters on a circle of radius `spread`,
+/// unit-variance noise. Linearly separable for large `spread`.
+#[must_use]
+pub fn gaussian_blobs(samples: usize, classes: usize, spread: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let class = rng.gen_range(0..classes);
+        let angle = std::f64::consts::TAU * class as f64 / classes as f64;
+        let cx = spread * angle.cos();
+        let cy = spread * angle.sin();
+        features.push(vec![cx + gauss(&mut rng), cy + gauss(&mut rng)]);
+        labels.push(class);
+    }
+    Dataset {
+        features,
+        labels,
+        classes,
+    }
+}
+
+/// The classic two-spirals problem — not linearly separable, a real test
+/// of the hidden-layer non-linearity.
+#[must_use]
+pub fn two_spirals(samples: usize, noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let class = rng.gen_range(0..2usize);
+        let t = rng.gen_range(0.25..1.0) * 3.0 * std::f64::consts::PI;
+        let sign = if class == 0 { 1.0 } else { -1.0 };
+        let r = t / (3.0 * std::f64::consts::PI) * 4.0;
+        features.push(vec![
+            sign * r * t.cos() + noise * gauss(&mut rng),
+            sign * r * t.sin() + noise * gauss(&mut rng),
+        ]);
+        labels.push(class);
+    }
+    Dataset {
+        features,
+        labels,
+        classes: 2,
+    }
+}
+
+/// XOR clouds: four Gaussian clusters labelled by quadrant parity.
+#[must_use]
+pub fn xor_clouds(samples: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let qx = i32::from(rng.gen::<bool>()) * 2 - 1;
+        let qy = i32::from(rng.gen::<bool>()) * 2 - 1;
+        features.push(vec![
+            f64::from(qx) * 2.0 + 0.6 * gauss(&mut rng),
+            f64::from(qy) * 2.0 + 0.6 * gauss(&mut rng),
+        ]);
+        labels.push(usize::from(qx != qy));
+    }
+    Dataset {
+        features,
+        labels,
+        classes: 2,
+    }
+}
+
+/// Standard-normal sample via Box–Muller (keeps the dependency surface to
+/// `rand`'s core).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gaussian_blobs(50, 3, 4.0, 7), gaussian_blobs(50, 3, 4.0, 7));
+        assert_eq!(two_spirals(50, 0.1, 7), two_spirals(50, 0.1, 7));
+        assert_ne!(gaussian_blobs(50, 3, 4.0, 7), gaussian_blobs(50, 3, 4.0, 8));
+    }
+
+    #[test]
+    fn labels_are_in_range() {
+        let d = gaussian_blobs(200, 4, 3.0, 1);
+        assert!(d.labels.iter().all(|&l| l < 4));
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.len(), 200);
+    }
+
+    #[test]
+    fn split_preserves_everything() {
+        let d = two_spirals(100, 0.1, 3);
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.classes, 2);
+    }
+
+    #[test]
+    fn blobs_are_roughly_centred_on_the_circle() {
+        let d = gaussian_blobs(2000, 2, 5.0, 11);
+        // Class 0 centre is (5, 0): its mean x must be clearly positive.
+        let (mut sum_x, mut count) = (0.0, 0);
+        for (f, &l) in d.features.iter().zip(&d.labels) {
+            if l == 0 {
+                sum_x += f[0];
+                count += 1;
+            }
+        }
+        assert!(sum_x / f64::from(count) > 3.0);
+    }
+
+    #[test]
+    fn gauss_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0, 1)")]
+    fn bad_split_panics() {
+        let _ = gaussian_blobs(10, 2, 3.0, 1).split(1.5);
+    }
+}

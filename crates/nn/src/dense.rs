@@ -1,0 +1,148 @@
+//! A fully connected fixed-point layer.
+
+use nacu_fixed::{Fx, QFormat};
+
+use crate::activation::Nonlinearity;
+use crate::tensor::Matrix;
+
+/// Which non-linearity a layer applies after its affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayerActivation {
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No non-linearity (logit outputs feeding a softmax head).
+    Identity,
+}
+
+/// A dense layer: `y = act(W·x + b)` in fixed point.
+///
+/// The matrix–vector product runs through the MAC accumulator, the bias is
+/// a saturating add, and the activation is whatever [`Nonlinearity`] the
+/// forward pass is given — so one set of quantised weights can be
+/// evaluated under NACU, the reference, or any comparator.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<Fx>,
+    activation: LayerActivation,
+}
+
+impl Dense {
+    /// Builds a layer from f64 weights (`outputs × inputs`, row-major) and
+    /// biases, quantising into `format`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != outputs * inputs` or
+    /// `bias.len() != outputs`.
+    #[must_use]
+    pub fn from_f64(
+        outputs: usize,
+        inputs: usize,
+        weights: &[f64],
+        bias: &[f64],
+        activation: LayerActivation,
+        format: QFormat,
+    ) -> Self {
+        assert_eq!(bias.len(), outputs, "bias length mismatch");
+        Self {
+            weights: Matrix::from_f64(outputs, inputs, weights, format),
+            bias: crate::tensor::quantize_vec(bias, format),
+            activation,
+        }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The layer's activation kind.
+    #[must_use]
+    pub fn activation(&self) -> LayerActivation {
+        self.activation
+    }
+
+    /// Forward pass with the supplied non-linearity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`Dense::inputs`] or formats
+    /// mismatch.
+    #[must_use]
+    pub fn forward(&self, x: &[Fx], nl: &dyn Nonlinearity) -> Vec<Fx> {
+        let pre = self.weights.matvec(x);
+        pre.into_iter()
+            .zip(&self.bias)
+            .map(|(p, &b)| {
+                let z = p + b;
+                match self.activation {
+                    LayerActivation::Sigmoid => nl.sigmoid(z),
+                    LayerActivation::Tanh => nl.tanh(z),
+                    LayerActivation::Identity => z,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReferenceActivation;
+    use crate::tensor::quantize_vec;
+    use nacu_fixed::Rounding;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn identity_layer_is_affine() {
+        let layer = Dense::from_f64(
+            2,
+            2,
+            &[1.0, 0.0, 0.0, 1.0],
+            &[0.5, -0.5],
+            LayerActivation::Identity,
+            q(),
+        );
+        let nl = ReferenceActivation::new(q());
+        let y = layer.forward(&quantize_vec(&[1.0, 2.0], q()), &nl);
+        assert_eq!(y[0].to_f64(), 1.5);
+        assert_eq!(y[1].to_f64(), 1.5);
+    }
+
+    #[test]
+    fn sigmoid_layer_squashes() {
+        let layer = Dense::from_f64(1, 1, &[10.0], &[0.0], LayerActivation::Sigmoid, q());
+        let nl = ReferenceActivation::new(q());
+        let y = layer.forward(&[Fx::from_f64(1.0, q(), Rounding::Nearest)], &nl);
+        assert!((y[0].to_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tanh_layer_is_odd() {
+        let layer = Dense::from_f64(1, 1, &[1.0], &[0.0], LayerActivation::Tanh, q());
+        let nl = ReferenceActivation::new(q());
+        let p = layer.forward(&[Fx::from_f64(0.8, q(), Rounding::Nearest)], &nl)[0].to_f64();
+        let n = layer.forward(&[Fx::from_f64(-0.8, q(), Rounding::Nearest)], &nl)[0].to_f64();
+        assert!((p + n).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length mismatch")]
+    fn bias_shape_is_checked() {
+        let _ = Dense::from_f64(2, 2, &[0.0; 4], &[0.0], LayerActivation::Identity, q());
+    }
+}

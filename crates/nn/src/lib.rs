@@ -1,0 +1,33 @@
+//! Fixed-point neural-network substrate for the NACU reproduction.
+//!
+//! The paper motivates NACU with reconfigurable fabrics hosting "any mix
+//! of ANNs and SNNs": CNN/MLP layers need σ/tanh activations and a softmax
+//! classifier head, LSTMs need σ and tanh inside every cell, and
+//! biologically plausible neurons need the exponential. This crate builds
+//! those workloads so the unit can be exercised end-to-end:
+//!
+//! * [`tensor`] — a minimal fixed-point matrix type whose matmul runs
+//!   through NACU's MAC accumulator semantics;
+//! * [`activation`] — the [`activation::Nonlinearity`] trait with the
+//!   bit-accurate NACU implementation, an exact f64 reference, and every
+//!   related-work comparator adaptable via closures;
+//! * [`dense`] / [`mlp`] / [`conv`] — inference layers (dense, 2-D
+//!   convolution + pooling) and a softmax classifier;
+//! * [`lstm`] — an LSTM cell (4 gates, 3 σ + 2 tanh per step);
+//! * [`train`] / [`train_lstm`] — small f64 SGD/BPTT trainers so quantised
+//!   inference runs on *realistic* weights rather than random ones;
+//! * [`data`] — seeded synthetic datasets (Gaussian blobs, two-spirals,
+//!   XOR clouds) substituting for the proprietary workloads;
+//! * [`snn`] — an adaptive-exponential integrate-and-fire neuron whose
+//!   exp term runs on the normalised NACU exponential path.
+
+pub mod activation;
+pub mod conv;
+pub mod data;
+pub mod dense;
+pub mod lstm;
+pub mod mlp;
+pub mod snn;
+pub mod tensor;
+pub mod train;
+pub mod train_lstm;

@@ -1,0 +1,255 @@
+//! A fixed-point LSTM cell.
+//!
+//! The LSTM is the paper's poster-child for reconfigurability: every step
+//! needs **three σ and two tanh evaluations per hidden unit**, so the
+//! activation unit is on the critical path. This cell runs all five
+//! non-linearities through a pluggable [`Nonlinearity`].
+
+use nacu_fixed::{Fx, QFormat};
+
+use crate::activation::Nonlinearity;
+use crate::tensor::Matrix;
+
+/// Gate weight bundle: input (`W`), recurrent (`U`) and bias (`b`).
+#[derive(Debug, Clone)]
+struct Gate {
+    w: Matrix,
+    u: Matrix,
+    b: Vec<Fx>,
+}
+
+impl Gate {
+    fn pre_activation(&self, x: &[Fx], h: &[Fx]) -> Vec<Fx> {
+        let wx = self.w.matvec(x);
+        let uh = self.u.matvec(h);
+        wx.into_iter()
+            .zip(uh)
+            .zip(&self.b)
+            .map(|((a, b), &c)| a + b + c)
+            .collect()
+    }
+}
+
+/// The cell state `(h, c)` carried between steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden output vector.
+    pub h: Vec<Fx>,
+    /// Cell (memory) vector.
+    pub c: Vec<Fx>,
+}
+
+impl LstmState {
+    /// The zero state.
+    #[must_use]
+    pub fn zeros(hidden: usize, format: QFormat) -> Self {
+        Self {
+            h: vec![Fx::zero(format); hidden],
+            c: vec![Fx::zero(format); hidden],
+        }
+    }
+}
+
+/// A standard LSTM cell in fixed point.
+///
+/// Gates: `i = σ(...)`, `f = σ(...)`, `o = σ(...)`, `g = tanh(...)`;
+/// update: `c' = f∘c + i∘g`, `h' = o∘tanh(c')`.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    input_gate: Gate,
+    forget_gate: Gate,
+    output_gate: Gate,
+    cell_gate: Gate,
+    inputs: usize,
+    hidden: usize,
+    format: QFormat,
+}
+
+impl LstmCell {
+    /// Builds a cell from f64 parameters. Each of the four gates takes a
+    /// `hidden × inputs` input matrix, a `hidden × hidden` recurrent
+    /// matrix and a `hidden` bias, concatenated in `[i, f, o, g]` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not have exactly the concatenated sizes.
+    #[must_use]
+    pub fn from_f64(
+        inputs: usize,
+        hidden: usize,
+        w: &[f64],
+        u: &[f64],
+        b: &[f64],
+        format: QFormat,
+    ) -> Self {
+        assert_eq!(w.len(), 4 * hidden * inputs, "input weight size");
+        assert_eq!(u.len(), 4 * hidden * hidden, "recurrent weight size");
+        assert_eq!(b.len(), 4 * hidden, "bias size");
+        let gate = |k: usize| Gate {
+            w: Matrix::from_f64(
+                hidden,
+                inputs,
+                &w[k * hidden * inputs..(k + 1) * hidden * inputs],
+                format,
+            ),
+            u: Matrix::from_f64(
+                hidden,
+                hidden,
+                &u[k * hidden * hidden..(k + 1) * hidden * hidden],
+                format,
+            ),
+            b: crate::tensor::quantize_vec(&b[k * hidden..(k + 1) * hidden], format),
+        };
+        Self {
+            input_gate: gate(0),
+            forget_gate: gate(1),
+            output_gate: gate(2),
+            cell_gate: gate(3),
+            inputs,
+            hidden,
+            format,
+        }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Hidden width.
+    #[must_use]
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or the state have the wrong widths or formats.
+    #[must_use]
+    pub fn step(&self, x: &[Fx], state: &LstmState, nl: &dyn Nonlinearity) -> LstmState {
+        assert_eq!(x.len(), self.inputs, "input width");
+        assert_eq!(state.h.len(), self.hidden, "state width");
+        let i: Vec<Fx> = self
+            .input_gate
+            .pre_activation(x, &state.h)
+            .into_iter()
+            .map(|z| nl.sigmoid(z))
+            .collect();
+        let f: Vec<Fx> = self
+            .forget_gate
+            .pre_activation(x, &state.h)
+            .into_iter()
+            .map(|z| nl.sigmoid(z))
+            .collect();
+        let o: Vec<Fx> = self
+            .output_gate
+            .pre_activation(x, &state.h)
+            .into_iter()
+            .map(|z| nl.sigmoid(z))
+            .collect();
+        let g: Vec<Fx> = self
+            .cell_gate
+            .pre_activation(x, &state.h)
+            .into_iter()
+            .map(|z| nl.tanh(z))
+            .collect();
+        let c: Vec<Fx> = (0..self.hidden)
+            .map(|j| f[j] * state.c[j] + i[j] * g[j])
+            .collect();
+        let h: Vec<Fx> = (0..self.hidden).map(|j| o[j] * nl.tanh(c[j])).collect();
+        LstmState { h, c }
+    }
+
+    /// Runs a whole input sequence from the zero state, returning the
+    /// final state.
+    #[must_use]
+    pub fn run(&self, sequence: &[Vec<Fx>], nl: &dyn Nonlinearity) -> LstmState {
+        let mut state = LstmState::zeros(self.hidden, self.format);
+        for x in sequence {
+            state = self.step(x, &state, nl);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{NacuActivation, ReferenceActivation};
+    use crate::tensor::quantize_vec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    fn random_cell(inputs: usize, hidden: usize, seed: u64) -> LstmCell {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vals =
+            |n: usize| -> Vec<f64> { (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect() };
+        let w = vals(4 * hidden * inputs);
+        let u = vals(4 * hidden * hidden);
+        let b = vals(4 * hidden);
+        LstmCell::from_f64(inputs, hidden, &w, &u, &b, q())
+    }
+
+    #[test]
+    fn zero_weights_keep_zero_state_at_half_gates() {
+        // All-zero weights: i = f = o = σ(0) = 0.5, g = tanh(0) = 0;
+        // c' = 0.5·0 + 0.5·0 = 0; h' = 0.5·tanh(0) = 0.
+        let cell = LstmCell::from_f64(1, 2, &[0.0; 8], &[0.0; 16], &[0.0; 8], q());
+        let nl = ReferenceActivation::new(q());
+        let s = cell.step(&quantize_vec(&[1.0], q()), &LstmState::zeros(2, q()), &nl);
+        assert!(s.h.iter().all(Fx::is_zero));
+        assert!(s.c.iter().all(Fx::is_zero));
+    }
+
+    #[test]
+    fn nacu_state_tracks_reference_state_over_a_sequence() {
+        let cell = random_cell(3, 4, 11);
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq: Vec<Vec<Fx>> = (0..12)
+            .map(|_| {
+                let v: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                quantize_vec(&v, q())
+            })
+            .collect();
+        let nacu = NacuActivation::paper_16bit();
+        let golden = ReferenceActivation::new(q());
+        let s_nacu = cell.run(&seq, &nacu);
+        let s_ref = cell.run(&seq, &golden);
+        for (a, b) in s_nacu.h.iter().zip(&s_ref.h) {
+            assert!(
+                (a.to_f64() - b.to_f64()).abs() < 0.02,
+                "hidden divergence {} vs {}",
+                a.to_f64(),
+                b.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn forget_gate_saturated_open_preserves_cell_memory() {
+        // Huge forget bias → f ≈ 1; zero input gate → c' ≈ c.
+        let hidden = 1;
+        let mut b = vec![0.0; 4];
+        b[0] = -12.0; // input gate shut
+        b[1] = 12.0; // forget gate open
+        let cell = LstmCell::from_f64(1, hidden, &[0.0; 4], &[0.0; 4], &b, q());
+        let nl = ReferenceActivation::new(q());
+        let mut state = LstmState::zeros(hidden, q());
+        state.c[0] = Fx::from_f64(0.75, q(), nacu_fixed::Rounding::Nearest);
+        let next = cell.step(&quantize_vec(&[0.3], q()), &state, &nl);
+        assert!((next.c[0].to_f64() - 0.75).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input weight size")]
+    fn wrong_weight_shape_panics() {
+        let _ = LstmCell::from_f64(2, 2, &[0.0; 7], &[0.0; 16], &[0.0; 8], q());
+    }
+}

@@ -1,0 +1,136 @@
+//! A fixed-point multi-layer perceptron with a softmax classification
+//! head — the "last layer" workload §IV.B builds the exp/softmax path for.
+
+use nacu_fixed::{Fx, QFormat};
+
+use crate::activation::Nonlinearity;
+use crate::data::Dataset;
+use crate::dense::Dense;
+use crate::tensor::quantize_vec;
+
+/// A feed-forward classifier: dense layers, then softmax over the logits.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    format: QFormat,
+}
+
+impl Mlp {
+    /// Assembles an MLP from pre-built layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive widths do not chain.
+    #[must_use]
+    pub fn new(layers: Vec<Dense>, format: QFormat) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].outputs(),
+                pair[1].inputs(),
+                "layer widths must chain"
+            );
+        }
+        Self { layers, format }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Number of classes (last layer width).
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs()
+    }
+
+    /// Forward pass returning softmax probabilities.
+    #[must_use]
+    pub fn forward(&self, x: &[Fx], nl: &dyn Nonlinearity) -> Vec<Fx> {
+        let mut h = x.to_vec();
+        for layer in &self.layers {
+            h = layer.forward(&h, nl);
+        }
+        nl.softmax(&h)
+    }
+
+    /// Predicted class for an f64 feature vector.
+    #[must_use]
+    pub fn classify(&self, features: &[f64], nl: &dyn Nonlinearity) -> usize {
+        let x = quantize_vec(features, self.format);
+        let probs = self.forward(&x, nl);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("same format"))
+            .map(|(i, _)| i)
+            .expect("non-empty class vector")
+    }
+
+    /// Classification accuracy over a dataset.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset, nl: &dyn Nonlinearity) -> f64 {
+        let correct = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .filter(|(f, &l)| self.classify(f, nl) == l)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReferenceActivation;
+    use crate::dense::LayerActivation;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn hand_built_network_classifies_by_sign() {
+        // One layer mapping x -> logits [x, -x]: class 0 iff x > 0.
+        let layer = Dense::from_f64(
+            2,
+            1,
+            &[4.0, -4.0],
+            &[0.0, 0.0],
+            LayerActivation::Identity,
+            q(),
+        );
+        let mlp = Mlp::new(vec![layer], q());
+        let nl = ReferenceActivation::new(q());
+        assert_eq!(mlp.classify(&[2.0], &nl), 0);
+        assert_eq!(mlp.classify(&[-2.0], &nl), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let layer = Dense::from_f64(
+            3,
+            2,
+            &[1.0, 0.0, 0.0, 1.0, -1.0, 0.5],
+            &[0.0; 3],
+            LayerActivation::Identity,
+            q(),
+        );
+        let mlp = Mlp::new(vec![layer], q());
+        let nl = ReferenceActivation::new(q());
+        let probs = mlp.forward(&quantize_vec(&[0.7, -0.2], q()), &nl);
+        let sum: f64 = probs.iter().map(Fx::to_f64).sum();
+        assert!((sum - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer widths must chain")]
+    fn mismatched_layers_panic() {
+        let a = Dense::from_f64(3, 2, &[0.0; 6], &[0.0; 3], LayerActivation::Tanh, q());
+        let b = Dense::from_f64(2, 4, &[0.0; 8], &[0.0; 2], LayerActivation::Identity, q());
+        let _ = Mlp::new(vec![a, b], q());
+    }
+}

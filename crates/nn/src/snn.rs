@@ -1,0 +1,241 @@
+//! An exponential integrate-and-fire neuron on the NACU exp path.
+//!
+//! §I motivates the exponential with "biologically plausible
+//! integrate-and-fire neurons using differential equations … whose
+//! numerical solutions often involve these non-linearities" — the
+//! adaptive-exponential neuron family of \[12\]/\[15\]. The membrane equation
+//!
+//! ```text
+//! τ·dV/dt = −(V − E_L) + Δ_T·e^{(V − V_T)/Δ_T} + R·I
+//! ```
+//!
+//! contains an exponential whose argument turns positive near threshold.
+//! We renormalise it the same way softmax does (§IV.B): with
+//! `a′ = (V − V_peak)/Δ_T ≤ 0` the term becomes
+//! `Δ_T·e^{a_max}·e^{a′}` with `a_max = (V_peak − V_T)/Δ_T` a constant —
+//! so the datapath only ever sees the normalised non-positive operand, and
+//! the Eq. 16 error bound applies.
+
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+use crate::activation::Nonlinearity;
+
+/// Physical parameters of the exponential integrate-and-fire neuron, in
+/// normalised units that fit a `Q4.11` membrane variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdexParams {
+    /// Membrane time constant.
+    pub tau: f64,
+    /// Leak reversal (resting) potential.
+    pub e_l: f64,
+    /// Exponential threshold.
+    pub v_t: f64,
+    /// Threshold sharpness `Δ_T`.
+    pub delta_t: f64,
+    /// Input resistance.
+    pub r: f64,
+    /// Spike-detection ceiling.
+    pub v_peak: f64,
+    /// Post-spike reset potential.
+    pub v_reset: f64,
+}
+
+impl Default for AdexParams {
+    /// A well-behaved normalised parameter set (potentials in `[−8, 8]`).
+    fn default() -> Self {
+        Self {
+            tau: 10.0,
+            e_l: -2.0,
+            v_t: 1.0,
+            delta_t: 2.0,
+            r: 1.0,
+            v_peak: 6.0,
+            v_reset: -3.0,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeTrain {
+    /// Time-step indices at which the neuron fired.
+    pub spikes: Vec<usize>,
+    /// Membrane trace (f64 view of the fixed-point state), one entry per
+    /// step.
+    pub trace: Vec<f64>,
+}
+
+impl SpikeTrain {
+    /// Number of spikes.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.spikes.len()
+    }
+}
+
+/// A fixed-point exponential integrate-and-fire neuron.
+#[derive(Debug, Clone)]
+pub struct AdexNeuron {
+    params: AdexParams,
+    format: QFormat,
+    /// `dt/τ` quantised.
+    k_leak: Fx,
+    /// `dt/τ · Δ_T · e^{a_max}` quantised (the folded exp prefactor).
+    k_exp: Fx,
+    /// `dt/τ · R` quantised.
+    k_input: Fx,
+    /// `1/Δ_T` quantised (for the exp argument).
+    inv_delta_t: Fx,
+    e_l: Fx,
+    v_peak: Fx,
+    v_reset: Fx,
+}
+
+impl AdexNeuron {
+    /// Builds a neuron with time step `dt` in `format`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt`, `tau` or `delta_t` is not positive, or if the
+    /// folded exp prefactor `dt/τ·Δ_T·e^{a_max}` does not fit the format
+    /// (choose a smaller `v_peak − v_t` or a finer time step).
+    #[must_use]
+    pub fn new(params: AdexParams, dt: f64, format: QFormat) -> Self {
+        assert!(dt > 0.0 && params.tau > 0.0 && params.delta_t > 0.0);
+        let a_max = (params.v_peak - params.v_t) / params.delta_t;
+        let k_exp_val = dt / params.tau * params.delta_t * a_max.exp();
+        assert!(
+            k_exp_val <= format.max_value(),
+            "exp prefactor {k_exp_val} does not fit {format}"
+        );
+        let q = |v: f64| Fx::from_f64(v, format, Rounding::Nearest);
+        Self {
+            params,
+            format,
+            k_leak: q(dt / params.tau),
+            k_exp: q(k_exp_val),
+            k_input: q(dt / params.tau * params.r),
+            inv_delta_t: q(1.0 / params.delta_t),
+            e_l: q(params.e_l),
+            v_peak: q(params.v_peak),
+            v_reset: q(params.v_reset),
+        }
+    }
+
+    /// The parameter set.
+    #[must_use]
+    pub fn params(&self) -> &AdexParams {
+        &self.params
+    }
+
+    /// Simulates the neuron over an input-current sequence (one value per
+    /// step), integrating with forward Euler in fixed point. The exp term
+    /// is evaluated by `nl` on the normalised non-positive operand.
+    #[must_use]
+    pub fn simulate(&self, current: &[f64], nl: &dyn Nonlinearity) -> SpikeTrain {
+        let mut v = self.e_l;
+        let mut spikes = Vec::new();
+        let mut trace = Vec::with_capacity(current.len());
+        for (step, &i_in) in current.iter().enumerate() {
+            // a' = (V − V_peak)/Δ_T ≤ 0 (exp operand, already normalised).
+            let a_prime = (v - self.v_peak) * self.inv_delta_t;
+            let exp_term = self.k_exp * nl.exp_neg(a_prime);
+            let leak = self.k_leak * (self.e_l - v);
+            let drive = self.k_input * Fx::from_f64(i_in, self.format, Rounding::Nearest);
+            v = v + leak + exp_term + drive;
+            if v >= self.v_peak {
+                spikes.push(step);
+                v = self.v_reset;
+            }
+            trace.push(v.to_f64());
+        }
+        SpikeTrain { spikes, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{NacuActivation, ReferenceActivation};
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    fn neuron() -> AdexNeuron {
+        AdexNeuron::new(AdexParams::default(), 0.5, q())
+    }
+
+    #[test]
+    fn no_input_means_no_spikes() {
+        let n = neuron();
+        let nl = ReferenceActivation::new(q());
+        let out = n.simulate(&vec![0.0; 400], &nl);
+        assert_eq!(out.count(), 0);
+        // The membrane settles at the subthreshold fixed point: E_L plus
+        // the depolarising exp offset (≈ 0.6 for the default parameters,
+        // solving V − E_L = Δ_T·e^{(V − V_T)/Δ_T}).
+        let final_v = *out.trace.last().unwrap();
+        assert!((final_v - (-1.41)).abs() < 0.1, "V = {final_v}");
+        assert!(final_v > n.params().e_l, "exp term depolarises");
+    }
+
+    #[test]
+    fn strong_input_produces_regular_spiking() {
+        let n = neuron();
+        let nl = ReferenceActivation::new(q());
+        let out = n.simulate(&vec![6.0; 800], &nl);
+        assert!(out.count() >= 3, "spikes: {}", out.count());
+        // Regular spiking: inter-spike intervals agree within a few steps.
+        let isis: Vec<usize> = out.spikes.windows(2).map(|w| w[1] - w[0]).collect();
+        let (min, max) = (*isis.iter().min().unwrap(), *isis.iter().max().unwrap());
+        assert!(max - min <= 2, "irregular ISIs: {isis:?}");
+    }
+
+    #[test]
+    fn nacu_exp_reproduces_the_reference_spike_train() {
+        let n = neuron();
+        let golden = ReferenceActivation::new(q());
+        let nacu = NacuActivation::paper_16bit();
+        let current = vec![5.5; 1000];
+        let a = n.simulate(&current, &golden);
+        let b = n.simulate(&current, &nacu);
+        // Same spike count, and each spike within a couple of steps.
+        assert_eq!(a.count(), b.count(), "{:?} vs {:?}", a.spikes, b.spikes);
+        for (x, y) in a.spikes.iter().zip(&b.spikes) {
+            assert!((*x as i64 - *y as i64).abs() <= 3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn firing_rate_grows_with_input_current() {
+        let n = neuron();
+        let nl = ReferenceActivation::new(q());
+        let low = n.simulate(&vec![4.5; 1000], &nl).count();
+        let high = n.simulate(&vec![7.0; 1000], &nl).count();
+        assert!(high > low, "rate {low} -> {high}");
+    }
+
+    #[test]
+    fn reset_follows_every_spike() {
+        let n = neuron();
+        let nl = ReferenceActivation::new(q());
+        let out = n.simulate(&vec![6.0; 600], &nl);
+        for &s in &out.spikes {
+            assert!((out.trace[s] - n.params().v_reset).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_prefactor_is_rejected() {
+        let params = AdexParams {
+            v_peak: 14.0,
+            v_t: 0.0,
+            delta_t: 1.0,
+            tau: 0.5,
+            ..AdexParams::default()
+        };
+        let _ = AdexNeuron::new(params, 1.0, q());
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal fixed-point matrix type.
+//!
+//! Dense layers and LSTM gates reduce to matrix–vector products; this type
+//! runs them through [`nacu::datapath::MacAccumulator`] so every multiply
+//! and accumulate has exactly the datapath's rounding and saturation
+//! behaviour.
+
+use nacu::datapath::MacAccumulator;
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+/// A row-major fixed-point matrix (all elements share one format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Fx>,
+    format: QFormat,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize, format: QFormat) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![Fx::zero(format); rows * cols],
+            format,
+        }
+    }
+
+    /// Quantises an f64 matrix given in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols` or a dimension is zero.
+    #[must_use]
+    pub fn from_f64(rows: usize, cols: usize, values: &[f64], format: QFormat) -> Self {
+        assert_eq!(values.len(), rows * cols, "shape mismatch");
+        let mut m = Self::zeros(rows, cols, format);
+        for (slot, &v) in m.data.iter_mut().zip(values) {
+            *slot = Fx::from_f64(v, format, Rounding::Nearest);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element format.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> Fx {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: Fx) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        assert_eq!(value.format(), self.format, "format mismatch");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Matrix–vector product through the MAC accumulator: one accumulator
+    /// per output row, one MAC step per element — NACU's convolution mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or any element format differs.
+    #[must_use]
+    pub fn matvec(&self, x: &[Fx]) -> Vec<Fx> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let mut mac = MacAccumulator::new(self.format);
+                for (c, &xi) in x.iter().enumerate() {
+                    mac.step(self.get(r, c), xi);
+                }
+                mac.value()
+            })
+            .collect()
+    }
+
+    /// Row-major view of the raw elements.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Fx] {
+        &self.data
+    }
+}
+
+/// Quantises an f64 vector.
+#[must_use]
+pub fn quantize_vec(values: &[f64], format: QFormat) -> Vec<Fx> {
+    values
+        .iter()
+        .map(|&v| Fx::from_f64(v, format, Rounding::Nearest))
+        .collect()
+}
+
+/// Converts a fixed-point vector back to f64 for reporting.
+#[must_use]
+pub fn to_f64_vec(values: &[Fx]) -> Vec<f64> {
+    values.iter().map(Fx::to_f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QFormat {
+        QFormat::new(4, 11).unwrap()
+    }
+
+    #[test]
+    fn matvec_matches_f64_for_exact_values() {
+        let m = Matrix::from_f64(2, 3, &[0.5, 1.0, -0.25, 2.0, 0.0, 1.5], q());
+        let x = quantize_vec(&[1.0, 2.0, 4.0], q());
+        let y = m.matvec(&x);
+        assert_eq!(y[0].to_f64(), 0.5 + 2.0 - 1.0);
+        assert_eq!(y[1].to_f64(), 2.0 + 0.0 + 6.0);
+    }
+
+    #[test]
+    fn matvec_saturates_like_the_mac() {
+        let m = Matrix::from_f64(1, 2, &[15.0, 15.0], q());
+        let x = quantize_vec(&[1.0, 1.0], q());
+        let y = m.matvec(&x);
+        assert_eq!(y[0].raw(), q().max_raw());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = Matrix::zeros(2, 2, q());
+        let v = Fx::from_f64(1.25, q(), Rounding::Nearest);
+        m.set(1, 0, v);
+        assert_eq!(m.get(1, 0), v);
+        assert!(m.get(0, 0).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_shape_panics() {
+        let _ = Matrix::from_f64(2, 2, &[1.0, 2.0, 3.0], q());
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn wrong_vector_length_panics() {
+        let m = Matrix::zeros(2, 3, q());
+        let x = quantize_vec(&[1.0], q());
+        let _ = m.matvec(&x);
+    }
+
+    #[test]
+    fn quantize_round_trips() {
+        let vals = [0.5, -1.25, 3.0];
+        let back = to_f64_vec(&quantize_vec(&vals, q()));
+        assert_eq!(back, vals);
+    }
+}

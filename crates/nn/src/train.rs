@@ -1,0 +1,233 @@
+//! A small f64 SGD trainer.
+//!
+//! Quantised-inference experiments are only meaningful on *trained*
+//! weights — random weights would hide activation-approximation error in
+//! noise. This module trains a one-hidden-layer MLP (tanh hidden, softmax
+//! cross-entropy head) in f64, then quantises it into the fixed-point
+//! [`Mlp`] for the NACU-vs-reference comparisons.
+
+use nacu_fixed::QFormat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::Dataset;
+use crate::dense::{Dense, LayerActivation};
+use crate::mlp::Mlp;
+
+/// A trained one-hidden-layer network in f64.
+#[derive(Debug, Clone)]
+pub struct TrainedMlp {
+    inputs: usize,
+    hidden: usize,
+    classes: usize,
+    /// Hidden weights, `hidden × inputs` row-major.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// Output weights, `classes × hidden` row-major.
+    w2: Vec<f64>,
+    b2: Vec<f64>,
+}
+
+impl TrainedMlp {
+    /// Forward pass in f64, returning (hidden activations, logits).
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let h: Vec<f64> = (0..self.hidden)
+            .map(|j| {
+                let z: f64 = (0..self.inputs)
+                    .map(|i| self.w1[j * self.inputs + i] * x[i])
+                    .sum::<f64>()
+                    + self.b1[j];
+                z.tanh()
+            })
+            .collect();
+        let logits: Vec<f64> = (0..self.classes)
+            .map(|k| {
+                (0..self.hidden)
+                    .map(|j| self.w2[k * self.hidden + j] * h[j])
+                    .sum::<f64>()
+                    + self.b2[k]
+            })
+            .collect();
+        (h, logits)
+    }
+
+    /// f64 classification accuracy (the ceiling quantised inference is
+    /// compared against).
+    #[must_use]
+    pub fn accuracy_f64(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .filter(|(x, &l)| {
+                let (_, logits) = self.forward(x);
+                argmax(&logits) == l
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Raw trained parameters `(w1, b1, w2, b2)`: hidden weights
+    /// (`hidden × inputs`, row-major), hidden biases, output weights
+    /// (`classes × hidden`), output biases — for mapping the network onto
+    /// other substrates (e.g. the `nacu-cgra` fabric).
+    #[must_use]
+    pub fn parameters(&self) -> (&[f64], &[f64], &[f64], &[f64]) {
+        (&self.w1, &self.b1, &self.w2, &self.b2)
+    }
+
+    /// Quantises the trained weights into a fixed-point [`Mlp`] with a
+    /// tanh hidden layer.
+    #[must_use]
+    pub fn quantize(&self, format: QFormat) -> Mlp {
+        let hidden = Dense::from_f64(
+            self.hidden,
+            self.inputs,
+            &self.w1,
+            &self.b1,
+            LayerActivation::Tanh,
+            format,
+        );
+        let head = Dense::from_f64(
+            self.classes,
+            self.hidden,
+            &self.w2,
+            &self.b2,
+            LayerActivation::Identity,
+            format,
+        );
+        Mlp::new(vec![hidden, head], format)
+    }
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// Trains a one-hidden-layer MLP with plain SGD on softmax cross-entropy.
+///
+/// Deterministic for a given `(data, hidden, epochs, lr, seed)` tuple.
+///
+/// # Panics
+///
+/// Panics on an empty dataset, a zero hidden width, or a non-positive
+/// learning rate.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // backprop index algebra reads clearest indexed
+pub fn train_mlp(data: &Dataset, hidden: usize, epochs: usize, lr: f64, seed: u64) -> TrainedMlp {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(hidden > 0, "hidden width must be positive");
+    assert!(lr > 0.0, "learning rate must be positive");
+    let inputs = data.dim();
+    let classes = data.classes;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut init = |n: usize, fan_in: usize| -> Vec<f64> {
+        let scale = (1.0 / fan_in as f64).sqrt();
+        (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+    };
+    let mut net = TrainedMlp {
+        inputs,
+        hidden,
+        classes,
+        w1: init(hidden * inputs, inputs),
+        b1: vec![0.0; hidden],
+        w2: init(classes * hidden, hidden),
+        b2: vec![0.0; classes],
+    };
+    for _ in 0..epochs {
+        for (x, &label) in data.features.iter().zip(&data.labels) {
+            let (h, logits) = net.forward(x);
+            // Softmax + cross-entropy gradient: p − one_hot.
+            let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = logits.iter().map(|z| (z - max).exp()).collect();
+            let denom: f64 = exps.iter().sum();
+            let grad_logits: Vec<f64> = exps
+                .iter()
+                .enumerate()
+                .map(|(k, e)| e / denom - f64::from(u8::from(k == label)))
+                .collect();
+            // Output layer update + hidden gradient.
+            let mut grad_h = vec![0.0; hidden];
+            for k in 0..classes {
+                for j in 0..hidden {
+                    grad_h[j] += grad_logits[k] * net.w2[k * hidden + j];
+                    net.w2[k * hidden + j] -= lr * grad_logits[k] * h[j];
+                }
+                net.b2[k] -= lr * grad_logits[k];
+            }
+            // Hidden layer update through the tanh derivative.
+            for j in 0..hidden {
+                let dz = grad_h[j] * (1.0 - h[j] * h[j]);
+                for i in 0..inputs {
+                    net.w1[j * inputs + i] -= lr * dz * x[i];
+                }
+                net.b1[j] -= lr * dz;
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn training_learns_separable_blobs() {
+        let d = data::gaussian_blobs(400, 3, 5.0, 42);
+        let (train, test) = d.split(0.8);
+        let net = train_mlp(&train, 8, 40, 0.05, 1);
+        let acc = net.accuracy_f64(&test);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_cracks_xor() {
+        let d = data::xor_clouds(400, 42);
+        let (train, test) = d.split(0.8);
+        let net = train_mlp(&train, 12, 150, 0.05, 2);
+        let acc = net.accuracy_f64(&test);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = data::gaussian_blobs(100, 2, 4.0, 5);
+        let a = train_mlp(&d, 4, 5, 0.05, 9);
+        let b = train_mlp(&d, 4, 5, 0.05, 9);
+        assert_eq!(a.w1, b.w1);
+        assert_eq!(a.w2, b.w2);
+    }
+
+    #[test]
+    fn quantised_network_matches_f64_on_easy_data() {
+        let d = data::gaussian_blobs(300, 3, 5.0, 7);
+        let (train, test) = d.split(0.8);
+        let net = train_mlp(&train, 8, 40, 0.05, 3);
+        let fmt = QFormat::new(4, 11).unwrap();
+        let fixed = net.quantize(fmt);
+        let nl = crate::activation::ReferenceActivation::new(fmt);
+        let acc_fixed = fixed.accuracy(&test, &nl);
+        let acc_f64 = net.accuracy_f64(&test);
+        assert!(
+            acc_fixed >= acc_f64 - 0.05,
+            "fixed {acc_fixed} vs f64 {acc_f64}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let d = Dataset {
+            features: vec![],
+            labels: vec![],
+            classes: 2,
+        };
+        let _ = train_mlp(&d, 4, 1, 0.1, 0);
+    }
+}

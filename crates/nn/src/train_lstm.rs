@@ -1,0 +1,365 @@
+//! A small f64 BPTT trainer for the LSTM workload.
+//!
+//! The LSTM accuracy experiments need *trained* gate weights — random
+//! gates neither saturate nor gate, so they under-exercise exactly the σ
+//! and tanh regions that matter. This module trains a single-cell LSTM
+//! with a logistic read-out on a synthetic **memory task** (classify a
+//! sequence by its *first* element, forcing the cell state to carry
+//! information across every step) and hands the weights to the
+//! fixed-point [`crate::lstm::LstmCell`].
+
+use nacu_fixed::QFormat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lstm::LstmCell;
+
+/// A sequence-classification dataset: `sequences[i]` (each `T × inputs`)
+/// has binary label `labels[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceDataset {
+    /// Input sequences.
+    pub sequences: Vec<Vec<Vec<f64>>>,
+    /// Binary labels.
+    pub labels: Vec<bool>,
+}
+
+impl SequenceDataset {
+    /// Number of sequences.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// `true` if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+}
+
+/// The memory task: the label is the sign of the **first** element; the
+/// remaining `steps − 1` elements are distractor noise.
+#[must_use]
+pub fn memory_task(samples: usize, steps: usize, seed: u64) -> SequenceDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sequences = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let label = rng.gen::<bool>();
+        let first = if label {
+            rng.gen_range(0.25..1.0)
+        } else {
+            rng.gen_range(-1.0..-0.25)
+        };
+        let mut seq = vec![vec![first]];
+        for _ in 1..steps {
+            seq.push(vec![rng.gen_range(-1.0..1.0)]);
+        }
+        sequences.push(seq);
+        labels.push(label);
+    }
+    SequenceDataset { sequences, labels }
+}
+
+/// A trained single-cell LSTM classifier in f64.
+#[derive(Debug, Clone)]
+pub struct TrainedLstm {
+    inputs: usize,
+    hidden: usize,
+    /// Gate weights `[i, f, o, g]`, each `hidden × inputs` row-major.
+    w: Vec<f64>,
+    /// Recurrent weights, each `hidden × hidden`.
+    u: Vec<f64>,
+    /// Gate biases.
+    b: Vec<f64>,
+    /// Read-out weights (`hidden`) and bias.
+    w_out: Vec<f64>,
+    b_out: f64,
+}
+
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    o: Vec<f64>,
+    g: Vec<f64>,
+    c: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl TrainedLstm {
+    fn gate_pre(&self, k: usize, x: &[f64], h: &[f64], j: usize) -> f64 {
+        let hid = self.hidden;
+        let inp = self.inputs;
+        let mut z = self.b[k * hid + j];
+        for (idx, &xv) in x.iter().enumerate() {
+            z += self.w[k * hid * inp + j * inp + idx] * xv;
+        }
+        for (idx, &hv) in h.iter().enumerate() {
+            z += self.u[k * hid * hid + j * hid + idx] * hv;
+        }
+        z
+    }
+
+    fn forward_sequence(&self, seq: &[Vec<f64>]) -> (Vec<StepCache>, f64) {
+        let hid = self.hidden;
+        let mut h = vec![0.0; hid];
+        let mut c = vec![0.0; hid];
+        let mut caches = Vec::with_capacity(seq.len());
+        for x in seq {
+            let mut cache = StepCache {
+                x: x.clone(),
+                h_prev: h.clone(),
+                c_prev: c.clone(),
+                i: vec![0.0; hid],
+                f: vec![0.0; hid],
+                o: vec![0.0; hid],
+                g: vec![0.0; hid],
+                c: vec![0.0; hid],
+                tanh_c: vec![0.0; hid],
+            };
+            for j in 0..hid {
+                cache.i[j] = sigmoid(self.gate_pre(0, x, &cache.h_prev, j));
+                cache.f[j] = sigmoid(self.gate_pre(1, x, &cache.h_prev, j));
+                cache.o[j] = sigmoid(self.gate_pre(2, x, &cache.h_prev, j));
+                cache.g[j] = self.gate_pre(3, x, &cache.h_prev, j).tanh();
+                cache.c[j] = cache.f[j] * cache.c_prev[j] + cache.i[j] * cache.g[j];
+                cache.tanh_c[j] = cache.c[j].tanh();
+            }
+            c = cache.c.clone();
+            h = (0..hid).map(|j| cache.o[j] * cache.tanh_c[j]).collect();
+            caches.push(cache);
+        }
+        let logit: f64 = (0..hid).map(|j| self.w_out[j] * h[j]).sum::<f64>() + self.b_out;
+        (caches, sigmoid(logit))
+    }
+
+    /// Classification probability for one sequence.
+    #[must_use]
+    pub fn probability(&self, seq: &[Vec<f64>]) -> f64 {
+        self.forward_sequence(seq).1
+    }
+
+    /// f64 accuracy over a dataset.
+    #[must_use]
+    pub fn accuracy_f64(&self, data: &SequenceDataset) -> f64 {
+        let correct = data
+            .sequences
+            .iter()
+            .zip(&data.labels)
+            .filter(|(s, &l)| (self.probability(s) > 0.5) == l)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Quantises the gate weights into a fixed-point [`LstmCell`] plus the
+    /// f64 read-out `(w_out, b_out)` (the read-out is a single dot product;
+    /// downstream code may quantise it with a [`crate::dense::Dense`]).
+    #[must_use]
+    pub fn quantize(&self, format: QFormat) -> (LstmCell, Vec<f64>, f64) {
+        let cell = LstmCell::from_f64(self.inputs, self.hidden, &self.w, &self.u, &self.b, format);
+        (cell, self.w_out.clone(), self.b_out)
+    }
+}
+
+/// Trains the single-cell LSTM classifier with full BPTT and plain SGD.
+///
+/// Deterministic for fixed arguments.
+///
+/// # Panics
+///
+/// Panics on an empty dataset, zero hidden width or non-positive learning
+/// rate.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // BPTT index algebra reads clearest indexed
+pub fn train_lstm(
+    data: &SequenceDataset,
+    hidden: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+) -> TrainedLstm {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(hidden > 0, "hidden width must be positive");
+    assert!(lr > 0.0, "learning rate must be positive");
+    let inputs = data.sequences[0][0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut init = |n: usize, fan: usize| -> Vec<f64> {
+        let s = (1.0 / fan as f64).sqrt();
+        (0..n).map(|_| rng.gen_range(-s..s)).collect()
+    };
+    let mut net = TrainedLstm {
+        inputs,
+        hidden,
+        w: init(4 * hidden * inputs, inputs),
+        u: init(4 * hidden * hidden, hidden),
+        b: {
+            let mut b = vec![0.0; 4 * hidden];
+            // Forget-gate bias trick: start remembering.
+            for v in &mut b[hidden..2 * hidden] {
+                *v = 1.0;
+            }
+            b
+        },
+        w_out: init(hidden, hidden),
+        b_out: 0.0,
+    };
+    for _ in 0..epochs {
+        for (seq, &label) in data.sequences.iter().zip(&data.labels) {
+            let (caches, p) = net.forward_sequence(seq);
+            let hid = hidden;
+            let steps = caches.len();
+            // Output gradient (BCE): dL/dlogit = p − y.
+            let dlogit = p - f64::from(u8::from(label));
+            let last = &caches[steps - 1];
+            let h_last: Vec<f64> = (0..hid).map(|j| last.o[j] * last.tanh_c[j]).collect();
+            let mut dh: Vec<f64> = (0..hid).map(|j| dlogit * net.w_out[j]).collect();
+            for j in 0..hid {
+                net.w_out[j] -= lr * dlogit * h_last[j];
+            }
+            net.b_out -= lr * dlogit;
+            let mut dc = vec![0.0; hid];
+            // Accumulated parameter gradients.
+            let mut gw = vec![0.0; net.w.len()];
+            let mut gu = vec![0.0; net.u.len()];
+            let mut gb = vec![0.0; net.b.len()];
+            for t in (0..steps).rev() {
+                let cache = &caches[t];
+                let mut dh_prev = vec![0.0; hid];
+                let mut dc_prev = vec![0.0; hid];
+                for j in 0..hid {
+                    let do_ = dh[j] * cache.tanh_c[j];
+                    let dcj = dc[j] + dh[j] * cache.o[j] * (1.0 - cache.tanh_c[j].powi(2));
+                    let di = dcj * cache.g[j];
+                    let df = dcj * cache.c_prev[j];
+                    let dg = dcj * cache.i[j];
+                    dc_prev[j] = dcj * cache.f[j];
+                    // Pre-activation gradients.
+                    let dz = [
+                        di * cache.i[j] * (1.0 - cache.i[j]),
+                        df * cache.f[j] * (1.0 - cache.f[j]),
+                        do_ * cache.o[j] * (1.0 - cache.o[j]),
+                        dg * (1.0 - cache.g[j].powi(2)),
+                    ];
+                    for (k, dzk) in dz.into_iter().enumerate() {
+                        gb[k * hid + j] += dzk;
+                        for (idx, &xv) in cache.x.iter().enumerate() {
+                            gw[k * hid * inputs + j * inputs + idx] += dzk * xv;
+                        }
+                        for idx in 0..hid {
+                            gu[k * hid * hid + j * hid + idx] += dzk * cache.h_prev[idx];
+                            dh_prev[idx] += dzk * net.u[k * hid * hid + j * hid + idx];
+                        }
+                    }
+                }
+                dh = dh_prev;
+                dc = dc_prev;
+            }
+            // Clipped SGD step (BPTT gradients can spike early in training).
+            let clip = 5.0;
+            let apply = |p: &mut [f64], g: &[f64]| {
+                for (pv, gv) in p.iter_mut().zip(g) {
+                    *pv -= lr * gv.clamp(-clip, clip);
+                }
+            };
+            apply(&mut net.w, &gw);
+            apply(&mut net.u, &gu);
+            apply(&mut net.b, &gb);
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{NacuActivation, Nonlinearity, ReferenceActivation};
+    use crate::tensor::quantize_vec;
+    use nacu_fixed::Fx;
+
+    #[test]
+    fn memory_task_is_learnable() {
+        let train = memory_task(300, 8, 1);
+        let test = memory_task(100, 8, 2);
+        let net = train_lstm(&train, 8, 12, 0.05, 3);
+        let acc = net.accuracy_f64(&test);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = memory_task(50, 6, 4);
+        let a = train_lstm(&d, 4, 3, 0.05, 7);
+        let b = train_lstm(&d, 4, 3, 0.05, 7);
+        assert_eq!(a.w, b.w);
+        assert_eq!(a.u, b.u);
+    }
+
+    #[test]
+    fn quantised_cell_with_nacu_matches_f64_decisions() {
+        let train = memory_task(300, 8, 11);
+        let test = memory_task(60, 8, 12);
+        let net = train_lstm(&train, 8, 12, 0.05, 5);
+        let fmt = QFormat::new(4, 11).unwrap();
+        let (cell, w_out, b_out) = net.quantize(fmt);
+        let nacu = NacuActivation::paper_16bit();
+        let reference = ReferenceActivation::new(fmt);
+        let mut agree_f64 = 0;
+        let mut agree_ref = 0;
+        for (seq, &label) in test.sequences.iter().zip(&test.labels) {
+            let run = |nl: &dyn Nonlinearity| -> bool {
+                let fixed_seq: Vec<Vec<Fx>> = seq.iter().map(|x| quantize_vec(x, fmt)).collect();
+                let state = cell.run(&fixed_seq, nl);
+                let logit: f64 = state
+                    .h
+                    .iter()
+                    .zip(&w_out)
+                    .map(|(h, w)| h.to_f64() * w)
+                    .sum::<f64>()
+                    + b_out;
+                logit > 0.0
+            };
+            let nacu_pred = run(&nacu);
+            let ref_pred = run(&reference);
+            if nacu_pred == (net.probability(seq) > 0.5) || nacu_pred == label {
+                agree_f64 += 1;
+            }
+            if nacu_pred == ref_pred {
+                agree_ref += 1;
+            }
+        }
+        // NACU and reference fixed-point inference almost always agree.
+        assert!(
+            agree_ref >= test.len() - 2,
+            "nacu vs reference: {agree_ref}/{}",
+            test.len()
+        );
+        assert!(agree_f64 >= test.len() * 8 / 10);
+    }
+
+    #[test]
+    fn forget_bias_initialisation_is_applied() {
+        let d = memory_task(10, 4, 0);
+        let net = train_lstm(&d, 4, 0, 0.05, 0); // zero epochs: raw init
+        for j in 0..4 {
+            assert!((net.b[4 + j] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let d = SequenceDataset {
+            sequences: vec![],
+            labels: vec![],
+        };
+        let _ = train_lstm(&d, 4, 1, 0.1, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! A small CNN front-end on NACU activations: convolution → tanh →
+//! pooling → dense softmax head, on synthetic "digit stroke" patterns.
+//!
+//! ```sh
+//! cargo run --release --example cnn_feature_map
+//! ```
+
+use nacu_fixed::QFormat;
+use nacu_nn::activation::{NacuActivation, Nonlinearity, ReferenceActivation};
+use nacu_nn::conv::{max_pool2, Conv2d, FeatureMap};
+use nacu_nn::dense::{Dense, LayerActivation};
+use nacu_nn::tensor::to_f64_vec;
+
+/// An 8×8 synthetic pattern: a vertical or horizontal bar with a
+/// deterministic pseudo-noise floor.
+fn pattern(vertical: bool, phase: usize) -> Vec<f64> {
+    let mut img = vec![0.0; 64];
+    for i in 0..8 {
+        let idx = if vertical {
+            i * 8 + (2 + phase % 4)
+        } else {
+            (2 + phase % 4) * 8 + i
+        };
+        img[idx] = 1.0;
+    }
+    for (i, v) in img.iter_mut().enumerate() {
+        *v += 0.1 * (((i * 37 + phase * 101) % 17) as f64 / 17.0 - 0.5);
+    }
+    img
+}
+
+fn classify(img: &[f64], nl: &dyn Nonlinearity, fmt: QFormat) -> (usize, Vec<f64>) {
+    // Edge-detector kernels: vertical and horizontal Sobel-like filters.
+    let conv_v = Conv2d::from_f64(
+        3,
+        &[0.5, 0.0, -0.5, 1.0, 0.0, -1.0, 0.5, 0.0, -0.5],
+        0.0,
+        fmt,
+    );
+    let conv_h = Conv2d::from_f64(
+        3,
+        &[0.5, 1.0, 0.5, 0.0, 0.0, 0.0, -0.5, -1.0, -0.5],
+        0.0,
+        fmt,
+    );
+    let input = FeatureMap::from_f64(8, 8, img, fmt);
+    // Two feature maps → tanh → 2x2 pool → flatten → dense softmax head.
+    let mut features = Vec::new();
+    for conv in [&conv_v, &conv_h] {
+        let fm = max_pool2(&conv.forward(&input, Some(nl)));
+        features.extend(fm.into_vec());
+    }
+    // A hand-designed head: class 0 (vertical) keys on the first map's
+    // energy, class 1 on the second's.
+    let half = features.len() / 2;
+    let w: Vec<f64> = (0..2 * features.len())
+        .map(|i| {
+            let (class, j) = (i / features.len(), i % features.len());
+            let first_map = j < half;
+            if (class == 0) == first_map {
+                0.6
+            } else {
+                -0.6
+            }
+        })
+        .collect();
+    let head = Dense::from_f64(
+        2,
+        features.len(),
+        &w,
+        &[0.0, 0.0],
+        LayerActivation::Identity,
+        fmt,
+    );
+    let logits = head.forward(&features, nl);
+    let probs = nl.softmax(&logits);
+    let arg = probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("same format"))
+        .map(|(i, _)| i)
+        .expect("two classes");
+    (arg, to_f64_vec(&probs))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fmt = QFormat::new(4, 11)?;
+    let nacu = NacuActivation::paper_16bit();
+    let golden = ReferenceActivation::new(fmt);
+    let mut agree = 0;
+    let mut correct = 0;
+    let total = 24;
+    println!("pattern\ttruth\tnacu\tref\tp(nacu)");
+    for k in 0..total {
+        let vertical = k % 2 == 0;
+        let img = pattern(vertical, k / 2);
+        let truth = usize::from(!vertical);
+        let (c_nacu, p_nacu) = classify(&img, &nacu, fmt);
+        let (c_ref, _) = classify(&img, &golden, fmt);
+        if c_nacu == c_ref {
+            agree += 1;
+        }
+        if c_nacu == truth {
+            correct += 1;
+        }
+        if k < 6 {
+            println!(
+                "{}\t{truth}\t{c_nacu}\t{c_ref}\t{:.3}",
+                if vertical { "vertical" } else { "horizontal" },
+                p_nacu[c_nacu]
+            );
+        }
+    }
+    println!("...");
+    println!("\ncorrect: {correct}/{total}, nacu-vs-reference agreement: {agree}/{total}");
+    assert_eq!(agree, total, "activations must not flip any decision");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Interactive view of the §III dimensioning method: for each word width,
+//! the minimal Eq. 7 integer bits, and what violating the bound costs.
+//!
+//! ```sh
+//! cargo run --example format_explorer          # default widths 6..=24
+//! cargo run --example format_explorer -- 16    # one specific width
+//! ```
+
+use nacu::format;
+use nacu_fixed::QFormat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let widths: Vec<u32> = match std::env::args().nth(1) {
+        Some(arg) => vec![arg.parse()?],
+        None => (6..=24).collect(),
+    };
+    println!("N\ti_b\tf_b\tIn_max\t1-sigma(In_max)\tlsb\t\tok?");
+    for n in widths {
+        let Some(ib) = format::min_int_bits(n) else {
+            println!("{n}\t-\t-\t-\t-\t-\tno Eq. 7 solution");
+            continue;
+        };
+        // The compliant format…
+        let good = QFormat::new(ib, n - 1 - ib)?;
+        report(good, true);
+        // …and the violating one with one fewer integer bit, when legal.
+        if ib > 1 {
+            let bad = QFormat::new(ib - 1, n - ib)?;
+            report(bad, false);
+        }
+    }
+    println!();
+    println!("a violating format leaves 1-sigma(In_max) above one LSB: the");
+    println!("output keeps changing past the largest representable input, so");
+    println!("saturation truncates real information (the Eq. 7 failure mode).");
+    Ok(())
+}
+
+fn report(fmt: QFormat, expected_ok: bool) {
+    let gap = 1.0 - format::sigma_at_in_max(fmt);
+    let ok = gap < fmt.resolution();
+    debug_assert_eq!(ok, expected_ok);
+    println!(
+        "{}\t{}\t{}\t{:.4}\t{:.3e}\t{:.3e}\t{}",
+        fmt.total_bits(),
+        fmt.int_bits(),
+        fmt.frac_bits(),
+        format::in_max(fmt),
+        gap,
+        fmt.resolution(),
+        if ok { "ok" } else { "VIOLATES Eq. 7" }
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: configure a NACU, compute all four non-linear functions,
+//! and compare against the f64 reference.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use nacu::{Nacu, NacuConfig};
+use nacu_fixed::{Fx, Rounding};
+use nacu_funcapprox::reference;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's unit: 16-bit Q4.11 datapath, 53-entry coefficient LUT.
+    let nacu = Nacu::new(NacuConfig::paper_16bit())?;
+    let fmt = nacu.config().format;
+    println!(
+        "NACU configured: format {fmt}, {} LUT entries\n",
+        nacu.lut_entries()
+    );
+
+    println!("x\tsigmoid(x)\tref\t\ttanh(x)\t\tref");
+    for v in [-4.0, -1.0, 0.0, 0.5, 2.0, 6.0] {
+        let x = Fx::from_f64(v, fmt, Rounding::Nearest);
+        println!(
+            "{v:+.1}\t{:+.6}\t{:+.6}\t{:+.6}\t{:+.6}",
+            nacu.sigmoid(x).to_f64(),
+            reference::sigmoid(v),
+            nacu.tanh(x).to_f64(),
+            v.tanh()
+        );
+    }
+
+    println!("\nx\texp(x)\t\tref (normalised inputs are ≤ 0)");
+    for v in [-8.0, -2.0, -0.5, 0.0] {
+        let x = Fx::from_f64(v, fmt, Rounding::Nearest);
+        println!("{v:+.1}\t{:.6}\t{:.6}", nacu.exp(x).to_f64(), v.exp());
+    }
+
+    // Softmax over a logit vector — the last-layer workload of §IV.B.
+    let logits = [2.0, 0.5, -1.0, 1.2];
+    let xs: Vec<Fx> = logits
+        .iter()
+        .map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest))
+        .collect();
+    let probs = nacu.softmax(&xs)?;
+    let golden = reference::softmax(&logits);
+    println!("\nsoftmax:");
+    for ((l, p), g) in logits.iter().zip(&probs).zip(&golden) {
+        println!("logit {l:+.1} -> {:.4} (ref {:.4})", p.to_f64(), g);
+    }
+    let sum: f64 = probs.iter().map(Fx::to_f64).sum();
+    println!("probability sum: {sum:.4}");
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the NACU reproduction workspace: re-exports every member crate.
+pub use nacu;
+pub use nacu_baselines as baselines;
+pub use nacu_fixed as fixed;
+pub use nacu_funcapprox as funcapprox;
+pub use nacu_hwmodel as hwmodel;
+pub use nacu_nn as nn;

@@ -1,0 +1,104 @@
+//! End-to-end integration: a trained MLP executed on the CGRA fabric must
+//! reach the same decisions as the `nacu-nn` reference execution.
+
+use std::sync::Arc;
+
+use nacu::{Nacu, NacuConfig};
+use nacu_cgra::mapper::{self, convention, MappedActivation};
+use nacu_cgra::Fabric;
+use nacu_fixed::Fx;
+use nacu_nn::activation::{NacuActivation, Nonlinearity};
+use nacu_nn::dense::{Dense, LayerActivation};
+use nacu_nn::{data, train};
+
+/// Runs one dense layer (`outputs × inputs` weights, row-major) on a row
+/// of cells, one neuron per cell, returning the outputs.
+fn fabric_dense(
+    fabric: &mut Fabric,
+    weights: &[f64],
+    biases: &[f64],
+    inputs: &[Fx],
+    activation: MappedActivation,
+) -> Vec<Fx> {
+    let outputs = biases.len();
+    let n_in = inputs.len();
+    let fmt = fabric.cell((0, 0)).format();
+    for neuron in 0..outputs {
+        for (j, &x) in inputs.iter().enumerate() {
+            fabric
+                .cell_mut((0, neuron))
+                .set_reg(convention::input(j), x);
+        }
+        let w = &weights[neuron * n_in..(neuron + 1) * n_in];
+        fabric.load(
+            (0, neuron),
+            mapper::compile_dense(w, biases[neuron], activation, fmt),
+        );
+    }
+    fabric.run_to_quiescence(100_000);
+    (0..outputs)
+        .map(|neuron| fabric.cell((0, neuron)).reg(convention::output()))
+        .collect()
+}
+
+#[test]
+fn fabric_hidden_layer_is_bit_identical_to_the_nn_layer() {
+    let dataset = data::gaussian_blobs(40, 3, 5.0, 21);
+    let trained = train::train_mlp(&dataset, 6, 30, 0.05, 4);
+    let (w1, b1, _, _) = trained.parameters();
+    let nacu = Arc::new(Nacu::new(NacuConfig::paper_16bit()).expect("paper config"));
+    let fmt = nacu.config().format;
+    let layer = Dense::from_f64(6, 2, w1, b1, LayerActivation::Tanh, fmt);
+    let nl = NacuActivation::paper_16bit();
+    let mut fabric = Fabric::new(1, 6, Arc::clone(&nacu));
+    for features in dataset.features.iter().take(10) {
+        let x = nacu_nn::tensor::quantize_vec(features, fmt);
+        let golden = layer.forward(&x, &nl as &dyn Nonlinearity);
+        let got = fabric_dense(&mut fabric, w1, b1, &x, MappedActivation::Tanh);
+        assert_eq!(got, golden, "fabric layer must be bit-identical");
+    }
+}
+
+#[test]
+fn fabric_mlp_classifies_like_the_reference_network() {
+    let dataset = data::gaussian_blobs(60, 3, 5.0, 33);
+    let trained = train::train_mlp(&dataset, 6, 40, 0.05, 8);
+    let (w1, b1, w2, b2) = trained.parameters();
+    let nacu = Arc::new(Nacu::new(NacuConfig::paper_16bit()).expect("paper config"));
+    let fmt = nacu.config().format;
+    let fixed = trained.quantize(fmt);
+    let nl = NacuActivation::paper_16bit();
+    let mut fabric = Fabric::new(1, 6, Arc::clone(&nacu));
+    let mut agree = 0;
+    let total = 30;
+    for features in dataset.features.iter().take(total) {
+        let x = nacu_nn::tensor::quantize_vec(features, fmt);
+        // Hidden layer on the fabric.
+        let hidden = fabric_dense(&mut fabric, w1, b1, &x, MappedActivation::Tanh);
+        // Head layer on the fabric (3 classes).
+        let logits = fabric_dense(&mut fabric, w2, b2, &hidden, MappedActivation::Identity);
+        // Distributed softmax over the logit row.
+        for (i, &l) in logits.iter().enumerate() {
+            fabric.cell_mut((0, i)).set_reg(convention::value(), l);
+        }
+        for (i, p) in mapper::compile_softmax_row(logits.len())
+            .into_iter()
+            .enumerate()
+        {
+            fabric.load((0, i), p);
+        }
+        fabric.run_to_quiescence(100_000);
+        let fabric_class = (0..logits.len())
+            .max_by_key(|&i| fabric.cell((0, i)).reg(convention::output()).raw())
+            .expect("non-empty");
+        let reference_class = fixed.classify(features, &nl as &dyn Nonlinearity);
+        if fabric_class == reference_class {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree >= total - 1,
+        "fabric and reference disagreed on {} of {total} samples",
+        total - agree
+    );
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the NACU model driving real workloads.
+
+use nacu::{Nacu, NacuConfig};
+use nacu_fixed::{Fx, QFormat, Rounding};
+use nacu_funcapprox::metrics;
+use nacu_funcapprox::reference::{self, RefFunc};
+use nacu_funcapprox::UniformPwl;
+use nacu_nn::activation::{NacuActivation, Nonlinearity, ReferenceActivation};
+use nacu_nn::{data, train};
+
+fn paper_nacu() -> Nacu {
+    Nacu::new(NacuConfig::paper_16bit()).expect("paper config")
+}
+
+#[test]
+fn nacu_positive_sigma_matches_a_standalone_pwl_table() {
+    // The datapath's positive-range σ is, by construction, a 53-entry PWL
+    // table; the funcapprox crate builds the same thing independently.
+    // Their swept errors must land in the same decade.
+    let nacu = paper_nacu();
+    let fmt = nacu.config().format;
+    let pwl = UniformPwl::fit(RefFunc::Sigmoid, 53, fmt, fmt).expect("valid table");
+    let table_report = metrics::sweep(&pwl, RefFunc::Sigmoid);
+    let datapath_report = metrics::sweep_fn(fmt, RefFunc::Sigmoid, |x| nacu.sigmoid(x).to_f64());
+    assert!(datapath_report.max_error < 3.0 * table_report.max_error);
+    assert!(table_report.max_error < 3.0 * datapath_report.max_error);
+}
+
+#[test]
+fn quantised_mlp_with_nacu_matches_reference_accuracy() {
+    let dataset = data::gaussian_blobs(400, 3, 5.0, 17);
+    let (train_set, test_set) = dataset.split(0.75);
+    let trained = train::train_mlp(&train_set, 8, 60, 0.05, 3);
+    let fmt = QFormat::new(4, 11).expect("Q4.11");
+    let fixed = trained.quantize(fmt);
+    let reference_nl = ReferenceActivation::new(fmt);
+    let nacu_nl = NacuActivation::paper_16bit();
+    let acc_ref = fixed.accuracy(&test_set, &reference_nl as &dyn Nonlinearity);
+    let acc_nacu = fixed.accuracy(&test_set, &nacu_nl as &dyn Nonlinearity);
+    assert!(acc_ref > 0.9, "reference accuracy {acc_ref}");
+    assert!(
+        (acc_nacu - acc_ref).abs() <= 0.03,
+        "NACU {acc_nacu} vs reference {acc_ref}"
+    );
+}
+
+#[test]
+fn softmax_classification_agrees_sample_by_sample() {
+    // Beyond aggregate accuracy: the argmax decision must agree on almost
+    // every individual sample.
+    let dataset = data::xor_clouds(300, 5);
+    let trained = train::train_mlp(&dataset, 12, 120, 0.05, 9);
+    let fmt = QFormat::new(4, 11).expect("Q4.11");
+    let fixed = trained.quantize(fmt);
+    let reference_nl = ReferenceActivation::new(fmt);
+    let nacu_nl = NacuActivation::paper_16bit();
+    let disagreements = dataset
+        .features
+        .iter()
+        .filter(|f| {
+            fixed.classify(f, &reference_nl as &dyn Nonlinearity)
+                != fixed.classify(f, &nacu_nl as &dyn Nonlinearity)
+        })
+        .count();
+    assert!(
+        disagreements * 50 <= dataset.len(),
+        "{disagreements}/{} samples decided differently",
+        dataset.len()
+    );
+}
+
+#[test]
+fn full_function_suite_respects_published_error_decades() {
+    let nacu = paper_nacu();
+    let fmt = nacu.config().format;
+    let sig =
+        metrics::sweep_raw_range(fmt, fmt.min_raw(), fmt.max_raw(), reference::sigmoid, |x| {
+            nacu.sigmoid(x).to_f64()
+        });
+    let tanh = metrics::sweep_raw_range(
+        fmt,
+        fmt.min_raw(),
+        fmt.max_raw(),
+        |x| x.tanh(),
+        |x| nacu.tanh(x).to_f64(),
+    );
+    let exp =
+        metrics::sweep_raw_range(fmt, fmt.min_raw(), 0, |x| x.exp(), |x| nacu.exp(x).to_f64());
+    // §VII: RMSE 2.07e-4 (σ) and 2.09e-4 (tanh) at 16 bits.
+    assert!(sig.rmse < 4e-4, "sigma rmse {}", sig.rmse);
+    assert!(tanh.rmse < 5e-4, "tanh rmse {}", tanh.rmse);
+    assert!(sig.correlation > 0.999 && tanh.correlation > 0.999);
+    // Eq. 16: the exp error is bounded by ~4x the sigma error.
+    assert!(
+        exp.max_error < 4.0 * sig.max_error + 4.0 * fmt.resolution(),
+        "exp max {} vs 4x sigma max {}",
+        exp.max_error,
+        sig.max_error
+    );
+}
+
+#[test]
+fn softmax_handles_every_degenerate_vector() {
+    let nacu = paper_nacu();
+    let fmt = nacu.config().format;
+    let fx = |v: f64| Fx::from_f64(v, fmt, Rounding::Nearest);
+    // Uniform inputs → uniform distribution.
+    let out = nacu.softmax(&[fx(1.0); 5]).expect("non-empty");
+    for p in &out {
+        assert!((p.to_f64() - 0.2).abs() < 0.01);
+    }
+    // Single input → probability 1.
+    let out = nacu.softmax(&[fx(-3.0)]).expect("non-empty");
+    assert!((out[0].to_f64() - 1.0).abs() < 0.01);
+    // Extreme separation → one-hot.
+    let out = nacu.softmax(&[fx(15.9), fx(-16.0)]).expect("non-empty");
+    assert!(out[0].to_f64() > 0.99);
+    assert!(out[1].to_f64() < 0.01);
+}
+
+#[test]
+fn bit_width_sweep_monotonically_improves_rmse() {
+    let mut last = f64::INFINITY;
+    for width in [10u32, 12, 14, 16, 18] {
+        let nacu = Nacu::new(NacuConfig::for_width(width).expect("width ok")).expect("builds");
+        let fmt = nacu.config().format;
+        let report =
+            metrics::sweep_raw_range(fmt, fmt.min_raw(), fmt.max_raw(), reference::sigmoid, |x| {
+                nacu.sigmoid(x).to_f64()
+            });
+        assert!(
+            report.rmse < last,
+            "width {width}: rmse {} should beat {last}",
+            report.rmse
+        );
+        last = report.rmse;
+    }
+}

@@ -1,0 +1,79 @@
+//! Integration tests tying the functional model to the hardware cost
+//! models: the cycle counts, areas and Table I rows must tell one story.
+
+use nacu::pipeline::{self, NacuPipeline};
+use nacu::{Function, Nacu, NacuConfig};
+use nacu_fixed::{Fx, Rounding};
+use nacu_hwmodel::area::NacuAreaModel;
+use nacu_hwmodel::timing::{self, NacuFunction};
+use nacu_hwmodel::{scaling, table1, TechNode};
+
+#[test]
+fn pipeline_latencies_agree_with_the_timing_model() {
+    // Two independent crates encode Table I's latency row; they must match.
+    assert_eq!(
+        pipeline::latency_cycles(Function::Sigmoid),
+        timing::latency_cycles(NacuFunction::Sigmoid)
+    );
+    assert_eq!(
+        pipeline::latency_cycles(Function::Tanh),
+        timing::latency_cycles(NacuFunction::Tanh)
+    );
+    assert_eq!(
+        pipeline::latency_cycles(Function::Exp),
+        timing::latency_cycles(NacuFunction::Exp)
+    );
+}
+
+#[test]
+fn table1_nacu_row_mirrors_the_functional_configuration() {
+    let model = NacuAreaModel::paper_config();
+    let row = table1::nacu_row(&model);
+    let nacu = Nacu::new(NacuConfig::paper_16bit()).expect("paper config");
+    assert_eq!(row.lut_entries, Some(nacu.lut_entries() as u32));
+    assert_eq!(row.bits, "16");
+    assert_eq!(
+        nacu.config().format.total_bits(),
+        16,
+        "functional and cost models describe the same word width"
+    );
+}
+
+#[test]
+fn streamed_batch_cycle_count_converts_to_paper_throughput() {
+    // 1000 sigmoids at one per cycle: 1002 cycles at 3.75 ns ≈ 3.76 µs.
+    let nacu = Nacu::new(NacuConfig::paper_16bit()).expect("paper config");
+    let fmt = nacu.config().format;
+    let mut pipe = NacuPipeline::new(nacu);
+    let xs: Vec<Fx> = (0..1000)
+        .map(|i| Fx::from_f64(f64::from(i) * 0.01 - 5.0, fmt, Rounding::Nearest))
+        .collect();
+    let (results, cycles) = pipe.run_batch(Function::Sigmoid, &xs);
+    assert_eq!(results.len(), 1000);
+    let ns = cycles as f64 * timing::CLOCK_PERIOD_NS_28NM;
+    assert!((ns - 3757.5).abs() < 1.0, "batch time {ns} ns");
+}
+
+#[test]
+fn scaled_nacu_area_is_consistent_across_nodes() {
+    let breakdown = NacuAreaModel::paper_config().breakdown();
+    let at_65 = breakdown.total_um2_at(TechNode::N65);
+    let back = scaling::scale_area(at_65, TechNode::N65, TechNode::N28);
+    assert!((back - breakdown.total_um2()).abs() < 1e-6);
+}
+
+#[test]
+fn softmax_schedule_has_the_modelled_cost() {
+    // The timing model prices an n-vector softmax at two pipelined passes;
+    // the functional model must actually produce n results for that price.
+    let nacu = Nacu::new(NacuConfig::paper_16bit()).expect("paper config");
+    let fmt = nacu.config().format;
+    let n = 10;
+    let xs: Vec<Fx> = (0..n)
+        .map(|i| Fx::from_f64(f64::from(i) * 0.3, fmt, Rounding::Nearest))
+        .collect();
+    let out = nacu.softmax(&xs).expect("non-empty");
+    assert_eq!(out.len(), n as usize);
+    let cycles = timing::softmax_latency_cycles(n);
+    assert!(cycles >= 2 * n, "two passes over the vector");
+}

@@ -1,0 +1,130 @@
+//! Workspace-level property tests: invariants that must hold across crate
+//! boundaries for arbitrary inputs.
+
+use nacu::{Nacu, NacuConfig};
+use nacu_fixed::{Fx, QFormat, Rounding};
+use proptest::prelude::*;
+
+fn paper_nacu() -> Nacu {
+    Nacu::new(NacuConfig::paper_16bit()).expect("paper config")
+}
+
+proptest! {
+    #[test]
+    fn sigmoid_output_is_always_in_unit_interval(raw in -32768_i64..=32767) {
+        let nacu = paper_nacu();
+        let fmt = nacu.config().format;
+        let y = nacu.sigmoid(Fx::from_raw(raw, fmt).expect("in range"));
+        prop_assert!(y.to_f64() >= 0.0);
+        prop_assert!(y.to_f64() <= 1.0);
+    }
+
+    #[test]
+    fn tanh_output_is_always_in_biunit_interval(raw in -32768_i64..=32767) {
+        let nacu = paper_nacu();
+        let fmt = nacu.config().format;
+        let y = nacu.tanh(Fx::from_raw(raw, fmt).expect("in range"));
+        prop_assert!(y.to_f64() >= -1.0);
+        prop_assert!(y.to_f64() <= 1.0);
+    }
+
+    #[test]
+    fn exp_output_is_in_unit_interval_for_normalised_inputs(raw in -32768_i64..=0) {
+        let nacu = paper_nacu();
+        let fmt = nacu.config().format;
+        let y = nacu.exp(Fx::from_raw(raw, fmt).expect("in range"));
+        prop_assert!(y.to_f64() >= 0.0);
+        prop_assert!(y.to_f64() <= 1.0 + fmt.resolution());
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_nondecreasing(
+        a in -32768_i64..=32767,
+        b in -32768_i64..=32767,
+    ) {
+        let nacu = paper_nacu();
+        let fmt = nacu.config().format;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let y_lo = nacu.sigmoid(Fx::from_raw(lo, fmt).expect("in range"));
+        let y_hi = nacu.sigmoid(Fx::from_raw(hi, fmt).expect("in range"));
+        prop_assert!(y_lo.raw() <= y_hi.raw() + 1, "one LSB of segment-boundary slack");
+    }
+
+    #[test]
+    fn softmax_sums_to_one_for_arbitrary_vectors(
+        vals in proptest::collection::vec(-8.0_f64..8.0, 2..12),
+    ) {
+        let nacu = paper_nacu();
+        let fmt = nacu.config().format;
+        let xs: Vec<Fx> = vals.iter().map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest)).collect();
+        let out = nacu.softmax(&xs).expect("non-empty");
+        let sum: f64 = out.iter().map(Fx::to_f64).sum();
+        prop_assert!((sum - 1.0).abs() < 0.03, "sum {sum}");
+        // And the max logit keeps the max probability.
+        let argmax_in = vals.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1)).unwrap().0;
+        let argmax_out = out.iter().enumerate().max_by(|x, y| x.1.partial_cmp(y.1).unwrap()).unwrap().0;
+        let max_in = vals[argmax_in];
+        let tied = vals.iter().filter(|&&v| (v - max_in).abs() < 0.01).count() > 1;
+        prop_assert!(tied || argmax_in == argmax_out);
+    }
+
+    #[test]
+    fn restoring_divider_agrees_with_integer_division(
+        numer in 0_i64..100_000,
+        denom in 1_i64..100_000,
+        frac in 0_u32..16,
+    ) {
+        let got = nacu::divider::restoring_divide(numer, denom, frac).expect("denom > 0");
+        let want = ((numer as i128) << frac) / denom as i128;
+        prop_assert_eq!(got as i128, want);
+    }
+
+    #[test]
+    fn bias_units_equal_arithmetic_for_random_operands(
+        frac in 4_u32..=14,
+        q_scaled in 0.5_f64..=1.0,
+    ) {
+        let one = 1_i64 << frac;
+        let q_raw = (q_scaled * one as f64).round() as i64;
+        prop_assert_eq!(nacu::bias::one_minus_q(q_raw, frac), one - q_raw);
+        prop_assert_eq!(nacu::bias::two_q_minus_one(q_raw, frac), 2 * q_raw - one);
+        prop_assert_eq!(nacu::bias::one_minus_two_q(q_raw, frac), one - 2 * q_raw);
+    }
+
+    #[test]
+    fn every_eq7_width_builds_a_working_unit(width in 6_u32..=22) {
+        let cfg = NacuConfig::for_width(width).expect("Eq. 7 solvable");
+        let nacu = Nacu::new(cfg).expect("builds");
+        let fmt = nacu.config().format;
+        let x = Fx::zero(fmt);
+        prop_assert!((nacu.sigmoid(x).to_f64() - 0.5).abs() < 0.02);
+        prop_assert!((nacu.exp(x).to_f64() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn lstm_outputs_stay_bounded_for_any_weights(
+        seed in 0_u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let fmt = QFormat::new(4, 11).expect("Q4.11");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut vals = |n: usize| -> Vec<f64> {
+            (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+        };
+        let (inputs, hidden) = (2, 3);
+        let cell = nacu_nn::lstm::LstmCell::from_f64(
+            inputs, hidden,
+            &vals(4 * hidden * inputs), &vals(4 * hidden * hidden), &vals(4 * hidden),
+            fmt,
+        );
+        let nl = nacu_nn::activation::NacuActivation::paper_16bit();
+        let seq: Vec<Vec<Fx>> = (0..5)
+            .map(|_| nacu_nn::tensor::quantize_vec(&vals(inputs), fmt))
+            .collect();
+        let state = cell.run(&seq, &nl);
+        for h in &state.h {
+            // h = o·tanh(c): both factors bounded by 1.
+            prop_assert!(h.to_f64().abs() <= 1.0 + fmt.resolution());
+        }
+    }
+}

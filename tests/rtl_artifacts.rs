@@ -1,0 +1,64 @@
+//! Integration tests over the exported hardware artefacts: the Verilog
+//! bundle and the VCD traces must stay consistent with the functional
+//! model they were generated from.
+
+use nacu::pipeline::NacuPipeline;
+use nacu::{vcd, verilog, Function, Nacu, NacuConfig};
+use nacu_fixed::{Fx, Rounding};
+
+#[test]
+fn verilog_rom_encodes_every_model_coefficient() {
+    let config = NacuConfig::paper_16bit();
+    let text = verilog::coeff_rom(config).expect("paper config exports");
+    let nacu = Nacu::new(config).expect("paper config builds");
+    for (i, (m1, q)) in nacu.coefficients().iter().enumerate() {
+        let m_hex = format!("16'h{:04X}", (*m1 as u64) & 0xFFFF);
+        let q_hex = format!("16'h{:04X}", (*q as u64) & 0xFFFF);
+        assert!(text.contains(&m_hex), "entry {i}: slope {m_hex} missing");
+        assert!(text.contains(&q_hex), "entry {i}: bias {q_hex} missing");
+    }
+}
+
+#[test]
+fn verilog_exports_scale_with_configuration() {
+    let small = verilog::coeff_rom(NacuConfig::paper_16bit().with_lut_entries(8))
+        .expect("small config exports");
+    let large = verilog::coeff_rom(NacuConfig::paper_16bit().with_lut_entries(64))
+        .expect("large config exports");
+    assert!(large.lines().count() > small.lines().count());
+    // Address width grows with the table: 3 bits vs 6 bits.
+    assert!(small.contains("parameter ADDR = 3"));
+    assert!(large.contains("parameter ADDR = 6"));
+}
+
+#[test]
+fn vcd_trace_round_trips_result_words() {
+    let nacu = Nacu::new(NacuConfig::paper_16bit()).expect("paper config");
+    let fmt = nacu.config().format;
+    let golden: Vec<Fx> = (0..8)
+        .map(|i| Fx::from_f64(f64::from(i) * 0.7 - 2.0, fmt, Rounding::Nearest))
+        .collect();
+    let expected: Vec<u64> = golden
+        .iter()
+        .map(|&x| {
+            let y = nacu.tanh(x);
+            (y.raw() as u64) & 0xFFFF
+        })
+        .collect();
+    let mut pipe = NacuPipeline::new(nacu);
+    let text = vcd::trace_batch(&mut pipe, Function::Tanh, &golden);
+    // Every expected output word appears as a binary change on signal '$'
+    // (the fourth declared signal, y).
+    for (i, word) in expected.iter().enumerate() {
+        let needle = format!("b{word:b} $");
+        assert!(text.contains(&needle), "result {i} ({needle}) not traced");
+    }
+}
+
+#[test]
+fn bias_unit_verilog_parameters_track_the_bias_format() {
+    let nacu = Nacu::new(NacuConfig::paper_16bit()).expect("paper config");
+    let bias_fmt = nacu.bias_format();
+    let text = verilog::bias_units(16, bias_fmt.frac_bits());
+    assert!(text.contains(&format!("parameter FRAC = {}", bias_fmt.frac_bits())));
+}
