@@ -1,0 +1,60 @@
+//! Criterion benches for the batched inference engine: submission path,
+//! coalesced scalar batches, and softmax round-trips on pools of
+//! different widths — the software serving counterpart of Table I.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nacu::{Function, NacuConfig};
+use nacu_engine::{Engine, EngineConfig, Request};
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+fn operands(fmt: QFormat, n: usize) -> Vec<Fx> {
+    (0..n)
+        .map(|i| {
+            let v = -6.0 + 12.0 * (i as f64) / (n as f64);
+            Fx::from_f64(v, fmt, Rounding::Nearest)
+        })
+        .collect()
+}
+
+fn pool(workers: usize) -> Engine {
+    Engine::new(
+        EngineConfig::new(NacuConfig::paper_16bit())
+            .with_workers(workers)
+            .with_queue_capacity(512),
+    )
+    .expect("paper config")
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for workers in [1, 4] {
+        let engine = pool(workers);
+        let xs = operands(engine.format(), 64);
+        group.bench_function(format!("sigmoid-64x{workers}w"), |b| {
+            let handle = engine.handle();
+            b.iter(|| {
+                let r = Request::new(Function::Sigmoid, xs.clone());
+                black_box(handle.submit_wait(r).expect("served"));
+            });
+        });
+        let sm = operands(engine.format(), 16);
+        group.bench_function(format!("softmax-16x{workers}w"), |b| {
+            let handle = engine.handle();
+            b.iter(|| {
+                let r = Request::new(Function::Softmax, sm.clone());
+                black_box(handle.submit_wait(r).expect("served"));
+            });
+        });
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Engine worker-scaling demo: sharded NACU pools under client load.
+//!
+//! Sweeps pool widths over the default coalescible sigmoid workload,
+//! prints the ops/s scaling table, and closes with the widest pool's
+//! full throughput report (software ops/s next to the modeled hardware
+//! cycle account at the paper's 3.75 ns clock).
+
+use nacu_bench::engine_bench::{print_scaling, worker_scaling, Workload};
+
+fn main() {
+    let worker_counts = [1, 2, 4, 8];
+    let rows = worker_scaling(&worker_counts, Workload::default());
+    print_scaling(&rows);
+    if let Some(widest) = rows.last() {
+        println!();
+        println!("widest pool ({} workers):", widest.workers);
+        println!("{}", widest.report);
+    }
+}

@@ -1,0 +1,205 @@
+//! Engine throughput experiment: ops/s versus worker (shard) count.
+//!
+//! The serving-side counterpart of the §VII.C latency numbers: a fixed
+//! workload of coalescible activation requests is pushed through
+//! [`nacu_engine::Engine`] pools of increasing width by several client
+//! threads, and each pool's software throughput is measured next to the
+//! modeled hardware cycle count. The single-worker row is the sequential
+//! baseline; the acceptance gate for the engine PR is that wider pools
+//! scale ops/s above it.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use nacu::{Function, NacuConfig};
+use nacu_engine::{Engine, EngineConfig, Request, SubmitError, ThroughputReport};
+use nacu_fixed::{Fx, QFormat, Rounding};
+
+/// One row of the worker-scaling experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingRow {
+    /// Pool width (NACU shards).
+    pub workers: usize,
+    /// Measured software throughput.
+    pub ops_per_sec: f64,
+    /// Speed-up over this sweep's single-worker row (1.0 for that row).
+    pub speedup: f64,
+    /// Busy rejections the clients absorbed (backpressure events).
+    pub busy_rejections: u64,
+    /// The interval's full report (modeled cycles, batching, …).
+    pub report: ThroughputReport,
+}
+
+/// Workload shape for [`worker_scaling`].
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Client threads submitting concurrently.
+    pub clients: usize,
+    /// Requests each client submits.
+    pub requests_per_client: usize,
+    /// Operands per request.
+    pub operands_per_request: usize,
+    /// Function under load (a scalar one coalesces across requests).
+    pub function: Function,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests_per_client: 256,
+            operands_per_request: 64,
+            function: Function::Sigmoid,
+        }
+    }
+}
+
+fn operand_ramp(fmt: QFormat, n: usize) -> Vec<Fx> {
+    (0..n)
+        .map(|i| {
+            let v = -6.0 + 12.0 * (i as f64) / (n.max(2) - 1) as f64;
+            Fx::from_f64(v, fmt, Rounding::Nearest)
+        })
+        .collect()
+}
+
+/// Drives `workload` through one engine and reports the interval.
+///
+/// Clients retry on [`SubmitError::Busy`] (counted in the row), so every
+/// request is eventually served and rows are comparable across widths.
+///
+/// # Panics
+///
+/// Panics if the engine rejects a well-formed request or a client thread
+/// dies — both indicate a bug, not load.
+#[must_use]
+pub fn drive(engine: &Engine, workload: Workload) -> ScalingRow {
+    let operands = Arc::new(operand_ramp(engine.format(), workload.operands_per_request));
+    let baseline = engine.metrics();
+    let started = Instant::now();
+    thread::scope(|scope| {
+        for _ in 0..workload.clients.max(1) {
+            let handle = engine.handle();
+            let operands = Arc::clone(&operands);
+            scope.spawn(move || {
+                let mut tickets = Vec::with_capacity(workload.requests_per_client);
+                for _ in 0..workload.requests_per_client {
+                    loop {
+                        let request = Request::new(workload.function, operands.to_vec());
+                        match handle.submit(request) {
+                            Ok(ticket) => {
+                                tickets.push(ticket);
+                                break;
+                            }
+                            Err(SubmitError::Busy { .. }) => thread::yield_now(),
+                            Err(e) => panic!("engine refused benchmark request: {e}"),
+                        }
+                    }
+                }
+                for ticket in tickets {
+                    ticket.wait().expect("benchmark request served");
+                }
+            });
+        }
+    });
+    let report = engine.report_since(&baseline, started);
+    let busy = engine.metrics().since(&baseline).busy_rejections;
+    ScalingRow {
+        workers: engine.workers(),
+        ops_per_sec: report.ops_per_sec(),
+        speedup: 1.0,
+        busy_rejections: busy,
+        report,
+    }
+}
+
+/// Runs the scaling sweep: one engine per worker count, same workload.
+///
+/// # Panics
+///
+/// Panics if the paper configuration fails to validate (it never does).
+#[must_use]
+pub fn worker_scaling(worker_counts: &[usize], workload: Workload) -> Vec<ScalingRow> {
+    let mut rows: Vec<ScalingRow> = worker_counts
+        .iter()
+        .map(|&workers| {
+            let engine = Engine::new(
+                EngineConfig::new(NacuConfig::paper_16bit())
+                    .with_workers(workers)
+                    .with_queue_capacity(512)
+                    .with_max_coalesced_requests(32),
+            )
+            .expect("paper config");
+            let row = drive(&engine, workload);
+            engine.shutdown();
+            row
+        })
+        .collect();
+    let single = rows
+        .iter()
+        .find(|r| r.workers == 1)
+        .map_or_else(|| rows.first().map_or(1.0, |r| r.ops_per_sec), |r| r.ops_per_sec);
+    for row in &mut rows {
+        row.speedup = if single > 0.0 {
+            row.ops_per_sec / single
+        } else {
+            0.0
+        };
+    }
+    rows
+}
+
+/// Renders the sweep as the table the demo binary prints.
+pub fn print_scaling(rows: &[ScalingRow]) {
+    println!("engine worker scaling — coalescible activation requests onto sharded NACU pools");
+    println!(
+        "{:>8} {:>14} {:>9} {:>12} {:>14} {:>10}",
+        "workers", "ops/s", "speedup", "ops/batch", "modeled cyc", "busy"
+    );
+    for row in rows {
+        println!(
+            "{:>8} {:>14.0} {:>8.2}x {:>12.1} {:>14} {:>10}",
+            row.workers,
+            row.ops_per_sec,
+            row.speedup,
+            row.report.ops_per_batch(),
+            row.report.modeled_cycles,
+            row.busy_rejections,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Workload {
+        Workload {
+            clients: 2,
+            requests_per_client: 8,
+            operands_per_request: 8,
+            function: Function::Sigmoid,
+        }
+    }
+
+    #[test]
+    fn drive_serves_every_request() {
+        let engine = Engine::new(
+            EngineConfig::new(NacuConfig::paper_16bit()).with_workers(2),
+        )
+        .expect("paper config");
+        let row = drive(&engine, tiny());
+        assert_eq!(row.report.requests, 16);
+        assert_eq!(row.report.ops, 16 * 8);
+        assert!(row.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn scaling_sweep_normalises_against_single_worker() {
+        let rows = worker_scaling(&[1, 2], tiny());
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+        assert!(rows[1].speedup > 0.0);
+    }
+}

@@ -17,8 +17,10 @@
 //! | [`ablation`] | DESIGN.md ablations: fit method, LUT size, polynomial order |
 //! | [`width_sweep`] | extension: workload-level accuracy vs NACU word width |
 //! | [`scaling`] | §VII.C — technology-scaled area/delay comparison |
+//! | [`engine_bench`] | extension: serving throughput vs engine worker count |
 
 pub mod ablation;
+pub mod engine_bench;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;

@@ -1,0 +1,150 @@
+//! Request/response types and the coalescing rule.
+//!
+//! A [`Request`] is a batch of operands for one configured function; the
+//! engine answers with a [`Response`] carrying the bit-exact outputs plus
+//! the modeled hardware cost of the batch it rode in. Scalar functions
+//! (σ/tanh/exp) coalesce: consecutive queued requests for the *same*
+//! function fuse into one pipelined hardware batch, paying the function's
+//! pipeline fill latency once (Table I). Softmax is a two-pass vector op
+//! with internal MAC/divider state, so softmax requests never fuse with
+//! their neighbours.
+
+use std::time::Instant;
+
+use nacu::Function;
+use nacu_fixed::Fx;
+
+/// A unit of work submitted to the engine: one function over a batch of
+/// operands.
+///
+/// For σ/tanh/exp the operands are independent scalars evaluated
+/// element-wise; for softmax they are *one* vector normalised jointly
+/// (Eq. 13). [`Function::Mac`] is stateful and not servable through the
+/// engine.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The function to evaluate.
+    pub function: Function,
+    /// Operands, all in the engine's configured format.
+    pub operands: Vec<Fx>,
+    /// Drop the work (answering `DeadlineExpired`) if a worker picks it up
+    /// after this instant. `None` falls back to the engine's default.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    /// A request with no explicit deadline.
+    #[must_use]
+    pub fn new(function: Function, operands: Vec<Fx>) -> Self {
+        Self {
+            function,
+            operands,
+            deadline: None,
+        }
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline relative to now.
+    #[must_use]
+    pub fn with_timeout(self, timeout: std::time::Duration) -> Self {
+        let deadline = Instant::now() + timeout;
+        self.with_deadline(deadline)
+    }
+
+    /// Whether this request may fuse with `other` into one hardware batch.
+    #[must_use]
+    pub fn coalesces_with(&self, other: &Request) -> bool {
+        self.function == other.function && scalar_function(self.function)
+    }
+}
+
+/// True for the element-wise functions that stream through the pipeline
+/// one operand per cycle.
+#[must_use]
+pub fn scalar_function(function: Function) -> bool {
+    matches!(
+        function,
+        Function::Sigmoid | Function::Tanh | Function::Exp
+    )
+}
+
+/// The engine's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Outputs, positionally matching the request operands. Bit-identical
+    /// to evaluating the same operands on a sequential [`nacu::Nacu`] with
+    /// the engine's configuration.
+    pub outputs: Vec<Fx>,
+    /// Index of the pool worker (and therefore NACU unit) that served it.
+    pub worker: usize,
+    /// Total operands in the fused hardware batch this request rode in
+    /// (≥ `outputs.len()`; larger means coalescing happened).
+    pub batch_ops: usize,
+    /// Modeled cycles for that whole fused batch on one NACU pipeline
+    /// (see [`crate::report::modeled_batch_cycles`]).
+    pub batch_cycles: u64,
+}
+
+/// Why a submitted request produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// A worker picked the request up after its deadline.
+    DeadlineExpired,
+    /// The engine shut down before serving the request.
+    EngineShutDown,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DeadlineExpired => write!(f, "deadline expired before a worker served it"),
+            Self::EngineShutDown => write!(f, "engine shut down before serving the request"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nacu_fixed::QFormat;
+
+    fn x() -> Vec<Fx> {
+        vec![Fx::zero(QFormat::new(4, 11).unwrap())]
+    }
+
+    #[test]
+    fn scalar_requests_of_same_function_coalesce() {
+        let a = Request::new(Function::Sigmoid, x());
+        let b = Request::new(Function::Sigmoid, x());
+        assert!(a.coalesces_with(&b));
+    }
+
+    #[test]
+    fn different_functions_do_not_coalesce() {
+        let a = Request::new(Function::Sigmoid, x());
+        let b = Request::new(Function::Tanh, x());
+        assert!(!a.coalesces_with(&b));
+    }
+
+    #[test]
+    fn softmax_never_coalesces() {
+        let a = Request::new(Function::Softmax, x());
+        let b = Request::new(Function::Softmax, x());
+        assert!(!a.coalesces_with(&b));
+    }
+
+    #[test]
+    fn timeout_sets_a_future_deadline() {
+        let r = Request::new(Function::Exp, x())
+            .with_timeout(std::time::Duration::from_secs(5));
+        assert!(r.deadline.unwrap() > Instant::now());
+    }
+}

@@ -1,0 +1,668 @@
+//! **nacu-engine** — a batched, multi-unit inference engine over the
+//! bit-accurate NACU model.
+//!
+//! The paper positions NACU as the shared non-linear unit of a fabric
+//! serving "any mix of ANNs and SNNs"; this crate models the *serving*
+//! side of that fabric as a production-shaped runtime built only on `std`:
+//!
+//! ```text
+//! clients ──submit──▶ bounded queue ──coalesce──▶ sharded NACU pool ──▶ tickets
+//!              │                                        │
+//!            Busy (backpressure)                 per-worker Nacu unit
+//! ```
+//!
+//! * [`Engine::submit`] pushes a [`Request`] (σ/tanh/exp batch or a
+//!   softmax vector) into a **bounded** queue; a full queue answers
+//!   [`SubmitError::Busy`] instead of growing without limit.
+//! * Workers pop *runs* of same-function scalar requests and fuse them
+//!   into one pipelined hardware batch, paying the Table I fill latency
+//!   once (see [`report::modeled_batch_cycles`]).
+//! * Every worker owns a private [`Nacu`] built from the shared
+//!   [`NacuConfig`]; construction is deterministic, so pool results are
+//!   **bit-identical** to the sequential datapath.
+//! * [`Engine::metrics`] snapshots live counters without stopping the
+//!   pool; [`Engine::report_since`] converts an interval into a
+//!   [`ThroughputReport`] of software ops/s next to modeled hardware
+//!   cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use nacu::{Function, NacuConfig};
+//! use nacu_engine::{Engine, EngineConfig, Request};
+//! use nacu_fixed::{Fx, Rounding};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = Engine::new(EngineConfig::new(NacuConfig::paper_16bit()).with_workers(2))?;
+//! let fmt = engine.format();
+//! let xs: Vec<Fx> = (-3..=3)
+//!     .map(|i| Fx::from_f64(f64::from(i) * 0.5, fmt, Rounding::Nearest))
+//!     .collect();
+//! let ticket = engine.submit(Request::new(Function::Sigmoid, xs.clone()))?;
+//! let response = ticket.wait()?;
+//! assert_eq!(response.outputs.len(), xs.len());
+//! engine.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batch;
+pub mod metrics;
+pub mod queue;
+pub mod report;
+
+mod pool;
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nacu::{Function, Nacu, NacuConfig, NacuError};
+use nacu_fixed::QFormat;
+
+pub use batch::{Request, RequestError, Response};
+pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use report::{ThroughputReport, PAPER_CLOCK_HZ};
+
+use pool::Job;
+use queue::{BoundedQueue, PushError};
+
+/// Engine sizing and policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Configuration every pool worker builds its NACU unit from.
+    pub nacu: NacuConfig,
+    /// Worker threads (= NACU shards). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Bounded submission-queue capacity in *requests*. Clamped to ≥ 1.
+    pub queue_capacity: usize,
+    /// Most requests one worker fuses into a single hardware batch.
+    pub max_coalesced_requests: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl EngineConfig {
+    /// Defaults: 2 workers, 256-deep queue, 32-request coalescing, no
+    /// default deadline.
+    #[must_use]
+    pub fn new(nacu: NacuConfig) -> Self {
+        Self {
+            nacu,
+            workers: 2,
+            queue_capacity: 256,
+            max_coalesced_requests: 32,
+            default_deadline: None,
+        }
+    }
+
+    /// Sets the worker (shard) count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the submission-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-batch request coalescing limit.
+    #[must_use]
+    pub fn with_max_coalesced_requests(mut self, max: usize) -> Self {
+        self.max_coalesced_requests = max.max(1);
+        self
+    }
+
+    /// Sets the default deadline for requests without one.
+    #[must_use]
+    pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+}
+
+/// Why a submission was refused at the queue, before any work happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — explicit backpressure. Shed load or
+    /// retry later; nothing was enqueued.
+    Busy {
+        /// Queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The engine is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The request can never be served (caller bug).
+    Invalid(InvalidRequest),
+}
+
+/// Requests the engine rejects regardless of load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidRequest {
+    /// [`Function::Mac`] is stateful and not servable as a batch request.
+    UnsupportedFunction(Function),
+    /// A request must carry at least one operand.
+    EmptyOperands,
+    /// An operand's format differs from the engine's configured format.
+    FormatMismatch {
+        /// The engine's datapath format.
+        expected: QFormat,
+        /// The offending operand's format.
+        got: QFormat,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Busy { capacity } => {
+                write!(f, "engine busy: submission queue at capacity {capacity}")
+            }
+            Self::ShuttingDown => write!(f, "engine is shutting down"),
+            Self::Invalid(reason) => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+impl std::fmt::Display for InvalidRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnsupportedFunction(function) => {
+                write!(f, "{function} is not servable through the engine")
+            }
+            Self::EmptyOperands => write!(f, "request carries no operands"),
+            Self::FormatMismatch { expected, got } => {
+                write!(f, "operand format {got} does not match engine format {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why waiting on a [`Ticket`] produced no [`Response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitError {
+    /// The request expired before a worker reached it.
+    DeadlineExpired,
+    /// The engine shut down before serving the request.
+    EngineShutDown,
+    /// [`Ticket::wait_timeout`] gave up waiting (the request may still
+    /// complete later; the ticket is consumed).
+    Timeout,
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DeadlineExpired => write!(f, "request deadline expired"),
+            Self::EngineShutDown => write!(f, "engine shut down before answering"),
+            Self::Timeout => write!(f, "timed out waiting for the response"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+impl From<RequestError> for WaitError {
+    fn from(e: RequestError) -> Self {
+        match e {
+            RequestError::DeadlineExpired => Self::DeadlineExpired,
+            RequestError::EngineShutDown => Self::EngineShutDown,
+        }
+    }
+}
+
+/// A claim on one in-flight request's eventual response.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, RequestError>>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives (or the engine dies).
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::DeadlineExpired`] or [`WaitError::EngineShutDown`].
+    pub fn wait(self) -> Result<Response, WaitError> {
+        match self.rx.recv() {
+            Ok(Ok(response)) => Ok(response),
+            Ok(Err(e)) => Err(e.into()),
+            Err(mpsc::RecvError) => Err(WaitError::EngineShutDown),
+        }
+    }
+
+    /// Blocks up to `timeout` for the response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ticket::wait`], plus [`WaitError::Timeout`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Response, WaitError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(response)) => Ok(response),
+            Ok(Err(e)) => Err(e.into()),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(WaitError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(WaitError::EngineShutDown),
+        }
+    }
+
+    /// Non-blocking poll; returns `None` while the request is in flight.
+    pub fn try_wait(&self) -> Option<Result<Response, WaitError>> {
+        match self.rx.try_recv() {
+            Ok(Ok(response)) => Some(Ok(response)),
+            Ok(Err(e)) => Some(Err(e.into())),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(WaitError::EngineShutDown)),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: Arc<BoundedQueue<Job>>,
+    metrics: Arc<EngineMetrics>,
+    format: QFormat,
+    default_deadline: Option<Duration>,
+}
+
+/// A cloneable submission handle, independent of the [`Engine`]'s
+/// lifetime management. Clients and layers hold handles; the engine owner
+/// keeps the [`Engine`] for shutdown and reporting.
+#[derive(Debug, Clone)]
+pub struct EngineHandle {
+    shared: Arc<Shared>,
+}
+
+impl EngineHandle {
+    /// The engine's datapath format; operands must be quantised into it.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.shared.format
+    }
+
+    /// Submits a request, returning a [`Ticket`] for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] for malformed requests,
+    /// [`SubmitError::Busy`] when the bounded queue is full (backpressure —
+    /// nothing was enqueued), [`SubmitError::ShuttingDown`] after shutdown
+    /// began.
+    pub fn submit(&self, mut request: Request) -> Result<Ticket, SubmitError> {
+        if matches!(request.function, Function::Mac) {
+            return Err(SubmitError::Invalid(InvalidRequest::UnsupportedFunction(
+                request.function,
+            )));
+        }
+        if request.operands.is_empty() {
+            return Err(SubmitError::Invalid(InvalidRequest::EmptyOperands));
+        }
+        for x in &request.operands {
+            if x.format() != self.shared.format {
+                return Err(SubmitError::Invalid(InvalidRequest::FormatMismatch {
+                    expected: self.shared.format,
+                    got: x.format(),
+                }));
+            }
+        }
+        if request.deadline.is_none() {
+            request.deadline = self
+                .shared
+                .default_deadline
+                .map(|d| Instant::now() + d);
+        }
+        let (reply, rx) = mpsc::channel();
+        match self.shared.queue.try_push(Job { request, reply }) {
+            Ok(depth) => {
+                self.shared.metrics.record_submitted();
+                self.shared.metrics.record_queue_depth(depth);
+                Ok(Ticket { rx })
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.metrics.record_busy_rejection();
+                Err(SubmitError::Busy {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submit + wait in one call, for synchronous callers.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] mapped through, or the ticket's [`WaitError`]
+    /// rendered as [`SubmitError::ShuttingDown`]-adjacent failures is
+    /// avoided by returning a dedicated enum.
+    pub fn submit_wait(&self, request: Request) -> Result<Response, CallError> {
+        let ticket = self.submit(request).map_err(CallError::Submit)?;
+        ticket.wait().map_err(CallError::Wait)
+    }
+
+    /// Live counter snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+}
+
+/// A [`EngineHandle::submit_wait`] failure from either phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// Refused at submission.
+    Submit(SubmitError),
+    /// Submitted but never answered.
+    Wait(WaitError),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Submit(e) => write!(f, "{e}"),
+            Self::Wait(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// The engine: a bounded queue feeding a pool of NACU worker shards.
+///
+/// See the [crate docs](crate) for the architecture diagram.
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    started: Instant,
+}
+
+impl Engine {
+    /// Validates the configuration (by building a probe unit) and starts
+    /// the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NacuError`] from [`Nacu::new`] — the same validation
+    /// every worker's unit would hit.
+    pub fn new(config: EngineConfig) -> Result<Self, NacuError> {
+        let probe = Nacu::new(config.nacu)?;
+        let format = probe.config().format;
+        drop(probe);
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let metrics = Arc::new(EngineMetrics::new());
+        // spawn_workers clamps to ≥ 1; mirror that for reporting.
+        let workers = config.workers.max(1);
+        let handles = pool::spawn_workers(
+            workers,
+            config.nacu,
+            config.max_coalesced_requests.max(1),
+            &queue,
+            &metrics,
+        );
+        Ok(Self {
+            shared: Arc::new(Shared {
+                queue,
+                metrics,
+                format,
+                default_deadline: config.default_deadline,
+            }),
+            handles,
+            workers,
+            started: Instant::now(),
+        })
+    }
+
+    /// A cloneable submission handle.
+    #[must_use]
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The engine's datapath format.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.shared.format
+    }
+
+    /// Worker (shard) count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submits through an implicit handle (see [`EngineHandle::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineHandle::submit`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        self.handle().submit(request)
+    }
+
+    /// Live counter snapshot, without stopping anything.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Throughput over the interval since `baseline` was snapshotted at
+    /// `baseline_taken`.
+    #[must_use]
+    pub fn report_since(&self, baseline: &MetricsSnapshot, baseline_taken: Instant) -> ThroughputReport {
+        let delta = self.metrics().since(baseline);
+        ThroughputReport::from_interval(&delta, baseline_taken.elapsed(), self.workers)
+    }
+
+    /// Throughput over the engine's whole lifetime so far.
+    #[must_use]
+    pub fn lifetime_report(&self) -> ThroughputReport {
+        let delta = self.metrics();
+        ThroughputReport::from_interval(&delta, self.started.elapsed(), self.workers)
+    }
+
+    /// Stops accepting work, drains the queue, joins the workers and
+    /// returns the final counters. Queued requests are still served;
+    /// post-shutdown submissions get [`SubmitError::ShuttingDown`].
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_in_place();
+        self.metrics()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nacu_fixed::{Fx, Rounding};
+
+    fn engine(workers: usize) -> Engine {
+        Engine::new(
+            EngineConfig::new(NacuConfig::paper_16bit())
+                .with_workers(workers)
+                .with_queue_capacity(64),
+        )
+        .expect("paper config")
+    }
+
+    fn operands(fmt: QFormat, n: usize) -> Vec<Fx> {
+        (0..n)
+            .map(|i| Fx::from_f64(i as f64 * 0.37 - 2.0, fmt, Rounding::Nearest))
+            .collect()
+    }
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    /// Satellite audit: everything a worker thread needs to own or share
+    /// crosses threads (compile-time check).
+    #[test]
+    fn engine_types_are_send_and_shareable() {
+        assert_send::<Nacu>();
+        assert_sync::<Nacu>();
+        assert_send::<NacuConfig>();
+        assert_send::<Fx>();
+        assert_send::<Engine>();
+        assert_send::<EngineHandle>();
+        assert_sync::<EngineHandle>();
+        assert_send::<Ticket>();
+        assert_send::<Request>();
+        assert_send::<Response>();
+    }
+
+    /// Satellite audit: per-worker unit construction is ergonomic because
+    /// `NacuConfig` is `Copy` and `Nacu` is `Clone`.
+    #[test]
+    fn per_worker_unit_construction_is_cloneable() {
+        let cfg = NacuConfig::paper_16bit();
+        let unit = Nacu::new(cfg).expect("paper config");
+        let duplicate = unit.clone();
+        assert_eq!(unit.coefficients(), duplicate.coefficients());
+        let rebuilt = Nacu::new(cfg).expect("same config");
+        assert_eq!(unit.coefficients(), rebuilt.coefficients());
+    }
+
+    #[test]
+    fn scalar_results_match_sequential_datapath() {
+        let engine = engine(3);
+        let nacu = Nacu::new(NacuConfig::paper_16bit()).unwrap();
+        let xs = operands(engine.format(), 40);
+        for function in [Function::Sigmoid, Function::Tanh, Function::Exp] {
+            let response = engine
+                .submit(Request::new(function, xs.clone()))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let sequential: Vec<Fx> = xs.iter().map(|&x| nacu.compute(function, x)).collect();
+            assert_eq!(response.outputs, sequential, "{function}");
+        }
+    }
+
+    #[test]
+    fn softmax_results_match_sequential_datapath() {
+        let engine = engine(2);
+        let nacu = Nacu::new(NacuConfig::paper_16bit()).unwrap();
+        let xs = operands(engine.format(), 10);
+        let response = engine
+            .submit(Request::new(Function::Softmax, xs.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(response.outputs, nacu.softmax(&xs).unwrap());
+    }
+
+    #[test]
+    fn mac_and_empty_and_mixed_format_requests_are_rejected() {
+        let engine = engine(1);
+        let fmt = engine.format();
+        assert!(matches!(
+            engine.submit(Request::new(Function::Mac, operands(fmt, 1))),
+            Err(SubmitError::Invalid(InvalidRequest::UnsupportedFunction(_)))
+        ));
+        assert!(matches!(
+            engine.submit(Request::new(Function::Sigmoid, Vec::new())),
+            Err(SubmitError::Invalid(InvalidRequest::EmptyOperands))
+        ));
+        let alien = Fx::zero(QFormat::new(3, 8).unwrap());
+        assert!(matches!(
+            engine.submit(Request::new(Function::Sigmoid, vec![alien])),
+            Err(SubmitError::Invalid(InvalidRequest::FormatMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn expired_requests_are_answered_with_deadline_error() {
+        let engine = engine(1);
+        let fmt = engine.format();
+        let past = Instant::now() - Duration::from_millis(1);
+        let ticket = engine
+            .submit(Request::new(Function::Sigmoid, operands(fmt, 2)).with_deadline(past))
+            .unwrap();
+        assert_eq!(ticket.wait(), Err(WaitError::DeadlineExpired));
+        assert_eq!(engine.metrics().requests_expired, 1);
+    }
+
+    #[test]
+    fn shutdown_serves_queued_work_then_refuses_new() {
+        let engine = engine(2);
+        let fmt = engine.format();
+        let handle = engine.handle();
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|_| {
+                handle
+                    .submit(Request::new(Function::Tanh, operands(fmt, 4)))
+                    .unwrap()
+            })
+            .collect();
+        let snapshot = engine.shutdown();
+        assert_eq!(snapshot.requests_completed, 16);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        assert!(matches!(
+            handle.submit(Request::new(Function::Tanh, operands(fmt, 1))),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn metrics_count_ops_per_function() {
+        let engine = engine(1);
+        let fmt = engine.format();
+        engine
+            .submit(Request::new(Function::Sigmoid, operands(fmt, 5)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        engine
+            .submit(Request::new(Function::Softmax, operands(fmt, 3)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.sigmoid_ops, 5);
+        assert_eq!(m.softmax_ops, 3);
+        assert_eq!(m.requests_submitted, 2);
+        assert_eq!(m.requests_completed, 2);
+        assert!(m.queue_depth_high_water >= 1);
+    }
+
+    #[test]
+    fn lifetime_report_reflects_served_work() {
+        let engine = engine(2);
+        let fmt = engine.format();
+        for _ in 0..8 {
+            engine
+                .submit(Request::new(Function::Exp, operands(fmt, 16)))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let report = engine.lifetime_report();
+        assert_eq!(report.ops, 8 * 16);
+        assert_eq!(report.workers, 2);
+        assert!(report.modeled_cycles > 0);
+        assert!(report.ops_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Lock-free engine counters, snapshotable while the engine serves.
+//!
+//! Workers and submitters bump relaxed atomics on their hot paths; a
+//! monitor thread calls [`EngineMetrics::snapshot`] at any time without
+//! stopping the pool. Relaxed ordering is deliberate: the counters are
+//! monotone event tallies whose cross-counter skew (a request counted
+//! submitted but not yet completed) is inherent to sampling a live system,
+//! and no control flow depends on their relative order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nacu::Function;
+
+/// Live counters owned by the engine.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    requests_submitted: AtomicU64,
+    requests_completed: AtomicU64,
+    requests_expired: AtomicU64,
+    busy_rejections: AtomicU64,
+    batches_executed: AtomicU64,
+    coalesced_requests: AtomicU64,
+    sigmoid_ops: AtomicU64,
+    tanh_ops: AtomicU64,
+    exp_ops: AtomicU64,
+    softmax_ops: AtomicU64,
+    modeled_cycles: AtomicU64,
+    queue_depth_high_water: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.requests_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_expired(&self) {
+        self.requests_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_queue_depth(&self, depth: usize) {
+        self.queue_depth_high_water
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// One fused hardware batch: `requests` requests totalling `ops`
+    /// operands of `function`, costing `cycles` modeled cycles.
+    pub(crate) fn record_batch(&self, function: Function, requests: u64, ops: u64, cycles: u64) {
+        self.batches_executed.fetch_add(1, Ordering::Relaxed);
+        self.requests_completed.fetch_add(requests, Ordering::Relaxed);
+        self.coalesced_requests
+            .fetch_add(requests.saturating_sub(1), Ordering::Relaxed);
+        self.modeled_cycles.fetch_add(cycles, Ordering::Relaxed);
+        let counter = match function {
+            Function::Sigmoid => &self.sigmoid_ops,
+            Function::Tanh => &self.tanh_ops,
+            Function::Exp => &self.exp_ops,
+            Function::Softmax => &self.softmax_ops,
+            // Mac (and any future function) is rejected at submission;
+            // count it nowhere.
+            _ => return,
+        };
+        counter.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_submitted: self.requests_submitted.load(Ordering::Relaxed),
+            requests_completed: self.requests_completed.load(Ordering::Relaxed),
+            requests_expired: self.requests_expired.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            batches_executed: self.batches_executed.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            sigmoid_ops: self.sigmoid_ops.load(Ordering::Relaxed),
+            tanh_ops: self.tanh_ops.load(Ordering::Relaxed),
+            exp_ops: self.exp_ops.load(Ordering::Relaxed),
+            softmax_ops: self.softmax_ops.load(Ordering::Relaxed),
+            modeled_cycles: self.modeled_cycles.load(Ordering::Relaxed),
+            queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time counter values (see [`EngineMetrics::snapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub requests_submitted: u64,
+    /// Requests answered with a [`crate::Response`].
+    pub requests_completed: u64,
+    /// Requests dropped at pickup because their deadline had passed.
+    pub requests_expired: u64,
+    /// Submissions refused with `Busy` because the queue was full.
+    pub busy_rejections: u64,
+    /// Fused hardware batches executed by the pool.
+    pub batches_executed: u64,
+    /// Requests that rode in a batch opened by an earlier request.
+    pub coalesced_requests: u64,
+    /// σ operands evaluated.
+    pub sigmoid_ops: u64,
+    /// tanh operands evaluated.
+    pub tanh_ops: u64,
+    /// exp operands evaluated.
+    pub exp_ops: u64,
+    /// Softmax vector elements normalised.
+    pub softmax_ops: u64,
+    /// Total modeled pipeline cycles across all batches.
+    pub modeled_cycles: u64,
+    /// Deepest the submission queue has ever been.
+    pub queue_depth_high_water: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total operands evaluated across all four functions.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.sigmoid_ops + self.tanh_ops + self.exp_ops + self.softmax_ops
+    }
+
+    /// Counter-wise difference since `earlier` (saturating, so a stale
+    /// baseline never underflows).
+    #[must_use]
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_submitted: self.requests_submitted.saturating_sub(earlier.requests_submitted),
+            requests_completed: self.requests_completed.saturating_sub(earlier.requests_completed),
+            requests_expired: self.requests_expired.saturating_sub(earlier.requests_expired),
+            busy_rejections: self.busy_rejections.saturating_sub(earlier.busy_rejections),
+            batches_executed: self.batches_executed.saturating_sub(earlier.batches_executed),
+            coalesced_requests: self.coalesced_requests.saturating_sub(earlier.coalesced_requests),
+            sigmoid_ops: self.sigmoid_ops.saturating_sub(earlier.sigmoid_ops),
+            tanh_ops: self.tanh_ops.saturating_sub(earlier.tanh_ops),
+            exp_ops: self.exp_ops.saturating_sub(earlier.exp_ops),
+            softmax_ops: self.softmax_ops.saturating_sub(earlier.softmax_ops),
+            modeled_cycles: self.modeled_cycles.saturating_sub(earlier.modeled_cycles),
+            // High-water marks are absolute, not cumulative.
+            queue_depth_high_water: self.queue_depth_high_water,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate_per_function_ops() {
+        let m = EngineMetrics::new();
+        m.record_batch(Function::Sigmoid, 3, 10, 12);
+        m.record_batch(Function::Softmax, 1, 16, 46);
+        let s = m.snapshot();
+        assert_eq!(s.batches_executed, 2);
+        assert_eq!(s.requests_completed, 4);
+        assert_eq!(s.coalesced_requests, 2);
+        assert_eq!(s.sigmoid_ops, 10);
+        assert_eq!(s.softmax_ops, 16);
+        assert_eq!(s.total_ops(), 26);
+        assert_eq!(s.modeled_cycles, 58);
+    }
+
+    #[test]
+    fn queue_depth_keeps_the_maximum() {
+        let m = EngineMetrics::new();
+        m.record_queue_depth(3);
+        m.record_queue_depth(9);
+        m.record_queue_depth(5);
+        assert_eq!(m.snapshot().queue_depth_high_water, 9);
+    }
+
+    #[test]
+    fn since_diffs_counters_but_not_high_water() {
+        let m = EngineMetrics::new();
+        m.record_batch(Function::Tanh, 1, 4, 6);
+        let early = m.snapshot();
+        m.record_batch(Function::Tanh, 2, 8, 10);
+        m.record_queue_depth(7);
+        let late = m.snapshot();
+        let d = late.since(&early);
+        assert_eq!(d.tanh_ops, 8);
+        assert_eq!(d.requests_completed, 2);
+        assert_eq!(d.queue_depth_high_water, 7);
+    }
+}

@@ -1,0 +1,128 @@
+//! The sharded worker pool: one OS thread and one bit-accurate NACU unit
+//! per worker.
+//!
+//! Each worker constructs its **own** [`Nacu`] instance from the shared
+//! [`NacuConfig`] at thread start — construction is deterministic (the
+//! LUT fit is a pure function of the config), so every shard holds
+//! bit-identical ROM contents and the pool as a whole answers exactly what
+//! a single sequential unit would. This mirrors the paper's fabric view:
+//! many physical NACU instances configured alike, fed from one stream of
+//! work.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use nacu::{Nacu, NacuConfig};
+
+use crate::batch::{scalar_function, Request, RequestError, Response};
+use crate::metrics::EngineMetrics;
+use crate::queue::BoundedQueue;
+use crate::report::modeled_batch_cycles;
+
+/// One queued unit of work: the request plus its reply channel.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) reply: mpsc::Sender<Result<Response, RequestError>>,
+}
+
+/// Spawns `workers` threads draining `queue` until it closes and empties.
+pub(crate) fn spawn_workers(
+    workers: usize,
+    config: NacuConfig,
+    max_coalesced_requests: usize,
+    queue: &Arc<BoundedQueue<Job>>,
+    metrics: &Arc<EngineMetrics>,
+) -> Vec<JoinHandle<()>> {
+    (0..workers.max(1))
+        .map(|worker| {
+            let queue = Arc::clone(queue);
+            let metrics = Arc::clone(metrics);
+            std::thread::Builder::new()
+                .name(format!("nacu-worker-{worker}"))
+                .spawn(move || run_worker(worker, config, max_coalesced_requests, &queue, &metrics))
+                .expect("spawn engine worker thread")
+        })
+        .collect()
+}
+
+fn run_worker(
+    worker: usize,
+    config: NacuConfig,
+    max_coalesced_requests: usize,
+    queue: &BoundedQueue<Job>,
+    metrics: &EngineMetrics,
+) {
+    // Per-worker unit; the config was validated when the engine was built.
+    let nacu = Nacu::new(config).expect("engine validated the config");
+    while let Some(jobs) = queue.pop_batch(max_coalesced_requests, |a, b| {
+        a.request.coalesces_with(&b.request)
+    }) {
+        serve_batch(worker, &nacu, jobs, metrics);
+    }
+}
+
+fn serve_batch(worker: usize, nacu: &Nacu, jobs: Vec<Job>, metrics: &EngineMetrics) {
+    // Expire stale jobs up front so they neither cost datapath work nor
+    // inflate the fused batch.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.request.deadline.is_some_and(|d| d < now) {
+            metrics.record_expired();
+            let _ = job.reply.send(Err(RequestError::DeadlineExpired));
+        } else {
+            live.push(job);
+        }
+    }
+    let Some(first) = live.first() else { return };
+    let function = first.request.function;
+
+    // Metrics are recorded BEFORE any reply is sent: a client observing
+    // its response must also observe the counters that account for it.
+    if scalar_function(function) {
+        // One fused pipelined pass over every live request's operands.
+        let batch_ops: usize = live.iter().map(|j| j.request.operands.len()).sum();
+        let batch_cycles = modeled_batch_cycles(function, batch_ops);
+        let served: Vec<_> = live
+            .into_iter()
+            .map(|job| {
+                let outputs: Vec<_> = job
+                    .request
+                    .operands
+                    .iter()
+                    .map(|&x| nacu.compute(function, x))
+                    .collect();
+                (job.reply, outputs)
+            })
+            .collect();
+        metrics.record_batch(function, served.len() as u64, batch_ops as u64, batch_cycles);
+        for (reply, outputs) in served {
+            let _ = reply.send(Ok(Response {
+                outputs,
+                worker,
+                batch_ops,
+                batch_cycles,
+            }));
+        }
+    } else {
+        // Softmax never coalesces, so this is a singleton batch; the loop
+        // is just the uniform way to consume `live`.
+        for job in live {
+            let n = job.request.operands.len();
+            let batch_cycles = modeled_batch_cycles(function, n);
+            let outputs = nacu
+                .softmax(&job.request.operands)
+                .expect("submit validated the vector");
+            metrics.record_batch(function, 1, n as u64, batch_cycles);
+            let _ = job.reply.send(Ok(Response {
+                outputs,
+                worker,
+                batch_ops: n,
+                batch_cycles,
+            }));
+        }
+    }
+}

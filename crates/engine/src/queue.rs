@@ -1,0 +1,212 @@
+//! The bounded submission queue feeding the worker pool.
+//!
+//! A `Mutex<VecDeque>` + `Condvar` MPMC queue with three properties the
+//! engine's serving contract depends on:
+//!
+//! * **Bounded.** [`BoundedQueue::try_push`] never blocks and never grows
+//!   the queue past its capacity — overload surfaces as an explicit
+//!   [`PushError::Full`] (the engine's `Busy` backpressure) instead of
+//!   unbounded memory growth or deadlock.
+//! * **Coalescing pop.** [`BoundedQueue::pop_batch`] removes a *run* of
+//!   compatible items in one lock acquisition, so a worker can fuse many
+//!   small requests into one pipelined hardware batch.
+//! * **Closable.** [`BoundedQueue::close`] wakes all waiting consumers;
+//!   they drain what remains and then observe `None`, which is the worker
+//!   shutdown signal.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Deepest the queue has ever been — the backpressure observability
+    /// signal ([`crate::metrics::MetricsSnapshot::queue_depth_high_water`]).
+    high_water: usize,
+}
+
+/// A bounded, closable MPMC queue with batch-coalescing pop.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Non-blocking push; returns the post-push depth on success.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]. Both return the item to the caller.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        inner.high_water = inner.high_water.max(depth);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until at least one item is available (or the queue closes),
+    /// then pops the front item plus up to `max_items − 1` further items
+    /// for which `coalesce(front, item)` holds, stopping at the first
+    /// incompatible one so FIFO order is preserved across batches.
+    ///
+    /// Returns `None` only when the queue is closed *and* drained.
+    pub fn pop_batch<F>(&self, max_items: usize, coalesce: F) -> Option<Vec<T>>
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(first) = inner.items.pop_front() {
+                let mut batch = vec![first];
+                while batch.len() < max_items.max(1) {
+                    let compatible = inner
+                        .items
+                        .front()
+                        .is_some_and(|next| coalesce(&batch[0], next));
+                    if !compatible {
+                        break;
+                    }
+                    batch.push(inner.items.pop_front().expect("front checked"));
+                }
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Current depth (for tests and monitoring; racy by nature).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Deepest the queue has ever been.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.inner.lock().expect("queue lock").high_water
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain then stop.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_beyond_capacity_is_refused_not_grown() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_compatible_run_only() {
+        let q = BoundedQueue::new(8);
+        for v in [1, 1, 1, 2, 1] {
+            q.try_push(v).unwrap();
+        }
+        let batch = q.pop_batch(8, |a, b| a == b).unwrap();
+        assert_eq!(batch, vec![1, 1, 1]);
+        // The run stops at the 2; the trailing 1 stays behind it (FIFO).
+        assert_eq!(q.pop_batch(8, |a, b| a == b).unwrap(), vec![2]);
+        assert_eq!(q.pop_batch(8, |a, b| a == b).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_items() {
+        let q = BoundedQueue::new(8);
+        for _ in 0..5 {
+            q.try_push(7).unwrap();
+        }
+        assert_eq!(q.pop_batch(3, |_, _| true).unwrap().len(), 3);
+        assert_eq!(q.pop_batch(3, |_, _| true).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
+        assert_eq!(q.pop_batch(4, |_, _| true).unwrap(), vec![1]);
+        assert!(q.pop_batch(4, |_, _| true).is_none());
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, |_, _| true))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, |_, _| true))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(consumer.join().unwrap().is_none());
+    }
+}

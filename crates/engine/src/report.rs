@@ -1,0 +1,198 @@
+//! Throughput reporting: measured software ops/s next to the cycle count
+//! the same workload would take on real NACU hardware.
+//!
+//! The modeled side reuses [`nacu::pipeline::latency_cycles`] (Table I):
+//! a fused batch of `n` operands on a stall-free pipeline costs
+//! `latency + n − 1` cycles, and the Eq. 13 softmax runs as two such
+//! passes (exp then divider normalisation) over the vector. At the
+//! paper's 3.75 ns clock (§VII.C) that converts modeled cycles into
+//! modeled wall time, which is how the engine demo relates software
+//! throughput to Table I latencies.
+
+use std::time::Duration;
+
+use nacu::pipeline::latency_cycles;
+use nacu::Function;
+
+use crate::metrics::MetricsSnapshot;
+
+/// The paper's clock period, 3.75 ns (§VII.C: 24 cycles ⇒ 90 ns exp).
+pub const PAPER_CLOCK_HZ: f64 = 1.0 / 3.75e-9;
+
+/// Modeled cycles for one fused batch of `ops` operands of `function` on a
+/// single NACU pipeline (Table I latencies, stall-free issue).
+#[must_use]
+pub fn modeled_batch_cycles(function: Function, ops: usize) -> u64 {
+    if ops == 0 {
+        return 0;
+    }
+    let fill = u64::from(latency_cycles(function));
+    let n = ops as u64;
+    match function {
+        // Eq. 13's two-pass schedule: a max-normalised exp pass feeding the
+        // MAC denominator, then a divider pass normalising each element.
+        Function::Softmax => 2 * (fill + n - 1),
+        // One pipelined pass: fill the pipeline once, then one result per
+        // cycle.
+        _ => fill + n - 1,
+    }
+}
+
+/// A throughput measurement over one serving interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputReport {
+    /// Operands evaluated during the interval.
+    pub ops: u64,
+    /// Requests completed during the interval.
+    pub requests: u64,
+    /// Fused batches executed.
+    pub batches: u64,
+    /// Wall-clock duration of the interval.
+    pub wall: Duration,
+    /// Modeled hardware cycles for the same work, summed over batches.
+    pub modeled_cycles: u64,
+    /// Worker (NACU unit) count that served the interval.
+    pub workers: usize,
+}
+
+impl ThroughputReport {
+    /// Builds a report from a metrics interval (see
+    /// [`MetricsSnapshot::since`]) and its wall-clock duration.
+    #[must_use]
+    pub fn from_interval(delta: &MetricsSnapshot, wall: Duration, workers: usize) -> Self {
+        Self {
+            ops: delta.total_ops(),
+            requests: delta.requests_completed,
+            batches: delta.batches_executed,
+            wall,
+            modeled_cycles: delta.modeled_cycles,
+            workers,
+        }
+    }
+
+    /// Measured software throughput in operands per second.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / secs
+    }
+
+    /// Mean operands fused per hardware batch — the coalescing win.
+    #[must_use]
+    pub fn ops_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.batches as f64
+    }
+
+    /// Modeled hardware time for the interval's work at `clock_hz`,
+    /// assuming the pool's units run their batches back to back and the
+    /// shards divide the work evenly.
+    #[must_use]
+    pub fn modeled_hardware_time(&self, clock_hz: f64) -> Duration {
+        if clock_hz <= 0.0 || self.workers == 0 {
+            return Duration::ZERO;
+        }
+        let cycles_per_unit = self.modeled_cycles as f64 / self.workers as f64;
+        Duration::from_secs_f64(cycles_per_unit / clock_hz)
+    }
+
+    /// Modeled hardware throughput (operands per second) at `clock_hz`.
+    #[must_use]
+    pub fn modeled_ops_per_sec(&self, clock_hz: f64) -> f64 {
+        let t = self.modeled_hardware_time(clock_hz).as_secs_f64();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / t
+    }
+
+    /// How much faster the modeled hardware is than this software run.
+    #[must_use]
+    pub fn hardware_speedup(&self, clock_hz: f64) -> f64 {
+        let hw = self.modeled_hardware_time(clock_hz).as_secs_f64();
+        if hw <= 0.0 {
+            return 0.0;
+        }
+        self.wall.as_secs_f64() / hw
+    }
+}
+
+impl std::fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ops in {:?} on {} worker(s): {:.0} ops/s software, \
+             {:.1} ops/batch; modeled {} cycles = {:?} at the paper clock \
+             ({:.0} ops/s, {:.0}x)",
+            self.ops,
+            self.wall,
+            self.workers,
+            self.ops_per_sec(),
+            self.ops_per_batch(),
+            self.modeled_cycles,
+            self.modeled_hardware_time(PAPER_CLOCK_HZ),
+            self.modeled_ops_per_sec(PAPER_CLOCK_HZ),
+            self.hardware_speedup(PAPER_CLOCK_HZ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_cycles_match_pipeline_fill_plus_stream() {
+        // Table I: σ/tanh fill 3 cycles, exp 8.
+        assert_eq!(modeled_batch_cycles(Function::Sigmoid, 100), 102);
+        assert_eq!(modeled_batch_cycles(Function::Tanh, 1), 3);
+        assert_eq!(modeled_batch_cycles(Function::Exp, 50), 57);
+        assert_eq!(modeled_batch_cycles(Function::Softmax, 16), 2 * 23);
+        assert_eq!(modeled_batch_cycles(Function::Exp, 0), 0);
+    }
+
+    #[test]
+    fn coalescing_amortises_fill_cycles() {
+        let fused = modeled_batch_cycles(Function::Sigmoid, 64);
+        let separate = 64 * modeled_batch_cycles(Function::Sigmoid, 1);
+        assert!(fused < separate);
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let r = ThroughputReport {
+            ops: 1000,
+            requests: 10,
+            batches: 5,
+            wall: Duration::from_millis(100),
+            modeled_cycles: 2000,
+            workers: 2,
+        };
+        assert!((r.ops_per_sec() - 10_000.0).abs() < 1e-6);
+        assert!((r.ops_per_batch() - 200.0).abs() < 1e-12);
+        // 1000 cycles per unit at 1 GHz = 1 µs.
+        assert_eq!(r.modeled_hardware_time(1e9), Duration::from_micros(1));
+        assert!(r.hardware_speedup(1e9) > 1.0);
+    }
+
+    #[test]
+    fn degenerate_reports_do_not_divide_by_zero() {
+        let r = ThroughputReport {
+            ops: 0,
+            requests: 0,
+            batches: 0,
+            wall: Duration::ZERO,
+            modeled_cycles: 0,
+            workers: 0,
+        };
+        assert_eq!(r.ops_per_sec(), 0.0);
+        assert_eq!(r.ops_per_batch(), 0.0);
+        assert_eq!(r.modeled_hardware_time(PAPER_CLOCK_HZ), Duration::ZERO);
+        assert_eq!(r.hardware_speedup(PAPER_CLOCK_HZ), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The engine's one inviolable contract, as a property: batched,
+//! coalesced, multi-worker evaluation returns exactly the bits the
+//! sequential [`Nacu`] datapath produces — for every function, any
+//! batch size, any Eq. 7 word width, and any pool width (including the
+//! degenerate 1-worker pool).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use nacu::{Function, Nacu, NacuConfig};
+use nacu_engine::{Engine, EngineConfig, Request};
+use nacu_fixed::{Fx, Rounding};
+
+fn pool(config: NacuConfig, workers: usize) -> Engine {
+    Engine::new(
+        EngineConfig::new(config)
+            .with_workers(workers)
+            .with_queue_capacity(64)
+            .with_max_coalesced_requests(8),
+    )
+    .expect("validated config")
+}
+
+fn to_operands(values: &[f64], config: NacuConfig) -> Vec<Fx> {
+    values
+        .iter()
+        .map(|&v| Fx::from_f64(v, config.format, Rounding::Nearest))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn scalar_batches_are_bit_identical_to_the_sequential_unit(
+        width in 8_u32..=18,
+        workers in 1_usize..=4,
+        values in vec(-8.0_f64..8.0, 1..48),
+        function_pick in 0_u8..3,
+    ) {
+        let function = match function_pick {
+            0 => Function::Sigmoid,
+            1 => Function::Tanh,
+            _ => Function::Exp,
+        };
+        let config = NacuConfig::for_width(width).expect("Eq. 7 solvable");
+        let sequential = Nacu::new(config).expect("builds");
+        let operands = to_operands(&values, config);
+
+        let engine = pool(config, workers);
+        let response = engine
+            .submit(Request::new(function, operands.clone()))
+            .expect("well-formed request")
+            .wait()
+            .expect("served");
+        engine.shutdown();
+
+        let expected: Vec<Fx> = operands
+            .iter()
+            .map(|&x| sequential.compute(function, x))
+            .collect();
+        prop_assert_eq!(response.outputs, expected);
+    }
+
+    #[test]
+    fn softmax_batches_are_bit_identical_to_the_sequential_unit(
+        width in 8_u32..=18,
+        workers in 1_usize..=4,
+        values in vec(-6.0_f64..6.0, 1..24),
+    ) {
+        let config = NacuConfig::for_width(width).expect("Eq. 7 solvable");
+        let sequential = Nacu::new(config).expect("builds");
+        let operands = to_operands(&values, config);
+
+        let engine = pool(config, workers);
+        let response = engine
+            .submit(Request::new(Function::Softmax, operands.clone()))
+            .expect("well-formed request")
+            .wait()
+            .expect("served");
+        engine.shutdown();
+
+        let expected = sequential.softmax(&operands).expect("non-empty batch");
+        prop_assert_eq!(response.outputs, expected);
+    }
+
+    #[test]
+    fn interleaved_multi_client_streams_stay_bit_identical(
+        workers in 1_usize..=4,
+        per_client in 1_usize..=12,
+        seed in 0_u64..256,
+    ) {
+        // Several threads hammer one pool with mixed functions at once;
+        // coalescing may fuse requests across clients, but every reply
+        // must still carry exactly the sequential unit's bits.
+        let config = NacuConfig::paper_16bit();
+        let sequential = Nacu::new(config).expect("paper config");
+        let engine = pool(config, workers);
+        std::thread::scope(|scope| {
+            for client in 0..3_u64 {
+                let handle = engine.handle();
+                let sequential = &sequential;
+                scope.spawn(move || {
+                    for i in 0..per_client as u64 {
+                        let mixed = seed.wrapping_mul(31).wrapping_add(client * 7 + i);
+                        let function = match mixed % 3 {
+                            0 => Function::Sigmoid,
+                            1 => Function::Tanh,
+                            _ => Function::Exp,
+                        };
+                        let v = (mixed % 1600) as f64 / 100.0 - 8.0;
+                        let x = Fx::from_f64(v, config.format, Rounding::Nearest);
+                        let response = handle
+                            .submit_wait(Request::new(function, vec![x]))
+                            .expect("served");
+                        assert_eq!(
+                            response.outputs,
+                            vec![sequential.compute(function, x)],
+                            "client {client} op {i}: {function:?}({v})"
+                        );
+                    }
+                });
+            }
+        });
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,173 @@
+//! Engine-backed [`Nonlinearity`]: run layer activations on a shared
+//! [`nacu_engine`] pool instead of a private sequential unit.
+//!
+//! This is the serving-path adapter the ROADMAP's fabric view needs: many
+//! network evaluations (possibly on many client threads) funnel their
+//! σ/tanh/exp/softmax work through one bounded queue onto a pool of NACU
+//! shards, where same-function requests coalesce into pipelined hardware
+//! batches. Results are bit-identical to [`crate::activation::NacuActivation`]
+//! with the same [`nacu::NacuConfig`], because every pool worker builds
+//! the identical unit.
+//!
+//! The [`Nonlinearity`] trait is infallible, so this adapter absorbs
+//! transient [`SubmitError::Busy`] backpressure by yielding and retrying —
+//! an activation inside a forward pass cannot be load-shed. Clients that
+//! *can* shed load should submit [`nacu_engine::Request`]s directly.
+
+use nacu::Function;
+use nacu_engine::{EngineHandle, Request, SubmitError, WaitError};
+use nacu_fixed::{Fx, QFormat};
+
+use crate::activation::Nonlinearity;
+
+/// A [`Nonlinearity`] that evaluates on an engine pool.
+#[derive(Debug, Clone)]
+pub struct EngineActivation {
+    handle: EngineHandle,
+}
+
+impl EngineActivation {
+    /// Wraps a submission handle (see [`nacu_engine::Engine::handle`]).
+    #[must_use]
+    pub fn new(handle: EngineHandle) -> Self {
+        Self { handle }
+    }
+
+    /// The underlying submission handle.
+    #[must_use]
+    pub fn handle(&self) -> &EngineHandle {
+        &self.handle
+    }
+
+    /// Evaluates `function` over a whole operand batch on the pool,
+    /// retrying while the queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine shuts down mid-computation or rejects the
+    /// request as invalid — both are programming errors for an adapter
+    /// that outlives its layers.
+    #[must_use]
+    pub fn map_batch(&self, function: Function, operands: &[Fx]) -> Vec<Fx> {
+        loop {
+            match self
+                .handle
+                .submit(Request::new(function, operands.to_vec()))
+            {
+                Ok(ticket) => match ticket.wait() {
+                    Ok(response) => return response.outputs,
+                    Err(WaitError::DeadlineExpired) => {
+                        // The engine's default deadline lapsed under load;
+                        // an activation cannot be dropped, so resubmit.
+                        continue;
+                    }
+                    Err(e) => panic!("engine failed mid-forward-pass: {e}"),
+                },
+                Err(SubmitError::Busy { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("engine rejected a layer activation: {e}"),
+            }
+        }
+    }
+}
+
+impl Nonlinearity for EngineActivation {
+    fn format(&self) -> QFormat {
+        self.handle.format()
+    }
+
+    fn sigmoid(&self, x: Fx) -> Fx {
+        self.map_batch(Function::Sigmoid, &[x])[0]
+    }
+
+    fn tanh(&self, x: Fx) -> Fx {
+        self.map_batch(Function::Tanh, &[x])[0]
+    }
+
+    fn exp_neg(&self, x: Fx) -> Fx {
+        self.map_batch(Function::Exp, &[x])[0]
+    }
+
+    fn softmax(&self, inputs: &[Fx]) -> Vec<Fx> {
+        self.map_batch(Function::Softmax, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::NacuActivation;
+    use crate::data;
+    use crate::train;
+    use nacu::NacuConfig;
+    use nacu_engine::{Engine, EngineConfig};
+    use nacu_fixed::Rounding;
+
+    fn pool(workers: usize) -> Engine {
+        Engine::new(EngineConfig::new(NacuConfig::paper_16bit()).with_workers(workers))
+            .expect("paper config")
+    }
+
+    #[test]
+    fn engine_activation_is_bit_identical_to_sequential() {
+        let engine = pool(3);
+        let on_pool = EngineActivation::new(engine.handle());
+        let sequential = NacuActivation::paper_16bit();
+        let fmt = on_pool.format();
+        for v in [-6.3, -1.5, -0.1, 0.0, 0.7, 2.0, 9.9] {
+            let x = Fx::from_f64(v, fmt, Rounding::Nearest);
+            assert_eq!(on_pool.sigmoid(x), sequential.sigmoid(x), "sigmoid({v})");
+            assert_eq!(on_pool.tanh(x), sequential.tanh(x), "tanh({v})");
+            assert_eq!(on_pool.exp_neg(x), sequential.exp_neg(x), "exp({v})");
+        }
+        let xs: Vec<Fx> = [-0.4, 1.2, 0.3, -2.0]
+            .iter()
+            .map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest))
+            .collect();
+        assert_eq!(on_pool.softmax(&xs), sequential.softmax(&xs));
+    }
+
+    #[test]
+    fn mlp_forward_on_the_engine_matches_sequential() {
+        let engine = pool(2);
+        let on_pool = EngineActivation::new(engine.handle());
+        let sequential = NacuActivation::paper_16bit();
+        let fmt = on_pool.format();
+        let dataset = data::gaussian_blobs(24, 3, 5.0, 7);
+        let net = train::train_mlp(&dataset, 8, 10, 0.05, 1).quantize(fmt);
+        for features in &dataset.features {
+            assert_eq!(
+                net.classify(features, &on_pool),
+                net.classify(features, &sequential)
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_pool() {
+        let engine = pool(4);
+        let sequential = NacuActivation::paper_16bit();
+        let fmt = sequential.format();
+        let expected: Vec<Fx> = (0..32)
+            .map(|i| {
+                sequential.sigmoid(Fx::from_f64(f64::from(i) * 0.2 - 3.0, fmt, Rounding::Nearest))
+            })
+            .collect();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let nl = EngineActivation::new(engine.handle());
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for (i, &want) in expected.iter().enumerate() {
+                        let x =
+                            Fx::from_f64(i as f64 * 0.2 - 3.0, nl.format(), Rounding::Nearest);
+                        assert_eq!(nl.sigmoid(x), want);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+        assert_eq!(engine.metrics().sigmoid_ops, 8 * 32);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`activation`] — the [`activation::Nonlinearity`] trait with the
 //!   bit-accurate NACU implementation, an exact f64 reference, and every
 //!   related-work comparator adaptable via closures;
+//! * [`engine`] — an adapter running the same trait on a shared
+//!   [`nacu_engine`] worker pool, so many forward passes batch onto a
+//!   sharded set of NACU units;
 //! * [`dense`] / [`mlp`] / [`conv`] — inference layers (dense, 2-D
 //!   convolution + pooling) and a softmax classifier;
 //! * [`lstm`] — an LSTM cell (4 gates, 3 σ + 2 tanh per step);
@@ -25,6 +28,7 @@ pub mod activation;
 pub mod conv;
 pub mod data;
 pub mod dense;
+pub mod engine;
 pub mod lstm;
 pub mod mlp;
 pub mod snn;

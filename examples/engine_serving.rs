@@ -1,0 +1,124 @@
+//! Many-client serving on the batched inference engine: a trained
+//! softmax-classifier MLP is evaluated by several client threads that all
+//! funnel their activations through one shared pool of NACU shards.
+//!
+//! The demo serves the same request stream on a 1-worker pool and a
+//! wider pool, showing (a) bit-identical classifications to the
+//! sequential unit, (b) throughput scaling with pool width, and (c) the
+//! engine's live metrics — batches coalesced, queue high-water, and any
+//! `Busy` backpressure the clients absorbed.
+//!
+//! ```sh
+//! cargo run --release --example engine_serving
+//! ```
+
+use std::thread;
+use std::time::Instant;
+
+use nacu::NacuConfig;
+use nacu_engine::{Engine, EngineConfig};
+use nacu_fixed::QFormat;
+use nacu_nn::activation::{NacuActivation, Nonlinearity};
+use nacu_nn::engine::EngineActivation;
+use nacu_nn::mlp::Mlp;
+use nacu_nn::{data, train};
+
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 12;
+
+/// Every client classifies the whole test set `ROUNDS` times through the
+/// shared pool; returns wall time and the served classifications.
+fn serve(engine: &Engine, net: &Mlp, features: &[Vec<f64>]) -> (f64, Vec<usize>) {
+    let started = Instant::now();
+    let mut first: Vec<usize> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let nl = EngineActivation::new(engine.handle());
+                scope.spawn(move || {
+                    let mut labels = Vec::with_capacity(features.len());
+                    for _ in 0..ROUNDS {
+                        labels.clear();
+                        for sample in features {
+                            labels.push(net.classify(sample, &nl));
+                        }
+                    }
+                    labels
+                })
+            })
+            .collect();
+        for handle in handles {
+            let labels = handle.join().expect("client thread");
+            if first.is_empty() {
+                first = labels;
+            }
+        }
+    });
+    (started.elapsed().as_secs_f64(), first)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fmt = QFormat::new(4, 11)?;
+    let dataset = data::gaussian_blobs(240, 3, 5.0, 42);
+    let (train_set, test_set) = dataset.split(0.75);
+    let net = train::train_mlp(&train_set, 12, 40, 0.05, 7).quantize(fmt);
+
+    // Sequential ground truth: one private NACU unit, no pool.
+    let sequential = NacuActivation::paper_16bit();
+    let expected: Vec<usize> = test_set
+        .features
+        .iter()
+        .map(|sample| net.classify(sample, &sequential as &dyn Nonlinearity))
+        .collect();
+
+    println!(
+        "serving {} classifications ({} clients x {} rounds x {} samples)",
+        CLIENTS * ROUNDS * test_set.features.len(),
+        CLIENTS,
+        ROUNDS,
+        test_set.features.len()
+    );
+    println!();
+    println!(
+        "{:>8} {:>10} {:>14} {:>9} {:>10} {:>8} {:>6}",
+        "workers", "wall s", "ops/s", "batches", "ops/batch", "hi-water", "busy"
+    );
+
+    let mut single_ops_per_sec = None;
+    for workers in [1, 4] {
+        let engine = Engine::new(
+            EngineConfig::new(NacuConfig::paper_16bit())
+                .with_workers(workers)
+                .with_queue_capacity(128),
+        )?;
+        let baseline = engine.metrics();
+        let started = Instant::now();
+        let (wall, served) = serve(&engine, &net, &test_set.features);
+        assert_eq!(served, expected, "pool must match the sequential unit");
+        let report = engine.report_since(&baseline, started);
+        let delta = engine.metrics().since(&baseline);
+        println!(
+            "{:>8} {:>10.3} {:>14.0} {:>9} {:>10.1} {:>8} {:>6}",
+            workers,
+            wall,
+            report.ops_per_sec(),
+            report.batches,
+            report.ops_per_batch(),
+            delta.queue_depth_high_water,
+            delta.busy_rejections,
+        );
+        match single_ops_per_sec {
+            None => single_ops_per_sec = Some(report.ops_per_sec()),
+            Some(single) => {
+                println!();
+                println!(
+                    "speedup over 1 worker: {:.2}x; every classification bit-identical",
+                    report.ops_per_sec() / single
+                );
+                println!("{report}");
+            }
+        }
+        engine.shutdown();
+    }
+    Ok(())
+}

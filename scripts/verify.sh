@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full offline verification gate for the workspace.
+#
+#   scripts/verify.sh
+#
+# Runs the tier-1 gate (release build + root-package tests) exactly as the
+# roadmap specifies, then the complete workspace test suite and a
+# warnings-as-errors clippy pass. Everything runs --offline: the only
+# dependencies are the in-tree shims under shims/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> workspace: cargo test --workspace --release"
+cargo test --workspace --release -q --offline
+
+echo "==> lint: cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> verify OK"

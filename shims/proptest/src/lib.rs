@@ -1,0 +1,177 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the API subset the workspace's property tests use — the [`proptest!`]
+//! macro, range/tuple/`prop_map`/`prop_oneof!`/collection strategies, and
+//! the `prop_assert*` family — over a deterministic per-test RNG.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the panic message only; the
+//!   generated inputs are printed so the case can be pinned manually.
+//! * **Deterministic seeding.** Each test derives its seed from its own
+//!   name, so failures reproduce across runs without a regressions file
+//!   (`*.proptest-regressions` files are ignored).
+//! * Case count defaults to 64 and is overridable with `PROPTEST_CASES`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (mirrors `proptest::collection`).
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with lengths drawn from `len` and elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, len)
+    }
+}
+
+pub mod num {
+    //! Numeric strategies (mirrors `proptest::num`).
+
+    #[allow(non_snake_case)]
+    pub mod i64 {
+        use crate::strategy::AnyInt;
+
+        /// Any `i64`, uniformly.
+        pub const ANY: AnyInt<i64> = AnyInt::new();
+    }
+
+    #[allow(non_snake_case)]
+    pub mod u64 {
+        use crate::strategy::AnyInt;
+
+        /// Any `u64`, uniformly.
+        pub const ANY: AnyInt<u64> = AnyInt::new();
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for writing property tests.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies for a configurable
+/// number of cases and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut ran: u32 = 0;
+                let mut attempts: u32 = 0;
+                while ran < cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < cases.saturating_mul(20).max(1000),
+                        "too many rejected cases (prop_assume filters too aggressively)"
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => ran += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property `{}` failed on case {} (attempt {}): {}\n\
+                                 (deterministic seed: rerun reproduces; no shrinking in the offline proptest shim)",
+                                stringify!($name),
+                                ran + 1,
+                                attempts,
+                                msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l == r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
