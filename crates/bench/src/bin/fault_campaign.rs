@@ -1,0 +1,60 @@
+//! Fault-injection campaign runner: sweep every injection site, bit,
+//! fault kind and paper function through the checked datapath, print the
+//! coverage table and optionally archive the JSON record.
+//!
+//!     fault_campaign [--smoke] [--out PATH]
+//!
+//! Run the full sweep `--release`; `--smoke` runs the strided CI shape.
+
+use std::process::ExitCode;
+
+use nacu_bench::fault_campaign::{self, CampaignConfig};
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match argv.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: fault_campaign [--smoke] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let config = if smoke {
+        CampaignConfig::smoke()
+    } else {
+        CampaignConfig::full()
+    };
+    let report = fault_campaign::run(&config);
+    fault_campaign::print_summary(&report);
+    println!();
+    println!(
+        "single-bit LUT coverage {:.2}% (gate: >= 99%); worst silent error {}",
+        100.0 * report.lut_coverage(),
+        nacu_bench::sci(report.worst_silent_error()),
+    );
+    if let Some(path) = out {
+        let json = fault_campaign::to_json(&report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if report.lut_coverage() < 0.99 {
+        eprintln!("FAIL: single-bit LUT coverage below the 99% gate");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

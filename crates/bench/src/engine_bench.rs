@@ -136,10 +136,10 @@ pub fn worker_scaling(worker_counts: &[usize], workload: Workload) -> Vec<Scalin
             row
         })
         .collect();
-    let single = rows
-        .iter()
-        .find(|r| r.workers == 1)
-        .map_or_else(|| rows.first().map_or(1.0, |r| r.ops_per_sec), |r| r.ops_per_sec);
+    let single = rows.iter().find(|r| r.workers == 1).map_or_else(
+        || rows.first().map_or(1.0, |r| r.ops_per_sec),
+        |r| r.ops_per_sec,
+    );
     for row in &mut rows {
         row.speedup = if single > 0.0 {
             row.ops_per_sec / single
@@ -185,10 +185,8 @@ mod tests {
 
     #[test]
     fn drive_serves_every_request() {
-        let engine = Engine::new(
-            EngineConfig::new(NacuConfig::paper_16bit()).with_workers(2),
-        )
-        .expect("paper config");
+        let engine = Engine::new(EngineConfig::new(NacuConfig::paper_16bit()).with_workers(2))
+            .expect("paper config");
         let row = drive(&engine, tiny());
         assert_eq!(row.report.requests, 16);
         assert_eq!(row.report.ops, 16 * 8);

@@ -18,9 +18,11 @@
 //! | [`width_sweep`] | extension: workload-level accuracy vs NACU word width |
 //! | [`scaling`] | §VII.C — technology-scaled area/delay comparison |
 //! | [`engine_bench`] | extension: serving throughput vs engine worker count |
+//! | [`fault_campaign`] | extension: fault-injection detection-coverage sweep |
 
 pub mod ablation;
 pub mod engine_bench;
+pub mod fault_campaign;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;

@@ -55,11 +55,7 @@ fn parse_imm(token: &str) -> Result<i64, String> {
 
 fn parse_line(line: &str) -> Result<Option<Instruction>, String> {
     // Strip comments (`;` or `#`) and blanks.
-    let code = line
-        .split([';', '#'])
-        .next()
-        .unwrap_or("")
-        .trim();
+    let code = line.split([';', '#']).next().unwrap_or("").trim();
     if code.is_empty() {
         return Ok(None);
     }

@@ -163,12 +163,44 @@ impl Nacu {
         self.bias_fmt
     }
 
-    /// LUT lookup by positive raw address (clamped into range).
-    fn lookup(&self, mag_raw: i64) -> CoeffEntry {
+    /// The divider/exp working format `Q2.(N−3)` — the word σ is kept in
+    /// on the exp path before the reciprocal.
+    #[must_use]
+    pub fn work_format(&self) -> QFormat {
+        self.work_fmt
+    }
+
+    /// Raw-code segment boundaries of the σ LUT (ascending, positive;
+    /// `bounds[i]..bounds[i+1]` is segment `i`). Together with
+    /// [`Nacu::lookup_index`] and [`Nacu::coefficients`] this exposes the
+    /// address-decode net to external checkers and fault injectors
+    /// (`nacu-faults`).
+    #[must_use]
+    pub fn segment_bounds(&self) -> &[i64] {
+        &self.bounds
+    }
+
+    /// The LUT entry index a positive raw address decodes to — the
+    /// address net of Fig. 2, exposed as an injection/observation hook.
+    #[must_use]
+    pub fn lookup_index(&self, mag_raw: i64) -> usize {
         let hi = self.bounds[self.bounds.len() - 1] - 1;
         let raw = mag_raw.clamp(0, hi);
         let idx = self.bounds[1..self.bounds.len() - 1].partition_point(|&b| b <= raw);
-        self.entries[idx.min(self.entries.len() - 1)]
+        idx.min(self.entries.len() - 1)
+    }
+
+    /// Magnitude of an input code as the hardware's absolute-value stage
+    /// produces it (saturating the asymmetric two's-complement minimum) —
+    /// the operand net feeding the LUT address and the MAC.
+    #[must_use]
+    pub fn magnitude_raw(&self, x: Fx) -> i64 {
+        self.magnitude(x)
+    }
+
+    /// LUT lookup by positive raw address (clamped into range).
+    fn lookup(&self, mag_raw: i64) -> CoeffEntry {
+        self.entries[self.lookup_index(mag_raw)]
     }
 
     /// Magnitude of an input code, saturating the asymmetric minimum.
@@ -598,6 +630,31 @@ mod tests {
             assert!(report.correlation > 0.99);
             last_rmse = report.rmse;
         }
+    }
+
+    #[test]
+    fn exposed_nets_agree_with_the_private_path() {
+        // The injection hooks (lookup_index / segment_bounds /
+        // magnitude_raw) must describe exactly the nets the private
+        // evaluation uses, or external checkers would shadow a different
+        // datapath.
+        let n = paper();
+        let fmt = n.config().format;
+        let bounds = n.segment_bounds();
+        assert_eq!(bounds.len(), n.lut_entries() + 1);
+        assert_eq!(bounds[0], 0);
+        for raw in (fmt.min_raw()..=fmt.max_raw()).step_by(211) {
+            let x = Fx::from_raw(raw, fmt).unwrap();
+            let mag = n.magnitude_raw(x);
+            assert!(mag >= 0);
+            let idx = n.lookup_index(mag);
+            assert!(idx < n.lut_entries());
+            // The decoded segment contains the (clamped) address.
+            let clamped = mag.clamp(0, bounds[bounds.len() - 1] - 1);
+            assert!(bounds[idx] <= clamped && clamped < bounds[idx + 1]);
+        }
+        // The asymmetric minimum saturates instead of overflowing.
+        assert_eq!(n.magnitude_raw(Fx::min(fmt)), fmt.max_raw());
     }
 
     #[test]

@@ -28,6 +28,37 @@ pub fn latency_cycles(function: Function) -> u32 {
     }
 }
 
+/// Extra pipeline stages a *checked* unit (the `nacu-faults` detectors)
+/// adds on top of the Table I latency.
+///
+/// The three detectors are wired off the main datapath so they cost one
+/// shared compare stage, not one each:
+///
+/// * **LUT parity** is an XOR-reduction tree over the stored `(m₁, q)`
+///   words, evaluated in parallel with the coefficient fetch — it fits
+///   inside the existing lookup cycle and adds no latency of its own.
+/// * **MAC residue** is a mod-3 shadow of the wide MAC; the tiny residue
+///   adders track the main adder in parallel, but the equality compare
+///   against the accumulator's pre-round word needs one extra stage.
+/// * **The σ range/monotonicity sentinel** is a pair of magnitude
+///   comparators on the output register, evaluated in the same added
+///   stage as the residue compare.
+///
+/// Net effect: one extra cycle per result in checked mode, for every
+/// function (they all traverse the shared MAC).
+#[must_use]
+pub fn detector_cycles(function: Function) -> u32 {
+    let _ = function; // uniform across functions: one shared compare stage
+    1
+}
+
+/// Table I latency of a checked (fault-detecting) unit:
+/// [`latency_cycles`] plus the detectors' compare stage.
+#[must_use]
+pub fn checked_latency_cycles(function: Function) -> u32 {
+    latency_cycles(function) + detector_cycles(function)
+}
+
 /// An in-flight operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct InFlight {
@@ -190,6 +221,14 @@ mod tests {
         assert_eq!(latency_cycles(Function::Tanh), 3);
         assert_eq!(latency_cycles(Function::Exp), 8);
         assert_eq!(latency_cycles(Function::Mac), 1);
+    }
+
+    #[test]
+    fn checked_latency_adds_one_compare_stage() {
+        for f in Function::all() {
+            assert_eq!(checked_latency_cycles(f), latency_cycles(f) + 1);
+            assert_eq!(detector_cycles(f), 1);
+        }
     }
 
     #[test]

@@ -68,10 +68,7 @@ impl Request {
 /// one operand per cycle.
 #[must_use]
 pub fn scalar_function(function: Function) -> bool {
-    matches!(
-        function,
-        Function::Sigmoid | Function::Tanh | Function::Exp
-    )
+    matches!(function, Function::Sigmoid | Function::Tanh | Function::Exp)
 }
 
 /// The engine's answer to one [`Request`].
@@ -98,6 +95,18 @@ pub enum RequestError {
     DeadlineExpired,
     /// The engine shut down before serving the request.
     EngineShutDown,
+    /// Every retry landed on a unit whose detectors fired; the last event
+    /// is reported. The request was never answered with possibly-corrupt
+    /// outputs.
+    FaultDetected {
+        /// The detector event from the final attempt.
+        event: nacu_faults::FaultEvent,
+        /// Serving attempts made (1 initial + retries).
+        attempts: u32,
+    },
+    /// A fault was detected and every worker in the pool is quarantined —
+    /// the engine has no unit left to retry on.
+    NoHealthyWorkers,
 }
 
 impl std::fmt::Display for RequestError {
@@ -105,6 +114,15 @@ impl std::fmt::Display for RequestError {
         match self {
             Self::DeadlineExpired => write!(f, "deadline expired before a worker served it"),
             Self::EngineShutDown => write!(f, "engine shut down before serving the request"),
+            Self::FaultDetected { event, attempts } => {
+                write!(f, "fault detected on every attempt ({attempts}): {event}")
+            }
+            Self::NoHealthyWorkers => {
+                write!(
+                    f,
+                    "all workers are quarantined; no healthy unit to retry on"
+                )
+            }
         }
     }
 }
@@ -143,8 +161,7 @@ mod tests {
 
     #[test]
     fn timeout_sets_a_future_deadline() {
-        let r = Request::new(Function::Exp, x())
-            .with_timeout(std::time::Duration::from_secs(5));
+        let r = Request::new(Function::Exp, x()).with_timeout(std::time::Duration::from_secs(5));
         assert!(r.deadline.unwrap() > Instant::now());
     }
 }

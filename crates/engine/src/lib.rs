@@ -58,18 +58,60 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use nacu::{Function, Nacu, NacuConfig, NacuError};
 use nacu_fixed::QFormat;
 
 pub use batch::{Request, RequestError, Response};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use report::{ThroughputReport, PAPER_CLOCK_HZ};
+// Re-exported so engine clients can build fault policies without naming
+// nacu-faults directly.
+pub use nacu_faults::{DetectorSet, Fault, FaultEvent, FaultKind, FaultPlan, InjectionSite};
 
-use pool::Job;
+use pool::{Job, PoolShared};
 use queue::{BoundedQueue, PushError};
 
+/// Fault-handling policy: detectors, retry budget, BIST cadence, and —
+/// for tests and campaigns — per-worker fault plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTolerance {
+    /// Times one request may be requeued after a detector fires before
+    /// the client gets [`WaitError::FaultDetected`].
+    pub max_retries: u32,
+    /// Run [`nacu_faults::CheckedNacu::scrub`] every this many served
+    /// batches per worker (0 disables the periodic scrub).
+    pub scrub_every_batches: u64,
+    /// Detectors every worker arms.
+    pub detectors: DetectorSet,
+    /// Fault plan for worker *i* (`plans[i]`); missing slots are clean.
+    /// Production engines leave this empty — it exists so tests and the
+    /// fault campaign can break specific units on purpose.
+    pub plans: Vec<FaultPlan>,
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            scrub_every_batches: 0,
+            detectors: DetectorSet::all(),
+            plans: Vec::new(),
+        }
+    }
+}
+
+impl FaultTolerance {
+    /// The plan for one worker slot (clean when unspecified).
+    #[must_use]
+    pub fn plan_for(&self, worker: usize) -> FaultPlan {
+        self.plans.get(worker).cloned().unwrap_or_default()
+    }
+}
+
 /// Engine sizing and policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Configuration every pool worker builds its NACU unit from.
     pub nacu: NacuConfig,
@@ -81,6 +123,8 @@ pub struct EngineConfig {
     pub max_coalesced_requests: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline: Option<Duration>,
+    /// Fault detection, quarantine and retry policy.
+    pub fault_tolerance: FaultTolerance,
 }
 
 impl EngineConfig {
@@ -94,6 +138,7 @@ impl EngineConfig {
             queue_capacity: 256,
             max_coalesced_requests: 32,
             default_deadline: None,
+            fault_tolerance: FaultTolerance::default(),
         }
     }
 
@@ -122,6 +167,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.default_deadline = deadline;
+        self
+    }
+
+    /// Sets the fault detection/quarantine/retry policy.
+    #[must_use]
+    pub fn with_fault_tolerance(mut self, fault_tolerance: FaultTolerance) -> Self {
+        self.fault_tolerance = fault_tolerance;
         self
     }
 }
@@ -177,7 +229,10 @@ impl std::fmt::Display for InvalidRequest {
             }
             Self::EmptyOperands => write!(f, "request carries no operands"),
             Self::FormatMismatch { expected, got } => {
-                write!(f, "operand format {got} does not match engine format {expected}")
+                write!(
+                    f,
+                    "operand format {got} does not match engine format {expected}"
+                )
             }
         }
     }
@@ -195,6 +250,16 @@ pub enum WaitError {
     /// [`Ticket::wait_timeout`] gave up waiting (the request may still
     /// complete later; the ticket is consumed).
     Timeout,
+    /// Every serving attempt (1 + retries) hit a unit whose detectors
+    /// fired; no possibly-corrupt output was ever sent.
+    FaultDetected {
+        /// The detector event from the final attempt.
+        event: FaultEvent,
+        /// Serving attempts made.
+        attempts: u32,
+    },
+    /// A fault was detected and the whole pool is quarantined.
+    NoHealthyWorkers,
 }
 
 impl std::fmt::Display for WaitError {
@@ -203,6 +268,15 @@ impl std::fmt::Display for WaitError {
             Self::DeadlineExpired => write!(f, "request deadline expired"),
             Self::EngineShutDown => write!(f, "engine shut down before answering"),
             Self::Timeout => write!(f, "timed out waiting for the response"),
+            Self::FaultDetected { event, attempts } => {
+                write!(f, "fault detected on every attempt ({attempts}): {event}")
+            }
+            Self::NoHealthyWorkers => {
+                write!(
+                    f,
+                    "all workers are quarantined; no healthy unit to retry on"
+                )
+            }
         }
     }
 }
@@ -214,6 +288,10 @@ impl From<RequestError> for WaitError {
         match e {
             RequestError::DeadlineExpired => Self::DeadlineExpired,
             RequestError::EngineShutDown => Self::EngineShutDown,
+            RequestError::FaultDetected { event, attempts } => {
+                Self::FaultDetected { event, attempts }
+            }
+            RequestError::NoHealthyWorkers => Self::NoHealthyWorkers,
         }
     }
 }
@@ -312,13 +390,14 @@ impl EngineHandle {
             }
         }
         if request.deadline.is_none() {
-            request.deadline = self
-                .shared
-                .default_deadline
-                .map(|d| Instant::now() + d);
+            request.deadline = self.shared.default_deadline.map(|d| Instant::now() + d);
         }
         let (reply, rx) = mpsc::channel();
-        match self.shared.queue.try_push(Job { request, reply }) {
+        match self.shared.queue.try_push(Job {
+            request,
+            reply,
+            retries: 0,
+        }) {
             Ok(depth) => {
                 self.shared.metrics.record_submitted();
                 self.shared.metrics.record_queue_depth(depth);
@@ -381,6 +460,7 @@ pub struct Engine {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
+    health: Arc<Vec<AtomicBool>>,
     started: Instant,
 }
 
@@ -398,15 +478,18 @@ impl Engine {
         drop(probe);
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(EngineMetrics::new());
-        // spawn_workers clamps to ≥ 1; mirror that for reporting.
         let workers = config.workers.max(1);
-        let handles = pool::spawn_workers(
-            workers,
-            config.nacu,
-            config.max_coalesced_requests.max(1),
-            &queue,
-            &metrics,
-        );
+        let health: Arc<Vec<AtomicBool>> =
+            Arc::new((0..workers).map(|_| AtomicBool::new(true)).collect());
+        let pool_shared = Arc::new(PoolShared {
+            config: config.nacu,
+            max_coalesced_requests: config.max_coalesced_requests.max(1),
+            fault: config.fault_tolerance,
+            queue: Arc::clone(&queue),
+            metrics: Arc::clone(&metrics),
+            health: Arc::clone(&health),
+        });
+        let handles = pool::spawn_workers(&pool_shared);
         Ok(Self {
             shared: Arc::new(Shared {
                 queue,
@@ -416,6 +499,7 @@ impl Engine {
             }),
             handles,
             workers,
+            health,
             started: Instant::now(),
         })
     }
@@ -434,10 +518,19 @@ impl Engine {
         self.shared.format
     }
 
-    /// Worker (shard) count.
+    /// Worker (shard) count, healthy or not.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Workers still in service (not quarantined by a detector event).
+    #[must_use]
+    pub fn healthy_workers(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| h.load(Ordering::Acquire))
+            .count()
     }
 
     /// Submits through an implicit handle (see [`EngineHandle::submit`]).
@@ -458,7 +551,11 @@ impl Engine {
     /// Throughput over the interval since `baseline` was snapshotted at
     /// `baseline_taken`.
     #[must_use]
-    pub fn report_since(&self, baseline: &MetricsSnapshot, baseline_taken: Instant) -> ThroughputReport {
+    pub fn report_since(
+        &self,
+        baseline: &MetricsSnapshot,
+        baseline_taken: Instant,
+    ) -> ThroughputReport {
         let delta = self.metrics().since(baseline);
         ThroughputReport::from_interval(&delta, baseline_taken.elapsed(), self.workers)
     }

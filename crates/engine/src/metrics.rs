@@ -26,6 +26,10 @@ pub struct EngineMetrics {
     softmax_ops: AtomicU64,
     modeled_cycles: AtomicU64,
     queue_depth_high_water: AtomicU64,
+    faults_detected: AtomicU64,
+    workers_quarantined: AtomicU64,
+    retries: AtomicU64,
+    requests_failed: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -52,11 +56,28 @@ impl EngineMetrics {
             .fetch_max(depth as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_fault_detected(&self) {
+        self.faults_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_quarantined(&self) {
+        self.workers_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_request_failed(&self) {
+        self.requests_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One fused hardware batch: `requests` requests totalling `ops`
     /// operands of `function`, costing `cycles` modeled cycles.
     pub(crate) fn record_batch(&self, function: Function, requests: u64, ops: u64, cycles: u64) {
         self.batches_executed.fetch_add(1, Ordering::Relaxed);
-        self.requests_completed.fetch_add(requests, Ordering::Relaxed);
+        self.requests_completed
+            .fetch_add(requests, Ordering::Relaxed);
         self.coalesced_requests
             .fetch_add(requests.saturating_sub(1), Ordering::Relaxed);
         self.modeled_cycles.fetch_add(cycles, Ordering::Relaxed);
@@ -88,6 +109,10 @@ impl EngineMetrics {
             softmax_ops: self.softmax_ops.load(Ordering::Relaxed),
             modeled_cycles: self.modeled_cycles.load(Ordering::Relaxed),
             queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed),
+            faults_detected: self.faults_detected.load(Ordering::Relaxed),
+            workers_quarantined: self.workers_quarantined.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            requests_failed: self.requests_failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -119,6 +144,15 @@ pub struct MetricsSnapshot {
     pub modeled_cycles: u64,
     /// Deepest the submission queue has ever been.
     pub queue_depth_high_water: u64,
+    /// Detector firings ([`nacu_faults::FaultEvent`]s) observed by workers.
+    pub faults_detected: u64,
+    /// Workers that quarantined themselves after a detector fired.
+    pub workers_quarantined: u64,
+    /// Requests requeued onto a healthy worker after a fault.
+    pub retries: u64,
+    /// Requests answered with a terminal fault error (retries exhausted or
+    /// no healthy worker left).
+    pub requests_failed: u64,
 }
 
 impl MetricsSnapshot {
@@ -133,12 +167,22 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
-            requests_submitted: self.requests_submitted.saturating_sub(earlier.requests_submitted),
-            requests_completed: self.requests_completed.saturating_sub(earlier.requests_completed),
-            requests_expired: self.requests_expired.saturating_sub(earlier.requests_expired),
+            requests_submitted: self
+                .requests_submitted
+                .saturating_sub(earlier.requests_submitted),
+            requests_completed: self
+                .requests_completed
+                .saturating_sub(earlier.requests_completed),
+            requests_expired: self
+                .requests_expired
+                .saturating_sub(earlier.requests_expired),
             busy_rejections: self.busy_rejections.saturating_sub(earlier.busy_rejections),
-            batches_executed: self.batches_executed.saturating_sub(earlier.batches_executed),
-            coalesced_requests: self.coalesced_requests.saturating_sub(earlier.coalesced_requests),
+            batches_executed: self
+                .batches_executed
+                .saturating_sub(earlier.batches_executed),
+            coalesced_requests: self
+                .coalesced_requests
+                .saturating_sub(earlier.coalesced_requests),
             sigmoid_ops: self.sigmoid_ops.saturating_sub(earlier.sigmoid_ops),
             tanh_ops: self.tanh_ops.saturating_sub(earlier.tanh_ops),
             exp_ops: self.exp_ops.saturating_sub(earlier.exp_ops),
@@ -146,6 +190,12 @@ impl MetricsSnapshot {
             modeled_cycles: self.modeled_cycles.saturating_sub(earlier.modeled_cycles),
             // High-water marks are absolute, not cumulative.
             queue_depth_high_water: self.queue_depth_high_water,
+            faults_detected: self.faults_detected.saturating_sub(earlier.faults_detected),
+            workers_quarantined: self
+                .workers_quarantined
+                .saturating_sub(earlier.workers_quarantined),
+            retries: self.retries.saturating_sub(earlier.retries),
+            requests_failed: self.requests_failed.saturating_sub(earlier.requests_failed),
         }
     }
 }
@@ -176,6 +226,23 @@ mod tests {
         m.record_queue_depth(9);
         m.record_queue_depth(5);
         assert_eq!(m.snapshot().queue_depth_high_water, 9);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_diff() {
+        let m = EngineMetrics::new();
+        m.record_fault_detected();
+        m.record_worker_quarantined();
+        m.record_retry();
+        m.record_retry();
+        let early = m.snapshot();
+        m.record_request_failed();
+        let d = m.snapshot().since(&early);
+        assert_eq!(early.faults_detected, 1);
+        assert_eq!(early.workers_quarantined, 1);
+        assert_eq!(early.retries, 2);
+        assert_eq!(d.requests_failed, 1);
+        assert_eq!(d.retries, 0);
     }
 
     #[test]

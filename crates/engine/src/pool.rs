@@ -1,70 +1,167 @@
 //! The sharded worker pool: one OS thread and one bit-accurate NACU unit
-//! per worker.
+//! per worker, with fault detection, quarantine and bounded retry.
 //!
-//! Each worker constructs its **own** [`Nacu`] instance from the shared
-//! [`NacuConfig`] at thread start — construction is deterministic (the
-//! LUT fit is a pure function of the config), so every shard holds
-//! bit-identical ROM contents and the pool as a whole answers exactly what
-//! a single sequential unit would. This mirrors the paper's fabric view:
+//! Each worker constructs its **own** [`CheckedNacu`] instance from the
+//! shared [`NacuConfig`] at thread start — construction is deterministic
+//! (the LUT fit is a pure function of the config), so every shard holds
+//! bit-identical ROM contents and a healthy pool answers exactly what a
+//! single sequential unit would. This mirrors the paper's fabric view:
 //! many physical NACU instances configured alike, fed from one stream of
 //! work.
+//!
+//! The fault story, end to end:
+//!
+//! 1. A worker's unit carries the [`FaultPlan`] its slot was configured
+//!    with (empty in production; populated by tests and campaigns) and the
+//!    pool-wide [`nacu_faults::DetectorSet`].
+//! 2. When any detector fires mid-batch, the worker **quarantines
+//!    itself**: it marks its health flag, discards the batch's partial
+//!    results (a flagged unit's outputs are untrustworthy), requeues the
+//!    batch's live jobs for a healthy worker — each at most
+//!    `max_retries` times — and exits without serving another batch.
+//! 3. The client sees either a bit-exact [`Response`] from a healthy
+//!    retry, or a typed [`RequestError::FaultDetected`] /
+//!    [`RequestError::NoHealthyWorkers`] — never silently corrupt data.
+//! 4. If the quarantining worker was the last healthy one, it drains the
+//!    queue, answers everything with `NoHealthyWorkers`, and closes the
+//!    queue so new submissions fail fast at the door.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use nacu::{Nacu, NacuConfig};
+use nacu::NacuConfig;
+use nacu_faults::{CheckedError, CheckedNacu, FaultEvent};
 
 use crate::batch::{scalar_function, Request, RequestError, Response};
 use crate::metrics::EngineMetrics;
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, PushError};
 use crate::report::modeled_batch_cycles;
+use crate::FaultTolerance;
 
-/// One queued unit of work: the request plus its reply channel.
+/// One queued unit of work: the request plus its reply channel and the
+/// number of times a quarantining worker has already bounced it.
 #[derive(Debug)]
 pub(crate) struct Job {
     pub(crate) request: Request,
     pub(crate) reply: mpsc::Sender<Result<Response, RequestError>>,
+    pub(crate) retries: u32,
 }
 
-/// Spawns `workers` threads draining `queue` until it closes and empties.
-pub(crate) fn spawn_workers(
-    workers: usize,
-    config: NacuConfig,
-    max_coalesced_requests: usize,
-    queue: &Arc<BoundedQueue<Job>>,
-    metrics: &Arc<EngineMetrics>,
-) -> Vec<JoinHandle<()>> {
-    (0..workers.max(1))
+/// Everything a worker thread shares with the pool.
+pub(crate) struct PoolShared {
+    pub(crate) config: NacuConfig,
+    pub(crate) max_coalesced_requests: usize,
+    pub(crate) fault: FaultTolerance,
+    pub(crate) queue: Arc<BoundedQueue<Job>>,
+    pub(crate) metrics: Arc<EngineMetrics>,
+    /// One health flag per worker slot; `false` = quarantined.
+    pub(crate) health: Arc<Vec<AtomicBool>>,
+}
+
+/// Spawns one thread per health slot, draining `shared.queue` until it
+/// closes and empties (or the worker quarantines itself).
+pub(crate) fn spawn_workers(shared: &Arc<PoolShared>) -> Vec<JoinHandle<()>> {
+    (0..shared.health.len())
         .map(|worker| {
-            let queue = Arc::clone(queue);
-            let metrics = Arc::clone(metrics);
+            let shared = Arc::clone(shared);
             std::thread::Builder::new()
                 .name(format!("nacu-worker-{worker}"))
-                .spawn(move || run_worker(worker, config, max_coalesced_requests, &queue, &metrics))
+                .spawn(move || run_worker(worker, &shared))
                 .expect("spawn engine worker thread")
         })
         .collect()
 }
 
-fn run_worker(
-    worker: usize,
-    config: NacuConfig,
-    max_coalesced_requests: usize,
-    queue: &BoundedQueue<Job>,
-    metrics: &EngineMetrics,
-) {
+fn run_worker(worker: usize, shared: &PoolShared) {
     // Per-worker unit; the config was validated when the engine was built.
-    let nacu = Nacu::new(config).expect("engine validated the config");
-    while let Some(jobs) = queue.pop_batch(max_coalesced_requests, |a, b| {
-        a.request.coalesces_with(&b.request)
-    }) {
-        serve_batch(worker, &nacu, jobs, metrics);
+    let unit = CheckedNacu::new(shared.config)
+        .expect("engine validated the config")
+        .with_plan(shared.fault.plan_for(worker))
+        .with_detectors(shared.fault.detectors);
+    let mut batches_served: u64 = 0;
+    while let Some(jobs) = shared
+        .queue
+        .pop_batch(shared.max_coalesced_requests, |a, b| {
+            a.request.coalesces_with(&b.request)
+        })
+    {
+        // Periodic BIST scrub: walk the σ segment ladder before taking
+        // more work, catching ROM corruption the workload's addresses
+        // would never touch.
+        let scrub_due = shared.fault.scrub_every_batches > 0
+            && batches_served > 0
+            && batches_served.is_multiple_of(shared.fault.scrub_every_batches);
+        if scrub_due {
+            if let Err(event) = unit.scrub() {
+                quarantine(worker, event, jobs, shared);
+                return;
+            }
+        }
+        match serve_batch(worker, &unit, jobs, &shared.metrics) {
+            Ok(()) => batches_served += 1,
+            Err((event, stranded)) => {
+                quarantine(worker, event, stranded, shared);
+                return;
+            }
+        }
     }
 }
 
-fn serve_batch(worker: usize, nacu: &Nacu, jobs: Vec<Job>, metrics: &EngineMetrics) {
+/// Takes this worker out of service and re-routes its in-flight jobs.
+fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolShared) {
+    shared.health[worker].store(false, Ordering::Release);
+    shared.metrics.record_fault_detected();
+    shared.metrics.record_worker_quarantined();
+    let any_healthy = shared.health.iter().any(|h| h.load(Ordering::Acquire));
+    if !any_healthy {
+        // Close the door BEFORE answering anyone: a client that hears
+        // `NoHealthyWorkers` and immediately resubmits must get
+        // `ShuttingDown`, not a slot in a queue nobody will ever drain.
+        shared.queue.close();
+    }
+    for mut job in jobs {
+        if !any_healthy {
+            shared.metrics.record_request_failed();
+            let _ = job.reply.send(Err(RequestError::NoHealthyWorkers));
+        } else if job.retries >= shared.fault.max_retries {
+            shared.metrics.record_request_failed();
+            let _ = job.reply.send(Err(RequestError::FaultDetected {
+                event,
+                attempts: job.retries + 1,
+            }));
+        } else {
+            job.retries += 1;
+            shared.metrics.record_retry();
+            if let Err(PushError::Full(job) | PushError::Closed(job)) = shared.queue.try_push(job) {
+                shared.metrics.record_request_failed();
+                let _ = job.reply.send(Err(RequestError::FaultDetected {
+                    event,
+                    attempts: job.retries,
+                }));
+            }
+        }
+    }
+    if !any_healthy {
+        // Last one out answers whatever was stranded behind the door.
+        for job in shared.queue.drain() {
+            shared.metrics.record_request_failed();
+            let _ = job.reply.send(Err(RequestError::NoHealthyWorkers));
+        }
+    }
+}
+
+/// Serves one coalesced batch. On a detector event, returns the batch's
+/// still-unanswered jobs so the caller can re-route them — partial
+/// results from the flagged unit are discarded, never sent.
+fn serve_batch(
+    worker: usize,
+    unit: &CheckedNacu,
+    jobs: Vec<Job>,
+    metrics: &EngineMetrics,
+) -> Result<(), (FaultEvent, Vec<Job>)> {
     // Expire stale jobs up front so they neither cost datapath work nor
     // inflate the fused batch.
     let now = Instant::now();
@@ -77,7 +174,9 @@ fn serve_batch(worker: usize, nacu: &Nacu, jobs: Vec<Job>, metrics: &EngineMetri
             live.push(job);
         }
     }
-    let Some(first) = live.first() else { return };
+    let Some(first) = live.first() else {
+        return Ok(());
+    };
     let function = first.request.function;
 
     // Metrics are recorded BEFORE any reply is sent: a client observing
@@ -86,21 +185,20 @@ fn serve_batch(worker: usize, nacu: &Nacu, jobs: Vec<Job>, metrics: &EngineMetri
         // One fused pipelined pass over every live request's operands.
         let batch_ops: usize = live.iter().map(|j| j.request.operands.len()).sum();
         let batch_cycles = modeled_batch_cycles(function, batch_ops);
-        let served: Vec<_> = live
-            .into_iter()
-            .map(|job| {
-                let outputs: Vec<_> = job
-                    .request
-                    .operands
-                    .iter()
-                    .map(|&x| nacu.compute(function, x))
-                    .collect();
-                (job.reply, outputs)
-            })
-            .collect();
-        metrics.record_batch(function, served.len() as u64, batch_ops as u64, batch_cycles);
-        for (reply, outputs) in served {
-            let _ = reply.send(Ok(Response {
+        let mut outputs_per_job = Vec::with_capacity(live.len());
+        for job in &live {
+            let mut outputs = Vec::with_capacity(job.request.operands.len());
+            for &x in &job.request.operands {
+                match unit.compute(function, x) {
+                    Ok(y) => outputs.push(y),
+                    Err(event) => return Err((event, live)),
+                }
+            }
+            outputs_per_job.push(outputs);
+        }
+        metrics.record_batch(function, live.len() as u64, batch_ops as u64, batch_cycles);
+        for (job, outputs) in live.into_iter().zip(outputs_per_job) {
+            let _ = job.reply.send(Ok(Response {
                 outputs,
                 worker,
                 batch_ops,
@@ -110,12 +208,21 @@ fn serve_batch(worker: usize, nacu: &Nacu, jobs: Vec<Job>, metrics: &EngineMetri
     } else {
         // Softmax never coalesces, so this is a singleton batch; the loop
         // is just the uniform way to consume `live`.
-        for job in live {
+        let mut pending = live.into_iter();
+        while let Some(job) = pending.next() {
             let n = job.request.operands.len();
             let batch_cycles = modeled_batch_cycles(function, n);
-            let outputs = nacu
-                .softmax(&job.request.operands)
-                .expect("submit validated the vector");
+            let outputs = match unit.softmax(&job.request.operands) {
+                Ok(outputs) => outputs,
+                Err(CheckedError::Fault(event)) => {
+                    let mut stranded = vec![job];
+                    stranded.extend(pending);
+                    return Err((event, stranded));
+                }
+                Err(CheckedError::Nacu(e)) => {
+                    unreachable!("submit validated the vector: {e}")
+                }
+            };
             metrics.record_batch(function, 1, n as u64, batch_cycles);
             let _ = job.reply.send(Ok(Response {
                 outputs,
@@ -124,5 +231,181 @@ fn serve_batch(worker: usize, nacu: &Nacu, jobs: Vec<Job>, metrics: &EngineMetri
                 batch_cycles,
             }));
         }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nacu::Function;
+    use nacu_faults::{DetectorSet, Fault, FaultPlan, InjectionSite};
+    use nacu_fixed::{Fx, Rounding};
+
+    fn shared(plans: Vec<FaultPlan>, slots: usize) -> Arc<PoolShared> {
+        Arc::new(PoolShared {
+            config: NacuConfig::paper_16bit(),
+            max_coalesced_requests: 8,
+            fault: FaultTolerance {
+                max_retries: 2,
+                scrub_every_batches: 0,
+                detectors: DetectorSet::all(),
+                plans,
+            },
+            queue: Arc::new(BoundedQueue::new(64)),
+            metrics: Arc::new(EngineMetrics::new()),
+            health: Arc::new((0..slots).map(|_| AtomicBool::new(true)).collect()),
+        })
+    }
+
+    fn job(shared: &PoolShared, v: f64) -> (Job, mpsc::Receiver<Result<Response, RequestError>>) {
+        let fmt = shared.config.format;
+        let (reply, rx) = mpsc::channel();
+        (
+            Job {
+                request: Request::new(
+                    Function::Sigmoid,
+                    vec![Fx::from_f64(v, fmt, Rounding::Nearest)],
+                ),
+                reply,
+                retries: 0,
+            },
+            rx,
+        )
+    }
+
+    fn lut_fault_plan() -> FaultPlan {
+        // Entry 0 serves x ≈ 0, so any job near zero trips parity.
+        FaultPlan::single(Fault::stuck_lut(InjectionSite::LutBias, 0, 13, true))
+    }
+
+    /// Deterministic unit test of the retry path: a faulted worker's
+    /// batch is requeued with a bumped retry count, not answered.
+    #[test]
+    fn detected_fault_requeues_the_job_for_a_healthy_peer() {
+        let s = shared(vec![lut_fault_plan(), FaultPlan::new()], 2);
+        let unit = CheckedNacu::new(s.config)
+            .expect("paper config")
+            .with_plan(s.fault.plan_for(0));
+        let (j, rx) = job(&s, 0.0);
+        let (event, stranded) = serve_batch(0, &unit, vec![j], &s.metrics).unwrap_err();
+        assert_eq!(event, FaultEvent::LutParity { entry: 0 });
+        quarantine(0, event, stranded, &s);
+        // Worker 0 is out; worker 1 is healthy, so the job went back into
+        // the queue with one retry on the clock, and the client heard
+        // nothing yet.
+        assert!(!s.health[0].load(Ordering::Acquire));
+        assert!(s.health[1].load(Ordering::Acquire));
+        assert_eq!(s.queue.depth(), 1);
+        assert!(rx.try_recv().is_err(), "no reply until a healthy serve");
+        let requeued = s.queue.drain().remove(0);
+        assert_eq!(requeued.retries, 1);
+        let m = s.metrics.snapshot();
+        assert_eq!(m.faults_detected, 1);
+        assert_eq!(m.workers_quarantined, 1);
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.requests_failed, 0);
+    }
+
+    /// Deterministic unit test of retry exhaustion: a job that has
+    /// already bounced `max_retries` times gets the typed terminal error.
+    #[test]
+    fn exhausted_retries_surface_the_typed_fault_error() {
+        let s = shared(vec![lut_fault_plan(), FaultPlan::new()], 2);
+        let (mut j, rx) = job(&s, 0.0);
+        j.retries = s.fault.max_retries;
+        let event = FaultEvent::LutParity { entry: 0 };
+        quarantine(0, event, vec![j], &s);
+        match rx.try_recv().expect("terminal reply") {
+            Err(RequestError::FaultDetected { event: e, attempts }) => {
+                assert_eq!(e, event);
+                assert_eq!(attempts, s.fault.max_retries + 1);
+            }
+            other => panic!("expected FaultDetected, got {other:?}"),
+        }
+        assert_eq!(s.metrics.snapshot().requests_failed, 1);
+        assert_eq!(s.queue.depth(), 0);
+    }
+
+    /// Deterministic unit test of pool exhaustion: the last healthy
+    /// worker's quarantine fails its jobs, drains the queue and closes it.
+    #[test]
+    fn last_quarantine_fails_stranded_jobs_and_closes_the_queue() {
+        let s = shared(vec![lut_fault_plan()], 1);
+        let (queued, queued_rx) = job(&s, 0.5);
+        s.queue.try_push(queued).map_err(|_| ()).unwrap();
+        let (in_flight, in_flight_rx) = job(&s, 0.0);
+        quarantine(0, FaultEvent::LutParity { entry: 0 }, vec![in_flight], &s);
+        assert_eq!(
+            in_flight_rx.try_recv().expect("terminal reply"),
+            Err(RequestError::NoHealthyWorkers)
+        );
+        assert_eq!(
+            queued_rx.try_recv().expect("drained reply"),
+            Err(RequestError::NoHealthyWorkers)
+        );
+        // Queue is closed: further pushes bounce.
+        let (late, _late_rx) = job(&s, 1.0);
+        assert!(matches!(s.queue.try_push(late), Err(PushError::Closed(_))));
+        assert_eq!(s.metrics.snapshot().requests_failed, 2);
+    }
+
+    /// The quarantine invariant, end to end on real threads: after a
+    /// worker's detector fires, that worker never serves another batch.
+    #[test]
+    fn quarantined_worker_never_serves_another_batch() {
+        let s = shared(vec![lut_fault_plan()], 1);
+        let handles = spawn_workers(&s);
+        // First job trips entry 0's parity on worker 0 → quarantine →
+        // no healthy workers → queue closed, worker thread exited.
+        let (j, rx) = job(&s, 0.0);
+        s.queue.try_push(j).map_err(|_| ()).unwrap();
+        assert_eq!(
+            rx.recv().expect("reply"),
+            Err(RequestError::NoHealthyWorkers)
+        );
+        for h in handles {
+            h.join().expect("worker exited cleanly after quarantine");
+        }
+        // The thread is gone; nothing can serve. A late push bounces off
+        // the closed queue rather than waiting on a dead pool.
+        let (late, _rx) = job(&s, 2.0);
+        assert!(matches!(s.queue.try_push(late), Err(PushError::Closed(_))));
+        assert_eq!(s.metrics.snapshot().workers_quarantined, 1);
+    }
+
+    /// Scrub-driven quarantine: corruption in a LUT entry the workload
+    /// never addresses is still caught at the scrub interval.
+    #[test]
+    fn periodic_scrub_catches_unaddressed_corruption() {
+        let mut s = shared(
+            vec![FaultPlan::single(Fault::stuck_lut(
+                InjectionSite::LutBias,
+                20,
+                13,
+                true,
+            ))],
+            1,
+        );
+        Arc::get_mut(&mut s)
+            .expect("sole owner")
+            .fault
+            .scrub_every_batches = 1;
+        let handles = spawn_workers(&s);
+        // Batch 1 (x≈0 never touches entry 20) serves fine…
+        let (first, first_rx) = job(&s, 0.0);
+        s.queue.try_push(first).map_err(|_| ()).unwrap();
+        assert!(first_rx.recv().expect("reply").is_ok());
+        // …then the scrub before batch 2 walks every segment and fires.
+        let (second, second_rx) = job(&s, 0.0);
+        s.queue.try_push(second).map_err(|_| ()).unwrap();
+        assert_eq!(
+            second_rx.recv().expect("reply"),
+            Err(RequestError::NoHealthyWorkers)
+        );
+        for h in handles {
+            h.join().expect("worker exited after scrub quarantine");
+        }
+        assert_eq!(s.metrics.snapshot().faults_detected, 1);
     }
 }

@@ -136,6 +136,16 @@ impl<T> BoundedQueue<T> {
         self.inner.lock().expect("queue lock").closed = true;
         self.not_empty.notify_all();
     }
+
+    /// Removes and returns every queued item in FIFO order, without
+    /// waking consumers. The last healthy-less worker uses this to answer
+    /// stranded requests with a terminal error instead of leaving their
+    /// tickets hanging.
+    #[must_use]
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.items.drain(..).collect()
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +194,18 @@ mod tests {
         assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
         assert_eq!(q.pop_batch(4, |_, _| true).unwrap(), vec![1]);
         assert!(q.pop_batch(4, |_, _| true).is_none());
+    }
+
+    #[test]
+    fn drain_empties_in_fifo_order_and_leaves_queue_usable() {
+        let q = BoundedQueue::new(4);
+        for v in [1, 2, 3] {
+            q.try_push(v).unwrap();
+        }
+        assert_eq!(q.drain(), vec![1, 2, 3]);
+        assert_eq!(q.depth(), 0);
+        // Not closed by draining: pushes still work.
+        assert_eq!(q.try_push(9).unwrap(), 1);
     }
 
     #[test]

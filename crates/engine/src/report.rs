@@ -53,6 +53,12 @@ pub struct ThroughputReport {
     pub modeled_cycles: u64,
     /// Worker (NACU unit) count that served the interval.
     pub workers: usize,
+    /// Detector events observed during the interval.
+    pub faults_detected: u64,
+    /// Requests requeued onto a healthy worker after a fault.
+    pub retries: u64,
+    /// Workers quarantined during the interval.
+    pub workers_quarantined: u64,
 }
 
 impl ThroughputReport {
@@ -67,6 +73,9 @@ impl ThroughputReport {
             wall,
             modeled_cycles: delta.modeled_cycles,
             workers,
+            faults_detected: delta.faults_detected,
+            retries: delta.retries,
+            workers_quarantined: delta.workers_quarantined,
         }
     }
 
@@ -138,7 +147,15 @@ impl std::fmt::Display for ThroughputReport {
             self.modeled_hardware_time(PAPER_CLOCK_HZ),
             self.modeled_ops_per_sec(PAPER_CLOCK_HZ),
             self.hardware_speedup(PAPER_CLOCK_HZ),
-        )
+        )?;
+        if self.faults_detected > 0 || self.workers_quarantined > 0 {
+            write!(
+                f,
+                "; {} fault(s) detected, {} retried request(s), {} worker(s) quarantined",
+                self.faults_detected, self.retries, self.workers_quarantined,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -172,6 +189,9 @@ mod tests {
             wall: Duration::from_millis(100),
             modeled_cycles: 2000,
             workers: 2,
+            faults_detected: 0,
+            retries: 0,
+            workers_quarantined: 0,
         };
         assert!((r.ops_per_sec() - 10_000.0).abs() < 1e-6);
         assert!((r.ops_per_batch() - 200.0).abs() < 1e-12);
@@ -189,6 +209,9 @@ mod tests {
             wall: Duration::ZERO,
             modeled_cycles: 0,
             workers: 0,
+            faults_detected: 0,
+            retries: 0,
+            workers_quarantined: 0,
         };
         assert_eq!(r.ops_per_sec(), 0.0);
         assert_eq!(r.ops_per_batch(), 0.0);

@@ -1,0 +1,255 @@
+//! Error detectors: LUT parity, MAC mod-3 residue, and the σ sentinel.
+//!
+//! Three cheap hardware checkers shadow the datapath; each surfaces a
+//! typed [`FaultEvent`] instead of letting a wrong answer through:
+//!
+//! * **LUT parity** — one parity bit per coefficient entry, computed over
+//!   the concatenated `(m₁, q)` stored words when the table is built and
+//!   re-checked on every lookup. Any single-bit corruption of either word
+//!   flips the concatenated parity, so single-bit ROM faults are detected
+//!   with certainty.
+//! * **MAC residue** — a mod-3 shadow of the widened multiply-add.
+//!   Because `2^k mod 3 ∈ {1, 2}` for every `k`, a single-bit error on
+//!   the *accumulator* changes it by `±2^k ≢ 0 (mod 3)` and is always
+//!   caught (the classic AN-code argument for `A = 3`). A single-bit
+//!   *operand* fault perturbs the product by `±2^k · co-operand` and so
+//!   slips through exactly when the co-operand is divisible by 3 — a
+//!   coverage gap the fault campaign quantifies rather than hides.
+//! * **σ sentinel** — σ is mathematically confined to `(0, 1)` and
+//!   non-decreasing; the sentinel checks the output register against the
+//!   range every evaluation, and [`crate::CheckedNacu::scrub`] walks the
+//!   PWL segment boundaries checking monotonicity (a BIST-style pattern).
+
+use std::fmt;
+
+/// Which detectors a [`crate::CheckedNacu`] arms. Defaults to all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorSet {
+    /// Per-entry parity re-checked at every coefficient lookup.
+    pub lut_parity: bool,
+    /// Mod-3 residue compare on the widened MAC.
+    pub mac_residue: bool,
+    /// Range check on σ output words (and the scrub's monotonicity walk).
+    pub sigma_sentinel: bool,
+}
+
+impl DetectorSet {
+    /// Every detector armed.
+    #[must_use]
+    pub fn all() -> Self {
+        Self {
+            lut_parity: true,
+            mac_residue: true,
+            sigma_sentinel: true,
+        }
+    }
+
+    /// No detector armed — faults propagate silently (for measuring the
+    /// undetected-error distribution in campaigns).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            lut_parity: false,
+            mac_residue: false,
+            sigma_sentinel: false,
+        }
+    }
+}
+
+impl Default for DetectorSet {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// A detector fired: the typed alternative to a silent wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultEvent {
+    /// A coefficient lookup read words whose parity disagrees with the
+    /// bit stored when the table was built.
+    LutParity {
+        /// The corrupted ROM entry.
+        entry: usize,
+    },
+    /// The MAC's mod-3 shadow disagrees with the accumulator.
+    MacResidue {
+        /// Residue the shadow unit computed from the source nets.
+        expected: u8,
+        /// Residue of the accumulator's actual pre-round sum.
+        got: u8,
+    },
+    /// A σ output word left the function's mathematical range.
+    SigmaRange {
+        /// The offending raw output code.
+        raw: i64,
+        /// The raw code of 1.0 at the output's fractional width.
+        one: i64,
+    },
+    /// The scrub walk found σ decreasing across a segment boundary.
+    SigmaMonotonicity {
+        /// Index of the violating boundary in the segment ladder.
+        boundary: usize,
+        /// σ raw code at the previous boundary.
+        prev_raw: i64,
+        /// σ raw code at this boundary (smaller — the violation).
+        raw: i64,
+    },
+}
+
+impl FaultEvent {
+    /// Short stable name of the detector that fired, for reports/JSON.
+    #[must_use]
+    pub fn detector(&self) -> &'static str {
+        match self {
+            FaultEvent::LutParity { .. } => "lut_parity",
+            FaultEvent::MacResidue { .. } => "mac_residue",
+            FaultEvent::SigmaRange { .. } => "sigma_range",
+            FaultEvent::SigmaMonotonicity { .. } => "sigma_monotonicity",
+        }
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::LutParity { entry } => {
+                write!(f, "LUT parity mismatch at coefficient entry {entry}")
+            }
+            FaultEvent::MacResidue { expected, got } => {
+                write!(
+                    f,
+                    "MAC residue mismatch: shadow {expected}, accumulator {got}"
+                )
+            }
+            FaultEvent::SigmaRange { raw, one } => {
+                write!(f, "sigma output {raw} outside [0, {one}]")
+            }
+            FaultEvent::SigmaMonotonicity {
+                boundary,
+                prev_raw,
+                raw,
+            } => write!(
+                f,
+                "sigma decreasing across segment boundary {boundary}: {prev_raw} -> {raw}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultEvent {}
+
+/// Even parity of the low `bits` of a stored word's two's-complement
+/// pattern (1 if an odd number of ones).
+#[must_use]
+pub fn word_parity(raw: i64, bits: u32) -> u8 {
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1_u64 << bits) - 1
+    };
+    ((raw as u64 & mask).count_ones() & 1) as u8
+}
+
+/// Parity of one coefficient entry: the XOR of both stored words'
+/// parities — i.e. parity of the concatenated `(m₁, q)` pattern.
+#[must_use]
+pub fn entry_parity(slope_raw: i64, bias_raw: i64, bits: u32) -> u8 {
+    word_parity(slope_raw, bits) ^ word_parity(bias_raw, bits)
+}
+
+/// Mathematical mod-3 residue of a wide accumulator value, in `{0,1,2}`.
+#[must_use]
+pub fn residue3(value: i128) -> u8 {
+    (value.rem_euclid(3)) as u8
+}
+
+/// Residue-domain multiply: `res(a·b) = res(a)·res(b) mod 3`.
+#[must_use]
+pub fn residue_mul(a: u8, b: u8) -> u8 {
+    (a * b) % 3
+}
+
+/// Residue-domain add: `res(a+b) = (res(a)+res(b)) mod 3`.
+#[must_use]
+pub fn residue_add(a: u8, b: u8) -> u8 {
+    (a + b) % 3
+}
+
+/// Residue of `2^shift`: 1 for even shifts, 2 for odd — the shadow's
+/// "shifter" (used for the bias port's alignment shift).
+#[must_use]
+pub fn residue_pow2(shift: u32) -> u8 {
+    if shift.is_multiple_of(2) {
+        1
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_counts_ones_in_the_stored_pattern() {
+        assert_eq!(word_parity(0, 16), 0);
+        assert_eq!(word_parity(1, 16), 1);
+        assert_eq!(word_parity(0b101, 16), 0);
+        // -1 in 16 bits is sixteen ones: even parity.
+        assert_eq!(word_parity(-1, 16), 0);
+        // -2 is fifteen ones.
+        assert_eq!(word_parity(-2, 16), 1);
+    }
+
+    #[test]
+    fn any_single_bit_flip_flips_entry_parity() {
+        let (slope, bias) = (-1234_i64, 5678_i64);
+        let p = entry_parity(slope, bias, 16);
+        for bit in 0..16 {
+            assert_ne!(entry_parity(slope ^ (1 << bit), bias, 16), p);
+            assert_ne!(entry_parity(slope, bias ^ (1 << bit), 16), p);
+        }
+    }
+
+    #[test]
+    fn residue_identities_hold() {
+        for a in -50_i128..50 {
+            for b in -50_i128..50 {
+                assert_eq!(
+                    residue3(a * b),
+                    residue_mul(residue3(a), residue3(b)),
+                    "{a}*{b}"
+                );
+                assert_eq!(
+                    residue3(a + b),
+                    residue_add(residue3(a), residue3(b)),
+                    "{a}+{b}"
+                );
+            }
+        }
+        for shift in 0..40 {
+            assert_eq!(residue3(1_i128 << shift), residue_pow2(shift));
+        }
+    }
+
+    #[test]
+    fn single_bit_errors_never_preserve_residue() {
+        // ±2^k mod 3 is never 0: the AN-code detection argument.
+        for k in 0..100u32 {
+            assert_ne!(residue3(1_i128 << k), 0);
+        }
+    }
+
+    #[test]
+    fn events_render_their_detector() {
+        let e = FaultEvent::LutParity { entry: 7 };
+        assert_eq!(e.detector(), "lut_parity");
+        assert!(e.to_string().contains("entry 7"));
+        let r = FaultEvent::MacResidue {
+            expected: 1,
+            got: 2,
+        };
+        assert!(r.to_string().contains("shadow 1"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # nacu-faults — fault injection and error detection for the NACU datapath
+//!
+//! Reliability layer over the bit-accurate [`nacu`] model: deterministic,
+//! seedable fault injectors at named datapath nets, plus the three cheap
+//! hardware detectors a checked unit would carry (per-entry LUT parity, a
+//! mod-3 MAC residue shadow, and a σ range/monotonicity sentinel).
+//!
+//! The centrepiece is [`CheckedNacu`]: a unit that is **bit-identical** to
+//! [`nacu::Nacu`] when its [`FaultPlan`] is empty, emits exactly the
+//! corrupted values the silicon would emit when faults are armed, and
+//! surfaces every detector firing as a typed [`FaultEvent`] instead of a
+//! silent wrong answer. `nacu-engine` builds worker quarantine and batch
+//! retry on top of these events; `nacu-bench`'s fault campaign sweeps
+//! `site × bit × kind × function` to measure detection coverage and the
+//! undetected-error distribution.
+//!
+//! ```
+//! use nacu::NacuConfig;
+//! use nacu_faults::{CheckedNacu, Fault, FaultEvent, FaultPlan, InjectionSite};
+//! use nacu_fixed::{Fx, Rounding};
+//!
+//! # fn main() -> Result<(), nacu::NacuError> {
+//! // A stuck-at-1 bit in LUT entry 0's bias word…
+//! let fault = Fault::stuck_lut(InjectionSite::LutBias, 0, 13, true);
+//! let unit = CheckedNacu::new(NacuConfig::paper_16bit())?.with_plan(FaultPlan::single(fault));
+//! // …is caught by parity the moment that entry is read.
+//! let x = Fx::from_f64(0.0, unit.config().format, Rounding::Nearest);
+//! assert_eq!(unit.sigmoid(x), Err(FaultEvent::LutParity { entry: 0 }));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod checked;
+pub mod detect;
+pub mod model;
+
+pub use checked::{CheckedError, CheckedNacu, SIGMA_MONOTONICITY_SLACK_LSB, SIGMA_RANGE_SLACK_LSB};
+pub use detect::{DetectorSet, FaultEvent};
+pub use model::{Fault, FaultKind, FaultPlan, InjectionSite, TRANSIENT_WINDOW};

@@ -1,0 +1,89 @@
+//! The checked datapath with an empty fault plan is bit-identical to the
+//! unchecked [`Nacu`] — the property that keeps the fault subsystem
+//! honest: whatever it reports about faults is measured against the exact
+//! arithmetic the paper's unit performs, not an approximation of it.
+
+use nacu::{Function, Nacu, NacuConfig};
+use nacu_faults::CheckedNacu;
+use nacu_fixed::{Fx, Rounding};
+use proptest::prelude::*;
+
+fn pair(width: u32) -> (CheckedNacu, Nacu) {
+    let cfg = NacuConfig::for_width(width).expect("valid width");
+    (
+        CheckedNacu::new(cfg).expect("checked"),
+        Nacu::new(cfg).expect("golden"),
+    )
+}
+
+proptest! {
+    #[test]
+    fn sigmoid_matches_golden_bit_for_bit(raw in -32768_i64..=32767) {
+        let (c, g) = pair(16);
+        let x = Fx::from_raw(raw, g.config().format).expect("in range");
+        prop_assert_eq!(c.sigmoid(x).expect("clean plan"), g.sigmoid(x));
+    }
+
+    #[test]
+    fn tanh_matches_golden_bit_for_bit(raw in -32768_i64..=32767) {
+        let (c, g) = pair(16);
+        let x = Fx::from_raw(raw, g.config().format).expect("in range");
+        prop_assert_eq!(c.tanh(x).expect("clean plan"), g.tanh(x));
+    }
+
+    #[test]
+    fn exp_matches_golden_bit_for_bit(raw in -32768_i64..=0) {
+        let (c, g) = pair(16);
+        let x = Fx::from_raw(raw, g.config().format).expect("in range");
+        prop_assert_eq!(c.exp(x).expect("clean plan"), g.exp(x));
+    }
+
+    #[test]
+    fn softmax_matches_golden_bit_for_bit(
+        vals in proptest::collection::vec(-8.0_f64..8.0, 1..10),
+    ) {
+        let (c, g) = pair(16);
+        let fmt = g.config().format;
+        let xs: Vec<Fx> = vals.iter().map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest)).collect();
+        prop_assert_eq!(
+            c.softmax(&xs).expect("clean plan"),
+            g.softmax(&xs).expect("valid vector")
+        );
+    }
+
+    #[test]
+    fn compute_dispatch_matches_across_widths(
+        width in 10_u32..=21,
+        frac in 0.0_f64..1.0,
+    ) {
+        let (c, g) = pair(width);
+        let fmt = g.config().format;
+        let span = (fmt.max_raw() - fmt.min_raw()) as f64;
+        let raw = fmt.min_raw() + (frac * span) as i64;
+        let x = Fx::from_raw(raw.clamp(fmt.min_raw(), fmt.max_raw()), fmt).expect("in range");
+        for f in [Function::Sigmoid, Function::Tanh] {
+            prop_assert_eq!(c.compute(f, x).expect("clean plan"), g.compute(f, x));
+        }
+        if x.raw() <= 0 {
+            prop_assert_eq!(c.exp(x).expect("clean plan"), g.exp(x));
+        }
+    }
+}
+
+/// Exhaustive (not sampled) identity sweep at the paper width — cheap
+/// enough to run on every test invocation, and the strongest form of the
+/// acceptance criterion.
+#[test]
+fn exhaustive_16bit_sigmoid_tanh_identity() {
+    let (c, g) = pair(16);
+    let fmt = g.config().format;
+    for raw in fmt.min_raw()..=fmt.max_raw() {
+        let x = Fx::from_raw(raw, fmt).expect("in range");
+        assert_eq!(
+            c.sigmoid(x).expect("clean plan"),
+            g.sigmoid(x),
+            "σ at {raw}"
+        );
+        assert_eq!(c.tanh(x).expect("clean plan"), g.tanh(x), "tanh at {raw}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Satellite acceptance property: **every** single-bit LUT corruption is
+//! caught by the per-entry parity the moment the corrupted entry is read.
+//!
+//! The sampled property test draws arbitrary `(entry, bit, word, kind)`
+//! corruptions; the exhaustive test sweeps the full cross product at the
+//! paper width so the 100 % claim in EXPERIMENTS.md is checked, not
+//! extrapolated.
+
+use nacu::NacuConfig;
+use nacu_faults::{CheckedNacu, Fault, FaultEvent, FaultPlan, InjectionSite};
+use nacu_fixed::Fx;
+use proptest::prelude::*;
+
+/// Drives the unit so that `entry` is the coefficient entry actually
+/// read: picks the smallest input magnitude that decodes to it.
+fn address_of_entry(unit: &CheckedNacu, entry: usize) -> Fx {
+    let fmt = unit.config().format;
+    // `bounds[e]..bounds[e+1]` is segment e, so `bounds[e]` decodes to it.
+    let mag = unit.golden().segment_bounds()[entry];
+    Fx::from_raw(mag.min(fmt.max_raw()), fmt).expect("in range")
+}
+
+fn corrupted(entry: usize, bit: u32, slope_word: bool, stuck_to_one: bool) -> CheckedNacu {
+    let site = if slope_word {
+        InjectionSite::LutSlope
+    } else {
+        InjectionSite::LutBias
+    };
+    // A stuck-at whose forced value differs from the stored bit, so the
+    // corruption is guaranteed to change the word: read the stored bit
+    // first and force its complement when `stuck_to_one` would be latent.
+    let clean = CheckedNacu::new(NacuConfig::paper_16bit()).expect("paper config");
+    let (s, q) = clean.golden().coefficients()[entry];
+    let stored = ((if slope_word { s } else { q } >> bit) & 1) == 1;
+    let force = if stored == stuck_to_one {
+        !stuck_to_one
+    } else {
+        stuck_to_one
+    };
+    clean.with_plan(FaultPlan::single(Fault::stuck_lut(site, entry, bit, force)))
+}
+
+proptest! {
+    #[test]
+    fn any_single_bit_lut_corruption_is_caught_at_lookup(
+        entry in 0_usize..53,
+        bit in 0_u32..16,
+        slope_word in proptest::num::u64::ANY,
+        polarity in proptest::num::u64::ANY,
+    ) {
+        let unit = corrupted(entry, bit, slope_word.is_multiple_of(2), polarity.is_multiple_of(2));
+        let x = address_of_entry(&unit, entry);
+        prop_assert_eq!(
+            unit.sigmoid(x).expect_err("single-bit corruption must not pass parity"),
+            FaultEvent::LutParity { entry }
+        );
+    }
+}
+
+#[test]
+fn exhaustive_single_bit_lut_coverage_is_total() {
+    let clean = CheckedNacu::new(NacuConfig::paper_16bit()).expect("paper config");
+    let entries = clean.golden().coefficients().len();
+    let bits = clean.config().format.total_bits();
+    let mut checked = 0_u64;
+    for entry in 0..entries {
+        for bit in 0..bits {
+            for slope_word in [true, false] {
+                let unit = corrupted(entry, bit, slope_word, true);
+                let x = address_of_entry(&unit, entry);
+                assert_eq!(
+                    unit.sigmoid(x).expect_err("corruption escaped parity"),
+                    FaultEvent::LutParity { entry },
+                    "entry {entry} bit {bit} slope={slope_word}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    // 53 entries × 16 bits × 2 words at the paper width.
+    assert_eq!(checked, (entries as u64) * u64::from(bits) * 2);
+}

@@ -15,10 +15,46 @@
 //! *can* shed load should submit [`nacu_engine::Request`]s directly.
 
 use nacu::Function;
-use nacu_engine::{EngineHandle, Request, SubmitError, WaitError};
+use nacu_engine::{EngineHandle, FaultEvent, Request, SubmitError, WaitError};
 use nacu_fixed::{Fx, QFormat};
 
 use crate::activation::Nonlinearity;
+
+/// A forward pass failed because the serving pool could not produce a
+/// trustworthy answer — the fault-aware alternative to
+/// [`EngineActivation::map_batch`]'s panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActivationError {
+    /// A hardware detector fired on every serving attempt; the layer's
+    /// outputs would have been corrupt and were never produced.
+    FaultDetected {
+        /// The detector event from the final attempt.
+        event: FaultEvent,
+        /// Serving attempts made.
+        attempts: u32,
+    },
+    /// Every NACU unit in the pool is quarantined.
+    NoHealthyWorkers,
+    /// The engine shut down (or refused the request) mid-forward-pass.
+    EngineUnavailable,
+}
+
+impl std::fmt::Display for ActivationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::FaultDetected { event, attempts } => {
+                write!(
+                    f,
+                    "activation hit a detected fault ({attempts} attempts): {event}"
+                )
+            }
+            Self::NoHealthyWorkers => write!(f, "no healthy NACU unit left in the pool"),
+            Self::EngineUnavailable => write!(f, "engine unavailable mid-forward-pass"),
+        }
+    }
+}
+
+impl std::error::Error for ActivationError {}
 
 /// A [`Nonlinearity`] that evaluates on an engine pool.
 #[derive(Debug, Clone)]
@@ -49,22 +85,59 @@ impl EngineActivation {
     /// that outlives its layers.
     #[must_use]
     pub fn map_batch(&self, function: Function, operands: &[Fx]) -> Vec<Fx> {
+        match self.try_map_batch(function, operands) {
+            Ok(outputs) => outputs,
+            Err(e) => panic!("engine failed mid-forward-pass: {e}"),
+        }
+    }
+
+    /// Fault-aware [`EngineActivation::map_batch`]: transient backpressure
+    /// (`Busy`, lapsed deadlines) is still absorbed by retrying, but
+    /// *reliability* failures — a detected hardware fault that survived
+    /// the engine's own retries, or a fully quarantined pool — surface as
+    /// a typed [`ActivationError`] so the model runner can fail the
+    /// inference (or fail over) instead of crashing.
+    ///
+    /// # Errors
+    ///
+    /// [`ActivationError::FaultDetected`] /
+    /// [`ActivationError::NoHealthyWorkers`] when the pool cannot produce
+    /// a trustworthy answer; [`ActivationError::EngineUnavailable`] when
+    /// it is gone entirely.
+    pub fn try_map_batch(
+        &self,
+        function: Function,
+        operands: &[Fx],
+    ) -> Result<Vec<Fx>, ActivationError> {
         loop {
             match self
                 .handle
                 .submit(Request::new(function, operands.to_vec()))
             {
                 Ok(ticket) => match ticket.wait() {
-                    Ok(response) => return response.outputs,
+                    Ok(response) => return Ok(response.outputs),
                     Err(WaitError::DeadlineExpired) => {
                         // The engine's default deadline lapsed under load;
                         // an activation cannot be dropped, so resubmit.
                         continue;
                     }
-                    Err(e) => panic!("engine failed mid-forward-pass: {e}"),
+                    Err(WaitError::FaultDetected { event, attempts }) => {
+                        return Err(ActivationError::FaultDetected { event, attempts });
+                    }
+                    Err(WaitError::NoHealthyWorkers) => {
+                        return Err(ActivationError::NoHealthyWorkers);
+                    }
+                    Err(WaitError::EngineShutDown | WaitError::Timeout) => {
+                        return Err(ActivationError::EngineUnavailable);
+                    }
                 },
                 Err(SubmitError::Busy { .. }) => std::thread::yield_now(),
-                Err(e) => panic!("engine rejected a layer activation: {e}"),
+                Err(SubmitError::ShuttingDown) => {
+                    return Err(ActivationError::EngineUnavailable);
+                }
+                Err(e @ SubmitError::Invalid(_)) => {
+                    panic!("engine rejected a layer activation: {e}")
+                }
             }
         }
     }
@@ -143,13 +216,48 @@ mod tests {
     }
 
     #[test]
+    fn broken_pool_surfaces_a_typed_activation_error() {
+        use nacu_engine::{Fault, FaultPlan, FaultTolerance, InjectionSite};
+        // One worker whose LUT entry 0 is corrupt: the first σ(0) request
+        // trips parity, the pool quarantines to zero healthy units, and
+        // the fault-aware path reports it instead of panicking.
+        let engine = Engine::new(
+            EngineConfig::new(NacuConfig::paper_16bit())
+                .with_workers(1)
+                .with_fault_tolerance(FaultTolerance {
+                    plans: vec![FaultPlan::single(Fault::stuck_lut(
+                        InjectionSite::LutBias,
+                        0,
+                        13,
+                        true,
+                    ))],
+                    ..FaultTolerance::default()
+                }),
+        )
+        .expect("paper config");
+        let nl = EngineActivation::new(engine.handle());
+        let x = Fx::from_f64(0.0, nl.format(), Rounding::Nearest);
+        let err = nl
+            .try_map_batch(Function::Sigmoid, &[x])
+            .expect_err("no healthy unit can serve");
+        assert!(matches!(
+            err,
+            ActivationError::NoHealthyWorkers | ActivationError::FaultDetected { .. }
+        ));
+    }
+
+    #[test]
     fn concurrent_clients_share_one_pool() {
         let engine = pool(4);
         let sequential = NacuActivation::paper_16bit();
         let fmt = sequential.format();
         let expected: Vec<Fx> = (0..32)
             .map(|i| {
-                sequential.sigmoid(Fx::from_f64(f64::from(i) * 0.2 - 3.0, fmt, Rounding::Nearest))
+                sequential.sigmoid(Fx::from_f64(
+                    f64::from(i) * 0.2 - 3.0,
+                    fmt,
+                    Rounding::Nearest,
+                ))
             })
             .collect();
         let threads: Vec<_> = (0..8)
@@ -158,8 +266,7 @@ mod tests {
                 let expected = expected.clone();
                 std::thread::spawn(move || {
                     for (i, &want) in expected.iter().enumerate() {
-                        let x =
-                            Fx::from_f64(i as f64 * 0.2 - 3.0, nl.format(), Rounding::Nearest);
+                        let x = Fx::from_f64(i as f64 * 0.2 - 3.0, nl.format(), Rounding::Nearest);
                         assert_eq!(nl.sigmoid(x), want);
                     }
                 })

@@ -1,26 +1,46 @@
 #!/usr/bin/env bash
 # Full offline verification gate for the workspace.
 #
-#   scripts/verify.sh
+#   scripts/verify.sh [LOG_DIR]
 #
-# Runs the tier-1 gate (release build + root-package tests) exactly as the
-# roadmap specifies, then the complete workspace test suite and a
-# warnings-as-errors clippy pass. Everything runs --offline: the only
-# dependencies are the in-tree shims under shims/.
+# Runs formatting, the tier-1 gate (release build + root-package tests)
+# exactly as the roadmap specifies, then the complete workspace test
+# suite and a warnings-as-errors clippy pass. Everything runs --offline:
+# the only dependencies are the in-tree shims under shims/.
+#
+# Each stage's output is tee'd into LOG_DIR (default: a temp dir) so CI
+# can archive it. The stage runner checks PIPESTATUS[0] explicitly: the
+# stage's own exit status decides pass/fail, never the tee's, and a
+# failure aborts the gate with a named stage and log path instead of
+# being masked by the pipeline.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> tier-1: cargo build --release"
-cargo build --release --offline
+LOG_DIR="${1:-$(mktemp -d)}"
+mkdir -p "$LOG_DIR"
 
-echo "==> tier-1: cargo test -q"
-cargo test -q --offline
+stage() {
+    local name="$1"
+    shift
+    echo "==> ${name}: $*"
+    local log="${LOG_DIR}/${name//[^A-Za-z0-9_-]/_}.log"
+    # Run the stage through tee and take ITS status, not tee's. The
+    # failure branch hangs off `||` so errexit+pipefail cannot abort the
+    # script before the stage name and log path are reported.
+    "$@" 2>&1 | tee "$log" || {
+        local status="${PIPESTATUS[0]}"
+        # pipefail tripped but the stage itself was fine: the tee died.
+        [[ "$status" -eq 0 ]] && status=1
+        echo "==> verify FAILED at ${name} (exit ${status}, log: ${log})" >&2
+        exit "$status"
+    }
+}
 
-echo "==> workspace: cargo test --workspace --release"
-cargo test --workspace --release -q --offline
+stage fmt cargo fmt --all -- --check
+stage tier1-build cargo build --release --offline
+stage tier1-test cargo test -q --offline
+stage workspace cargo test --workspace --release -q --offline
+stage clippy cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> lint: cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets --offline -- -D warnings
-
-echo "==> verify OK"
+echo "==> verify OK (logs in ${LOG_DIR})"

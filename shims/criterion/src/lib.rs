@@ -186,11 +186,7 @@ mod tests {
         let mut setups = 0_u32;
         let mut routines = 0_u32;
         group.bench_function("batched", |b| {
-            b.iter_batched(
-                || setups += 1,
-                |()| routines += 1,
-                BatchSize::SmallInput,
-            );
+            b.iter_batched(|| setups += 1, |()| routines += 1, BatchSize::SmallInput);
         });
         group.finish();
         assert_eq!(setups, 3);

@@ -56,7 +56,9 @@ pub mod prelude {
 
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
@@ -149,9 +151,10 @@ macro_rules! prop_assert_ne {
     ($lhs:expr, $rhs:expr $(,)?) => {{
         let (l, r) = (&$lhs, &$rhs);
         if l == r {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!("assertion failed: {:?} != {:?}", l, r),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
         }
     }};
 }
