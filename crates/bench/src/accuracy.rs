@@ -1,0 +1,370 @@
+//! Golden accuracy tables and the zero-drift CI gate.
+//!
+//! The NACU datapath is deterministic: for a fixed configuration, the
+//! exhaustive error sweep against the f64 reference produces *exactly*
+//! the same numbers on every machine, every run. That makes accuracy a
+//! gateable artifact — `ci/ACCURACY_baseline.json` pins the per-function
+//! max/avg/RMSE tables at the paper's 16-bit format and one wider
+//! format, and the `accuracy_gate` binary fails CI on **any** drift
+//! (zero-LSB tolerance: numbers are compared by their shortest
+//! round-trip decimal rendering, so a single changed output bit anywhere
+//! in a sweep changes the table and trips the gate).
+//!
+//! σ, tanh and exp are swept exhaustively over every representable input
+//! code (matching [`crate::nacu_metrics`]); softmax — a vector op with
+//! no finite input enumeration — is pinned over a deterministic family
+//! of ramp/step/spike vectors.
+
+use nacu::{Function, Nacu, NacuConfig};
+use nacu_fixed::{Fx, QFormat, Rounding};
+use nacu_funcapprox::metrics::sweep_raw_range;
+use nacu_funcapprox::reference;
+
+/// Repo-relative location of the committed golden table.
+pub const BASELINE_PATH: &str = "ci/ACCURACY_baseline.json";
+
+/// Schema tag of the rendered JSON; bump when the layout changes.
+pub const SCHEMA: &str = "nacu-accuracy/v1";
+
+/// Total bit widths the gate pins: the paper's 16-bit Q4.11 and a wider
+/// §III dimensioning.
+pub const GATED_WIDTHS: [u32; 2] = [16, 20];
+
+/// One golden table row: a function at a format, with the sweep's error
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRow {
+    /// Function label (`sigmoid` / `tanh` / `exp` / `softmax`).
+    pub function: &'static str,
+    /// Input/output format label, e.g. `Q4.11`.
+    pub format: String,
+    /// Inputs measured (codes for scalar sweeps, elements for softmax).
+    pub samples: usize,
+    /// Largest absolute error vs the f64 reference.
+    pub max_error: f64,
+    /// Mean absolute error.
+    pub avg_error: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+}
+
+/// The datapath under measurement: scalar evaluation plus softmax, in
+/// one format. Lets the gate's self-test measure a silently-faulted
+/// [`nacu_faults::CheckedNacu`] through the same sweeps as a clean
+/// [`Nacu`].
+pub struct Evaluator<'a> {
+    /// The evaluator's fixed-point format.
+    pub format: QFormat,
+    /// Evaluates one scalar function application.
+    pub scalar: &'a dyn Fn(Function, Fx) -> Fx,
+    /// Evaluates Eq. 13 softmax over one vector.
+    pub softmax: &'a dyn Fn(&[Fx]) -> Vec<Fx>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Measures every gated function on this evaluator.
+    #[must_use]
+    pub fn rows(&self) -> Vec<AccuracyRow> {
+        let fmt = self.format;
+        let label = fmt.to_string();
+        let scalar = self.scalar;
+        let mut rows = Vec::with_capacity(4);
+        for (function, name, lo, hi, reference) in [
+            (
+                Function::Sigmoid,
+                "sigmoid",
+                fmt.min_raw(),
+                fmt.max_raw(),
+                reference::sigmoid as fn(f64) -> f64,
+            ),
+            (
+                Function::Tanh,
+                "tanh",
+                fmt.min_raw(),
+                fmt.max_raw(),
+                f64::tanh as fn(f64) -> f64,
+            ),
+            (
+                Function::Exp,
+                "exp",
+                fmt.min_raw(),
+                0,
+                f64::exp as fn(f64) -> f64,
+            ),
+        ] {
+            let report = sweep_raw_range(fmt, lo, hi, reference, |x| scalar(function, x).to_f64());
+            rows.push(AccuracyRow {
+                function: name,
+                format: label.clone(),
+                samples: report.samples,
+                max_error: report.max_error,
+                avg_error: report.avg_error,
+                rmse: report.rmse,
+            });
+        }
+        rows.push(self.softmax_row(&label));
+        rows
+    }
+
+    /// Softmax error statistics over the deterministic vector family.
+    fn softmax_row(&self, label: &str) -> AccuracyRow {
+        let fmt = self.format;
+        let mut max_error = 0.0_f64;
+        let mut sum_abs = 0.0_f64;
+        let mut sum_sq = 0.0_f64;
+        let mut n = 0usize;
+        for xs in softmax_vectors(fmt) {
+            let got = (self.softmax)(&xs);
+            let reference = softmax_f64(&xs.iter().map(|x| x.to_f64()).collect::<Vec<_>>());
+            assert_eq!(got.len(), reference.len(), "softmax length preserved");
+            for (y, r) in got.iter().zip(&reference) {
+                let err = (y.to_f64() - r).abs();
+                max_error = max_error.max(err);
+                sum_abs += err;
+                sum_sq += err * err;
+                n += 1;
+            }
+        }
+        let nf = n as f64;
+        AccuracyRow {
+            function: "softmax",
+            format: label.to_string(),
+            samples: n,
+            max_error,
+            avg_error: sum_abs / nf,
+            rmse: (sum_sq / nf).sqrt(),
+        }
+    }
+}
+
+/// The deterministic softmax input family: ramps, a step, a one-hot
+/// spike and a constant vector, at several lengths. Fixed by
+/// construction — extending it is a schema change (regenerate the
+/// baseline).
+#[must_use]
+pub fn softmax_vectors(fmt: QFormat) -> Vec<Vec<Fx>> {
+    let q = |v: f64| Fx::from_f64(v, fmt, Rounding::Nearest);
+    let mut family = Vec::new();
+    for len in [4usize, 8, 16] {
+        // Symmetric ramp over [-4, 4].
+        family.push(
+            (0..len)
+                .map(|i| q(-4.0 + 8.0 * (i as f64) / (len - 1) as f64))
+                .collect(),
+        );
+        // Step: half low, half high.
+        family.push(
+            (0..len)
+                .map(|i| if i < len / 2 { q(-2.0) } else { q(1.5) })
+                .collect(),
+        );
+    }
+    // One-hot spike and the uniform vector.
+    family.push(
+        (0..8)
+            .map(|i| if i == 3 { q(3.0) } else { q(-3.0) })
+            .collect(),
+    );
+    family.push(vec![q(0.25); 8]);
+    family
+}
+
+/// f64 reference softmax (max-normalised, the numerically stable form).
+#[must_use]
+pub fn softmax_f64(xs: &[f64]) -> Vec<f64> {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Measures a clean [`Nacu`] built from `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation (a caller bug).
+#[must_use]
+pub fn rows_for_config(config: NacuConfig) -> Vec<AccuracyRow> {
+    let nacu = Nacu::new(config).expect("gated config validates");
+    Evaluator {
+        format: config.format,
+        scalar: &|f, x| nacu.compute(f, x),
+        softmax: &|xs| nacu.softmax(xs).expect("family vectors are valid"),
+    }
+    .rows()
+}
+
+/// The full golden table: every gated width, every gated function.
+#[must_use]
+pub fn golden_rows() -> Vec<AccuracyRow> {
+    GATED_WIDTHS
+        .iter()
+        .flat_map(|&width| {
+            rows_for_config(NacuConfig::for_width(width).expect("gated width dimensions"))
+        })
+        .collect()
+}
+
+/// Shortest-round-trip decimal of an f64 — parses back to the identical
+/// bits, so string equality of renderings is bit equality of sweeps.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders rows as the committed JSON document (stable key order, one
+/// row per line — line diffs identify the drifted function directly).
+#[must_use]
+pub fn render_json(rows: &[AccuracyRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"function\": \"{}\", \"format\": \"{}\", \"samples\": {}, \
+             \"max_error\": {}, \"avg_error\": {}, \"rmse\": {}}}{}\n",
+            row.function,
+            row.format,
+            row.samples,
+            fmt_f64(row.max_error),
+            fmt_f64(row.avg_error),
+            fmt_f64(row.rmse),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Line-by-line comparison of a fresh rendering against the committed
+/// baseline. Returns the human-readable mismatches (empty = gate passes).
+#[must_use]
+pub fn diff_against_baseline(fresh: &str, baseline: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let fresh_lines: Vec<&str> = fresh.lines().collect();
+    let baseline_lines: Vec<&str> = baseline.lines().collect();
+    if fresh_lines.len() != baseline_lines.len() {
+        problems.push(format!(
+            "line count differs: fresh {} vs baseline {} (schema change? regenerate the baseline)",
+            fresh_lines.len(),
+            baseline_lines.len()
+        ));
+    }
+    for (i, (f, b)) in fresh_lines.iter().zip(&baseline_lines).enumerate() {
+        if f != b {
+            problems.push(format!(
+                "line {}:\n  baseline: {}\n  fresh:    {}",
+                i + 1,
+                b.trim(),
+                f.trim()
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nacu_faults::{CheckedNacu, DetectorSet, Fault, FaultPlan, InjectionSite};
+
+    #[test]
+    fn golden_rows_cover_every_function_at_every_width() {
+        let rows = golden_rows();
+        assert_eq!(rows.len(), GATED_WIDTHS.len() * 4);
+        for row in &rows {
+            assert!(row.samples > 0, "{}/{}", row.function, row.format);
+            assert!(row.max_error.is_finite());
+            assert!(row.avg_error <= row.rmse + 1e-15, "{row:?}");
+            assert!(row.rmse <= row.max_error + 1e-15, "{row:?}");
+        }
+        // Both formats are present and distinct.
+        assert!(rows.iter().any(|r| r.format == "Q4.11"));
+        assert!(rows.windows(5).any(|w| w[0].format != w[4].format));
+    }
+
+    #[test]
+    fn rendering_round_trips_exactly() {
+        let rows = golden_rows();
+        let once = render_json(&rows);
+        let twice = render_json(&golden_rows());
+        assert_eq!(once, twice, "measurement must be deterministic");
+        assert!(diff_against_baseline(&once, &twice).is_empty());
+    }
+
+    #[test]
+    fn sigmoid_row_matches_the_shared_measurement_kernel() {
+        // The gate and nacu_metrics must measure the same thing.
+        let report =
+            crate::nacu_metrics::nacu_report(crate::nacu_metrics::NacuFuncKind::Sigmoid, 16);
+        let rows = rows_for_config(NacuConfig::paper_16bit());
+        let sigmoid = rows.iter().find(|r| r.function == "sigmoid").unwrap();
+        assert_eq!(sigmoid.max_error, report.max_error);
+        assert_eq!(sigmoid.rmse, report.rmse);
+        assert_eq!(sigmoid.samples, report.samples);
+    }
+
+    /// The acceptance criterion: perturb one LUT entry by a single LSB
+    /// (silently — no detectors) and the rendered table must change, so
+    /// the zero-tolerance gate fails.
+    ///
+    /// The bias ROM stores `Q2.(N−3)` words, two fractional bits below
+    /// the `Q4.11` output, so one bias LSB only moves outputs that sit
+    /// within 2⁻¹³ of a rounding boundary — for some entries the flip
+    /// rounds away on every input. We scan entries for the first whose
+    /// LSB flip is observable on the σ sweep (a genuine 1-LSB stored-word
+    /// perturbation each time), then assert the full table drifts.
+    #[test]
+    fn one_lsb_lut_perturbation_trips_the_gate() {
+        let config = NacuConfig::paper_16bit();
+        let clean_unit = Nacu::new(config).expect("paper config");
+        let rom = clean_unit.coefficients();
+        let fmt = config.format;
+
+        let faulted_unit = rom
+            .iter()
+            .enumerate()
+            .find_map(|(entry, &(_, bias))| {
+                // Stuck-at the *opposite* of the stored LSB: exactly a
+                // 1-LSB change in the stored word.
+                let unit = CheckedNacu::new(config)
+                    .expect("paper config")
+                    .with_plan(FaultPlan::single(Fault::stuck_lut(
+                        InjectionSite::LutBias,
+                        entry,
+                        0,
+                        bias & 1 == 0,
+                    )))
+                    .with_detectors(DetectorSet::none());
+                let observable = (fmt.min_raw()..=fmt.max_raw()).any(|raw| {
+                    let x = Fx::from_raw(raw, fmt).expect("raw in range");
+                    unit.compute(Function::Sigmoid, x)
+                        .expect("detectors disarmed")
+                        != clean_unit.compute(Function::Sigmoid, x)
+                });
+                observable.then_some(unit)
+            })
+            .expect("some bias LSB flip must be visible on the exhaustive sweep");
+
+        let clean = render_json(&rows_for_config(config));
+        let faulted_rows = Evaluator {
+            format: fmt,
+            scalar: &|f, x| faulted_unit.compute(f, x).expect("detectors disarmed"),
+            softmax: &|xs| match faulted_unit.softmax(xs) {
+                Ok(ys) => ys,
+                Err(e) => panic!("softmax on faulted unit: {e}"),
+            },
+        }
+        .rows();
+        let faulted = render_json(&faulted_rows);
+        let diff = diff_against_baseline(&faulted, &clean);
+        assert!(
+            !diff.is_empty(),
+            "a 1-LSB LUT perturbation must change the golden table"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! CI accuracy-drift gate: re-measure the golden per-function error
+//! tables and compare them — with zero-LSB tolerance — against the
+//! committed baseline.
+//!
+//!     accuracy_gate [--baseline PATH] [--write PATH]
+//!
+//! The default baseline is `ci/ACCURACY_baseline.json` relative to the
+//! working directory. `--write` regenerates the baseline instead of
+//! gating (use after an *intentional* accuracy-affecting change, and
+//! say why in the commit).
+//!
+//! Exit status: 0 when the fresh table matches the baseline byte for
+//! byte, 1 on any drift or I/O problem.
+
+use std::process::ExitCode;
+
+use nacu_bench::accuracy::{self, BASELINE_PATH};
+
+fn main() -> ExitCode {
+    let mut baseline_path = BASELINE_PATH.to_string();
+    let mut write_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--baseline" => match argv.next() {
+                Some(v) => baseline_path = v,
+                None => {
+                    eprintln!("--baseline needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--write" => match argv.next() {
+                Some(v) => write_path = Some(v),
+                None => {
+                    eprintln!("--write needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: accuracy_gate [--baseline PATH] [--write PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let rows = accuracy::golden_rows();
+    let fresh = accuracy::render_json(&rows);
+    eprintln!(
+        "measured {} rows ({} functions x {} formats)",
+        rows.len(),
+        rows.len() / accuracy::GATED_WIDTHS.len(),
+        accuracy::GATED_WIDTHS.len()
+    );
+
+    if let Some(path) = write_path {
+        return match std::fs::write(&path, &fresh) {
+            Ok(()) => {
+                eprintln!("wrote baseline {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            eprintln!("(generate one with: accuracy_gate --write {baseline_path})");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let problems = accuracy::diff_against_baseline(&fresh, &baseline);
+    if problems.is_empty() {
+        eprintln!("accuracy gate PASS: tables match {baseline_path} exactly");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "accuracy gate FAIL: {} mismatch(es) vs {baseline_path} (zero-LSB tolerance)",
+            problems.len()
+        );
+        for p in &problems {
+            eprintln!("{p}");
+        }
+        ExitCode::FAILURE
+    }
+}

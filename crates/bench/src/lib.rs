@@ -21,6 +21,7 @@
 //! | [`fault_campaign`] | extension: fault-injection detection-coverage sweep |
 
 pub mod ablation;
+pub mod accuracy;
 pub mod engine_bench;
 pub mod fault_campaign;
 pub mod fig1;

@@ -62,10 +62,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use nacu::{Function, Nacu, NacuConfig, NacuError};
 use nacu_fixed::QFormat;
+use nacu_obs::Obs;
 
 pub use batch::{Request, RequestError, Response};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
-pub use report::{ThroughputReport, PAPER_CLOCK_HZ};
+pub use report::{LatencySummary, ThroughputReport, PAPER_CLOCK_HZ};
 // Re-exported so engine clients can build fault policies without naming
 // nacu-faults directly.
 pub use nacu_faults::{DetectorSet, Fault, FaultEvent, FaultKind, FaultPlan, InjectionSite};
@@ -345,6 +346,7 @@ impl Ticket {
 struct Shared {
     queue: Arc<BoundedQueue<Job>>,
     metrics: Arc<EngineMetrics>,
+    obs: Arc<Obs>,
     format: QFormat,
     default_deadline: Option<Duration>,
 }
@@ -392,15 +394,22 @@ impl EngineHandle {
         if request.deadline.is_none() {
             request.deadline = self.shared.default_deadline.map(|d| Instant::now() + d);
         }
+        let function = request.function;
+        let ops = request.operands.len();
         let (reply, rx) = mpsc::channel();
         match self.shared.queue.try_push(Job {
             request,
             reply,
             retries: 0,
+            submitted_at: Instant::now(),
         }) {
             Ok(depth) => {
                 self.shared.metrics.record_submitted();
                 self.shared.metrics.record_queue_depth(depth);
+                self.shared.obs.record_trace(TraceKind::Submit {
+                    function,
+                    ops: ops.min(u32::MAX as usize) as u32,
+                });
                 Ok(Ticket { rx })
             }
             Err(PushError::Full(_)) => {
@@ -430,7 +439,21 @@ impl EngineHandle {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
     }
+
+    /// The engine's live observability surface (histograms, trace ring,
+    /// cycle accounting). Cheap to clone; a monitor thread can hold one
+    /// and drain/snapshot while the pool serves.
+    #[must_use]
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.shared.obs)
+    }
 }
+
+// `Obs`, `ObsSnapshot` and the trace/histogram types are re-exported so
+// engine clients can monitor without naming nacu-obs directly.
+pub use nacu_obs::{
+    HistogramSnapshot, Obs as Observability, ObsSnapshot, Stage, TraceEvent, TraceKind,
+};
 
 /// A [`EngineHandle::submit_wait`] failure from either phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -478,6 +501,7 @@ impl Engine {
         drop(probe);
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(EngineMetrics::new());
+        let obs = Arc::new(Obs::new());
         let workers = config.workers.max(1);
         let health: Arc<Vec<AtomicBool>> =
             Arc::new((0..workers).map(|_| AtomicBool::new(true)).collect());
@@ -487,6 +511,7 @@ impl Engine {
             fault: config.fault_tolerance,
             queue: Arc::clone(&queue),
             metrics: Arc::clone(&metrics),
+            obs: Arc::clone(&obs),
             health: Arc::clone(&health),
         });
         let handles = pool::spawn_workers(&pool_shared);
@@ -494,6 +519,7 @@ impl Engine {
             shared: Arc::new(Shared {
                 queue,
                 metrics,
+                obs,
                 format,
                 default_deadline: config.default_deadline,
             }),
@@ -548,8 +574,22 @@ impl Engine {
         self.shared.metrics.snapshot()
     }
 
+    /// The engine's live observability surface (see [`EngineHandle::obs`]).
+    #[must_use]
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.shared.obs)
+    }
+
+    /// A coherent point-in-time observability snapshot.
+    #[must_use]
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.shared.obs.snapshot()
+    }
+
     /// Throughput over the interval since `baseline` was snapshotted at
-    /// `baseline_taken`.
+    /// `baseline_taken`. Latency percentiles come from the engine's
+    /// *lifetime* histograms (pair with [`Engine::obs_snapshot`] and
+    /// [`ObsSnapshot::since`] for interval-exact distributions).
     #[must_use]
     pub fn report_since(
         &self,
@@ -558,13 +598,16 @@ impl Engine {
     ) -> ThroughputReport {
         let delta = self.metrics().since(baseline);
         ThroughputReport::from_interval(&delta, baseline_taken.elapsed(), self.workers)
+            .with_observability(&self.obs_snapshot())
     }
 
-    /// Throughput over the engine's whole lifetime so far.
+    /// Throughput over the engine's whole lifetime so far, latency
+    /// summaries included.
     #[must_use]
     pub fn lifetime_report(&self) -> ThroughputReport {
         let delta = self.metrics();
         ThroughputReport::from_interval(&delta, self.started.elapsed(), self.workers)
+            .with_observability(&self.obs_snapshot())
     }
 
     /// Stops accepting work, drains the queue, joins the workers and
@@ -761,5 +804,34 @@ mod tests {
         assert_eq!(report.workers, 2);
         assert!(report.modeled_cycles > 0);
         assert!(report.ops_per_sec() > 0.0);
+        // Observability sections are filled in: latency percentiles and
+        // the modeled-vs-measured cycle comparison.
+        assert_eq!(report.end_to_end.count, 8);
+        assert_eq!(report.queue_wait.count, 8);
+        assert!(report.end_to_end.p99_ns >= report.end_to_end.p50_ns);
+        assert!(report.end_to_end.max_ns >= report.queue_wait.max_ns);
+        assert!(report.checked_cycles > report.modeled_cycles);
+        assert!(report.measured_batch_ns > 0);
+        assert!(report.effective_cycles_per_op(PAPER_CLOCK_HZ) > 0.0);
+        assert!(report.model_measured_ratio(PAPER_CLOCK_HZ) > 0.0);
+    }
+
+    #[test]
+    fn obs_traces_the_request_lifecycle_and_drains_live() {
+        let engine = engine(1);
+        let fmt = engine.format();
+        let obs = engine.obs();
+        engine
+            .submit(Request::new(Function::Sigmoid, operands(fmt, 3)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let events = obs.drain_trace(64);
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"submit"), "{names:?}");
+        assert!(names.contains(&"batch_start"), "{names:?}");
+        assert!(names.contains(&"batch_end"), "{names:?}");
+        // Timestamps are monotone in drain order.
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
     }
 }

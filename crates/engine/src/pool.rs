@@ -34,20 +34,29 @@ use std::time::Instant;
 
 use nacu::NacuConfig;
 use nacu_faults::{CheckedError, CheckedNacu, FaultEvent};
+use nacu_obs::{Obs, Stage, TraceKind};
 
 use crate::batch::{scalar_function, Request, RequestError, Response};
 use crate::metrics::EngineMetrics;
 use crate::queue::{BoundedQueue, PushError};
-use crate::report::modeled_batch_cycles;
+use crate::report::{modeled_batch_cycles, modeled_checked_batch_cycles};
 use crate::FaultTolerance;
 
-/// One queued unit of work: the request plus its reply channel and the
-/// number of times a quarantining worker has already bounced it.
+/// One queued unit of work: the request plus its reply channel, the
+/// instant it entered the queue (for latency accounting) and the number
+/// of times a quarantining worker has already bounced it.
 #[derive(Debug)]
 pub(crate) struct Job {
     pub(crate) request: Request,
     pub(crate) reply: mpsc::Sender<Result<Response, RequestError>>,
     pub(crate) retries: u32,
+    pub(crate) submitted_at: Instant,
+}
+
+/// Saturating nanoseconds of a duration (a serving interval never
+/// realistically exceeds u64 ns ≈ 584 years, but the cast must not wrap).
+fn as_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Everything a worker thread shares with the pool.
@@ -57,6 +66,7 @@ pub(crate) struct PoolShared {
     pub(crate) fault: FaultTolerance,
     pub(crate) queue: Arc<BoundedQueue<Job>>,
     pub(crate) metrics: Arc<EngineMetrics>,
+    pub(crate) obs: Arc<Obs>,
     /// One health flag per worker slot; `false` = quarantined.
     pub(crate) health: Arc<Vec<AtomicBool>>,
 }
@@ -95,12 +105,15 @@ fn run_worker(worker: usize, shared: &PoolShared) {
             && batches_served > 0
             && batches_served.is_multiple_of(shared.fault.scrub_every_batches);
         if scrub_due {
+            shared.obs.record_trace(TraceKind::Scrub {
+                worker: worker as u32,
+            });
             if let Err(event) = unit.scrub() {
                 quarantine(worker, event, jobs, shared);
                 return;
             }
         }
-        match serve_batch(worker, &unit, jobs, &shared.metrics) {
+        match serve_batch(worker, &unit, jobs, shared) {
             Ok(()) => batches_served += 1,
             Err((event, stranded)) => {
                 quarantine(worker, event, stranded, shared);
@@ -115,6 +128,12 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
     shared.health[worker].store(false, Ordering::Release);
     shared.metrics.record_fault_detected();
     shared.metrics.record_worker_quarantined();
+    shared
+        .obs
+        .record_trace(TraceKind::fault(worker as u32, &event));
+    shared.obs.record_trace(TraceKind::Quarantine {
+        worker: worker as u32,
+    });
     let any_healthy = shared.health.iter().any(|h| h.load(Ordering::Acquire));
     if !any_healthy {
         // Close the door BEFORE answering anyone: a client that hears
@@ -135,6 +154,10 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
         } else {
             job.retries += 1;
             shared.metrics.record_retry();
+            shared.obs.record_trace(TraceKind::Retry {
+                worker: worker as u32,
+                attempts: job.retries,
+            });
             if let Err(PushError::Full(job) | PushError::Closed(job)) = shared.queue.try_push(job) {
                 shared.metrics.record_request_failed();
                 let _ = job.reply.send(Err(RequestError::FaultDetected {
@@ -160,8 +183,10 @@ fn serve_batch(
     worker: usize,
     unit: &CheckedNacu,
     jobs: Vec<Job>,
-    metrics: &EngineMetrics,
+    shared: &PoolShared,
 ) -> Result<(), (FaultEvent, Vec<Job>)> {
+    let metrics = &shared.metrics;
+    let obs = &shared.obs;
     // Expire stale jobs up front so they neither cost datapath work nor
     // inflate the fused batch.
     let now = Instant::now();
@@ -169,6 +194,9 @@ fn serve_batch(
     for job in jobs {
         if job.request.deadline.is_some_and(|d| d < now) {
             metrics.record_expired();
+            obs.record_trace(TraceKind::Expired {
+                function: job.request.function,
+            });
             let _ = job.reply.send(Err(RequestError::DeadlineExpired));
         } else {
             live.push(job);
@@ -179,12 +207,33 @@ fn serve_batch(
     };
     let function = first.request.function;
 
+    // Pickup marks the end of every live job's queue wait.
+    for job in &live {
+        obs.record_latency(
+            Stage::QueueWait,
+            function,
+            as_ns(now.duration_since(job.submitted_at)),
+        );
+    }
+    if live.len() > 1 {
+        obs.record_trace(TraceKind::Coalesce {
+            worker: worker as u32,
+            requests: live.len() as u32,
+        });
+    }
+
     // Metrics are recorded BEFORE any reply is sent: a client observing
     // its response must also observe the counters that account for it.
     if scalar_function(function) {
         // One fused pipelined pass over every live request's operands.
         let batch_ops: usize = live.iter().map(|j| j.request.operands.len()).sum();
         let batch_cycles = modeled_batch_cycles(function, batch_ops);
+        obs.record_trace(TraceKind::BatchStart {
+            worker: worker as u32,
+            function,
+            ops: batch_ops as u32,
+        });
+        let service_start = Instant::now();
         let mut outputs_per_job = Vec::with_capacity(live.len());
         for job in &live {
             let mut outputs = Vec::with_capacity(job.request.operands.len());
@@ -196,8 +245,24 @@ fn serve_batch(
             }
             outputs_per_job.push(outputs);
         }
+        let service_ns = as_ns(service_start.elapsed());
+        obs.record_latency(Stage::BatchService, function, service_ns);
+        obs.cycles().record_batch(
+            function,
+            batch_ops as u64,
+            batch_cycles,
+            modeled_checked_batch_cycles(function, batch_ops),
+            service_ns,
+        );
+        obs.record_trace(TraceKind::BatchEnd {
+            worker: worker as u32,
+            function,
+            ops: batch_ops as u32,
+            service_ns,
+        });
         metrics.record_batch(function, live.len() as u64, batch_ops as u64, batch_cycles);
         for (job, outputs) in live.into_iter().zip(outputs_per_job) {
+            obs.record_latency(Stage::EndToEnd, function, as_ns(job.submitted_at.elapsed()));
             let _ = job.reply.send(Ok(Response {
                 outputs,
                 worker,
@@ -212,6 +277,12 @@ fn serve_batch(
         while let Some(job) = pending.next() {
             let n = job.request.operands.len();
             let batch_cycles = modeled_batch_cycles(function, n);
+            obs.record_trace(TraceKind::BatchStart {
+                worker: worker as u32,
+                function,
+                ops: n as u32,
+            });
+            let service_start = Instant::now();
             let outputs = match unit.softmax(&job.request.operands) {
                 Ok(outputs) => outputs,
                 Err(CheckedError::Fault(event)) => {
@@ -223,7 +294,23 @@ fn serve_batch(
                     unreachable!("submit validated the vector: {e}")
                 }
             };
+            let service_ns = as_ns(service_start.elapsed());
+            obs.record_latency(Stage::BatchService, function, service_ns);
+            obs.cycles().record_batch(
+                function,
+                n as u64,
+                batch_cycles,
+                modeled_checked_batch_cycles(function, n),
+                service_ns,
+            );
+            obs.record_trace(TraceKind::BatchEnd {
+                worker: worker as u32,
+                function,
+                ops: n as u32,
+                service_ns,
+            });
             metrics.record_batch(function, 1, n as u64, batch_cycles);
+            obs.record_latency(Stage::EndToEnd, function, as_ns(job.submitted_at.elapsed()));
             let _ = job.reply.send(Ok(Response {
                 outputs,
                 worker,
@@ -254,6 +341,7 @@ mod tests {
             },
             queue: Arc::new(BoundedQueue::new(64)),
             metrics: Arc::new(EngineMetrics::new()),
+            obs: Arc::new(Obs::with_trace_capacity(64)),
             health: Arc::new((0..slots).map(|_| AtomicBool::new(true)).collect()),
         })
     }
@@ -269,6 +357,7 @@ mod tests {
                 ),
                 reply,
                 retries: 0,
+                submitted_at: Instant::now(),
             },
             rx,
         )
@@ -288,7 +377,7 @@ mod tests {
             .expect("paper config")
             .with_plan(s.fault.plan_for(0));
         let (j, rx) = job(&s, 0.0);
-        let (event, stranded) = serve_batch(0, &unit, vec![j], &s.metrics).unwrap_err();
+        let (event, stranded) = serve_batch(0, &unit, vec![j], &s).unwrap_err();
         assert_eq!(event, FaultEvent::LutParity { entry: 0 });
         quarantine(0, event, stranded, &s);
         // Worker 0 is out; worker 1 is healthy, so the job went back into
@@ -305,6 +394,54 @@ mod tests {
         assert_eq!(m.workers_quarantined, 1);
         assert_eq!(m.retries, 1);
         assert_eq!(m.requests_failed, 0);
+        // The whole episode is visible in the trace ring, in order.
+        let names: Vec<&str> = s
+            .obs
+            .drain_trace(16)
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(names, ["batch_start", "fault", "quarantine", "retry"]);
+    }
+
+    /// A healthy serve feeds every observability surface: stage
+    /// histograms, cycle accounting, and batch start/end trace events.
+    #[test]
+    fn healthy_serve_records_latencies_cycles_and_traces() {
+        let s = shared(Vec::new(), 1);
+        let unit = CheckedNacu::new(s.config).expect("paper config");
+        let (a, a_rx) = job(&s, 0.25);
+        let (b, b_rx) = job(&s, -0.5);
+        serve_batch(0, &unit, vec![a, b], &s).expect("healthy batch");
+        assert!(a_rx.try_recv().expect("reply").is_ok());
+        assert!(b_rx.try_recv().expect("reply").is_ok());
+        let snap = s.obs.snapshot();
+        use nacu::Function;
+        let qw = snap.stage(Stage::QueueWait, Function::Sigmoid).unwrap();
+        assert_eq!(qw.count, 2, "one queue-wait sample per live job");
+        let svc = snap.stage(Stage::BatchService, Function::Sigmoid).unwrap();
+        assert_eq!(svc.count, 1, "one service sample per fused batch");
+        let e2e = snap.stage(Stage::EndToEnd, Function::Sigmoid).unwrap();
+        assert_eq!(e2e.count, 2);
+        assert!(e2e.max >= qw.max, "end-to-end contains the queue wait");
+        let row = snap.cycles.row(Function::Sigmoid).unwrap();
+        assert_eq!(row.batches, 1);
+        assert_eq!(row.ops, 2);
+        assert_eq!(
+            row.modeled_cycles,
+            modeled_batch_cycles(Function::Sigmoid, 2)
+        );
+        assert_eq!(
+            row.checked_cycles,
+            modeled_checked_batch_cycles(Function::Sigmoid, 2)
+        );
+        let names: Vec<&str> = s
+            .obs
+            .drain_trace(16)
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(names, ["coalesce", "batch_start", "batch_end"]);
     }
 
     /// Deterministic unit test of retry exhaustion: a job that has

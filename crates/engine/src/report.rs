@@ -11,8 +11,9 @@
 
 use std::time::Duration;
 
-use nacu::pipeline::latency_cycles;
+use nacu::pipeline::{checked_latency_cycles, latency_cycles};
 use nacu::Function;
+use nacu_obs::{HistogramSnapshot, ObsSnapshot, Stage};
 
 use crate::metrics::MetricsSnapshot;
 
@@ -38,8 +39,55 @@ pub fn modeled_batch_cycles(function: Function, ops: usize) -> u64 {
     }
 }
 
+/// Modeled cycles for the same fused batch on a *checked* unit — the
+/// detector compare stage ([`checked_latency_cycles`]) deepens the fill,
+/// but the streaming rate is unchanged.
+#[must_use]
+pub fn modeled_checked_batch_cycles(function: Function, ops: usize) -> u64 {
+    if ops == 0 {
+        return 0;
+    }
+    let fill = u64::from(checked_latency_cycles(function));
+    let n = ops as u64;
+    match function {
+        Function::Softmax => 2 * (fill + n - 1),
+        _ => fill + n - 1,
+    }
+}
+
+/// p50/p90/p99/max of one latency distribution, in nanoseconds.
+///
+/// Zeroed when the engine served nothing (or observability was detached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Samples behind the percentiles.
+    pub count: u64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 90th percentile, ns.
+    pub p90_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Largest observed, ns.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarises one histogram snapshot.
+    #[must_use]
+    pub fn from_histogram(h: &HistogramSnapshot) -> Self {
+        Self {
+            count: h.count,
+            p50_ns: h.p50(),
+            p90_ns: h.p90(),
+            p99_ns: h.p99(),
+            max_ns: h.max,
+        }
+    }
+}
+
 /// A throughput measurement over one serving interval.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ThroughputReport {
     /// Operands evaluated during the interval.
     pub ops: u64,
@@ -59,6 +107,22 @@ pub struct ThroughputReport {
     pub retries: u64,
     /// Workers quarantined during the interval.
     pub workers_quarantined: u64,
+    /// Queue-wait latency distribution (submission → batch pickup),
+    /// merged across functions. Zeroed until filled by
+    /// [`ThroughputReport::with_observability`].
+    pub queue_wait: LatencySummary,
+    /// End-to-end latency distribution (submission → response), merged
+    /// across functions. Zeroed until filled by
+    /// [`ThroughputReport::with_observability`].
+    pub end_to_end: LatencySummary,
+    /// Modeled cycles for the same work on *checked* units (detector
+    /// stage included). Zeroed until filled by
+    /// [`ThroughputReport::with_observability`].
+    pub checked_cycles: u64,
+    /// Measured wall time the workers spent inside batch service, summed
+    /// over batches, ns. Zeroed until filled by
+    /// [`ThroughputReport::with_observability`].
+    pub measured_batch_ns: u64,
 }
 
 impl ThroughputReport {
@@ -76,7 +140,55 @@ impl ThroughputReport {
             faults_detected: delta.faults_detected,
             retries: delta.retries,
             workers_quarantined: delta.workers_quarantined,
+            queue_wait: LatencySummary::default(),
+            end_to_end: LatencySummary::default(),
+            checked_cycles: 0,
+            measured_batch_ns: 0,
         }
+    }
+
+    /// Fills the latency and cycle-accounting sections from an
+    /// observability snapshot (usually [`crate::Engine::obs_snapshot`],
+    /// optionally diffed with [`ObsSnapshot::since`] to match the
+    /// metrics interval).
+    #[must_use]
+    pub fn with_observability(mut self, obs: &ObsSnapshot) -> Self {
+        self.queue_wait = LatencySummary::from_histogram(&obs.stage_merged(Stage::QueueWait));
+        self.end_to_end = LatencySummary::from_histogram(&obs.stage_merged(Stage::EndToEnd));
+        let totals = obs.cycles.total();
+        self.checked_cycles = totals.checked_cycles;
+        self.measured_batch_ns = totals.measured_ns;
+        self
+    }
+
+    /// Modeled (Table I) cycles per operand for the interval's mix.
+    #[must_use]
+    pub fn modeled_cycles_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.modeled_cycles as f64 / self.ops as f64
+    }
+
+    /// Measured batch-service time rendered as cycles per operand at
+    /// `clock_hz` — what the software datapath "paid" in hardware terms.
+    #[must_use]
+    pub fn effective_cycles_per_op(&self, clock_hz: f64) -> f64 {
+        if self.ops == 0 || clock_hz <= 0.0 {
+            return 0.0;
+        }
+        (self.measured_batch_ns as f64 * 1e-9) * clock_hz / self.ops as f64
+    }
+
+    /// Measured batch-service time over the modeled hardware time at
+    /// `clock_hz` (> 1 ⇒ software slower than the model, the usual case).
+    #[must_use]
+    pub fn model_measured_ratio(&self, clock_hz: f64) -> f64 {
+        if self.modeled_cycles == 0 || clock_hz <= 0.0 {
+            return 0.0;
+        }
+        let modeled_secs = self.modeled_cycles as f64 / clock_hz;
+        (self.measured_batch_ns as f64 * 1e-9) / modeled_secs
     }
 
     /// Measured software throughput in operands per second.
@@ -148,6 +260,19 @@ impl std::fmt::Display for ThroughputReport {
             self.modeled_ops_per_sec(PAPER_CLOCK_HZ),
             self.hardware_speedup(PAPER_CLOCK_HZ),
         )?;
+        if self.queue_wait.count > 0 || self.end_to_end.count > 0 {
+            write!(
+                f,
+                "; queue wait p50/p99 {}/{} ns, end-to-end p50/p99 {}/{} ns, \
+                 {:.1} effective vs {:.1} modeled cycles/op",
+                self.queue_wait.p50_ns,
+                self.queue_wait.p99_ns,
+                self.end_to_end.p50_ns,
+                self.end_to_end.p99_ns,
+                self.effective_cycles_per_op(PAPER_CLOCK_HZ),
+                self.modeled_cycles_per_op(),
+            )?;
+        }
         if self.faults_detected > 0 || self.workers_quarantined > 0 {
             write!(
                 f,
@@ -189,9 +314,7 @@ mod tests {
             wall: Duration::from_millis(100),
             modeled_cycles: 2000,
             workers: 2,
-            faults_detected: 0,
-            retries: 0,
-            workers_quarantined: 0,
+            ..ThroughputReport::default()
         };
         assert!((r.ops_per_sec() - 10_000.0).abs() < 1e-6);
         assert!((r.ops_per_batch() - 200.0).abs() < 1e-12);
@@ -202,20 +325,52 @@ mod tests {
 
     #[test]
     fn degenerate_reports_do_not_divide_by_zero() {
-        let r = ThroughputReport {
-            ops: 0,
-            requests: 0,
-            batches: 0,
-            wall: Duration::ZERO,
-            modeled_cycles: 0,
-            workers: 0,
-            faults_detected: 0,
-            retries: 0,
-            workers_quarantined: 0,
-        };
+        let r = ThroughputReport::default();
         assert_eq!(r.ops_per_sec(), 0.0);
         assert_eq!(r.ops_per_batch(), 0.0);
         assert_eq!(r.modeled_hardware_time(PAPER_CLOCK_HZ), Duration::ZERO);
         assert_eq!(r.hardware_speedup(PAPER_CLOCK_HZ), 0.0);
+        assert_eq!(r.modeled_cycles_per_op(), 0.0);
+        assert_eq!(r.effective_cycles_per_op(PAPER_CLOCK_HZ), 0.0);
+        assert_eq!(r.model_measured_ratio(PAPER_CLOCK_HZ), 0.0);
+    }
+
+    #[test]
+    fn checked_batch_cycles_deepen_the_fill_only() {
+        // One extra compare stage per pass (two passes for softmax).
+        assert_eq!(modeled_checked_batch_cycles(Function::Sigmoid, 100), 103);
+        assert_eq!(modeled_checked_batch_cycles(Function::Exp, 50), 58);
+        assert_eq!(modeled_checked_batch_cycles(Function::Softmax, 16), 2 * 24);
+        assert_eq!(modeled_checked_batch_cycles(Function::Tanh, 0), 0);
+    }
+
+    #[test]
+    fn with_observability_fills_latency_and_cycle_sections() {
+        use nacu_obs::Obs;
+        let obs = Obs::with_trace_capacity(4);
+        obs.record_latency(Stage::QueueWait, Function::Sigmoid, 1_000);
+        obs.record_latency(Stage::EndToEnd, Function::Sigmoid, 5_000);
+        obs.cycles()
+            .record_batch(Function::Sigmoid, 100, 102, 103, 400_000);
+        let r = ThroughputReport {
+            ops: 100,
+            modeled_cycles: 102,
+            workers: 1,
+            wall: Duration::from_millis(1),
+            ..ThroughputReport::default()
+        }
+        .with_observability(&obs.snapshot());
+        assert_eq!(r.queue_wait.count, 1);
+        assert!(r.queue_wait.p99_ns >= 1_000);
+        assert_eq!(r.end_to_end.max_ns, 5_000);
+        assert_eq!(r.checked_cycles, 103);
+        assert_eq!(r.measured_batch_ns, 400_000);
+        // 400 µs over 100 ops at 1 GHz = 4000 cycles/op.
+        assert!((r.effective_cycles_per_op(1e9) - 4_000.0).abs() < 1e-9);
+        // Measured 400 µs vs modeled 102 ns at 1 GHz.
+        let expected = 400_000.0 / 102.0;
+        assert!((r.model_measured_ratio(1e9) - expected).abs() < 1e-6);
+        let rendered = format!("{r}");
+        assert!(rendered.contains("queue wait p50/p99"));
     }
 }

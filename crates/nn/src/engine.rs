@@ -14,9 +14,13 @@
 //! an activation inside a forward pass cannot be load-shed. Clients that
 //! *can* shed load should submit [`nacu_engine::Request`]s directly.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use nacu::Function;
 use nacu_engine::{EngineHandle, FaultEvent, Request, SubmitError, WaitError};
 use nacu_fixed::{Fx, QFormat};
+use nacu_obs::{Obs, TraceKind};
 
 use crate::activation::Nonlinearity;
 
@@ -60,13 +64,27 @@ impl std::error::Error for ActivationError {}
 #[derive(Debug, Clone)]
 pub struct EngineActivation {
     handle: EngineHandle,
+    /// When attached (see [`EngineActivation::with_obs`]), every batch
+    /// activation emits a [`TraceKind::LayerForward`] span.
+    obs: Option<Arc<Obs>>,
 }
 
 impl EngineActivation {
     /// Wraps a submission handle (see [`nacu_engine::Engine::handle`]).
     #[must_use]
     pub fn new(handle: EngineHandle) -> Self {
-        Self { handle }
+        Self { handle, obs: None }
+    }
+
+    /// Attaches an observability surface — normally the engine's own
+    /// ([`nacu_engine::Engine::obs`]) so layer spans land in the same
+    /// trace ring as the queue/batch events they caused, letting a
+    /// drained trace correlate "layer 2's σ activation" with the fused
+    /// batches that served it.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// The underlying submission handle.
@@ -109,13 +127,25 @@ impl EngineActivation {
         function: Function,
         operands: &[Fx],
     ) -> Result<Vec<Fx>, ActivationError> {
+        let started = Instant::now();
         loop {
             match self
                 .handle
                 .submit(Request::new(function, operands.to_vec()))
             {
                 Ok(ticket) => match ticket.wait() {
-                    Ok(response) => return Ok(response.outputs),
+                    Ok(response) => {
+                        if let Some(obs) = &self.obs {
+                            let wall_ns =
+                                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            obs.record_trace(TraceKind::LayerForward {
+                                function,
+                                ops: operands.len().min(u32::MAX as usize) as u32,
+                                wall_ns,
+                            });
+                        }
+                        return Ok(response.outputs);
+                    }
                     Err(WaitError::DeadlineExpired) => {
                         // The engine's default deadline lapsed under load;
                         // an activation cannot be dropped, so resubmit.
@@ -197,6 +227,34 @@ mod tests {
             .map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest))
             .collect();
         assert_eq!(on_pool.softmax(&xs), sequential.softmax(&xs));
+    }
+
+    #[test]
+    fn layer_forward_spans_land_in_the_engines_trace_ring() {
+        let engine = pool(1);
+        let obs = engine.obs();
+        // Drop the submit/batch noise so far (there is none yet, but be
+        // explicit about what this test asserts on).
+        let _ = obs.drain_trace(usize::MAX);
+        let nl = EngineActivation::new(engine.handle()).with_obs(engine.obs());
+        let fmt = nl.format();
+        let xs: Vec<Fx> = (0..5)
+            .map(|i| Fx::from_f64(f64::from(i) * 0.3 - 0.6, fmt, Rounding::Nearest))
+            .collect();
+        let _ = nl.map_batch(Function::Tanh, &xs);
+        let spans: Vec<_> = obs
+            .drain_trace(usize::MAX)
+            .into_iter()
+            .filter(|e| matches!(e.kind, nacu_obs::TraceKind::LayerForward { .. }))
+            .collect();
+        assert_eq!(spans.len(), 1);
+        match spans[0].kind {
+            nacu_obs::TraceKind::LayerForward { function, ops, .. } => {
+                assert_eq!(function, Function::Tanh);
+                assert_eq!(ops, 5);
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

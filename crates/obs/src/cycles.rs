@@ -1,0 +1,281 @@
+//! Cycle accounting: measured wall-clock versus the paper's cycle model.
+//!
+//! Every served batch contributes four relaxed counters per function —
+//! batches, operands, modeled cycles (Table I via
+//! [`nacu::pipeline::latency_cycles`]), checked-model cycles
+//! ([`nacu::pipeline::checked_latency_cycles`], one extra detector stage)
+//! and measured nanoseconds — and the snapshot derives the two numbers
+//! the hardware papers compare designs on:
+//!
+//! * **effective cycles per operand**: what the software actually paid,
+//!   converted to cycles at a reference clock, next to the model's
+//!   `cycles / op`;
+//! * **model-vs-measured ratio**: measured time over modeled time at
+//!   that clock — how far this software run is from the hardware the
+//!   paper describes (hundreds to thousands; the point is to *track* it,
+//!   not to win).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nacu::Function;
+
+/// The functions the serving engine accounts (everything but MAC).
+pub const ACCOUNTED_FUNCTIONS: [Function; 4] = [
+    Function::Sigmoid,
+    Function::Tanh,
+    Function::Exp,
+    Function::Softmax,
+];
+
+/// Slot index for an accounted function (`None` for [`Function::Mac`]).
+#[must_use]
+pub fn function_slot(function: Function) -> Option<usize> {
+    ACCOUNTED_FUNCTIONS.iter().position(|&f| f == function)
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    batches: AtomicU64,
+    ops: AtomicU64,
+    modeled_cycles: AtomicU64,
+    checked_cycles: AtomicU64,
+    measured_ns: AtomicU64,
+}
+
+/// Live per-function accounting counters (relaxed atomics; snapshot-safe
+/// while recorders run).
+#[derive(Debug, Default)]
+pub struct CycleAccounting {
+    slots: [Slot; ACCOUNTED_FUNCTIONS.len()],
+}
+
+impl CycleAccounting {
+    /// Fresh zeroed accounting.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served batch: `ops` operands of `function` took
+    /// `measured_ns` of wall time against `modeled_cycles` (plain model)
+    /// and `checked_cycles` (detector-bearing model).
+    pub fn record_batch(
+        &self,
+        function: Function,
+        ops: u64,
+        modeled_cycles: u64,
+        checked_cycles: u64,
+        measured_ns: u64,
+    ) {
+        let Some(i) = function_slot(function) else {
+            return;
+        };
+        let slot = &self.slots[i];
+        slot.batches.fetch_add(1, Ordering::Relaxed);
+        slot.ops.fetch_add(ops, Ordering::Relaxed);
+        slot.modeled_cycles
+            .fetch_add(modeled_cycles, Ordering::Relaxed);
+        slot.checked_cycles
+            .fetch_add(checked_cycles, Ordering::Relaxed);
+        slot.measured_ns.fetch_add(measured_ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> CycleSnapshot {
+        CycleSnapshot {
+            rows: core::array::from_fn(|i| CycleRow {
+                function: ACCOUNTED_FUNCTIONS[i],
+                batches: self.slots[i].batches.load(Ordering::Relaxed),
+                ops: self.slots[i].ops.load(Ordering::Relaxed),
+                modeled_cycles: self.slots[i].modeled_cycles.load(Ordering::Relaxed),
+                checked_cycles: self.slots[i].checked_cycles.load(Ordering::Relaxed),
+                measured_ns: self.slots[i].measured_ns.load(Ordering::Relaxed),
+            }),
+        }
+    }
+}
+
+/// One function's accounting totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleRow {
+    /// The accounted function.
+    pub function: Function,
+    /// Batches served.
+    pub batches: u64,
+    /// Operands served.
+    pub ops: u64,
+    /// Summed Table I model cycles across those batches.
+    pub modeled_cycles: u64,
+    /// Summed checked-unit model cycles (one extra detector stage).
+    pub checked_cycles: u64,
+    /// Summed measured batch service time.
+    pub measured_ns: u64,
+}
+
+impl CycleRow {
+    /// The model's cycles per operand (amortised fill included).
+    #[must_use]
+    pub fn modeled_cycles_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.modeled_cycles as f64 / self.ops as f64
+    }
+
+    /// Measured wall time converted to cycles at `clock_hz`, per operand —
+    /// the *effective* cycles-per-op this software run achieved.
+    #[must_use]
+    pub fn effective_cycles_per_op(&self, clock_hz: f64) -> f64 {
+        if self.ops == 0 || clock_hz <= 0.0 {
+            return 0.0;
+        }
+        (self.measured_ns as f64 * 1e-9) * clock_hz / self.ops as f64
+    }
+
+    /// Measured time over modeled time at `clock_hz` (dimensionless; 1.0
+    /// means the software run matched the hardware model exactly).
+    #[must_use]
+    pub fn model_measured_ratio(&self, clock_hz: f64) -> f64 {
+        if self.modeled_cycles == 0 || clock_hz <= 0.0 {
+            return 0.0;
+        }
+        let modeled_secs = self.modeled_cycles as f64 / clock_hz;
+        (self.measured_ns as f64 * 1e-9) / modeled_secs
+    }
+}
+
+/// Point-in-time accounting, one row per accounted function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleSnapshot {
+    /// Rows in [`ACCOUNTED_FUNCTIONS`] order.
+    pub rows: [CycleRow; ACCOUNTED_FUNCTIONS.len()],
+}
+
+impl CycleSnapshot {
+    /// The row for `function` (`None` for MAC).
+    #[must_use]
+    pub fn row(&self, function: Function) -> Option<&CycleRow> {
+        function_slot(function).map(|i| &self.rows[i])
+    }
+
+    /// Totals across every function, as one synthetic row (the
+    /// `function` field keeps the first accounted function and should be
+    /// ignored).
+    #[must_use]
+    pub fn total(&self) -> CycleRow {
+        let mut total = CycleRow {
+            function: ACCOUNTED_FUNCTIONS[0],
+            batches: 0,
+            ops: 0,
+            modeled_cycles: 0,
+            checked_cycles: 0,
+            measured_ns: 0,
+        };
+        for row in &self.rows {
+            total.batches += row.batches;
+            total.ops += row.ops;
+            total.modeled_cycles += row.modeled_cycles;
+            total.checked_cycles += row.checked_cycles;
+            total.measured_ns += row.measured_ns;
+        }
+        total
+    }
+
+    /// Row-wise difference since `earlier` (saturating).
+    #[must_use]
+    pub fn since(&self, earlier: &CycleSnapshot) -> CycleSnapshot {
+        CycleSnapshot {
+            rows: core::array::from_fn(|i| CycleRow {
+                function: self.rows[i].function,
+                batches: self.rows[i].batches.saturating_sub(earlier.rows[i].batches),
+                ops: self.rows[i].ops.saturating_sub(earlier.rows[i].ops),
+                modeled_cycles: self.rows[i]
+                    .modeled_cycles
+                    .saturating_sub(earlier.rows[i].modeled_cycles),
+                checked_cycles: self.rows[i]
+                    .checked_cycles
+                    .saturating_sub(earlier.rows[i].checked_cycles),
+                measured_ns: self.rows[i]
+                    .measured_ns
+                    .saturating_sub(earlier.rows[i].measured_ns),
+            }),
+        }
+    }
+}
+
+impl Default for CycleSnapshot {
+    fn default() -> Self {
+        CycleAccounting::new().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate_per_function() {
+        let acc = CycleAccounting::new();
+        acc.record_batch(Function::Sigmoid, 100, 102, 103, 50_000);
+        acc.record_batch(Function::Sigmoid, 100, 102, 103, 70_000);
+        acc.record_batch(Function::Softmax, 16, 46, 48, 9_000);
+        let s = acc.snapshot();
+        let sig = s.row(Function::Sigmoid).unwrap();
+        assert_eq!(sig.batches, 2);
+        assert_eq!(sig.ops, 200);
+        assert_eq!(sig.modeled_cycles, 204);
+        assert_eq!(sig.checked_cycles, 206);
+        assert_eq!(sig.measured_ns, 120_000);
+        assert_eq!(s.total().ops, 216);
+        assert!(s.row(Function::Mac).is_none());
+    }
+
+    #[test]
+    fn mac_batches_are_not_accounted() {
+        let acc = CycleAccounting::new();
+        acc.record_batch(Function::Mac, 10, 10, 11, 1_000);
+        assert_eq!(acc.snapshot().total().ops, 0);
+    }
+
+    #[test]
+    fn derived_quantities_are_sane() {
+        let row = CycleRow {
+            function: Function::Exp,
+            batches: 1,
+            ops: 50,
+            modeled_cycles: 57,
+            checked_cycles: 58,
+            measured_ns: 57_000, // 57 µs measured vs 57 cycles modeled
+        };
+        // At 1 GHz a cycle is 1 ns: effective cycles/op = 57000/50 = 1140.
+        assert!((row.effective_cycles_per_op(1e9) - 1140.0).abs() < 1e-9);
+        assert!((row.modeled_cycles_per_op() - 1.14).abs() < 1e-9);
+        // Measured is 1000x the modeled time at that clock.
+        assert!((row.model_measured_ratio(1e9) - 1000.0).abs() < 1e-9);
+        // Degenerate inputs answer 0, never NaN.
+        let empty = CycleRow {
+            function: Function::Exp,
+            batches: 0,
+            ops: 0,
+            modeled_cycles: 0,
+            checked_cycles: 0,
+            measured_ns: 0,
+        };
+        assert_eq!(empty.effective_cycles_per_op(1e9), 0.0);
+        assert_eq!(empty.model_measured_ratio(1e9), 0.0);
+    }
+
+    #[test]
+    fn since_diffs_rows() {
+        let acc = CycleAccounting::new();
+        acc.record_batch(Function::Tanh, 4, 6, 7, 100);
+        let early = acc.snapshot();
+        acc.record_batch(Function::Tanh, 8, 10, 11, 300);
+        let d = acc.snapshot().since(&early);
+        let row = d.row(Function::Tanh).unwrap();
+        assert_eq!(row.ops, 8);
+        assert_eq!(row.measured_ns, 300);
+        assert_eq!(row.batches, 1);
+    }
+}

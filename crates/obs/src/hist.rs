@@ -1,0 +1,349 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! The recording side is a single `fetch_add` on a relaxed atomic — cheap
+//! enough for the engine's per-batch hot path — and a monitor thread can
+//! [`LatencyHistogram::snapshot`] at any time without pausing recorders.
+//!
+//! Bucketing is HDR-style: values below [`SUBBUCKETS`] land in exact
+//! unit-wide buckets; above that, each power-of-two octave is split into
+//! [`SUBBUCKETS`] linear sub-buckets, so the reported bound for any
+//! recorded value is within `1/SUBBUCKETS` (6.25%) of the true value
+//! while the whole `u64` nanosecond range fits in [`BUCKETS`] counters
+//! (~8 KiB per histogram). No allocation happens after construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the linear sub-buckets per octave.
+pub const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two octave.
+pub const SUBBUCKETS: u64 = 1 << SUB_BITS;
+/// Total buckets needed to cover every `u64` value.
+pub const BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) << SUB_BITS;
+
+/// Maps a value to its bucket index (total order preserving).
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUBBUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let octave = (msb - SUB_BITS + 1) as usize;
+    (octave << SUB_BITS) + ((value >> shift) & (SUBBUCKETS - 1)) as usize
+}
+
+/// Inclusive lower bound of the values mapping to `index`.
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    let octave = index >> SUB_BITS;
+    let sub = (index as u64) & (SUBBUCKETS - 1);
+    if octave == 0 {
+        return sub;
+    }
+    let shift = (octave as u32) - 1;
+    (SUBBUCKETS + sub) << shift
+}
+
+/// Exclusive upper bound of the values mapping to `index` (`u64::MAX` for
+/// the last bucket, whose true bound would overflow).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower_bound(index + 1)
+}
+
+/// A fixed-size, lock-free histogram of `u64` values (nanoseconds, by
+/// convention).
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. The bucket array is the only allocation this
+    /// type ever makes.
+    #[must_use]
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the boxed array through a Vec
+        // once at construction instead of a `[expr; N]` literal.
+        let counts: Box<[AtomicU64; BUCKETS]> = (0..BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+            .try_into()
+            .expect("BUCKETS-long vec");
+        Self {
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Records one value. Relaxed atomics only: counters are monotone
+    /// tallies and no control flow depends on cross-counter ordering.
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy, safe to take while recorders run. Counters
+    /// are read independently, so a snapshot racing a `record` may see the
+    /// bucket increment but not yet the sum (or vice versa) — inherent to
+    /// sampling a live system, and bounded by the in-flight records.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a histogram's counters: mergeable, diffable, and the
+/// input to quantile queries and the exporters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts ([`BUCKETS`] long).
+    pub counts: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with nothing recorded.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean recorded value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the exclusive upper bound of
+    /// the first bucket whose cumulative count reaches rank `⌈q·count⌉`,
+    /// clamped to the recorded maximum so `quantile(1.0) == max` exactly.
+    ///
+    /// Returns 0 for an empty snapshot.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Bucket-wise sum of two snapshots — exactly what interleaved
+    /// recording into one histogram would have produced.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            max: self.max.max(other.max),
+            min: self.min.min(other.min),
+        }
+    }
+
+    /// Bucket-wise difference since `earlier` (saturating, so a stale
+    /// baseline never underflows). `max`/`min` stay the lifetime extremes:
+    /// extremes are not invertible from counters alone.
+    #[must_use]
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            min: self.min,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_exact_below_subbuckets() {
+        for v in 0..SUBBUCKETS {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+            assert_eq!(bucket_upper_bound(v as usize), v + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_the_value() {
+        for v in [
+            0,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            65_535,
+            1 << 30,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(bucket_lower_bound(i) <= v, "lower({i}) > {v}");
+            assert!(
+                v < bucket_upper_bound(i) || bucket_upper_bound(i) == u64::MAX,
+                "{v} >= upper({i})"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_across_octave_boundaries() {
+        let mut prev = bucket_index(0);
+        for v in 1..4096u64 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index decreased at {v}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.min, 1);
+        // Log bucketing: the answer is an upper bound within one
+        // sub-bucket (6.25%) of the true quantile.
+        let p50 = s.p50();
+        assert!((50..=56).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99();
+        assert!((99..=104).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn empty_snapshot_is_inert() {
+        let s = HistogramSnapshot::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.merge(&HistogramSnapshot::empty()).count, 0);
+    }
+
+    #[test]
+    fn since_subtracts_counts_but_keeps_extremes() {
+        let h = LatencyHistogram::new();
+        h.record(10);
+        h.record(1_000);
+        let early = h.snapshot();
+        h.record(500);
+        let d = h.snapshot().since(&early);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.sum, 500);
+        assert_eq!(d.max, 1_000);
+    }
+}

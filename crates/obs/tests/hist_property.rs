@@ -1,0 +1,130 @@
+//! Property tests for the latency histogram: bucket bounds, merge
+//! equivalence, and quantile behaviour — the invariants the exporters
+//! and the engine's latency reports rely on.
+
+use nacu_obs::hist::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, LatencyHistogram,
+    BUCKETS,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every recordable value falls inside its reporting bucket's bounds:
+    /// `lower(b) <= v < upper(b)` (the last bucket's bound saturates).
+    #[test]
+    fn recorded_value_falls_in_its_buckets_bounds(v in proptest::num::u64::ANY) {
+        let b = bucket_index(v);
+        prop_assert!(b < BUCKETS);
+        prop_assert!(bucket_lower_bound(b) <= v);
+        prop_assert!(v < bucket_upper_bound(b) || bucket_upper_bound(b) == u64::MAX);
+    }
+
+    /// Bucket indexing preserves order: a larger value never lands in an
+    /// earlier bucket.
+    #[test]
+    fn bucket_index_is_monotone(a in proptest::num::u64::ANY, b in proptest::num::u64::ANY) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Merging two histograms' snapshots equals recording the interleaved
+    /// value stream into one histogram.
+    #[test]
+    fn merge_equals_interleaved_recording(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..64),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let both = LatencyHistogram::new();
+        for &x in &xs {
+            a.record(x);
+            both.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            both.record(y);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        prop_assert_eq!(merged, both.snapshot());
+    }
+
+    /// Quantiles are monotone in q, bracketed by min and max, and exact
+    /// at the extremes.
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        xs in proptest::collection::vec(0u64..10_000_000, 1..128),
+    ) {
+        let h = LatencyHistogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let s = h.snapshot();
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let v = s.quantile(q);
+            prop_assert!(v >= prev, "quantile({}) = {} < {}", q, v, prev);
+            prop_assert!(v >= s.min);
+            prop_assert!(v <= s.max);
+            prev = v;
+        }
+        prop_assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    /// The reported quantile never understates the true quantile and
+    /// overstates it by at most one sub-bucket (1/16 relative).
+    #[test]
+    fn quantile_error_is_bounded_by_the_bucket_width(
+        xs in proptest::collection::vec(1u64..1_000_000, 1..128),
+    ) {
+        let h = LatencyHistogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let s = h.snapshot();
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        for &q in &[0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let reported = s.quantile(q);
+            prop_assert!(reported >= exact, "quantile({}) understated", q);
+            // Upper bound of the exact value's bucket, clamped to max.
+            let bound = bucket_upper_bound(bucket_index(exact)).min(s.max);
+            prop_assert!(reported <= bound, "quantile({}) overshot the bucket", q);
+        }
+    }
+
+    /// since() inverts merge(): (a ⊎ b) − a = b for the diffable fields.
+    #[test]
+    fn since_inverts_merge(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..64),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for &x in &xs {
+            a.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let diff = sa.merge(&sb).since(&sa);
+        prop_assert_eq!(&diff.counts, &sb.counts);
+        prop_assert_eq!(diff.count, sb.count);
+        prop_assert_eq!(diff.sum, sb.sum);
+    }
+}
+
+#[test]
+fn merge_identity_is_the_empty_snapshot() {
+    let h = LatencyHistogram::new();
+    for v in [3u64, 99, 4096] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.merge(&HistogramSnapshot::empty()), s);
+    assert_eq!(HistogramSnapshot::empty().merge(&s), s);
+}

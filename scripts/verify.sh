@@ -43,4 +43,13 @@ stage tier1-test cargo test -q --offline
 stage workspace cargo test --workspace --release -q --offline
 stage clippy cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Regenerate the full experiment reproduction transcript into the log
+# directory (it is a build artifact, not a committed file — EXPERIMENTS.md
+# quotes numbers from it). The Fig. 4 LUT-size searches dominate: ~1 min
+# release on a modern core. Skip with VERIFY_SKIP_REPRO=1 for quick loops.
+if [[ "${VERIFY_SKIP_REPRO:-0}" != "1" ]]; then
+    stage repro-all cargo run --release --offline -q -p nacu-bench --bin repro_all
+    cp "${LOG_DIR}/repro-all.log" "${LOG_DIR}/repro_output.txt"
+fi
+
 echo "==> verify OK (logs in ${LOG_DIR})"
