@@ -13,7 +13,7 @@ use std::process::ExitCode;
 
 use nacu::{Function, NacuConfig};
 use nacu_bench::engine_bench::{self, Workload};
-use nacu_engine::{Engine, EngineConfig, MetricsSnapshot, PAPER_CLOCK_HZ};
+use nacu_engine::{Engine, EngineConfig, PAPER_CLOCK_HZ};
 use nacu_obs::export;
 
 fn workload(function: Function, smoke: bool) -> Workload {
@@ -83,9 +83,9 @@ fn main() -> ExitCode {
     );
 
     let snap = engine.obs_snapshot();
-    let metrics = engine.metrics();
-    let counters = engine_counters(&metrics);
-    let named: Vec<(&str, u64)> = counters.iter().map(|&(n, v)| (n, v)).collect();
+    // Same flat-counter list the live scrape server serves, so this CI
+    // artifact and `/metrics` can never drift apart.
+    let named = engine.metrics().exporter_counters();
     let prom = export::prometheus(&snap, PAPER_CLOCK_HZ, &named);
     let json = export::json(&snap, PAPER_CLOCK_HZ, &named);
     engine.shutdown();
@@ -106,27 +106,4 @@ fn main() -> ExitCode {
         eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
-}
-
-/// The engine's flat counters, exported next to the histogram families.
-fn engine_counters(m: &MetricsSnapshot) -> Vec<(&'static str, u64)> {
-    vec![
-        ("nacu_engine_requests_submitted_total", m.requests_submitted),
-        ("nacu_engine_requests_completed_total", m.requests_completed),
-        ("nacu_engine_requests_expired_total", m.requests_expired),
-        ("nacu_engine_busy_rejections_total", m.busy_rejections),
-        ("nacu_engine_batches_executed_total", m.batches_executed),
-        ("nacu_engine_coalesced_requests_total", m.coalesced_requests),
-        ("nacu_engine_faults_detected_total", m.faults_detected),
-        (
-            "nacu_engine_workers_quarantined_total",
-            m.workers_quarantined,
-        ),
-        ("nacu_engine_retries_total", m.retries),
-        ("nacu_engine_requests_failed_total", m.requests_failed),
-        (
-            "nacu_engine_queue_depth_high_water",
-            m.queue_depth_high_water,
-        ),
-    ]
 }

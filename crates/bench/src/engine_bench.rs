@@ -114,6 +114,69 @@ pub fn drive(engine: &Engine, workload: Workload) -> ScalingRow {
     }
 }
 
+/// Shadow-sampling overhead measurement: the same workload driven through
+/// a sampling-disabled engine and a sampling-enabled one (see
+/// [`sampling_overhead`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    /// Sampling interval of the sampled side (1 in `sample_every`).
+    pub sample_every: u64,
+    /// Best throughput with sampling disabled, ops/s.
+    pub baseline_ops_per_sec: f64,
+    /// Best throughput with sampling enabled, ops/s.
+    pub sampled_ops_per_sec: f64,
+}
+
+impl OverheadReport {
+    /// Fractional throughput cost of shadow sampling (0.03 = 3% slower
+    /// than the unsampled baseline; negative when scheduler noise favours
+    /// the sampled run).
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        if self.baseline_ops_per_sec <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.sampled_ops_per_sec / self.baseline_ops_per_sec
+    }
+}
+
+/// Measures the shadow-sampling overhead at `sample_every`: `trials`
+/// interleaved baseline/sampled runs, keeping each side's best
+/// throughput. Best-of-N rejects scheduler noise; interleaving keeps
+/// thermal/cache drift from biasing one side.
+///
+/// # Panics
+///
+/// Panics if the paper configuration fails to validate (it never does).
+#[must_use]
+pub fn sampling_overhead(workload: Workload, sample_every: u64, trials: usize) -> OverheadReport {
+    let mut baseline_ops_per_sec = 0.0f64;
+    let mut sampled_ops_per_sec = 0.0f64;
+    for _ in 0..trials.max(1) {
+        for (sampling, best) in [
+            (0u64, &mut baseline_ops_per_sec),
+            (sample_every, &mut sampled_ops_per_sec),
+        ] {
+            let engine = Engine::new(
+                EngineConfig::new(NacuConfig::paper_16bit())
+                    .with_workers(2)
+                    .with_queue_capacity(512)
+                    .with_max_coalesced_requests(32)
+                    .with_health_sampling(sampling),
+            )
+            .expect("paper config");
+            let row = drive(&engine, workload);
+            engine.shutdown();
+            *best = best.max(row.ops_per_sec);
+        }
+    }
+    OverheadReport {
+        sample_every,
+        baseline_ops_per_sec,
+        sampled_ops_per_sec,
+    }
+}
+
 /// Runs the scaling sweep: one engine per worker count, same workload.
 ///
 /// # Panics
@@ -199,5 +262,16 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!((rows[0].speedup - 1.0).abs() < 1e-9);
         assert!(rows[1].speedup > 0.0);
+    }
+
+    #[test]
+    fn sampling_overhead_measures_both_sides() {
+        let r = sampling_overhead(tiny(), 64, 1);
+        assert_eq!(r.sample_every, 64);
+        assert!(r.baseline_ops_per_sec > 0.0);
+        assert!(r.sampled_ops_per_sec > 0.0);
+        // No gate here (that's the smoke binary's job, with best-of-N on
+        // a bigger workload) — just that the arithmetic is sane.
+        assert!(r.overhead() < 1.0);
     }
 }

@@ -24,6 +24,11 @@
 //!   pool; [`Engine::report_since`] converts an interval into a
 //!   [`ThroughputReport`] of software ops/s next to modeled hardware
 //!   cycles.
+//! * Workers shadow-sample served operands against an `f64` reference
+//!   (Eq. 7 / Eq. 16 drift monitoring, see [`HealthConfig`]), and
+//!   [`EngineHandle::serve_obs`] exposes everything over a std-only
+//!   HTTP scrape server (`/metrics`, `/metrics.json`, `/health`,
+//!   `/trace`).
 //!
 //! # Example
 //!
@@ -58,7 +63,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use nacu::{Function, Nacu, NacuConfig, NacuError};
 use nacu_fixed::QFormat;
@@ -126,6 +131,11 @@ pub struct EngineConfig {
     pub default_deadline: Option<Duration>,
     /// Fault detection, quarantine and retry policy.
     pub fault_tolerance: FaultTolerance,
+    /// Shadow-reference sampling interval for the numerical-health
+    /// monitor: every worker recomputes roughly 1 in this many served
+    /// operands in `f64` and checks the error against the paper's Eq. 7
+    /// bound (0 disables sampling entirely).
+    pub health_sample_every: u64,
 }
 
 impl EngineConfig {
@@ -140,6 +150,7 @@ impl EngineConfig {
             max_coalesced_requests: 32,
             default_deadline: None,
             fault_tolerance: FaultTolerance::default(),
+            health_sample_every: nacu_obs::DEFAULT_SAMPLE_EVERY,
         }
     }
 
@@ -175,6 +186,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_fault_tolerance(mut self, fault_tolerance: FaultTolerance) -> Self {
         self.fault_tolerance = fault_tolerance;
+        self
+    }
+
+    /// Sets the numerical-health shadow-sampling interval (0 disables).
+    #[must_use]
+    pub fn with_health_sampling(mut self, every: u64) -> Self {
+        self.health_sample_every = every;
         self
     }
 }
@@ -301,9 +319,19 @@ impl From<RequestError> for WaitError {
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Result<Response, RequestError>>,
+    req: u64,
 }
 
 impl Ticket {
+    /// The request id threaded through the flight recorder: `submit`,
+    /// `reply`, `retry` and `expired` trace events for this request all
+    /// carry it, so one request's life can be followed through a drained
+    /// trace (ids start at 1; 0 means "no id" in trace payloads).
+    #[must_use]
+    pub fn request_id(&self) -> u64 {
+        self.req
+    }
+
     /// Blocks until the response arrives (or the engine dies).
     ///
     /// # Errors
@@ -347,8 +375,11 @@ struct Shared {
     queue: Arc<BoundedQueue<Job>>,
     metrics: Arc<EngineMetrics>,
     obs: Arc<Obs>,
+    health: Arc<Vec<AtomicBool>>,
     format: QFormat,
     default_deadline: Option<Duration>,
+    /// Monotone request-id source; ids start at 1 so 0 can mean "no id".
+    next_request_id: AtomicU64,
 }
 
 /// A cloneable submission handle, independent of the [`Engine`]'s
@@ -397,7 +428,9 @@ impl EngineHandle {
         let function = request.function;
         let ops = request.operands.len();
         let (reply, rx) = mpsc::channel();
+        let req = self.shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
         match self.shared.queue.try_push(Job {
+            id: req,
             request,
             reply,
             retries: 0,
@@ -407,10 +440,11 @@ impl EngineHandle {
                 self.shared.metrics.record_submitted();
                 self.shared.metrics.record_queue_depth(depth);
                 self.shared.obs.record_trace(TraceKind::Submit {
+                    req,
                     function,
                     ops: ops.min(u32::MAX as usize) as u32,
                 });
-                Ok(Ticket { rx })
+                Ok(Ticket { rx, req })
             }
             Err(PushError::Full(_)) => {
                 self.shared.metrics.record_busy_rejection();
@@ -447,12 +481,81 @@ impl EngineHandle {
     pub fn obs(&self) -> Arc<Obs> {
         Arc::clone(&self.shared.obs)
     }
+
+    /// Worker (shard) count, healthy or not.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shared.health.len()
+    }
+
+    /// Workers still in service (not quarantined by a detector event).
+    #[must_use]
+    pub fn healthy_workers(&self) -> usize {
+        self.shared
+            .health
+            .iter()
+            .filter(|h| h.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Starts the std-only HTTP scrape server on `addr`, exposing
+    /// `/metrics` (Prometheus text), `/metrics.json`, `/health` and
+    /// `/trace` for this engine. The returned [`ObsServer`] stops the
+    /// listener when shut down or dropped; the engine keeps serving
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure from [`std::net::TcpListener::bind`].
+    pub fn serve_obs(&self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<ObsServer> {
+        nacu_obs::serve(
+            addr,
+            Arc::new(HandleSource {
+                shared: Arc::clone(&self.shared),
+            }),
+        )
+    }
 }
 
-// `Obs`, `ObsSnapshot` and the trace/histogram types are re-exported so
-// engine clients can monitor without naming nacu-obs directly.
+/// Adapts one engine's shared state to the scrape server's pull model.
+#[derive(Debug)]
+struct HandleSource {
+    shared: Arc<Shared>,
+}
+
+impl ScrapeSource for HandleSource {
+    fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.shared.obs)
+    }
+
+    fn clock_hz(&self) -> f64 {
+        PAPER_CLOCK_HZ
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.shared.metrics.snapshot().exporter_counters()
+    }
+
+    fn workers(&self) -> WorkerCensus {
+        WorkerCensus {
+            total: self.shared.health.len(),
+            healthy: self
+                .shared
+                .health
+                .iter()
+                .filter(|h| h.load(Ordering::Acquire))
+                .count(),
+        }
+    }
+}
+
+// `Obs`, `ObsSnapshot`, the trace/histogram types and the health/scrape
+// surface are re-exported so engine clients can monitor without naming
+// nacu-obs directly.
 pub use nacu_obs::{
-    HistogramSnapshot, Obs as Observability, ObsSnapshot, Stage, TraceEvent, TraceKind,
+    DriftAlarm, DriftKind, HealthConfig, HealthRow, HealthSnapshot, HistogramSnapshot,
+    Obs as Observability, ObsServer, ObsSnapshot, ScrapeSource, Stage, TraceEvent, TraceKind,
+    WorkerCensus, DEFAULT_SAMPLE_EVERY,
 };
 
 /// A [`EngineHandle::submit_wait`] failure from either phase.
@@ -501,7 +604,12 @@ impl Engine {
         drop(probe);
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(EngineMetrics::new());
-        let obs = Arc::new(Obs::new());
+        // The probe above already validated the config, so the bound
+        // derivation inside `HealthConfig::for_nacu` cannot panic.
+        let obs = Arc::new(Obs::new().with_health(HealthConfig::for_nacu(
+            &config.nacu,
+            config.health_sample_every,
+        )));
         let workers = config.workers.max(1);
         let health: Arc<Vec<AtomicBool>> =
             Arc::new((0..workers).map(|_| AtomicBool::new(true)).collect());
@@ -520,8 +628,10 @@ impl Engine {
                 queue,
                 metrics,
                 obs,
+                health: Arc::clone(&health),
                 format,
                 default_deadline: config.default_deadline,
+                next_request_id: AtomicU64::new(0),
             }),
             handles,
             workers,
@@ -821,16 +931,25 @@ mod tests {
         let engine = engine(1);
         let fmt = engine.format();
         let obs = engine.obs();
-        engine
+        let ticket = engine
             .submit(Request::new(Function::Sigmoid, operands(fmt, 3)))
-            .unwrap()
-            .wait()
             .unwrap();
+        let req = ticket.request_id();
+        assert!(req >= 1, "request ids start at 1");
+        ticket.wait().unwrap();
         let events = obs.drain_trace(64);
         let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
         assert!(names.contains(&"submit"), "{names:?}");
         assert!(names.contains(&"batch_start"), "{names:?}");
         assert!(names.contains(&"batch_end"), "{names:?}");
+        assert!(names.contains(&"reply"), "{names:?}");
+        // The ticket's request id is threaded through submit and reply.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Submit { req: r, .. } if r == req)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Reply { req: r, .. } if r == req)));
         // Timestamps are monotone in drain order.
         assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
     }

@@ -30,6 +30,7 @@ pub struct EngineMetrics {
     workers_quarantined: AtomicU64,
     retries: AtomicU64,
     requests_failed: AtomicU64,
+    drift_alarms: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -70,6 +71,10 @@ impl EngineMetrics {
 
     pub(crate) fn record_request_failed(&self) {
         self.requests_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_drift_alarm(&self) {
+        self.drift_alarms.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One fused hardware batch: `requests` requests totalling `ops`
@@ -113,6 +118,7 @@ impl EngineMetrics {
             workers_quarantined: self.workers_quarantined.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            drift_alarms: self.drift_alarms.load(Ordering::Relaxed),
         }
     }
 }
@@ -153,6 +159,9 @@ pub struct MetricsSnapshot {
     /// Requests answered with a terminal fault error (retries exhausted or
     /// no healthy worker left).
     pub requests_failed: u64,
+    /// Shadow-sampled operands whose error against the f64 reference
+    /// exceeded the Eq. 7 bound (or the Eq. 16 exp budget).
+    pub drift_alarms: u64,
 }
 
 impl MetricsSnapshot {
@@ -160,6 +169,43 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn total_ops(&self) -> u64 {
         self.sigmoid_ops + self.tanh_ops + self.exp_ops + self.softmax_ops
+    }
+
+    /// The counters as `(exporter_name, value)` pairs — the flat-counter
+    /// tail of both wire formats (`nacu_obs::export` and the scrape
+    /// server's `/metrics`). One list, so the CI exporter and the live
+    /// endpoint can never drift apart.
+    #[must_use]
+    pub fn exporter_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (
+                "nacu_engine_requests_submitted_total",
+                self.requests_submitted,
+            ),
+            (
+                "nacu_engine_requests_completed_total",
+                self.requests_completed,
+            ),
+            ("nacu_engine_requests_expired_total", self.requests_expired),
+            ("nacu_engine_busy_rejections_total", self.busy_rejections),
+            ("nacu_engine_batches_executed_total", self.batches_executed),
+            (
+                "nacu_engine_coalesced_requests_total",
+                self.coalesced_requests,
+            ),
+            ("nacu_engine_faults_detected_total", self.faults_detected),
+            (
+                "nacu_engine_workers_quarantined_total",
+                self.workers_quarantined,
+            ),
+            ("nacu_engine_retries_total", self.retries),
+            ("nacu_engine_requests_failed_total", self.requests_failed),
+            ("nacu_engine_drift_alarms_total", self.drift_alarms),
+            (
+                "nacu_engine_queue_depth_high_water",
+                self.queue_depth_high_water,
+            ),
+        ]
     }
 
     /// Counter-wise difference since `earlier` (saturating, so a stale
@@ -196,6 +242,7 @@ impl MetricsSnapshot {
                 .saturating_sub(earlier.workers_quarantined),
             retries: self.retries.saturating_sub(earlier.retries),
             requests_failed: self.requests_failed.saturating_sub(earlier.requests_failed),
+            drift_alarms: self.drift_alarms.saturating_sub(earlier.drift_alarms),
         }
     }
 }
@@ -243,6 +290,23 @@ mod tests {
         assert_eq!(early.retries, 2);
         assert_eq!(d.requests_failed, 1);
         assert_eq!(d.retries, 0);
+    }
+
+    #[test]
+    fn exporter_counters_carry_stable_names_and_drift_alarms() {
+        let m = EngineMetrics::new();
+        m.record_drift_alarm();
+        let s = m.snapshot();
+        assert_eq!(s.drift_alarms, 1);
+        let counters = s.exporter_counters();
+        assert_eq!(counters.len(), 12);
+        assert!(counters
+            .iter()
+            .any(|&(n, v)| n == "nacu_engine_drift_alarms_total" && v == 1));
+        let mut names: Vec<&str> = counters.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12, "exporter names are unique");
     }
 
     #[test]

@@ -47,6 +47,8 @@ use crate::FaultTolerance;
 /// of times a quarantining worker has already bounced it.
 #[derive(Debug)]
 pub(crate) struct Job {
+    /// Flight-recorder request id (0 = untracked, e.g. in unit tests).
+    pub(crate) id: u64,
     pub(crate) request: Request,
     pub(crate) reply: mpsc::Sender<Result<Response, RequestError>>,
     pub(crate) retries: u32,
@@ -155,6 +157,7 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
             job.retries += 1;
             shared.metrics.record_retry();
             shared.obs.record_trace(TraceKind::Retry {
+                req: job.id,
                 worker: worker as u32,
                 attempts: job.retries,
             });
@@ -195,6 +198,7 @@ fn serve_batch(
         if job.request.deadline.is_some_and(|d| d < now) {
             metrics.record_expired();
             obs.record_trace(TraceKind::Expired {
+                req: job.id,
                 function: job.request.function,
             });
             let _ = job.reply.send(Err(RequestError::DeadlineExpired));
@@ -233,13 +237,41 @@ fn serve_batch(
             function,
             ops: batch_ops as u32,
         });
+        // Shadow-sampling plan for this batch: one relaxed fetch_add on
+        // the shared decimation tick buys the whole batch's quota, then
+        // the quota is spread evenly over the batch by striding — the
+        // unsampled hot path stays free of atomics and allocation.
+        let health = obs.health();
+        let sample_quota = health.batch_quota(batch_ops as u64);
+        let sample_stride = (batch_ops as u64)
+            .checked_div(sample_quota)
+            .map_or(0, |s| s.max(1));
+        let mut operand_index: u64 = 0;
+        let mut sampled: u64 = 0;
         let service_start = Instant::now();
         let mut outputs_per_job = Vec::with_capacity(live.len());
         for job in &live {
             let mut outputs = Vec::with_capacity(job.request.operands.len());
             for &x in &job.request.operands {
                 match unit.compute(function, x) {
-                    Ok(y) => outputs.push(y),
+                    Ok(y) => {
+                        if sample_quota > 0
+                            && sampled < sample_quota
+                            && operand_index.is_multiple_of(sample_stride)
+                        {
+                            sampled += 1;
+                            if let Some(alarm) = health.observe(function, x.to_f64(), y.to_f64()) {
+                                metrics.record_drift_alarm();
+                                obs.record_trace(TraceKind::DriftAlarm {
+                                    worker: worker as u32,
+                                    function,
+                                    kind: alarm.kind,
+                                });
+                            }
+                        }
+                        operand_index += 1;
+                        outputs.push(y);
+                    }
                     Err(event) => return Err((event, live)),
                 }
             }
@@ -262,7 +294,14 @@ fn serve_batch(
         });
         metrics.record_batch(function, live.len() as u64, batch_ops as u64, batch_cycles);
         for (job, outputs) in live.into_iter().zip(outputs_per_job) {
-            obs.record_latency(Stage::EndToEnd, function, as_ns(job.submitted_at.elapsed()));
+            let e2e_ns = as_ns(job.submitted_at.elapsed());
+            obs.record_latency(Stage::EndToEnd, function, e2e_ns);
+            obs.record_trace(TraceKind::Reply {
+                req: job.id,
+                worker: worker as u32,
+                function,
+                e2e_ns,
+            });
             let _ = job.reply.send(Ok(Response {
                 outputs,
                 worker,
@@ -310,7 +349,14 @@ fn serve_batch(
                 service_ns,
             });
             metrics.record_batch(function, 1, n as u64, batch_cycles);
-            obs.record_latency(Stage::EndToEnd, function, as_ns(job.submitted_at.elapsed()));
+            let e2e_ns = as_ns(job.submitted_at.elapsed());
+            obs.record_latency(Stage::EndToEnd, function, e2e_ns);
+            obs.record_trace(TraceKind::Reply {
+                req: job.id,
+                worker: worker as u32,
+                function,
+                e2e_ns,
+            });
             let _ = job.reply.send(Ok(Response {
                 outputs,
                 worker,
@@ -351,6 +397,7 @@ mod tests {
         let (reply, rx) = mpsc::channel();
         (
             Job {
+                id: 0,
                 request: Request::new(
                     Function::Sigmoid,
                     vec![Fx::from_f64(v, fmt, Rounding::Nearest)],
@@ -441,7 +488,67 @@ mod tests {
             .iter()
             .map(|e| e.kind.name())
             .collect();
-        assert_eq!(names, ["coalesce", "batch_start", "batch_end"]);
+        assert_eq!(
+            names,
+            ["coalesce", "batch_start", "batch_end", "reply", "reply"]
+        );
+    }
+
+    /// Shadow sampling catches silent numerical drift: a LUT-bias
+    /// perturbation too small (or too unlucky) for the armed detectors
+    /// still latches a drift alarm against the f64 reference.
+    #[test]
+    fn shadow_sampling_latches_a_drift_alarm_on_lut_bias_corruption() {
+        use nacu::Nacu;
+        use nacu_obs::HealthConfig;
+        let config = NacuConfig::paper_16bit();
+        // Flip bias bit 4 (2⁻⁹ ≈ 1.95e-3 in Q2.13) of whichever segment
+        // serves x = 0.5. That perturbation minus the clean fit's worst
+        // case (~8.6e-4) still exceeds the Eq. 7 sigmoid bound, so the
+        // sampled operand must alarm. Detectors stay off to model a
+        // corruption the parity net misses.
+        let golden = Nacu::new(config).expect("paper config");
+        let x = Fx::from_f64(0.5, config.format, Rounding::Nearest);
+        let entry = golden.lookup_index(golden.magnitude_raw(x));
+        let clean_bias = golden.coefficients()[entry].1;
+        let stuck = (clean_bias >> 4) & 1 == 0;
+        let s = Arc::new(PoolShared {
+            config,
+            max_coalesced_requests: 8,
+            fault: FaultTolerance {
+                max_retries: 0,
+                scrub_every_batches: 0,
+                detectors: DetectorSet::none(),
+                plans: vec![FaultPlan::single(Fault::stuck_lut(
+                    InjectionSite::LutBias,
+                    entry,
+                    4,
+                    stuck,
+                ))],
+            },
+            queue: Arc::new(BoundedQueue::new(64)),
+            metrics: Arc::new(EngineMetrics::new()),
+            obs: Arc::new(
+                Obs::with_trace_capacity(64).with_health(HealthConfig::for_nacu(&config, 1)),
+            ),
+            health: Arc::new(vec![AtomicBool::new(true)]),
+        });
+        let unit = CheckedNacu::new(s.config)
+            .expect("paper config")
+            .with_plan(s.fault.plan_for(0))
+            .with_detectors(s.fault.detectors);
+        let (j, rx) = job(&s, 0.5);
+        serve_batch(0, &unit, vec![j], &s).expect("no detectors armed");
+        assert!(rx.try_recv().expect("reply").is_ok(), "served, not failed");
+        assert!(s.obs.health().alarm_latched(), "drift alarm latched");
+        assert!(s.metrics.snapshot().drift_alarms >= 1);
+        let names: Vec<&str> = s
+            .obs
+            .drain_trace(16)
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert!(names.contains(&"drift_alarm"), "{names:?}");
     }
 
     /// Deterministic unit test of retry exhaustion: a job that has

@@ -123,6 +123,12 @@ pub struct ThroughputReport {
     /// over batches, ns. Zeroed until filled by
     /// [`ThroughputReport::with_observability`].
     pub measured_batch_ns: u64,
+    /// Operands shadow-checked against the f64 reference. Zeroed until
+    /// filled by [`ThroughputReport::with_observability`].
+    pub health_samples: u64,
+    /// Shadow samples whose error exceeded the Eq. 7 / Eq. 16 budget.
+    /// Zeroed until filled by [`ThroughputReport::with_observability`].
+    pub drift_alarms: u64,
 }
 
 impl ThroughputReport {
@@ -144,6 +150,8 @@ impl ThroughputReport {
             end_to_end: LatencySummary::default(),
             checked_cycles: 0,
             measured_batch_ns: 0,
+            health_samples: 0,
+            drift_alarms: 0,
         }
     }
 
@@ -158,6 +166,8 @@ impl ThroughputReport {
         let totals = obs.cycles.total();
         self.checked_cycles = totals.checked_cycles;
         self.measured_batch_ns = totals.measured_ns;
+        self.health_samples = obs.health.total_samples();
+        self.drift_alarms = obs.health.total_alarms();
         self
     }
 
@@ -278,6 +288,13 @@ impl std::fmt::Display for ThroughputReport {
                 f,
                 "; {} fault(s) detected, {} retried request(s), {} worker(s) quarantined",
                 self.faults_detected, self.retries, self.workers_quarantined,
+            )?;
+        }
+        if self.health_samples > 0 {
+            write!(
+                f,
+                "; {} shadow sample(s), {} drift alarm(s)",
+                self.health_samples, self.drift_alarms,
             )?;
         }
         Ok(())

@@ -133,34 +133,38 @@ impl EngineActivation {
                 .handle
                 .submit(Request::new(function, operands.to_vec()))
             {
-                Ok(ticket) => match ticket.wait() {
-                    Ok(response) => {
-                        if let Some(obs) = &self.obs {
-                            let wall_ns =
-                                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                            obs.record_trace(TraceKind::LayerForward {
-                                function,
-                                ops: operands.len().min(u32::MAX as usize) as u32,
-                                wall_ns,
-                            });
+                Ok(ticket) => {
+                    let req = ticket.request_id();
+                    match ticket.wait() {
+                        Ok(response) => {
+                            if let Some(obs) = &self.obs {
+                                let wall_ns =
+                                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                                obs.record_trace(TraceKind::LayerForward {
+                                    req,
+                                    function,
+                                    ops: operands.len().min(u32::MAX as usize) as u32,
+                                    wall_ns,
+                                });
+                            }
+                            return Ok(response.outputs);
                         }
-                        return Ok(response.outputs);
+                        Err(WaitError::DeadlineExpired) => {
+                            // The engine's default deadline lapsed under load;
+                            // an activation cannot be dropped, so resubmit.
+                            continue;
+                        }
+                        Err(WaitError::FaultDetected { event, attempts }) => {
+                            return Err(ActivationError::FaultDetected { event, attempts });
+                        }
+                        Err(WaitError::NoHealthyWorkers) => {
+                            return Err(ActivationError::NoHealthyWorkers);
+                        }
+                        Err(WaitError::EngineShutDown | WaitError::Timeout) => {
+                            return Err(ActivationError::EngineUnavailable);
+                        }
                     }
-                    Err(WaitError::DeadlineExpired) => {
-                        // The engine's default deadline lapsed under load;
-                        // an activation cannot be dropped, so resubmit.
-                        continue;
-                    }
-                    Err(WaitError::FaultDetected { event, attempts }) => {
-                        return Err(ActivationError::FaultDetected { event, attempts });
-                    }
-                    Err(WaitError::NoHealthyWorkers) => {
-                        return Err(ActivationError::NoHealthyWorkers);
-                    }
-                    Err(WaitError::EngineShutDown | WaitError::Timeout) => {
-                        return Err(ActivationError::EngineUnavailable);
-                    }
-                },
+                }
                 Err(SubmitError::Busy { .. }) => std::thread::yield_now(),
                 Err(SubmitError::ShuttingDown) => {
                     return Err(ActivationError::EngineUnavailable);
@@ -249,7 +253,10 @@ mod tests {
             .collect();
         assert_eq!(spans.len(), 1);
         match spans[0].kind {
-            nacu_obs::TraceKind::LayerForward { function, ops, .. } => {
+            nacu_obs::TraceKind::LayerForward {
+                req, function, ops, ..
+            } => {
+                assert!(req >= 1, "layer span carries the engine request id");
                 assert_eq!(function, Function::Tanh);
                 assert_eq!(ops, 5);
             }

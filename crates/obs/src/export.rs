@@ -16,10 +16,13 @@
 
 use nacu::Function;
 
+use crate::health::HealthSnapshot;
 use crate::hist::{bucket_upper_bound, HistogramSnapshot};
 use crate::{ObsSnapshot, Stage, ACCOUNTED_FUNCTIONS};
 
-/// Version tag of the JSON layout produced by [`json`].
+/// Version tag of the JSON layout produced by [`json`]. The `health`
+/// section was added additively (new key, existing keys untouched), so
+/// the tag stays at v1.
 pub const JSON_SCHEMA: &str = "nacu-obs/v1";
 
 /// Renders `f64` for both exporters: finite shortest round-trip, with
@@ -180,10 +183,106 @@ pub fn prometheus(snap: &ObsSnapshot, clock_hz: f64, counters: &[(&str, u64)]) -
         snap.trace.recorded, snap.trace.dropped, snap.trace.capacity
     ));
 
+    prometheus_health(&mut out, &snap.health);
+
     for (name, value) in counters {
         out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
     }
     out
+}
+
+/// Renders the shadow-checker health families (gauges, counters and the
+/// error-in-LSB histograms) onto `out`.
+fn prometheus_health(out: &mut String, health: &HealthSnapshot) {
+    out.push_str(&format!(
+        "# HELP nacu_obs_health_sample_interval Shadow-check one in this many operands (0 = disabled).\n\
+         # TYPE nacu_obs_health_sample_interval gauge\n\
+         nacu_obs_health_sample_interval {}\n",
+        health.sample_every
+    ));
+    prometheus_counter_family(
+        out,
+        "nacu_obs_health_samples_total",
+        "Shadow-reference samples checked against the f64 reference.",
+        health
+            .rows
+            .iter()
+            .map(|r| (r.function, r.samples.to_string())),
+    );
+    let err_series: Vec<(Function, &HistogramSnapshot)> = health
+        .rows
+        .iter()
+        .map(|r| (r.function, &r.err_lsb))
+        .collect();
+    prometheus_histogram(
+        out,
+        "nacu_obs_health_err_lsb",
+        "Shadow-sample absolute error in output-format LSBs.",
+        &err_series,
+    );
+    gauge_family(
+        out,
+        "nacu_obs_health_max_err_lsb",
+        "Maximum observed shadow error in output LSBs.",
+        health
+            .rows
+            .iter()
+            .map(|r| (r.function, fmt_f64(r.max_err_lsb))),
+    );
+    gauge_family(
+        out,
+        "nacu_obs_health_avg_err_lsb",
+        "Mean observed shadow error in output LSBs.",
+        health
+            .rows
+            .iter()
+            .map(|r| (r.function, fmt_f64(r.avg_err_lsb))),
+    );
+    gauge_family(
+        out,
+        "nacu_obs_health_correlation",
+        "Running Pearson correlation between served and reference values.",
+        health
+            .rows
+            .iter()
+            .map(|r| (r.function, fmt_f64(r.correlation))),
+    );
+    gauge_family(
+        out,
+        "nacu_obs_health_bound_lsb",
+        "Alarm bound (Eq. 7 / Eq. 16) in output LSBs.",
+        health
+            .rows
+            .iter()
+            .map(|r| (r.function, fmt_f64(r.bound_lsb))),
+    );
+    prometheus_counter_family(
+        out,
+        "nacu_obs_drift_alarms_total",
+        "Shadow samples whose error exceeded the dimensioning bound.",
+        health
+            .rows
+            .iter()
+            .map(|r| (r.function, r.alarms.to_string())),
+    );
+    out.push_str(&format!(
+        "# HELP nacu_obs_drift_alarm_latched 1 once any drift alarm has fired.\n\
+         # TYPE nacu_obs_drift_alarm_latched gauge\n\
+         nacu_obs_drift_alarm_latched {}\n",
+        u8::from(health.alarm_latched)
+    ));
+}
+
+fn gauge_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    values: impl Iterator<Item = (Function, String)>,
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+    for (function, value) in values {
+        out.push_str(&format!("{name}{{function=\"{function}\"}} {value}\n"));
+    }
 }
 
 fn json_histogram(h: &HistogramSnapshot) -> String {
@@ -219,6 +318,8 @@ fn json_histogram(h: &HistogramSnapshot) -> String {
 ///   "histograms": {"queue_wait_ns": {"sigmoid": {...}, ...}, ...},
 ///   "cycles": {"sigmoid": {"batches": 0, ...}, ...},
 ///   "trace": {"capacity": 4096, "recorded": 0, "dropped": 0},
+///   "health": {"sample_interval": 256, "alarm_latched": false,
+///              "functions": {"sigmoid": {"samples": 0, ...}, ...}},
 ///   "counters": {"requests_submitted": 0, ...}
 /// }
 /// ```
@@ -277,6 +378,34 @@ pub fn json(snap: &ObsSnapshot, clock_hz: f64, counters: &[(&str, u64)]) -> Stri
         snap.trace.capacity, snap.trace.recorded, snap.trace.dropped
     ));
 
+    out.push_str(&format!(
+        "  \"health\": {{\"sample_interval\":{},\"alarm_latched\":{},\"functions\":{{\n",
+        snap.health.sample_every, snap.health.alarm_latched
+    ));
+    let health_entries: Vec<String> = snap
+        .health
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"{}\": {{\"samples\":{},\"alarms\":{},\"max_err\":{},\"avg_err\":{},\"max_err_lsb\":{},\"avg_err_lsb\":{},\"correlation\":{},\"bound\":{},\"bound_lsb\":{},\"err_lsb\":{}}}",
+                r.function,
+                r.samples,
+                r.alarms,
+                fmt_f64(r.max_err),
+                fmt_f64(r.avg_err),
+                fmt_f64(r.max_err_lsb),
+                fmt_f64(r.avg_err_lsb),
+                fmt_f64(r.correlation),
+                fmt_f64(r.bound),
+                fmt_f64(r.bound_lsb),
+                json_histogram(&r.err_lsb)
+            )
+        })
+        .collect();
+    out.push_str(&health_entries.join(",\n"));
+    out.push_str("\n  }},\n");
+
     let counter_entries: Vec<String> = counters
         .iter()
         .map(|(name, value)| format!("\"{name}\":{value}"))
@@ -316,6 +445,27 @@ mod tests {
         assert!(text.contains("requests_submitted 2"));
         // Empty functions emit no histogram series.
         assert!(!text.contains("nacu_obs_queue_wait_ns_count{function=\"tanh\"}"));
+        // Health families are always present (disabled monitor here).
+        assert!(text.contains("nacu_obs_health_sample_interval 0"));
+        assert!(text.contains("nacu_obs_drift_alarm_latched 0"));
+        assert!(text.contains("nacu_obs_drift_alarms_total{function=\"sigmoid\"} 0"));
+    }
+
+    #[test]
+    fn prometheus_and_json_carry_live_health_rows() {
+        let obs = Obs::with_trace_capacity(4).with_health(crate::health::HealthConfig::for_nacu(
+            &nacu::NacuConfig::paper_16bit(),
+            1,
+        ));
+        let _ = obs.health().observe(Function::Sigmoid, 0.5, 0.9); // drifts
+        let text = prometheus(&obs.snapshot(), 1e9, &[]);
+        assert!(text.contains("nacu_obs_health_samples_total{function=\"sigmoid\"} 1"));
+        assert!(text.contains("nacu_obs_drift_alarms_total{function=\"sigmoid\"} 1"));
+        assert!(text.contains("nacu_obs_drift_alarm_latched 1"));
+        assert!(text.contains("# TYPE nacu_obs_health_err_lsb histogram"));
+        let doc = json(&obs.snapshot(), 1e9, &[]);
+        assert!(doc.contains("\"health\": {\"sample_interval\":1,\"alarm_latched\":true"));
+        assert!(doc.contains("\"sigmoid\": {\"samples\":1,\"alarms\":1"));
     }
 
     #[test]

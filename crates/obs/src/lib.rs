@@ -16,21 +16,37 @@
 //!   cycles per operand did this run pay, and how far is that from the
 //!   hardware?";
 //! * [`export`] — Prometheus text exposition and a stable JSON schema
-//!   over one coherent [`ObsSnapshot`].
+//!   over one coherent [`ObsSnapshot`];
+//! * [`health`] — a sampling shadow-reference checker that recomputes
+//!   the f64 reference for 1-in-N served operands and raises typed
+//!   [`DriftAlarm`]s against the paper's Eq. 7 / Eq. 16 bounds;
+//! * [`http`] — a std-only HTTP/1.1 scrape server (`/metrics`,
+//!   `/metrics.json`, `/health`, `/trace`);
+//! * [`chrome`] — Chrome trace-event JSON over a drained trace window,
+//!   loadable directly in Perfetto.
 //!
 //! Everything is `std`-only, allocation-free on the hot paths, and built
 //! from relaxed atomics: recording never blocks a worker, and a monitor
 //! can snapshot or drain at any moment without pausing the pool.
 
+pub mod chrome;
 pub mod cycles;
 pub mod export;
+pub mod health;
 pub mod hist;
+pub mod http;
 pub mod trace;
 
 use nacu::Function;
 
+pub use chrome::chrome_trace;
 pub use cycles::{function_slot, CycleAccounting, CycleRow, CycleSnapshot, ACCOUNTED_FUNCTIONS};
+pub use health::{
+    monitor_slot, DriftAlarm, DriftKind, HealthConfig, HealthMonitor, HealthRow, HealthSnapshot,
+    DEFAULT_SAMPLE_EVERY, MONITORED_FUNCTIONS,
+};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use http::{serve, ObsServer, ScrapeSource, WorkerCensus};
 pub use trace::{TraceEvent, TraceKind, TraceRing};
 
 /// Default undrained-event capacity of the trace ring.
@@ -77,6 +93,7 @@ pub struct Obs {
     end_to_end: PerFunction<LatencyHistogram>,
     cycles: CycleAccounting,
     trace: TraceRing,
+    health: HealthMonitor,
 }
 
 impl Default for Obs {
@@ -93,6 +110,8 @@ impl Obs {
     }
 
     /// Observability whose trace ring holds `capacity` undrained events.
+    /// The health monitor starts disabled; enable it with
+    /// [`Obs::with_health`].
     #[must_use]
     pub fn with_trace_capacity(capacity: usize) -> Self {
         Self {
@@ -101,7 +120,22 @@ impl Obs {
             end_to_end: per_function(LatencyHistogram::new),
             cycles: CycleAccounting::new(),
             trace: TraceRing::new(capacity),
+            health: HealthMonitor::disabled(),
         }
+    }
+
+    /// Replaces the health monitor with one built from `config`
+    /// (builder-style; see [`HealthConfig::for_nacu`]).
+    #[must_use]
+    pub fn with_health(mut self, config: HealthConfig) -> Self {
+        self.health = HealthMonitor::new(config);
+        self
+    }
+
+    /// The live numerical-health monitor.
+    #[must_use]
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 
     fn stage_histograms(&self, stage: Stage) -> &PerFunction<LatencyHistogram> {
@@ -158,6 +192,7 @@ impl Obs {
                 recorded: self.trace.recorded(),
                 dropped: self.trace.dropped(),
             },
+            health: self.health.snapshot(),
         }
     }
 }
@@ -186,6 +221,8 @@ pub struct ObsSnapshot {
     pub cycles: CycleSnapshot,
     /// Trace-ring totals.
     pub trace: TraceStats,
+    /// Numerical-health statistics from the shadow checker.
+    pub health: HealthSnapshot,
 }
 
 impl Default for ObsSnapshot {
@@ -236,6 +273,7 @@ impl ObsSnapshot {
                 recorded: self.trace.recorded.saturating_sub(earlier.trace.recorded),
                 dropped: self.trace.dropped.saturating_sub(earlier.trace.dropped),
             },
+            health: self.health.since(&earlier.health),
         }
     }
 }

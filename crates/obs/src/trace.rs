@@ -24,12 +24,16 @@ use std::time::Instant;
 use nacu::Function;
 use nacu_faults::FaultEvent;
 
+use crate::health::DriftKind;
+
 /// What happened, with the payload each stage of the serving path knows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum TraceKind {
     /// A request was accepted into the submission queue.
     Submit {
+        /// Engine-assigned request id (threads through to [`Self::Reply`]).
+        req: u64,
         /// Requested function.
         function: Function,
         /// Operand count.
@@ -62,8 +66,21 @@ pub enum TraceKind {
         /// Measured service time of the batch.
         service_ns: u64,
     },
+    /// A worker answered one request of a served batch.
+    Reply {
+        /// The answered request's id.
+        req: u64,
+        /// The worker that served it.
+        worker: u32,
+        /// The request's function.
+        function: Function,
+        /// Submit-to-reply latency of the request.
+        e2e_ns: u64,
+    },
     /// A request was dropped at pickup because its deadline had passed.
     Expired {
+        /// The expired request's id.
+        req: u64,
         /// The expired request's function.
         function: Function,
     },
@@ -81,6 +98,8 @@ pub enum TraceKind {
     },
     /// An in-flight request was requeued for a healthy worker.
     Retry {
+        /// The bounced request's id.
+        req: u64,
         /// The worker whose batch the request was bounced from.
         worker: u32,
         /// Serving attempts including the bounce.
@@ -93,12 +112,25 @@ pub enum TraceKind {
     },
     /// One layer's forward-pass activation completed on the pool.
     LayerForward {
+        /// Request id of the engine call that served the layer (`0` when
+        /// the layer ran on a local unit instead of the engine).
+        req: u64,
         /// Activation function the layer evaluated.
         function: Function,
         /// Operands (layer width, or vector length for softmax).
         ops: u32,
         /// Wall time of the layer's activation call.
         wall_ns: u64,
+    },
+    /// A sampled shadow check exceeded its error bound
+    /// ([`crate::health::HealthMonitor::observe`]).
+    DriftAlarm {
+        /// The worker whose unit produced the drifting sample.
+        worker: u32,
+        /// The drifting function.
+        function: Function,
+        /// Which budget the sample violated.
+        kind: DriftKind,
     },
 }
 
@@ -120,12 +152,14 @@ impl TraceKind {
             Self::Coalesce { .. } => "coalesce",
             Self::BatchStart { .. } => "batch_start",
             Self::BatchEnd { .. } => "batch_end",
+            Self::Reply { .. } => "reply",
             Self::Expired { .. } => "expired",
             Self::Fault { .. } => "fault",
             Self::Quarantine { .. } => "quarantine",
             Self::Retry { .. } => "retry",
             Self::Scrub { .. } => "scrub",
             Self::LayerForward { .. } => "layer_forward",
+            Self::DriftAlarm { .. } => "drift_alarm",
         }
     }
 }
@@ -332,6 +366,7 @@ mod tests {
 
     fn submit(ops: u32) -> TraceKind {
         TraceKind::Submit {
+            req: 0,
             function: Function::Sigmoid,
             ops,
         }
@@ -422,6 +457,89 @@ mod tests {
             ring.recorded() + ring.dropped()
         );
         assert_eq!(drained as u64, ring.recorded());
+    }
+
+    #[test]
+    fn concurrent_drain_with_four_producers_accounts_every_loss() {
+        // A deliberately tiny ring under four producers forces drops;
+        // the invariant is that accounting stays *exact*: attempts
+        // split perfectly into recorded + dropped, and a concurrent
+        // drainer recovers exactly the recorded events, no more, no
+        // fewer, no double-delivery.
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 5_000;
+        let ring = Arc::new(TraceRing::new(64));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    for i in 0..PER_PRODUCER {
+                        if ring.record(submit((p * PER_PRODUCER + i) as u32)) {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let drainer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut events: Vec<TraceEvent> = Vec::new();
+                loop {
+                    events.extend(ring.drain(32));
+                    if ring.recorded() + ring.dropped() == PRODUCERS * PER_PRODUCER {
+                        // Producers are done; one last sweep (anything
+                        // still in flight is caught by the post-join
+                        // drain on the main thread).
+                        events.extend(ring.drain(usize::MAX));
+                        return events;
+                    }
+                }
+            })
+        };
+        let accepted: u64 = producers
+            .into_iter()
+            .map(|p| p.join().expect("producer"))
+            .sum();
+        let mut drained = drainer.join().expect("drainer");
+        drained.extend(ring.drain(usize::MAX));
+        // Every attempt is accounted exactly once.
+        assert_eq!(ring.recorded() + ring.dropped(), PRODUCERS * PER_PRODUCER);
+        assert_eq!(accepted, ring.recorded());
+        assert_eq!(drained.len() as u64, ring.recorded());
+        assert!(ring.dropped() > 0, "tiny ring under load must drop");
+        // Per-producer payloads arrive in their recording order.
+        for p in 0..PRODUCERS as u32 {
+            let lo = p * PER_PRODUCER as u32;
+            let hi = lo + PER_PRODUCER as u32;
+            let mine: Vec<u32> = drained
+                .iter()
+                .filter_map(|e| match e.kind {
+                    TraceKind::Submit { ops, .. } if (lo..hi).contains(&ops) => Some(ops),
+                    _ => None,
+                })
+                .collect();
+            assert!(mine.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn drift_alarm_and_reply_kinds_have_stable_names() {
+        let drift = TraceKind::DriftAlarm {
+            worker: 2,
+            function: Function::Exp,
+            kind: DriftKind::ExpAmplification,
+        };
+        assert_eq!(drift.name(), "drift_alarm");
+        let reply = TraceKind::Reply {
+            req: 17,
+            worker: 0,
+            function: Function::Sigmoid,
+            e2e_ns: 840,
+        };
+        assert_eq!(reply.name(), "reply");
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! must not drift silently. These tests record a fixed event stream and
 //! compare the full rendered strings; an intentional format change must
 //! update the expected text here **and** bump
-//! [`nacu_obs::export::JSON_SCHEMA`] if the JSON layout moved.
+//! [`nacu_obs::export::JSON_SCHEMA`] if the JSON layout moved. (The
+//! `health` section and families were added *additively* — every
+//! pre-existing key and metric is byte-identical — so the schema tag
+//! stays at v1.)
 
 use nacu::Function;
 use nacu_obs::export::{json, prometheus, JSON_SCHEMA};
@@ -26,6 +29,7 @@ fn fixed_snapshot() -> nacu_obs::ObsSnapshot {
     obs.cycles()
         .record_batch(Function::Softmax, 16, 46, 48, 40_000);
     obs.record_trace(TraceKind::Submit {
+        req: 1,
         function: Function::Sigmoid,
         ops: 64,
     });
@@ -44,80 +48,79 @@ const CLOCK_HZ: f64 = 1e9;
 
 #[test]
 fn prometheus_exposition_is_pinned() {
-    let expected = "\
-# HELP nacu_obs_queue_wait_ns Time from submission to batch pickup, nanoseconds.
+    let expected = r#"# HELP nacu_obs_queue_wait_ns Time from submission to batch pickup, nanoseconds.
 # TYPE nacu_obs_queue_wait_ns histogram
-nacu_obs_queue_wait_ns_bucket{function=\"sigmoid\",le=\"1024\"} 1
-nacu_obs_queue_wait_ns_bucket{function=\"sigmoid\",le=\"3072\"} 2
-nacu_obs_queue_wait_ns_bucket{function=\"sigmoid\",le=\"+Inf\"} 2
-nacu_obs_queue_wait_ns_sum{function=\"sigmoid\"} 4000
-nacu_obs_queue_wait_ns_count{function=\"sigmoid\"} 2
-nacu_obs_queue_wait_ns_bucket{function=\"softmax\",le=\"2048\"} 1
-nacu_obs_queue_wait_ns_bucket{function=\"softmax\",le=\"+Inf\"} 1
-nacu_obs_queue_wait_ns_sum{function=\"softmax\"} 2000
-nacu_obs_queue_wait_ns_count{function=\"softmax\"} 1
+nacu_obs_queue_wait_ns_bucket{function="sigmoid",le="1024"} 1
+nacu_obs_queue_wait_ns_bucket{function="sigmoid",le="3072"} 2
+nacu_obs_queue_wait_ns_bucket{function="sigmoid",le="+Inf"} 2
+nacu_obs_queue_wait_ns_sum{function="sigmoid"} 4000
+nacu_obs_queue_wait_ns_count{function="sigmoid"} 2
+nacu_obs_queue_wait_ns_bucket{function="softmax",le="2048"} 1
+nacu_obs_queue_wait_ns_bucket{function="softmax",le="+Inf"} 1
+nacu_obs_queue_wait_ns_sum{function="softmax"} 2000
+nacu_obs_queue_wait_ns_count{function="softmax"} 1
 # HELP nacu_obs_batch_service_ns Datapath service time per fused batch, nanoseconds.
 # TYPE nacu_obs_batch_service_ns histogram
-nacu_obs_batch_service_ns_bucket{function=\"sigmoid\",le=\"20480\"} 1
-nacu_obs_batch_service_ns_bucket{function=\"sigmoid\",le=\"+Inf\"} 1
-nacu_obs_batch_service_ns_sum{function=\"sigmoid\"} 20000
-nacu_obs_batch_service_ns_count{function=\"sigmoid\"} 1
-nacu_obs_batch_service_ns_bucket{function=\"softmax\",le=\"40960\"} 1
-nacu_obs_batch_service_ns_bucket{function=\"softmax\",le=\"+Inf\"} 1
-nacu_obs_batch_service_ns_sum{function=\"softmax\"} 40000
-nacu_obs_batch_service_ns_count{function=\"softmax\"} 1
+nacu_obs_batch_service_ns_bucket{function="sigmoid",le="20480"} 1
+nacu_obs_batch_service_ns_bucket{function="sigmoid",le="+Inf"} 1
+nacu_obs_batch_service_ns_sum{function="sigmoid"} 20000
+nacu_obs_batch_service_ns_count{function="sigmoid"} 1
+nacu_obs_batch_service_ns_bucket{function="softmax",le="40960"} 1
+nacu_obs_batch_service_ns_bucket{function="softmax",le="+Inf"} 1
+nacu_obs_batch_service_ns_sum{function="softmax"} 40000
+nacu_obs_batch_service_ns_count{function="softmax"} 1
 # HELP nacu_obs_end_to_end_ns Time from submission to response, nanoseconds.
 # TYPE nacu_obs_end_to_end_ns histogram
-nacu_obs_end_to_end_ns_bucket{function=\"sigmoid\",le=\"25600\"} 1
-nacu_obs_end_to_end_ns_bucket{function=\"sigmoid\",le=\"+Inf\"} 1
-nacu_obs_end_to_end_ns_sum{function=\"sigmoid\"} 25000
-nacu_obs_end_to_end_ns_count{function=\"sigmoid\"} 1
-nacu_obs_end_to_end_ns_bucket{function=\"softmax\",le=\"45056\"} 1
-nacu_obs_end_to_end_ns_bucket{function=\"softmax\",le=\"+Inf\"} 1
-nacu_obs_end_to_end_ns_sum{function=\"softmax\"} 45000
-nacu_obs_end_to_end_ns_count{function=\"softmax\"} 1
+nacu_obs_end_to_end_ns_bucket{function="sigmoid",le="25600"} 1
+nacu_obs_end_to_end_ns_bucket{function="sigmoid",le="+Inf"} 1
+nacu_obs_end_to_end_ns_sum{function="sigmoid"} 25000
+nacu_obs_end_to_end_ns_count{function="sigmoid"} 1
+nacu_obs_end_to_end_ns_bucket{function="softmax",le="45056"} 1
+nacu_obs_end_to_end_ns_bucket{function="softmax",le="+Inf"} 1
+nacu_obs_end_to_end_ns_sum{function="softmax"} 45000
+nacu_obs_end_to_end_ns_count{function="softmax"} 1
 # HELP nacu_obs_batches_total Fused hardware batches served.
 # TYPE nacu_obs_batches_total counter
-nacu_obs_batches_total{function=\"sigmoid\"} 1
-nacu_obs_batches_total{function=\"tanh\"} 0
-nacu_obs_batches_total{function=\"exp\"} 0
-nacu_obs_batches_total{function=\"softmax\"} 1
+nacu_obs_batches_total{function="sigmoid"} 1
+nacu_obs_batches_total{function="tanh"} 0
+nacu_obs_batches_total{function="exp"} 0
+nacu_obs_batches_total{function="softmax"} 1
 # HELP nacu_obs_ops_total Operands served.
 # TYPE nacu_obs_ops_total counter
-nacu_obs_ops_total{function=\"sigmoid\"} 64
-nacu_obs_ops_total{function=\"tanh\"} 0
-nacu_obs_ops_total{function=\"exp\"} 0
-nacu_obs_ops_total{function=\"softmax\"} 16
+nacu_obs_ops_total{function="sigmoid"} 64
+nacu_obs_ops_total{function="tanh"} 0
+nacu_obs_ops_total{function="exp"} 0
+nacu_obs_ops_total{function="softmax"} 16
 # HELP nacu_obs_modeled_cycles_total Table I modeled cycles for the served batches.
 # TYPE nacu_obs_modeled_cycles_total counter
-nacu_obs_modeled_cycles_total{function=\"sigmoid\"} 66
-nacu_obs_modeled_cycles_total{function=\"tanh\"} 0
-nacu_obs_modeled_cycles_total{function=\"exp\"} 0
-nacu_obs_modeled_cycles_total{function=\"softmax\"} 46
+nacu_obs_modeled_cycles_total{function="sigmoid"} 66
+nacu_obs_modeled_cycles_total{function="tanh"} 0
+nacu_obs_modeled_cycles_total{function="exp"} 0
+nacu_obs_modeled_cycles_total{function="softmax"} 46
 # HELP nacu_obs_checked_cycles_total Checked-unit modeled cycles (detector stage included).
 # TYPE nacu_obs_checked_cycles_total counter
-nacu_obs_checked_cycles_total{function=\"sigmoid\"} 67
-nacu_obs_checked_cycles_total{function=\"tanh\"} 0
-nacu_obs_checked_cycles_total{function=\"exp\"} 0
-nacu_obs_checked_cycles_total{function=\"softmax\"} 48
+nacu_obs_checked_cycles_total{function="sigmoid"} 67
+nacu_obs_checked_cycles_total{function="tanh"} 0
+nacu_obs_checked_cycles_total{function="exp"} 0
+nacu_obs_checked_cycles_total{function="softmax"} 48
 # HELP nacu_obs_measured_ns_total Measured batch service time, nanoseconds.
 # TYPE nacu_obs_measured_ns_total counter
-nacu_obs_measured_ns_total{function=\"sigmoid\"} 20000
-nacu_obs_measured_ns_total{function=\"tanh\"} 0
-nacu_obs_measured_ns_total{function=\"exp\"} 0
-nacu_obs_measured_ns_total{function=\"softmax\"} 40000
+nacu_obs_measured_ns_total{function="sigmoid"} 20000
+nacu_obs_measured_ns_total{function="tanh"} 0
+nacu_obs_measured_ns_total{function="exp"} 0
+nacu_obs_measured_ns_total{function="softmax"} 40000
 # HELP nacu_obs_effective_cycles_per_op Measured time as cycles per operand at the reference clock.
 # TYPE nacu_obs_effective_cycles_per_op gauge
-nacu_obs_effective_cycles_per_op{function=\"sigmoid\"} 312.5
-nacu_obs_effective_cycles_per_op{function=\"tanh\"} 0
-nacu_obs_effective_cycles_per_op{function=\"exp\"} 0
-nacu_obs_effective_cycles_per_op{function=\"softmax\"} 2500
+nacu_obs_effective_cycles_per_op{function="sigmoid"} 312.5
+nacu_obs_effective_cycles_per_op{function="tanh"} 0
+nacu_obs_effective_cycles_per_op{function="exp"} 0
+nacu_obs_effective_cycles_per_op{function="softmax"} 2500
 # HELP nacu_obs_model_measured_ratio Measured over modeled time at the reference clock.
 # TYPE nacu_obs_model_measured_ratio gauge
-nacu_obs_model_measured_ratio{function=\"sigmoid\"} 303.03030303030306
-nacu_obs_model_measured_ratio{function=\"tanh\"} 0
-nacu_obs_model_measured_ratio{function=\"exp\"} 0
-nacu_obs_model_measured_ratio{function=\"softmax\"} 869.5652173913044
+nacu_obs_model_measured_ratio{function="sigmoid"} 303.03030303030306
+nacu_obs_model_measured_ratio{function="tanh"} 0
+nacu_obs_model_measured_ratio{function="exp"} 0
+nacu_obs_model_measured_ratio{function="softmax"} 869.5652173913044
 # HELP nacu_obs_trace_recorded_total Trace events recorded.
 # TYPE nacu_obs_trace_recorded_total counter
 nacu_obs_trace_recorded_total 2
@@ -127,11 +130,49 @@ nacu_obs_trace_dropped_total 0
 # HELP nacu_obs_trace_capacity Trace ring capacity.
 # TYPE nacu_obs_trace_capacity gauge
 nacu_obs_trace_capacity 8
+# HELP nacu_obs_health_sample_interval Shadow-check one in this many operands (0 = disabled).
+# TYPE nacu_obs_health_sample_interval gauge
+nacu_obs_health_sample_interval 0
+# HELP nacu_obs_health_samples_total Shadow-reference samples checked against the f64 reference.
+# TYPE nacu_obs_health_samples_total counter
+nacu_obs_health_samples_total{function="sigmoid"} 0
+nacu_obs_health_samples_total{function="tanh"} 0
+nacu_obs_health_samples_total{function="exp"} 0
+# HELP nacu_obs_health_err_lsb Shadow-sample absolute error in output-format LSBs.
+# TYPE nacu_obs_health_err_lsb histogram
+# HELP nacu_obs_health_max_err_lsb Maximum observed shadow error in output LSBs.
+# TYPE nacu_obs_health_max_err_lsb gauge
+nacu_obs_health_max_err_lsb{function="sigmoid"} 0
+nacu_obs_health_max_err_lsb{function="tanh"} 0
+nacu_obs_health_max_err_lsb{function="exp"} 0
+# HELP nacu_obs_health_avg_err_lsb Mean observed shadow error in output LSBs.
+# TYPE nacu_obs_health_avg_err_lsb gauge
+nacu_obs_health_avg_err_lsb{function="sigmoid"} 0
+nacu_obs_health_avg_err_lsb{function="tanh"} 0
+nacu_obs_health_avg_err_lsb{function="exp"} 0
+# HELP nacu_obs_health_correlation Running Pearson correlation between served and reference values.
+# TYPE nacu_obs_health_correlation gauge
+nacu_obs_health_correlation{function="sigmoid"} 0
+nacu_obs_health_correlation{function="tanh"} 0
+nacu_obs_health_correlation{function="exp"} 0
+# HELP nacu_obs_health_bound_lsb Alarm bound (Eq. 7 / Eq. 16) in output LSBs.
+# TYPE nacu_obs_health_bound_lsb gauge
+nacu_obs_health_bound_lsb{function="sigmoid"} 1.7568650816181137
+nacu_obs_health_bound_lsb{function="tanh"} 3.0137301632362274
+nacu_obs_health_bound_lsb{function="exp"} 6.777460326472455
+# HELP nacu_obs_drift_alarms_total Shadow samples whose error exceeded the dimensioning bound.
+# TYPE nacu_obs_drift_alarms_total counter
+nacu_obs_drift_alarms_total{function="sigmoid"} 0
+nacu_obs_drift_alarms_total{function="tanh"} 0
+nacu_obs_drift_alarms_total{function="exp"} 0
+# HELP nacu_obs_drift_alarm_latched 1 once any drift alarm has fired.
+# TYPE nacu_obs_drift_alarm_latched gauge
+nacu_obs_drift_alarm_latched 0
 # TYPE nacu_engine_requests_submitted counter
 nacu_engine_requests_submitted 3
 # TYPE nacu_engine_requests_completed counter
 nacu_engine_requests_completed 3
-";
+"#;
     let actual = prometheus(&fixed_snapshot(), CLOCK_HZ, COUNTERS);
     assert_eq!(
         actual, expected,
@@ -141,25 +182,29 @@ nacu_engine_requests_completed 3
 
 #[test]
 fn json_snapshot_is_pinned() {
-    let expected = "\
-{
-  \"schema\": \"nacu-obs/v1\",
-  \"clock_hz\": 1000000000,
-  \"histograms\": {
-    \"queue_wait_ns\": {\"sigmoid\": {\"count\":2,\"sum\":4000,\"min\":1000,\"max\":3000,\"p50\":1024,\"p90\":3000,\"p99\":3000,\"buckets\":[[1024,1],[3072,1]]}, \"tanh\": {\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]}, \"exp\": {\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]}, \"softmax\": {\"count\":1,\"sum\":2000,\"min\":2000,\"max\":2000,\"p50\":2000,\"p90\":2000,\"p99\":2000,\"buckets\":[[2048,1]]}},
-    \"batch_service_ns\": {\"sigmoid\": {\"count\":1,\"sum\":20000,\"min\":20000,\"max\":20000,\"p50\":20000,\"p90\":20000,\"p99\":20000,\"buckets\":[[20480,1]]}, \"tanh\": {\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]}, \"exp\": {\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]}, \"softmax\": {\"count\":1,\"sum\":40000,\"min\":40000,\"max\":40000,\"p50\":40000,\"p90\":40000,\"p99\":40000,\"buckets\":[[40960,1]]}},
-    \"end_to_end_ns\": {\"sigmoid\": {\"count\":1,\"sum\":25000,\"min\":25000,\"max\":25000,\"p50\":25000,\"p90\":25000,\"p99\":25000,\"buckets\":[[25600,1]]}, \"tanh\": {\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]}, \"exp\": {\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]}, \"softmax\": {\"count\":1,\"sum\":45000,\"min\":45000,\"max\":45000,\"p50\":45000,\"p90\":45000,\"p99\":45000,\"buckets\":[[45056,1]]}}
+    let expected = r#"{
+  "schema": "nacu-obs/v1",
+  "clock_hz": 1000000000,
+  "histograms": {
+    "queue_wait_ns": {"sigmoid": {"count":2,"sum":4000,"min":1000,"max":3000,"p50":1024,"p90":3000,"p99":3000,"buckets":[[1024,1],[3072,1]]}, "tanh": {"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]}, "exp": {"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]}, "softmax": {"count":1,"sum":2000,"min":2000,"max":2000,"p50":2000,"p90":2000,"p99":2000,"buckets":[[2048,1]]}},
+    "batch_service_ns": {"sigmoid": {"count":1,"sum":20000,"min":20000,"max":20000,"p50":20000,"p90":20000,"p99":20000,"buckets":[[20480,1]]}, "tanh": {"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]}, "exp": {"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]}, "softmax": {"count":1,"sum":40000,"min":40000,"max":40000,"p50":40000,"p90":40000,"p99":40000,"buckets":[[40960,1]]}},
+    "end_to_end_ns": {"sigmoid": {"count":1,"sum":25000,"min":25000,"max":25000,"p50":25000,"p90":25000,"p99":25000,"buckets":[[25600,1]]}, "tanh": {"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]}, "exp": {"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]}, "softmax": {"count":1,"sum":45000,"min":45000,"max":45000,"p50":45000,"p90":45000,"p99":45000,"buckets":[[45056,1]]}}
   },
-  \"cycles\": {
-    \"sigmoid\": {\"batches\":1,\"ops\":64,\"modeled_cycles\":66,\"checked_cycles\":67,\"measured_ns\":20000,\"modeled_cycles_per_op\":1.03125,\"effective_cycles_per_op\":312.5,\"model_measured_ratio\":303.03030303030306},
-    \"tanh\": {\"batches\":0,\"ops\":0,\"modeled_cycles\":0,\"checked_cycles\":0,\"measured_ns\":0,\"modeled_cycles_per_op\":0,\"effective_cycles_per_op\":0,\"model_measured_ratio\":0},
-    \"exp\": {\"batches\":0,\"ops\":0,\"modeled_cycles\":0,\"checked_cycles\":0,\"measured_ns\":0,\"modeled_cycles_per_op\":0,\"effective_cycles_per_op\":0,\"model_measured_ratio\":0},
-    \"softmax\": {\"batches\":1,\"ops\":16,\"modeled_cycles\":46,\"checked_cycles\":48,\"measured_ns\":40000,\"modeled_cycles_per_op\":2.875,\"effective_cycles_per_op\":2500,\"model_measured_ratio\":869.5652173913044}
+  "cycles": {
+    "sigmoid": {"batches":1,"ops":64,"modeled_cycles":66,"checked_cycles":67,"measured_ns":20000,"modeled_cycles_per_op":1.03125,"effective_cycles_per_op":312.5,"model_measured_ratio":303.03030303030306},
+    "tanh": {"batches":0,"ops":0,"modeled_cycles":0,"checked_cycles":0,"measured_ns":0,"modeled_cycles_per_op":0,"effective_cycles_per_op":0,"model_measured_ratio":0},
+    "exp": {"batches":0,"ops":0,"modeled_cycles":0,"checked_cycles":0,"measured_ns":0,"modeled_cycles_per_op":0,"effective_cycles_per_op":0,"model_measured_ratio":0},
+    "softmax": {"batches":1,"ops":16,"modeled_cycles":46,"checked_cycles":48,"measured_ns":40000,"modeled_cycles_per_op":2.875,"effective_cycles_per_op":2500,"model_measured_ratio":869.5652173913044}
   },
-  \"trace\": {\"capacity\":8,\"recorded\":2,\"dropped\":0},
-  \"counters\": {\"nacu_engine_requests_submitted\":3,\"nacu_engine_requests_completed\":3}
+  "trace": {"capacity":8,"recorded":2,"dropped":0},
+  "health": {"sample_interval":0,"alarm_latched":false,"functions":{
+    "sigmoid": {"samples":0,"alarms":0,"max_err":0,"avg_err":0,"max_err_lsb":0,"avg_err_lsb":0,"correlation":0,"bound":0.0008578442781338446,"bound_lsb":1.7568650816181137,"err_lsb":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]}},
+    "tanh": {"samples":0,"alarms":0,"max_err":0,"avg_err":0,"max_err_lsb":0,"avg_err_lsb":0,"correlation":0,"bound":0.0014715479312676892,"bound_lsb":3.0137301632362274,"err_lsb":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]}},
+    "exp": {"samples":0,"alarms":0,"max_err":0,"avg_err":0,"max_err_lsb":0,"avg_err_lsb":0,"correlation":0,"bound":0.0033093068000353784,"bound_lsb":6.777460326472455,"err_lsb":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]}}
+  }},
+  "counters": {"nacu_engine_requests_submitted":3,"nacu_engine_requests_completed":3}
 }
-";
+"#;
     let actual = json(&fixed_snapshot(), CLOCK_HZ, COUNTERS);
     assert_eq!(
         actual, expected,

@@ -16,6 +16,16 @@
 //! ```sh
 //! cargo run --release --example observed_serving
 //! ```
+//!
+//! With `--serve [ADDR]` (default `127.0.0.1:9464`) the demo instead
+//! keeps a light workload running and exposes the live scrape server:
+//!
+//! ```sh
+//! cargo run --release --example observed_serving -- --serve
+//! curl http://127.0.0.1:9464/metrics
+//! curl http://127.0.0.1:9464/health
+//! curl http://127.0.0.1:9464/trace > trace.json   # open in ui.perfetto.dev
+//! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,12 +42,35 @@ const REQUESTS_PER_CLIENT: usize = 400;
 const OPERANDS_PER_REQUEST: usize = 48;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut serve_addr: Option<String> = None;
+    let mut argv = std::env::args().skip(1).peekable();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--serve" => {
+                serve_addr = Some(match argv.peek() {
+                    Some(next) if !next.starts_with('-') => argv.next().expect("peeked"),
+                    _ => "127.0.0.1:9464".to_string(),
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: observed_serving [--serve [ADDR]]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let engine = Engine::new(
         EngineConfig::new(NacuConfig::paper_16bit())
             .with_workers(3)
             .with_queue_capacity(128)
             .with_max_coalesced_requests(16),
     )?;
+
+    if let Some(addr) = serve_addr {
+        return serve_forever(&engine, &addr);
+    }
+
     let fmt = engine.format();
     let obs = engine.obs();
 
@@ -155,4 +188,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     engine.shutdown();
     Ok(())
+}
+
+/// `--serve` mode: keep a light mixed workload running and expose the
+/// live scrape server until the process is killed.
+fn serve_forever(engine: &Engine, addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let server = engine.handle().serve_obs(addr)?;
+    let local = server.local_addr();
+    println!("nacu-obs scrape server on http://{local}");
+    println!("  curl http://{local}/metrics");
+    println!("  curl http://{local}/metrics.json");
+    println!("  curl http://{local}/health");
+    println!("  curl http://{local}/trace > trace.json   # open in ui.perfetto.dev");
+    println!("serving a continuous background workload; Ctrl+C to stop");
+    let fmt = engine.format();
+    let handle = engine.handle();
+    let operands: Vec<Fx> = (0..OPERANDS_PER_REQUEST)
+        .map(|i| {
+            let v = -6.0 + 12.0 * (i as f64) / (OPERANDS_PER_REQUEST - 1) as f64;
+            Fx::from_f64(v, fmt, Rounding::Nearest)
+        })
+        .collect();
+    let functions = [Function::Sigmoid, Function::Tanh, Function::Exp];
+    for round in 0.. {
+        let function = functions[round % functions.len()];
+        match handle.submit(Request::new(function, operands.clone())) {
+            Ok(ticket) => {
+                ticket.wait()?;
+            }
+            Err(SubmitError::Busy { .. }) => thread::yield_now(),
+            Err(e) => return Err(e.into()),
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    unreachable!("the serving loop never breaks")
 }

@@ -43,6 +43,16 @@ stage tier1-test cargo test -q --offline
 stage workspace cargo test --workspace --release -q --offline
 stage clippy cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Observability smoke: shadow-sampling overhead gate, a live /metrics
+# scrape over a real TCP socket, and the injected-drift /health demo.
+# The scrape artifacts land next to the stage logs.
+stage obs-smoke cargo run --release --offline -q -p nacu-bench --bin obs_smoke -- \
+    --smoke \
+    --prom "${LOG_DIR}/obs_metrics.prom" \
+    --json "${LOG_DIR}/obs_metrics.json" \
+    --trace "${LOG_DIR}/obs_trace.json" \
+    --drift-prom "${LOG_DIR}/obs_drift.prom"
+
 # Regenerate the full experiment reproduction transcript into the log
 # directory (it is a build artifact, not a committed file — EXPERIMENTS.md
 # quotes numbers from it). The Fig. 4 LUT-size searches dominate: ~1 min
