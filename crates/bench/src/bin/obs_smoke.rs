@@ -103,15 +103,17 @@ fn parse_args() -> Result<Args, String> {
 /// Stage 1: the default 1/256 decimation must not tax throughput.
 fn overhead_gate(args: &Args) -> Result<(), String> {
     // Each drive must run long enough (tens of ms) that a ≤ 3% effect is
-    // measurable above scheduler noise; at ~7 Mops/s the smoke shape is
-    // ~0.5 Mops ≈ 70 ms per side per trial.
+    // measurable above scheduler noise; with the response-table fast path
+    // serving σ at ~40 Mops/s the smoke shape is ~2 Mops ≈ 50 ms per
+    // side per trial (sized up 4× when the fast path landed — the old
+    // 0.5 Mops shape finished in ~13 ms and measured pure jitter).
     let workload = Workload {
         clients: 4,
-        requests_per_client: if args.smoke { 512 } else { 1024 },
+        requests_per_client: if args.smoke { 2048 } else { 4096 },
         operands_per_request: 256,
         function: Function::Sigmoid,
     };
-    let trials = if args.smoke { 3 } else { 5 };
+    let trials = if args.smoke { 4 } else { 6 };
     let report =
         engine_bench::sampling_overhead(workload, nacu_engine::DEFAULT_SAMPLE_EVERY, trials);
     eprintln!(

@@ -314,6 +314,28 @@ impl Nacu {
     /// Returns [`NacuError::EmptyVector`] for an empty input, or
     /// [`NacuError::Fixed`] if the inputs carry mixed formats.
     pub fn softmax(&self, inputs: &[Fx]) -> Result<Vec<Fx>, NacuError> {
+        self.softmax_with(inputs, |x| self.exp(x))
+    }
+
+    /// [`Nacu::softmax`] with a pluggable exp stage: `exp_fn` must map a
+    /// non-positive operand in the configured format to `e^x` in the same
+    /// format, exactly as [`Nacu::exp`] does. The max-normalisation, the
+    /// widened MAC accumulation and the pass-2 restoring divider are this
+    /// datapath's own either way.
+    ///
+    /// This is the hook the serving engine's response-table fast path
+    /// uses ([`crate::table::ResponseTables`]): the exp stage comes from
+    /// an exhaustively datapath-equal table, so the whole softmax stays
+    /// bit-identical — the working-format resize after `exp_fn` is exact
+    /// for any value in `[0, 1]`, which is the entire exp range.
+    ///
+    /// # Errors
+    ///
+    /// As [`Nacu::softmax`].
+    pub fn softmax_with<F>(&self, inputs: &[Fx], exp_fn: F) -> Result<Vec<Fx>, NacuError>
+    where
+        F: Fn(Fx) -> Fx,
+    {
         if inputs.is_empty() {
             return Err(NacuError::EmptyVector);
         }
@@ -335,7 +357,7 @@ impl Nacu {
         let mut exps = Vec::with_capacity(inputs.len());
         for &x in inputs {
             let diff = x.saturating_sub(max)?;
-            let e = self.exp(diff);
+            let e = exp_fn(diff);
             // Keep the full working precision for normalisation.
             let e_work = e.resize(self.work_fmt, Rounding::Nearest, Overflow::Saturate);
             exps.push(e_work);

@@ -45,6 +45,7 @@ pub mod error_prop;
 pub mod faults;
 pub mod format;
 pub mod pipeline;
+pub mod table;
 pub mod vcd;
 pub mod verilog;
 
@@ -53,3 +54,4 @@ mod error;
 pub use config::{Function, NacuConfig};
 pub use datapath::Nacu;
 pub use error::NacuError;
+pub use table::{ResponseTable, ResponseTables};

@@ -62,6 +62,22 @@ impl Request {
     pub fn coalesces_with(&self, other: &Request) -> bool {
         self.function == other.function && scalar_function(self.function)
     }
+
+    /// The request's batch class for the submit queue (see
+    /// [`crate::queue::Coalesce`]): scalar functions key by function so
+    /// equal-function runs fuse; softmax (and MAC, were it servable)
+    /// never fuses. Two requests coalesce iff their keys are equal and
+    /// not [`crate::queue::NEVER_COALESCE`] — the same relation as
+    /// [`Request::coalesces_with`], precomputed to one word so the queue
+    /// can peek it without touching the payload.
+    #[must_use]
+    pub fn coalesce_key(&self) -> u32 {
+        if scalar_function(self.function) {
+            self.function as u32
+        } else {
+            crate::queue::NEVER_COALESCE
+        }
+    }
 }
 
 /// True for the element-wise functions that stream through the pipeline
@@ -157,6 +173,26 @@ mod tests {
         let a = Request::new(Function::Softmax, x());
         let b = Request::new(Function::Softmax, x());
         assert!(!a.coalesces_with(&b));
+    }
+
+    #[test]
+    fn coalesce_key_agrees_with_the_pairwise_rule() {
+        use crate::queue::NEVER_COALESCE;
+        let functions = [
+            Function::Sigmoid,
+            Function::Tanh,
+            Function::Exp,
+            Function::Softmax,
+        ];
+        for fa in functions {
+            for fb in functions {
+                let a = Request::new(fa, x());
+                let b = Request::new(fb, x());
+                let keys_fuse =
+                    a.coalesce_key() == b.coalesce_key() && a.coalesce_key() != NEVER_COALESCE;
+                assert_eq!(keys_fuse, a.coalesces_with(&b), "{fa} vs {fb}");
+            }
+        }
     }
 
     #[test]

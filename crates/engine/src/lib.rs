@@ -65,7 +65,7 @@ use std::time::{Duration, Instant};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use nacu::{Function, Nacu, NacuConfig, NacuError};
+use nacu::{Function, Nacu, NacuConfig, NacuError, ResponseTables};
 use nacu_fixed::QFormat;
 use nacu_obs::Obs;
 
@@ -136,6 +136,13 @@ pub struct EngineConfig {
     /// operands in `f64` and checks the error against the paper's Eq. 7
     /// bound (0 disables sampling entirely).
     pub health_sample_every: u64,
+    /// Serve unary batches from precomputed response tables
+    /// ([`nacu::ResponseTables`], built once by the golden datapath at
+    /// engine start) instead of walking the datapath per operand.
+    /// Bit-identical by construction; engages only when the format fits
+    /// the table budget (≤ [`nacu::ResponseTables::MAX_TABLE_BITS`] bits)
+    /// and, per worker, only on slots with no injected fault plan.
+    pub use_fast_path: bool,
 }
 
 impl EngineConfig {
@@ -151,6 +158,7 @@ impl EngineConfig {
             default_deadline: None,
             fault_tolerance: FaultTolerance::default(),
             health_sample_every: nacu_obs::DEFAULT_SAMPLE_EVERY,
+            use_fast_path: true,
         }
     }
 
@@ -193,6 +201,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_health_sampling(mut self, every: u64) -> Self {
         self.health_sample_every = every;
+        self
+    }
+
+    /// Enables or disables the response-table fast path (on by default).
+    #[must_use]
+    pub fn with_fast_path(mut self, enabled: bool) -> Self {
+        self.use_fast_path = enabled;
         self
     }
 }
@@ -601,6 +616,15 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Result<Self, NacuError> {
         let probe = Nacu::new(config.nacu)?;
         let format = probe.config().format;
+        // The probe doubles as the table builder: the golden datapath
+        // computes every 2^N response code once, here, and the workers
+        // share the result behind one `Arc`. `build` returns `None` past
+        // the table budget, leaving wide formats on the datapath.
+        let tables = if config.use_fast_path {
+            ResponseTables::build(&probe).map(Arc::new)
+        } else {
+            None
+        };
         drop(probe);
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(EngineMetrics::new());
@@ -621,6 +645,7 @@ impl Engine {
             metrics: Arc::clone(&metrics),
             obs: Arc::clone(&obs),
             health: Arc::clone(&health),
+            tables,
         });
         let handles = pool::spawn_workers(&pool_shared);
         Ok(Self {

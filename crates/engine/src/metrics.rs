@@ -31,6 +31,7 @@ pub struct EngineMetrics {
     retries: AtomicU64,
     requests_failed: AtomicU64,
     drift_alarms: AtomicU64,
+    fast_path_ops: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -77,6 +78,12 @@ impl EngineMetrics {
         self.drift_alarms.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// `ops` operands answered from the response tables instead of the
+    /// datapath (always also counted in the per-function op counters).
+    pub(crate) fn record_fast_path_ops(&self, ops: u64) {
+        self.fast_path_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
     /// One fused hardware batch: `requests` requests totalling `ops`
     /// operands of `function`, costing `cycles` modeled cycles.
     pub(crate) fn record_batch(&self, function: Function, requests: u64, ops: u64, cycles: u64) {
@@ -119,6 +126,7 @@ impl EngineMetrics {
             retries: self.retries.load(Ordering::Relaxed),
             requests_failed: self.requests_failed.load(Ordering::Relaxed),
             drift_alarms: self.drift_alarms.load(Ordering::Relaxed),
+            fast_path_ops: self.fast_path_ops.load(Ordering::Relaxed),
         }
     }
 }
@@ -162,6 +170,11 @@ pub struct MetricsSnapshot {
     /// Shadow-sampled operands whose error against the f64 reference
     /// exceeded the Eq. 7 bound (or the Eq. 16 exp budget).
     pub drift_alarms: u64,
+    /// Operands answered from the response-table fast path (a subset of
+    /// the per-function op counters; 0 means every operand walked the
+    /// datapath — fast path disabled, format too wide, or fault plans
+    /// forcing the fallback).
+    pub fast_path_ops: u64,
 }
 
 impl MetricsSnapshot {
@@ -201,6 +214,7 @@ impl MetricsSnapshot {
             ("nacu_engine_retries_total", self.retries),
             ("nacu_engine_requests_failed_total", self.requests_failed),
             ("nacu_engine_drift_alarms_total", self.drift_alarms),
+            ("nacu_engine_fast_path_ops_total", self.fast_path_ops),
             (
                 "nacu_engine_queue_depth_high_water",
                 self.queue_depth_high_water,
@@ -243,6 +257,7 @@ impl MetricsSnapshot {
             retries: self.retries.saturating_sub(earlier.retries),
             requests_failed: self.requests_failed.saturating_sub(earlier.requests_failed),
             drift_alarms: self.drift_alarms.saturating_sub(earlier.drift_alarms),
+            fast_path_ops: self.fast_path_ops.saturating_sub(earlier.fast_path_ops),
         }
     }
 }
@@ -299,14 +314,29 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.drift_alarms, 1);
         let counters = s.exporter_counters();
-        assert_eq!(counters.len(), 12);
+        assert_eq!(counters.len(), 13);
         assert!(counters
             .iter()
             .any(|&(n, v)| n == "nacu_engine_drift_alarms_total" && v == 1));
         let mut names: Vec<&str> = counters.iter().map(|&(n, _)| n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 12, "exporter names are unique");
+        assert_eq!(names.len(), 13, "exporter names are unique");
+    }
+
+    #[test]
+    fn fast_path_ops_accumulate_and_export() {
+        let m = EngineMetrics::new();
+        m.record_fast_path_ops(64);
+        m.record_fast_path_ops(16);
+        let s = m.snapshot();
+        assert_eq!(s.fast_path_ops, 80);
+        assert!(s
+            .exporter_counters()
+            .iter()
+            .any(|&(n, v)| n == "nacu_engine_fast_path_ops_total" && v == 80));
+        let d = s.since(&MetricsSnapshot::default());
+        assert_eq!(d.fast_path_ops, 80);
     }
 
     #[test]

@@ -32,13 +32,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use nacu::NacuConfig;
+use nacu::{NacuConfig, ResponseTables};
 use nacu_faults::{CheckedError, CheckedNacu, FaultEvent};
 use nacu_obs::{Obs, Stage, TraceKind};
 
 use crate::batch::{scalar_function, Request, RequestError, Response};
 use crate::metrics::EngineMetrics;
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{BoundedQueue, Coalesce, PushError};
 use crate::report::{modeled_batch_cycles, modeled_checked_batch_cycles};
 use crate::FaultTolerance;
 
@@ -53,6 +53,12 @@ pub(crate) struct Job {
     pub(crate) reply: mpsc::Sender<Result<Response, RequestError>>,
     pub(crate) retries: u32,
     pub(crate) submitted_at: Instant,
+}
+
+impl Coalesce for Job {
+    fn coalesce_key(&self) -> u32 {
+        self.request.coalesce_key()
+    }
 }
 
 /// Saturating nanoseconds of a duration (a serving interval never
@@ -71,6 +77,10 @@ pub(crate) struct PoolShared {
     pub(crate) obs: Arc<Obs>,
     /// One health flag per worker slot; `false` = quarantined.
     pub(crate) health: Arc<Vec<AtomicBool>>,
+    /// Response tables for the fast path, `None` when disabled or when
+    /// the format is too wide to tabulate. Workers with a non-empty
+    /// fault plan ignore them (see [`run_worker`]).
+    pub(crate) tables: Option<Arc<ResponseTables>>,
 }
 
 /// Spawns one thread per health slot, draining `shared.queue` until it
@@ -93,12 +103,23 @@ fn run_worker(worker: usize, shared: &PoolShared) {
         .expect("engine validated the config")
         .with_plan(shared.fault.plan_for(worker))
         .with_detectors(shared.fault.detectors);
+    // Fast-path eligibility is per worker slot: a slot configured with an
+    // injected fault plan must walk the real datapath so the parity /
+    // residue detectors see real nets — its tables are simply withheld.
+    // (The scrub below always walks the real ROM regardless.)
+    let tables = if shared.fault.plan_for(worker).is_empty() {
+        shared.tables.as_deref()
+    } else {
+        None
+    };
     let mut batches_served: u64 = 0;
-    while let Some(jobs) = shared
+    // Worker-owned scratch buffers: every batch is popped into and served
+    // from the same two Vecs, so the steady-state loop never allocates.
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut live: Vec<Job> = Vec::new();
+    while shared
         .queue
-        .pop_batch(shared.max_coalesced_requests, |a, b| {
-            a.request.coalesces_with(&b.request)
-        })
+        .pop_batch_into(shared.max_coalesced_requests, &mut jobs)
     {
         // Periodic BIST scrub: walk the σ segment ladder before taking
         // more work, catching ROM corruption the workload's addresses
@@ -111,11 +132,11 @@ fn run_worker(worker: usize, shared: &PoolShared) {
                 worker: worker as u32,
             });
             if let Err(event) = unit.scrub() {
-                quarantine(worker, event, jobs, shared);
+                quarantine(worker, event, std::mem::take(&mut jobs), shared);
                 return;
             }
         }
-        match serve_batch(worker, &unit, jobs, shared) {
+        match serve_batch(worker, &unit, tables, &mut jobs, &mut live, shared) {
             Ok(()) => batches_served += 1,
             Err((event, stranded)) => {
                 quarantine(worker, event, stranded, shared);
@@ -179,13 +200,26 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
     }
 }
 
-/// Serves one coalesced batch. On a detector event, returns the batch's
-/// still-unanswered jobs so the caller can re-route them — partial
-/// results from the flagged unit are discarded, never sent.
+/// Serves one coalesced batch from the `jobs` scratch buffer, using
+/// `live` as the post-expiry scratch (both are drained on return, so the
+/// caller can reuse them allocation-free). On a detector event, returns
+/// the batch's still-unanswered jobs so the caller can re-route them —
+/// partial results from the flagged unit are discarded, never sent.
+///
+/// When `tables` is given, σ/tanh/exp are served as one table index per
+/// operand — bit-identical by construction (the tables were built by the
+/// golden datapath) and infallible, so outputs overwrite the request's
+/// operand buffer in place and the buffer itself becomes the response:
+/// the fast path allocates nothing per operand or per request. Softmax
+/// keeps the datapath divider and draws its exp stage from the table.
+/// Without tables, outputs land in fresh buffers so a mid-batch detector
+/// event leaves every operand buffer pristine for the retry path.
 fn serve_batch(
     worker: usize,
     unit: &CheckedNacu,
-    jobs: Vec<Job>,
+    tables: Option<&ResponseTables>,
+    jobs: &mut Vec<Job>,
+    live: &mut Vec<Job>,
     shared: &PoolShared,
 ) -> Result<(), (FaultEvent, Vec<Job>)> {
     let metrics = &shared.metrics;
@@ -193,8 +227,8 @@ fn serve_batch(
     // Expire stale jobs up front so they neither cost datapath work nor
     // inflate the fused batch.
     let now = Instant::now();
-    let mut live = Vec::with_capacity(jobs.len());
-    for job in jobs {
+    live.clear();
+    for job in jobs.drain(..) {
         if job.request.deadline.is_some_and(|d| d < now) {
             metrics.record_expired();
             obs.record_trace(TraceKind::Expired {
@@ -212,7 +246,7 @@ fn serve_batch(
     let function = first.request.function;
 
     // Pickup marks the end of every live job's queue wait.
-    for job in &live {
+    for job in live.iter() {
         obs.record_latency(
             Stage::QueueWait,
             function,
@@ -249,34 +283,77 @@ fn serve_batch(
         let mut operand_index: u64 = 0;
         let mut sampled: u64 = 0;
         let service_start = Instant::now();
-        let mut outputs_per_job = Vec::with_capacity(live.len());
-        for job in &live {
-            let mut outputs = Vec::with_capacity(job.request.operands.len());
-            for &x in &job.request.operands {
-                match unit.compute(function, x) {
-                    Ok(y) => {
-                        if sample_quota > 0
-                            && sampled < sample_quota
-                            && operand_index.is_multiple_of(sample_stride)
-                        {
-                            sampled += 1;
-                            if let Some(alarm) = health.observe(function, x.to_f64(), y.to_f64()) {
-                                metrics.record_drift_alarm();
-                                obs.record_trace(TraceKind::DriftAlarm {
-                                    worker: worker as u32,
-                                    function,
-                                    kind: alarm.kind,
-                                });
-                            }
+        // `None` = fast path served in place; `Some` = datapath outputs,
+        // one fresh buffer per job (kept fresh so retries see pristine
+        // operands after a mid-batch detector event).
+        let outputs_per_job = if let Some(table) = tables.and_then(|t| t.get(function)) {
+            // Fast path: one table index per operand, outputs overwrite
+            // the operand buffer in place. Infallible — the table carries
+            // the golden datapath's own answers.
+            for job in live.iter_mut() {
+                for slot in &mut job.request.operands {
+                    let x = *slot;
+                    let y = table.lookup(x);
+                    if sample_quota > 0
+                        && sampled < sample_quota
+                        && operand_index.is_multiple_of(sample_stride)
+                    {
+                        sampled += 1;
+                        if let Some(alarm) = health.observe(function, x.to_f64(), y.to_f64()) {
+                            metrics.record_drift_alarm();
+                            obs.record_trace(TraceKind::DriftAlarm {
+                                worker: worker as u32,
+                                function,
+                                kind: alarm.kind,
+                            });
                         }
-                        operand_index += 1;
-                        outputs.push(y);
                     }
-                    Err(event) => return Err((event, live)),
+                    operand_index += 1;
+                    *slot = y;
                 }
             }
-            outputs_per_job.push(outputs);
-        }
+            metrics.record_fast_path_ops(batch_ops as u64);
+            None
+        } else {
+            let mut per_job = Vec::with_capacity(live.len());
+            let mut fault = None;
+            'jobs: for job in live.iter() {
+                let mut outputs = Vec::with_capacity(job.request.operands.len());
+                for &x in &job.request.operands {
+                    match unit.compute(function, x) {
+                        Ok(y) => {
+                            if sample_quota > 0
+                                && sampled < sample_quota
+                                && operand_index.is_multiple_of(sample_stride)
+                            {
+                                sampled += 1;
+                                if let Some(alarm) =
+                                    health.observe(function, x.to_f64(), y.to_f64())
+                                {
+                                    metrics.record_drift_alarm();
+                                    obs.record_trace(TraceKind::DriftAlarm {
+                                        worker: worker as u32,
+                                        function,
+                                        kind: alarm.kind,
+                                    });
+                                }
+                            }
+                            operand_index += 1;
+                            outputs.push(y);
+                        }
+                        Err(event) => {
+                            fault = Some(event);
+                            break 'jobs;
+                        }
+                    }
+                }
+                per_job.push(outputs);
+            }
+            if let Some(event) = fault {
+                return Err((event, std::mem::take(live)));
+            }
+            Some(per_job)
+        };
         let service_ns = as_ns(service_start.elapsed());
         obs.record_latency(Stage::BatchService, function, service_ns);
         obs.cycles().record_batch(
@@ -293,7 +370,7 @@ fn serve_batch(
             service_ns,
         });
         metrics.record_batch(function, live.len() as u64, batch_ops as u64, batch_cycles);
-        for (job, outputs) in live.into_iter().zip(outputs_per_job) {
+        let reply = |job: Job, outputs: Vec<nacu_fixed::Fx>| {
             let e2e_ns = as_ns(job.submitted_at.elapsed());
             obs.record_latency(Stage::EndToEnd, function, e2e_ns);
             obs.record_trace(TraceKind::Reply {
@@ -308,12 +385,29 @@ fn serve_batch(
                 batch_ops,
                 batch_cycles,
             }));
+        };
+        match outputs_per_job {
+            // Fast path: the operand buffer, overwritten in place, IS the
+            // response — no buffer changes hands, nothing is allocated.
+            None => {
+                for mut job in live.drain(..) {
+                    let outputs = std::mem::take(&mut job.request.operands);
+                    reply(job, outputs);
+                }
+            }
+            Some(per_job) => {
+                for (job, outputs) in live.drain(..).zip(per_job) {
+                    reply(job, outputs);
+                }
+            }
         }
     } else {
         // Softmax never coalesces, so this is a singleton batch; the loop
         // is just the uniform way to consume `live`.
-        let mut pending = live.into_iter();
-        while let Some(job) = pending.next() {
+        let exp_table = tables.map(ResponseTables::exp);
+        let mut index = 0;
+        while index < live.len() {
+            let job = &live[index];
             let n = job.request.operands.len();
             let batch_cycles = modeled_batch_cycles(function, n);
             obs.record_trace(TraceKind::BatchStart {
@@ -322,15 +416,26 @@ fn serve_batch(
                 ops: n as u32,
             });
             let service_start = Instant::now();
-            let outputs = match unit.softmax(&job.request.operands) {
-                Ok(outputs) => outputs,
-                Err(CheckedError::Fault(event)) => {
-                    let mut stranded = vec![job];
-                    stranded.extend(pending);
-                    return Err((event, stranded));
-                }
-                Err(CheckedError::Nacu(e)) => {
-                    unreachable!("submit validated the vector: {e}")
+            let outputs = if let Some(table) = exp_table {
+                // Table-served exp stage feeding the unchanged divider
+                // passes — bit-identical because the post-exp work-format
+                // resize is exact for values in [0, 1]. Infallible: the
+                // golden unit has no detectors to trip.
+                let outputs = unit
+                    .golden()
+                    .softmax_with(&job.request.operands, |x| table.lookup(x))
+                    .expect("submit validated the vector");
+                metrics.record_fast_path_ops(n as u64);
+                outputs
+            } else {
+                match unit.softmax(&job.request.operands) {
+                    Ok(outputs) => outputs,
+                    Err(CheckedError::Fault(event)) => {
+                        return Err((event, live.drain(index..).collect()));
+                    }
+                    Err(CheckedError::Nacu(e)) => {
+                        unreachable!("submit validated the vector: {e}")
+                    }
                 }
             };
             let service_ns = as_ns(service_start.elapsed());
@@ -363,7 +468,9 @@ fn serve_batch(
                 batch_ops: n,
                 batch_cycles,
             }));
+            index += 1;
         }
+        live.clear();
     }
     Ok(())
 }
@@ -389,7 +496,22 @@ mod tests {
             metrics: Arc::new(EngineMetrics::new()),
             obs: Arc::new(Obs::with_trace_capacity(64)),
             health: Arc::new((0..slots).map(|_| AtomicBool::new(true)).collect()),
+            tables: None,
         })
+    }
+
+    /// Test adapter: serves one owned batch through the scratch-buffer
+    /// signature of [`serve_batch`].
+    fn serve(
+        worker: usize,
+        unit: &CheckedNacu,
+        tables: Option<&ResponseTables>,
+        jobs: Vec<Job>,
+        s: &PoolShared,
+    ) -> Result<(), (FaultEvent, Vec<Job>)> {
+        let mut jobs = jobs;
+        let mut live = Vec::new();
+        serve_batch(worker, unit, tables, &mut jobs, &mut live, s)
     }
 
     fn job(shared: &PoolShared, v: f64) -> (Job, mpsc::Receiver<Result<Response, RequestError>>) {
@@ -415,6 +537,65 @@ mod tests {
         FaultPlan::single(Fault::stuck_lut(InjectionSite::LutBias, 0, 13, true))
     }
 
+    /// The fast path answers from the tables, bit-identical to the
+    /// datapath, and the served operands are counted on the dedicated
+    /// counter alongside the per-function one.
+    #[test]
+    fn fast_path_serves_bit_identical_outputs_and_counts_ops() {
+        let s = shared(Vec::new(), 1);
+        let unit = CheckedNacu::new(s.config).expect("paper config");
+        let tables = ResponseTables::build(unit.golden()).expect("16-bit fits");
+        let (a, a_rx) = job(&s, 0.25);
+        let (b, b_rx) = job(&s, -1.5);
+        serve(0, &unit, Some(&tables), vec![a, b], &s).expect("infallible fast path");
+        let fmt = s.config.format;
+        let expect = |v: f64| {
+            unit.golden()
+                .sigmoid(Fx::from_f64(v, fmt, Rounding::Nearest))
+        };
+        let a_out = a_rx.try_recv().expect("reply").expect("served");
+        let b_out = b_rx.try_recv().expect("reply").expect("served");
+        assert_eq!(a_out.outputs, vec![expect(0.25)]);
+        assert_eq!(b_out.outputs, vec![expect(-1.5)]);
+        let m = s.metrics.snapshot();
+        assert_eq!(m.fast_path_ops, 2);
+        assert_eq!(m.sigmoid_ops, 2, "fast path still feeds the op counter");
+        assert_eq!(
+            m.modeled_cycles,
+            modeled_batch_cycles(Function::Sigmoid, 2),
+            "Table I accounting models the hardware, not the software path"
+        );
+    }
+
+    /// Softmax on the fast path: the exp stage comes from the table, the
+    /// divider stays on the datapath, and the result is bit-identical.
+    #[test]
+    fn softmax_draws_its_exp_stage_from_the_table() {
+        let s = shared(Vec::new(), 1);
+        let unit = CheckedNacu::new(s.config).expect("paper config");
+        let tables = ResponseTables::build(unit.golden()).expect("16-bit fits");
+        let fmt = s.config.format;
+        let xs: Vec<Fx> = [-2.0, 0.5, 3.25, -0.125]
+            .iter()
+            .map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest))
+            .collect();
+        let (reply, rx) = mpsc::channel();
+        let j = Job {
+            id: 0,
+            request: Request::new(Function::Softmax, xs.clone()),
+            reply,
+            retries: 0,
+            submitted_at: Instant::now(),
+        };
+        serve(0, &unit, Some(&tables), vec![j], &s).expect("infallible fast path");
+        let golden = unit.golden().softmax(&xs).expect("valid vector");
+        assert_eq!(
+            rx.try_recv().expect("reply").expect("served").outputs,
+            golden
+        );
+        assert_eq!(s.metrics.snapshot().fast_path_ops, xs.len() as u64);
+    }
+
     /// Deterministic unit test of the retry path: a faulted worker's
     /// batch is requeued with a bumped retry count, not answered.
     #[test]
@@ -424,7 +605,7 @@ mod tests {
             .expect("paper config")
             .with_plan(s.fault.plan_for(0));
         let (j, rx) = job(&s, 0.0);
-        let (event, stranded) = serve_batch(0, &unit, vec![j], &s).unwrap_err();
+        let (event, stranded) = serve(0, &unit, None, vec![j], &s).unwrap_err();
         assert_eq!(event, FaultEvent::LutParity { entry: 0 });
         quarantine(0, event, stranded, &s);
         // Worker 0 is out; worker 1 is healthy, so the job went back into
@@ -459,7 +640,7 @@ mod tests {
         let unit = CheckedNacu::new(s.config).expect("paper config");
         let (a, a_rx) = job(&s, 0.25);
         let (b, b_rx) = job(&s, -0.5);
-        serve_batch(0, &unit, vec![a, b], &s).expect("healthy batch");
+        serve(0, &unit, None, vec![a, b], &s).expect("healthy batch");
         assert!(a_rx.try_recv().expect("reply").is_ok());
         assert!(b_rx.try_recv().expect("reply").is_ok());
         let snap = s.obs.snapshot();
@@ -532,13 +713,14 @@ mod tests {
                 Obs::with_trace_capacity(64).with_health(HealthConfig::for_nacu(&config, 1)),
             ),
             health: Arc::new(vec![AtomicBool::new(true)]),
+            tables: None,
         });
         let unit = CheckedNacu::new(s.config)
             .expect("paper config")
             .with_plan(s.fault.plan_for(0))
             .with_detectors(s.fault.detectors);
         let (j, rx) = job(&s, 0.5);
-        serve_batch(0, &unit, vec![j], &s).expect("no detectors armed");
+        serve(0, &unit, None, vec![j], &s).expect("no detectors armed");
         assert!(rx.try_recv().expect("reply").is_ok(), "served, not failed");
         assert!(s.obs.health().alarm_latched(), "drift alarm latched");
         assert!(s.metrics.snapshot().drift_alarms >= 1);

@@ -114,6 +114,43 @@ fn fully_broken_pool_fails_closed_with_typed_errors() {
     engine.shutdown();
 }
 
+/// The fast-path fallback rule: a worker with an injected LUT fault must
+/// serve from the real datapath, where the parity detector sees the
+/// corrupted net — never from the response tables, which would mask the
+/// fault behind the golden builder's answers. The fast path is left at
+/// its default (enabled); the fault plan alone forces the fallback.
+#[test]
+fn fault_injected_worker_serves_from_the_datapath_not_the_table() {
+    let engine = Engine::new(
+        EngineConfig::new(NacuConfig::paper_16bit())
+            .with_workers(1)
+            .with_fault_tolerance(FaultTolerance {
+                plans: vec![broken_plan()],
+                ..FaultTolerance::default()
+            }),
+    )
+    .expect("paper config");
+    // x ≈ 0 reads the corrupted LUT entry. Had the table served this,
+    // the lookup would have returned the golden value and no detector
+    // could ever have fired.
+    let err = engine
+        .submit(Request::new(Function::Sigmoid, operands(&engine, 4)))
+        .expect("queue accepts before the fault is seen")
+        .wait()
+        .expect_err("the datapath's parity detector fires");
+    assert_eq!(err, WaitError::NoHealthyWorkers);
+    let m = engine.metrics();
+    assert!(
+        m.faults_detected >= 1,
+        "the corrupted net was exercised and detected"
+    );
+    assert_eq!(
+        m.fast_path_ops, 0,
+        "the response tables never served the faulted worker"
+    );
+    engine.shutdown();
+}
+
 /// Requests that only touch healthy LUT entries sail through a broken
 /// worker untouched — detection is precise, not paranoid.
 #[test]

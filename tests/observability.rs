@@ -115,6 +115,9 @@ fn live_scrape_serves_valid_prometheus_and_stable_json() {
         "nacu_obs_health_sample_interval 8",
         "nacu_engine_requests_completed_total 12",
         "nacu_engine_drift_alarms_total 0",
+        // Q4.11 with healthy workers: every one of the 12×32 unary
+        // operands was served from the response tables.
+        "nacu_engine_fast_path_ops_total 384",
     ] {
         assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
     }
@@ -146,6 +149,89 @@ fn live_scrape_serves_valid_prometheus_and_stable_json() {
     assert!(trace.contains("\"traceEvents\""), "{trace}");
     assert!(trace.contains("\"request sigmoid\""), "{trace}");
 
+    drop(server);
+    engine.shutdown();
+}
+
+/// Scraping `/metrics` while the pool is saturated must never stall a
+/// worker: the queue-depth and high-water gauges are relaxed atomic
+/// loads, not a lock shared with the submit path. The regression this
+/// pins down — a scrape loop hammering the server while producers keep
+/// the queue full — once serialised workers behind the queue's mutex;
+/// now serving throughput must keep advancing *between* scrapes.
+#[test]
+fn metrics_scrapes_under_load_never_stall_serving() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    let engine = Engine::new(
+        EngineConfig::new(NacuConfig::paper_16bit())
+            .with_workers(2)
+            .with_queue_capacity(8),
+    )
+    .expect("paper config");
+    let fmt = engine.format();
+    let server = engine
+        .handle()
+        .serve_obs("127.0.0.1:0")
+        .expect("bind loopback scrape server");
+    let addr = server.local_addr();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Two producers keep the tiny queue saturated (Busy rejections
+        // are expected and fine — pressure is the point).
+        for _ in 0..2 {
+            let handle = engine.handle();
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match handle.submit(Request::new(Function::Sigmoid, ramp(fmt, 16))) {
+                        Ok(ticket) => {
+                            let _ = ticket.wait_timeout(Duration::from_secs(5));
+                        }
+                        Err(_) => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+
+        // Hammer /metrics while the pool is under pressure. Every scrape
+        // must answer promptly, and completions must advance across the
+        // scrape storm — workers never wait on the scraper.
+        let completed_before = engine.metrics().requests_completed;
+        let started = Instant::now();
+        for _ in 0..40 {
+            let (status, prom) = get(addr, "/metrics");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert!(
+                prom.contains("nacu_engine_queue_depth_high_water"),
+                "{prom}"
+            );
+        }
+        let scrape_wall = started.elapsed();
+        assert!(
+            scrape_wall < Duration::from_secs(20),
+            "40 scrapes took {scrape_wall:?}: a scrape blocked on serving"
+        );
+        // Serving progressed while we scraped.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.metrics().requests_completed <= completed_before {
+            assert!(
+                Instant::now() < deadline,
+                "no request completed during/after the scrape storm"
+            );
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let m = engine.metrics();
+    assert!(m.requests_completed > 0);
+    assert!(
+        m.queue_depth_high_water > 0,
+        "the queue was never under pressure"
+    );
     drop(server);
     engine.shutdown();
 }
