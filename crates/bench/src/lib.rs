@@ -18,6 +18,7 @@
 //! | [`width_sweep`] | extension: workload-level accuracy vs NACU word width |
 //! | [`scaling`] | §VII.C — technology-scaled area/delay comparison |
 //! | [`engine_bench`] | extension: serving throughput vs engine worker count |
+//! | [`net_bench`] | extension: loopback TCP serving throughput and tail latency |
 //! | [`fault_campaign`] | extension: fault-injection detection-coverage sweep |
 
 pub mod ablation;
@@ -30,6 +31,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod formats;
 pub mod nacu_metrics;
+pub mod net_bench;
 pub mod rmse;
 pub mod scaling;
 pub mod table1;

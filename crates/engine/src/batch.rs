@@ -30,6 +30,11 @@ pub struct Request {
     /// Drop the work (answering `DeadlineExpired`) if a worker picks it up
     /// after this instant. `None` falls back to the engine's default.
     pub deadline: Option<Instant>,
+    /// Connection id of the wire front-end the request arrived on (`0`
+    /// for in-process submissions). Carried onto the flight recorder's
+    /// `submit` and `reply` spans so one socket's requests can be
+    /// followed through a drained trace.
+    pub client: u32,
 }
 
 impl Request {
@@ -40,6 +45,7 @@ impl Request {
             function,
             operands,
             deadline: None,
+            client: 0,
         }
     }
 
@@ -55,6 +61,14 @@ impl Request {
     pub fn with_timeout(self, timeout: std::time::Duration) -> Self {
         let deadline = Instant::now() + timeout;
         self.with_deadline(deadline)
+    }
+
+    /// Tags the request with the wire front-end connection id it arrived
+    /// on (in-process submissions stay at the default `0`).
+    #[must_use]
+    pub fn with_client(mut self, client: u32) -> Self {
+        self.client = client;
+        self
     }
 
     /// Whether this request may fuse with `other` into one hardware batch.

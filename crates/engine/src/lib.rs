@@ -442,6 +442,7 @@ impl EngineHandle {
         }
         let function = request.function;
         let ops = request.operands.len();
+        let conn = request.client;
         let (reply, rx) = mpsc::channel();
         let req = self.shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
         match self.shared.queue.try_push(Job {
@@ -456,6 +457,7 @@ impl EngineHandle {
                 self.shared.metrics.record_queue_depth(depth);
                 self.shared.obs.record_trace(TraceKind::Submit {
                     req,
+                    conn,
                     function,
                     ops: ops.min(u32::MAX as usize) as u32,
                 });
@@ -495,6 +497,16 @@ impl EngineHandle {
     #[must_use]
     pub fn obs(&self) -> Arc<Obs> {
         Arc::clone(&self.shared.obs)
+    }
+
+    /// The engine's live counter set, for front-ends that account events
+    /// the engine itself never sees (wire frames, admission decisions).
+    /// Network front-ends record their `net_*` counters here so they
+    /// land in the same [`MetricsSnapshot`] and `/metrics` scrape as the
+    /// serving counters.
+    #[must_use]
+    pub fn live_metrics(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// Worker (shard) count, healthy or not.

@@ -32,6 +32,13 @@ pub struct EngineMetrics {
     requests_failed: AtomicU64,
     drift_alarms: AtomicU64,
     fast_path_ops: AtomicU64,
+    net_connections_accepted: AtomicU64,
+    net_connections_rejected: AtomicU64,
+    net_frames_in: AtomicU64,
+    net_frames_out: AtomicU64,
+    net_requests_shed: AtomicU64,
+    net_quota_limited: AtomicU64,
+    net_protocol_errors: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -84,6 +91,49 @@ impl EngineMetrics {
         self.fast_path_ops.fetch_add(ops, Ordering::Relaxed);
     }
 
+    // The `net_*` recorders are `pub`, not `pub(crate)`: the wire
+    // front-end lives in its own crate (`nacu-net` depends on the
+    // engine, so the engine cannot call it) and accounts these events
+    // itself via [`crate::EngineHandle::live_metrics`].
+
+    /// A TCP connection was accepted and is being served.
+    pub fn record_net_connection_accepted(&self) {
+        self.net_connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A TCP connection was turned away at accept (connection limit).
+    pub fn record_net_connection_rejected(&self) {
+        self.net_connections_rejected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One well-formed request frame decoded off a socket.
+    pub fn record_net_frame_in(&self) {
+        self.net_frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One reply frame written to a socket (any status).
+    pub fn record_net_frame_out(&self) {
+        self.net_frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request shed before or after enqueue because its deadline could
+    /// not be met (answered with a SHED frame).
+    pub fn record_net_request_shed(&self) {
+        self.net_requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request refused by the per-client token bucket (QUOTA frame).
+    pub fn record_net_quota_limited(&self) {
+        self.net_quota_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A malformed frame (bad magic/version/function/length) on a socket.
+    pub fn record_net_protocol_error(&self) {
+        self.net_protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One fused hardware batch: `requests` requests totalling `ops`
     /// operands of `function`, costing `cycles` modeled cycles.
     pub(crate) fn record_batch(&self, function: Function, requests: u64, ops: u64, cycles: u64) {
@@ -127,6 +177,13 @@ impl EngineMetrics {
             requests_failed: self.requests_failed.load(Ordering::Relaxed),
             drift_alarms: self.drift_alarms.load(Ordering::Relaxed),
             fast_path_ops: self.fast_path_ops.load(Ordering::Relaxed),
+            net_connections_accepted: self.net_connections_accepted.load(Ordering::Relaxed),
+            net_connections_rejected: self.net_connections_rejected.load(Ordering::Relaxed),
+            net_frames_in: self.net_frames_in.load(Ordering::Relaxed),
+            net_frames_out: self.net_frames_out.load(Ordering::Relaxed),
+            net_requests_shed: self.net_requests_shed.load(Ordering::Relaxed),
+            net_quota_limited: self.net_quota_limited.load(Ordering::Relaxed),
+            net_protocol_errors: self.net_protocol_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -175,6 +232,20 @@ pub struct MetricsSnapshot {
     /// datapath — fast path disabled, format too wide, or fault plans
     /// forcing the fallback).
     pub fast_path_ops: u64,
+    /// TCP connections accepted by the network front-end.
+    pub net_connections_accepted: u64,
+    /// TCP connections turned away at accept (connection limit).
+    pub net_connections_rejected: u64,
+    /// Well-formed request frames decoded off sockets.
+    pub net_frames_in: u64,
+    /// Reply frames written to sockets (any status, BUSY/SHED included).
+    pub net_frames_out: u64,
+    /// Requests shed with a SHED frame (deadline unmeetable).
+    pub net_requests_shed: u64,
+    /// Requests refused by the per-client token bucket (QUOTA frame).
+    pub net_quota_limited: u64,
+    /// Malformed frames observed on sockets (connection then closed).
+    pub net_protocol_errors: u64,
 }
 
 impl MetricsSnapshot {
@@ -215,6 +286,19 @@ impl MetricsSnapshot {
             ("nacu_engine_requests_failed_total", self.requests_failed),
             ("nacu_engine_drift_alarms_total", self.drift_alarms),
             ("nacu_engine_fast_path_ops_total", self.fast_path_ops),
+            (
+                "nacu_net_connections_accepted_total",
+                self.net_connections_accepted,
+            ),
+            (
+                "nacu_net_connections_rejected_total",
+                self.net_connections_rejected,
+            ),
+            ("nacu_net_frames_in_total", self.net_frames_in),
+            ("nacu_net_frames_out_total", self.net_frames_out),
+            ("nacu_net_requests_shed_total", self.net_requests_shed),
+            ("nacu_net_quota_limited_total", self.net_quota_limited),
+            ("nacu_net_protocol_errors_total", self.net_protocol_errors),
             (
                 "nacu_engine_queue_depth_high_water",
                 self.queue_depth_high_water,
@@ -258,6 +342,23 @@ impl MetricsSnapshot {
             requests_failed: self.requests_failed.saturating_sub(earlier.requests_failed),
             drift_alarms: self.drift_alarms.saturating_sub(earlier.drift_alarms),
             fast_path_ops: self.fast_path_ops.saturating_sub(earlier.fast_path_ops),
+            net_connections_accepted: self
+                .net_connections_accepted
+                .saturating_sub(earlier.net_connections_accepted),
+            net_connections_rejected: self
+                .net_connections_rejected
+                .saturating_sub(earlier.net_connections_rejected),
+            net_frames_in: self.net_frames_in.saturating_sub(earlier.net_frames_in),
+            net_frames_out: self.net_frames_out.saturating_sub(earlier.net_frames_out),
+            net_requests_shed: self
+                .net_requests_shed
+                .saturating_sub(earlier.net_requests_shed),
+            net_quota_limited: self
+                .net_quota_limited
+                .saturating_sub(earlier.net_quota_limited),
+            net_protocol_errors: self
+                .net_protocol_errors
+                .saturating_sub(earlier.net_protocol_errors),
         }
     }
 }
@@ -314,14 +415,55 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.drift_alarms, 1);
         let counters = s.exporter_counters();
-        assert_eq!(counters.len(), 13);
+        assert_eq!(counters.len(), 20);
         assert!(counters
             .iter()
             .any(|&(n, v)| n == "nacu_engine_drift_alarms_total" && v == 1));
         let mut names: Vec<&str> = counters.iter().map(|&(n, _)| n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 13, "exporter names are unique");
+        assert_eq!(names.len(), 20, "exporter names are unique");
+    }
+
+    #[test]
+    fn net_counters_accumulate_export_and_diff() {
+        let m = EngineMetrics::new();
+        m.record_net_connection_accepted();
+        m.record_net_connection_rejected();
+        m.record_net_frame_in();
+        m.record_net_frame_in();
+        m.record_net_frame_out();
+        m.record_net_request_shed();
+        m.record_net_quota_limited();
+        m.record_net_protocol_error();
+        let s = m.snapshot();
+        assert_eq!(s.net_connections_accepted, 1);
+        assert_eq!(s.net_connections_rejected, 1);
+        assert_eq!(s.net_frames_in, 2);
+        assert_eq!(s.net_frames_out, 1);
+        assert_eq!(s.net_requests_shed, 1);
+        assert_eq!(s.net_quota_limited, 1);
+        assert_eq!(s.net_protocol_errors, 1);
+        let counters = s.exporter_counters();
+        for (name, want) in [
+            ("nacu_net_connections_accepted_total", 1),
+            ("nacu_net_connections_rejected_total", 1),
+            ("nacu_net_frames_in_total", 2),
+            ("nacu_net_frames_out_total", 1),
+            ("nacu_net_requests_shed_total", 1),
+            ("nacu_net_quota_limited_total", 1),
+            ("nacu_net_protocol_errors_total", 1),
+        ] {
+            assert!(
+                counters.iter().any(|&(n, v)| n == name && v == want),
+                "{name} missing or wrong"
+            );
+        }
+        let early = s;
+        m.record_net_frame_in();
+        let d = m.snapshot().since(&early);
+        assert_eq!(d.net_frames_in, 1);
+        assert_eq!(d.net_frames_out, 0);
     }
 
     #[test]

@@ -375,6 +375,7 @@ fn serve_batch(
             obs.record_latency(Stage::EndToEnd, function, e2e_ns);
             obs.record_trace(TraceKind::Reply {
                 req: job.id,
+                conn: job.request.client,
                 worker: worker as u32,
                 function,
                 e2e_ns,
@@ -458,6 +459,7 @@ fn serve_batch(
             obs.record_latency(Stage::EndToEnd, function, e2e_ns);
             obs.record_trace(TraceKind::Reply {
                 req: job.id,
+                conn: job.request.client,
                 worker: worker as u32,
                 function,
                 e2e_ns,

@@ -1,0 +1,550 @@
+//! The admission-controlled TCP serving plane.
+//!
+//! One accept thread guards the connection limit; each accepted socket
+//! gets a reader thread (decode → admission → engine submit) and a
+//! writer thread (poll in-flight tickets, write replies in completion
+//! order). Pipelining is native: a client may have many request ids in
+//! flight on one socket, and replies carry the id so order never
+//! matters. Admission is layered, cheapest first:
+//!
+//! 1. **Protocol** — malformed frames get one ERROR(PROTOCOL) reply and
+//!    the connection closes (the stream cannot be resynchronised).
+//! 2. **Quota** — the per-client token bucket refuses with QUOTA.
+//! 3. **Shed** — a request whose deadline budget is below the modeled
+//!    hardware floor ([`modeled_batch_cycles`] at the paper clock) is
+//!    refused with SHED before touching the queue; a deadline that
+//!    expires while queued becomes SHED at completion.
+//! 4. **Backpressure** — the engine's bounded queue refusing a push
+//!    becomes a BUSY reply, never a dropped connection.
+//!
+//! Every admission outcome lands in the engine's `net_*` counters via
+//! [`EngineHandle::live_metrics`], so the `/metrics` scrape sees the
+//! network plane with zero extra plumbing.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{IpAddr, Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use nacu_engine::report::{modeled_batch_cycles, PAPER_CLOCK_HZ};
+use nacu_engine::{EngineHandle, EngineMetrics, SubmitError, Ticket, WaitError};
+
+use crate::proto::{
+    code, decode_request, encode_reply, max_request_payload, read_payload, ReadError, ReplyFrame,
+    RequestFrame, Status,
+};
+
+/// Writer-thread poll interval while tickets are in flight.
+const POLL_INTERVAL: Duration = Duration::from_micros(50);
+
+/// Per-client rate limit for the token bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quota {
+    /// Sustained requests per second refilled into the bucket.
+    pub rate_per_sec: f64,
+    /// Maximum burst the bucket can hold.
+    pub burst: f64,
+}
+
+/// Tunables for [`serve`]. `Default` is sized for loopback serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Concurrent connections served; further accepts are counted
+    /// rejected and closed immediately.
+    pub max_connections: usize,
+    /// Operands accepted per request frame; larger frames are protocol
+    /// errors (and their byte length bounds allocation up front).
+    pub max_frame_ops: u32,
+    /// In-flight requests per connection; the reader stops decoding
+    /// (TCP backpressure) once this many tickets are outstanding.
+    pub max_inflight_per_conn: usize,
+    /// Per-client-IP token bucket; `None` disables quota enforcement.
+    pub quota: Option<Quota>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            max_frame_ops: 1 << 16,
+            max_inflight_per_conn: 64,
+            quota: None,
+        }
+    }
+}
+
+/// A running network serving plane. Dropping it (or calling
+/// [`NetServer::shutdown`]) stops the listener; the engine keeps
+/// serving in-process work either way.
+#[derive(Debug)]
+pub struct NetServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting; existing connections drain and close.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Token buckets keyed by client IP, shared across connections.
+#[derive(Debug)]
+struct Buckets {
+    quota: Quota,
+    by_ip: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    refilled_at: Instant,
+}
+
+impl Buckets {
+    fn admit(&self, ip: IpAddr) -> bool {
+        let mut by_ip = self.by_ip.lock().expect("bucket lock");
+        let now = Instant::now();
+        let bucket = by_ip.entry(ip).or_insert(Bucket {
+            tokens: self.quota.burst,
+            refilled_at: now,
+        });
+        let elapsed = now.duration_since(bucket.refilled_at).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.quota.rate_per_sec).min(self.quota.burst);
+        bucket.refilled_at = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// What the reader hands the writer for one admitted request.
+struct Pending {
+    client_id: u64,
+    ticket: Ticket,
+}
+
+/// Reader/writer shared state for one connection.
+struct ConnState {
+    /// Control replies (BUSY/SHED/QUOTA/ERROR) ready to write.
+    immediates: VecDeque<ReplyFrame>,
+    /// Admitted requests whose tickets the writer polls.
+    pending: VecDeque<Pending>,
+    /// The reader saw EOF or a fatal error; writer drains and exits.
+    reader_done: bool,
+    /// The writer hit a write error; reader should stop decoding.
+    writer_dead: bool,
+}
+
+struct Conn {
+    state: Mutex<ConnState>,
+    wake: Condvar,
+}
+
+/// Starts the serving plane for `handle` on `addr`.
+///
+/// # Errors
+///
+/// The bind failure from [`TcpListener::bind`], or `InvalidInput` when
+/// the engine's format is wider than the wire's 16-bit codes.
+pub fn serve(
+    handle: &EngineHandle,
+    addr: impl ToSocketAddrs,
+    config: NetConfig,
+) -> std::io::Result<NetServer> {
+    if handle.format().total_bits() > 16 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "wire codes are i16: engine formats wider than 16 bits are not servable",
+        ));
+    }
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let metrics = handle.live_metrics();
+    let buckets = config.quota.map(|quota| {
+        Arc::new(Buckets {
+            quota,
+            by_ip: Mutex::new(HashMap::new()),
+        })
+    });
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        let handle = handle.clone();
+        let config = config.clone();
+        thread::Builder::new()
+            .name("nacu-net-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &handle, &metrics, &config, buckets, &stop);
+            })?
+    };
+    Ok(NetServer {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+#[allow(clippy::needless_pass_by_value)]
+fn accept_loop(
+    listener: &TcpListener,
+    handle: &EngineHandle,
+    metrics: &Arc<EngineMetrics>,
+    config: &NetConfig,
+    buckets: Option<Arc<Buckets>>,
+    stop: &Arc<AtomicBool>,
+) {
+    let live = Arc::new(AtomicUsize::new(0));
+    let next_conn_id = AtomicU32::new(1);
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if live.load(Ordering::Acquire) >= config.max_connections {
+            metrics.record_net_connection_rejected();
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        metrics.record_net_connection_accepted();
+        live.fetch_add(1, Ordering::AcqRel);
+        let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let handle = handle.clone();
+        let metrics = Arc::clone(metrics);
+        let config = config.clone();
+        let buckets = buckets.clone();
+        let conn_live = Arc::clone(&live);
+        let spawned = thread::Builder::new()
+            .name(format!("nacu-net-conn-{conn_id}"))
+            .spawn(move || {
+                serve_connection(stream, conn_id, &handle, &metrics, &config, buckets);
+                conn_live.fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            live.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    conn_id: u32,
+    handle: &EngineHandle,
+    metrics: &Arc<EngineMetrics>,
+    config: &NetConfig,
+    buckets: Option<Arc<Buckets>>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    };
+    let conn = Arc::new(Conn {
+        state: Mutex::new(ConnState {
+            immediates: VecDeque::new(),
+            pending: VecDeque::new(),
+            reader_done: false,
+            writer_dead: false,
+        }),
+        wake: Condvar::new(),
+    });
+    let writer = {
+        let conn = Arc::clone(&conn);
+        let metrics = Arc::clone(metrics);
+        thread::Builder::new()
+            .name(format!("nacu-net-write-{conn_id}"))
+            .spawn(move || writer_loop(write_half, &conn, &metrics))
+    };
+    read_loop(stream, conn_id, handle, metrics, config, buckets, &conn);
+    {
+        let mut state = conn.state.lock().expect("conn lock");
+        state.reader_done = true;
+        conn.wake.notify_all();
+    }
+    if let Ok(writer) = writer {
+        let _ = writer.join();
+    }
+}
+
+/// Decode → admission → submit, blocking on the in-flight bound.
+fn read_loop(
+    stream: TcpStream,
+    conn_id: u32,
+    handle: &EngineHandle,
+    metrics: &Arc<EngineMetrics>,
+    config: &NetConfig,
+    buckets: Option<Arc<Buckets>>,
+    conn: &Arc<Conn>,
+) {
+    let peer_ip = stream.peer_addr().map(|a| a.ip()).ok();
+    let mut reader = std::io::BufReader::new(stream);
+    let max_payload = max_request_payload(config.max_frame_ops);
+    loop {
+        let payload = match read_payload(&mut reader, max_payload) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF
+            Err(ReadError::Oversize { .. }) => {
+                metrics.record_net_protocol_error();
+                enqueue_immediate(
+                    conn,
+                    metrics,
+                    ReplyFrame::control(Status::Error, code::PROTOCOL, 0),
+                );
+                return;
+            }
+            Err(ReadError::TruncatedFrame { .. } | ReadError::Io(_)) => {
+                // The stream died mid-frame: nothing to answer to.
+                metrics.record_net_protocol_error();
+                return;
+            }
+        };
+        let frame = match decode_request(&payload, config.max_frame_ops) {
+            Ok(frame) => frame,
+            Err(_) => {
+                metrics.record_net_protocol_error();
+                enqueue_immediate(
+                    conn,
+                    metrics,
+                    ReplyFrame::control(Status::Error, code::PROTOCOL, 0),
+                );
+                return; // cannot resync a corrupt stream
+            }
+        };
+        metrics.record_net_frame_in();
+        let reply = admit(frame, conn_id, handle, metrics, config, &buckets, peer_ip);
+        match reply {
+            Admission::Immediate(frame) => enqueue_immediate(conn, metrics, frame),
+            Admission::InFlight(pending) => {
+                let mut state = conn.state.lock().expect("conn lock");
+                while state.pending.len() >= config.max_inflight_per_conn && !state.writer_dead {
+                    state = conn.wake.wait(state).expect("conn lock");
+                }
+                if state.writer_dead {
+                    return;
+                }
+                state.pending.push_back(pending);
+            }
+        }
+        if conn.state.lock().expect("conn lock").writer_dead {
+            return;
+        }
+    }
+}
+
+enum Admission {
+    /// Answered without touching the engine (or rejected by it).
+    Immediate(ReplyFrame),
+    /// Enqueued; the writer polls the ticket.
+    InFlight(Pending),
+}
+
+fn admit(
+    frame: RequestFrame,
+    conn_id: u32,
+    handle: &EngineHandle,
+    metrics: &Arc<EngineMetrics>,
+    _config: &NetConfig,
+    buckets: &Option<Arc<Buckets>>,
+    peer_ip: Option<IpAddr>,
+) -> Admission {
+    let client_id = frame.id;
+    // Quota before any per-operand work: refusals must stay cheap.
+    if let (Some(buckets), Some(ip)) = (buckets.as_ref(), peer_ip) {
+        if !buckets.admit(ip) {
+            metrics.record_net_quota_limited();
+            return Admission::Immediate(ReplyFrame::control(Status::Quota, code::NONE, client_id));
+        }
+    }
+    // Deadline shedding: refuse work the hardware model says cannot
+    // finish in budget. `modeled_batch_cycles / PAPER_CLOCK_HZ` is the
+    // floor a batch of this shape costs on one unit with zero queueing,
+    // so any budget below it is deterministically unmeetable.
+    let budget = (frame.deadline_micros > 0).then(|| Duration::from_micros(frame.deadline_micros));
+    if let Some(budget) = budget {
+        let floor_secs =
+            modeled_batch_cycles(frame.function, frame.codes.len()) as f64 / PAPER_CLOCK_HZ;
+        if budget.as_secs_f64() < floor_secs {
+            metrics.record_net_request_shed();
+            return Admission::Immediate(ReplyFrame::control(Status::Shed, code::NONE, client_id));
+        }
+    }
+    let operands = match frame.operands() {
+        Ok(operands) => operands,
+        Err(_) => {
+            metrics.record_net_protocol_error();
+            return Admission::Immediate(ReplyFrame::control(
+                Status::Error,
+                code::PROTOCOL,
+                client_id,
+            ));
+        }
+    };
+    let mut request = nacu_engine::Request::new(frame.function, operands).with_client(conn_id);
+    if let Some(budget) = budget {
+        request = request.with_deadline(Instant::now() + budget);
+    }
+    match handle.submit(request) {
+        Ok(ticket) => Admission::InFlight(Pending { client_id, ticket }),
+        Err(SubmitError::Busy { .. }) => {
+            Admission::Immediate(ReplyFrame::control(Status::Busy, code::NONE, client_id))
+        }
+        Err(SubmitError::ShuttingDown) => Admission::Immediate(ReplyFrame::control(
+            Status::Error,
+            code::SHUTTING_DOWN,
+            client_id,
+        )),
+        Err(SubmitError::Invalid(_)) => Admission::Immediate(ReplyFrame::control(
+            Status::Error,
+            code::INVALID_REQUEST,
+            client_id,
+        )),
+    }
+}
+
+fn enqueue_immediate(conn: &Arc<Conn>, _metrics: &Arc<EngineMetrics>, frame: ReplyFrame) {
+    let mut state = conn.state.lock().expect("conn lock");
+    state.immediates.push_back(frame);
+    conn.wake.notify_all();
+}
+
+/// Polls in-flight tickets and writes replies in completion order.
+fn writer_loop(mut stream: TcpStream, conn: &Arc<Conn>, metrics: &Arc<EngineMetrics>) {
+    let mut ready: Vec<ReplyFrame> = Vec::new();
+    loop {
+        ready.clear();
+        let done = {
+            let mut state = conn.state.lock().expect("conn lock");
+            ready.extend(state.immediates.drain(..));
+            // Completion order, not submission order: any finished
+            // ticket anywhere in the deque replies now.
+            let mut index = 0;
+            while index < state.pending.len() {
+                let Some(outcome) = state.pending[index].ticket.try_wait() else {
+                    index += 1;
+                    continue;
+                };
+                let pending = state.pending.remove(index).expect("polled index");
+                ready.push(completion_reply(pending.client_id, outcome, metrics));
+            }
+            if !state.pending.is_empty() || !ready.is_empty() {
+                conn.wake.notify_all(); // reader may be blocked on the bound
+            }
+            state.reader_done && state.pending.is_empty() && ready.is_empty()
+        };
+        if done {
+            return;
+        }
+        if ready.is_empty() {
+            thread::sleep(POLL_INTERVAL);
+            continue;
+        }
+        for frame in &ready {
+            metrics.record_net_frame_out();
+            if stream.write_all(&encode_reply(frame)).is_err() {
+                let mut state = conn.state.lock().expect("conn lock");
+                state.writer_dead = true;
+                conn.wake.notify_all();
+                return;
+            }
+        }
+        let _ = stream.flush();
+    }
+}
+
+/// Maps one ticket outcome onto its wire reply.
+fn completion_reply(
+    client_id: u64,
+    outcome: Result<nacu_engine::Response, WaitError>,
+    metrics: &Arc<EngineMetrics>,
+) -> ReplyFrame {
+    match outcome {
+        Ok(response) => ReplyFrame {
+            status: Status::Ok,
+            code: code::NONE,
+            id: client_id,
+            codes: response.outputs.iter().map(|fx| fx.raw() as i16).collect(),
+        },
+        Err(WaitError::DeadlineExpired) => {
+            metrics.record_net_request_shed();
+            ReplyFrame::control(Status::Shed, code::NONE, client_id)
+        }
+        Err(WaitError::EngineShutDown) => {
+            ReplyFrame::control(Status::Error, code::SHUTTING_DOWN, client_id)
+        }
+        Err(WaitError::FaultDetected { .. } | WaitError::NoHealthyWorkers) => {
+            ReplyFrame::control(Status::Error, code::FAULT, client_id)
+        }
+        Err(WaitError::Timeout) => ReplyFrame::control(Status::Error, code::INTERNAL, client_id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_bucket_admits_burst_then_refuses() {
+        let buckets = Buckets {
+            quota: Quota {
+                rate_per_sec: 0.0001, // effectively no refill inside a test
+                burst: 3.0,
+            },
+            by_ip: Mutex::new(HashMap::new()),
+        };
+        let ip: IpAddr = "127.0.0.1".parse().unwrap();
+        assert!(buckets.admit(ip));
+        assert!(buckets.admit(ip));
+        assert!(buckets.admit(ip));
+        assert!(!buckets.admit(ip), "burst exhausted");
+        let other: IpAddr = "10.0.0.1".parse().unwrap();
+        assert!(buckets.admit(other), "buckets are per client");
+    }
+
+    #[test]
+    fn token_bucket_refills_over_time() {
+        let buckets = Buckets {
+            quota: Quota {
+                rate_per_sec: 1_000_000.0,
+                burst: 1.0,
+            },
+            by_ip: Mutex::new(HashMap::new()),
+        };
+        let ip: IpAddr = "127.0.0.1".parse().unwrap();
+        assert!(buckets.admit(ip));
+        thread::sleep(Duration::from_millis(2));
+        assert!(buckets.admit(ip), "refilled after waiting");
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = NetConfig::default();
+        assert!(c.max_connections > 0);
+        assert!(c.max_frame_ops > 0);
+        assert!(c.max_inflight_per_conn > 0);
+        assert!(c.quota.is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the wire protocol: every encodable frame decodes
+//! back to itself, and no byte mutation of a valid frame (or arbitrary
+//! garbage) can make the decoder panic — it always answers with a typed
+//! [`DecodeError`] or a (different but valid) frame.
+
+use nacu::Function;
+use nacu_fixed::QFormat;
+use nacu_net::proto::{
+    code, decode_reply, decode_request, encode_reply, encode_request, ReplyFrame, RequestFrame,
+    Status,
+};
+use proptest::prelude::*;
+
+const MAX_OPS: u32 = 1 << 16;
+
+fn function_from(pick: u64) -> Function {
+    match pick % 4 {
+        0 => Function::Sigmoid,
+        1 => Function::Tanh,
+        2 => Function::Exp,
+        _ => Function::Softmax,
+    }
+}
+
+fn status_from(pick: u64) -> Status {
+    match pick % 5 {
+        0 => Status::Ok,
+        1 => Status::Busy,
+        2 => Status::Shed,
+        3 => Status::Quota,
+        _ => Status::Error,
+    }
+}
+
+proptest! {
+    #[test]
+    fn request_frames_round_trip(
+        pick in proptest::num::u64::ANY,
+        id in proptest::num::u64::ANY,
+        deadline in proptest::num::u64::ANY,
+        codes in proptest::collection::vec(-32768_i64..=32767, 1..300),
+    ) {
+        let frame = RequestFrame {
+            function: function_from(pick),
+            format: QFormat::new(4, 11).unwrap(),
+            id,
+            deadline_micros: deadline,
+            codes: codes.iter().map(|&c| c as i16).collect(),
+        };
+        let bytes = encode_request(&frame);
+        let decoded = decode_request(&bytes[4..], MAX_OPS).expect("valid frame");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn reply_frames_round_trip(
+        pick in proptest::num::u64::ANY,
+        id in proptest::num::u64::ANY,
+        detail in 0_i64..=255,
+        codes in proptest::collection::vec(-32768_i64..=32767, 0..300),
+    ) {
+        let status = status_from(pick);
+        let frame = ReplyFrame {
+            status,
+            code: detail as u8,
+            id,
+            codes: codes.iter().map(|&c| c as i16).collect(),
+        };
+        let bytes = encode_reply(&frame);
+        let decoded = decode_reply(&bytes[4..]).expect("valid frame");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Single-byte corruption of a valid request never panics the
+    /// decoder: it either fails typed or decodes as some other valid
+    /// frame (corrupting an operand byte, say, still decodes).
+    #[test]
+    fn corrupted_requests_decode_or_fail_typed(
+        at in proptest::num::u64::ANY,
+        xor in 1_i64..=255,
+        codes in proptest::collection::vec(-32768_i64..=32767, 1..40),
+    ) {
+        let frame = RequestFrame {
+            function: Function::Exp,
+            format: QFormat::new(4, 11).unwrap(),
+            id: 5,
+            deadline_micros: 0,
+            codes: codes.iter().map(|&c| c as i16).collect(),
+        };
+        let mut bytes = encode_request(&frame);
+        let payload_len = bytes.len() - 4;
+        let at = 4 + (at as usize) % payload_len;
+        bytes[at] ^= xor as u8;
+        // Typed result either way; a panic fails the test.
+        let _ = decode_request(&bytes[4..], MAX_OPS);
+    }
+
+    /// Arbitrary garbage never panics either decoder.
+    #[test]
+    fn garbage_never_panics_decoders(
+        bytes in proptest::collection::vec(0_i64..=255, 0..200),
+    ) {
+        let payload: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let _ = decode_request(&payload, MAX_OPS);
+        let _ = decode_reply(&payload);
+    }
+
+    /// Truncating a valid frame's payload at any point fails typed.
+    #[test]
+    fn truncated_requests_fail_typed(
+        cut in proptest::num::u64::ANY,
+        codes in proptest::collection::vec(-32768_i64..=32767, 1..40),
+    ) {
+        let frame = RequestFrame {
+            function: Function::Sigmoid,
+            format: QFormat::new(4, 11).unwrap(),
+            id: 1,
+            deadline_micros: 7,
+            codes: codes.iter().map(|&c| c as i16).collect(),
+        };
+        let bytes = encode_request(&frame);
+        let payload = &bytes[4..];
+        let cut = (cut as usize) % payload.len(); // strictly shorter
+        prop_assert!(decode_request(&payload[..cut], MAX_OPS).is_err());
+    }
+}
+
+#[test]
+fn status_bytes_round_trip_and_unknowns_fail() {
+    for status in [
+        Status::Ok,
+        Status::Busy,
+        Status::Shed,
+        Status::Quota,
+        Status::Error,
+    ] {
+        assert_eq!(Status::from_u8(status as u8), Some(status));
+    }
+    for byte in 5..=u8::MAX {
+        assert_eq!(Status::from_u8(byte), None);
+    }
+    // The detail-code namespace stays dense and stable.
+    assert_eq!(code::NONE, 0);
+    assert_eq!(code::PROTOCOL, 4);
+}

@@ -74,6 +74,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             }
             TraceKind::Reply {
                 req,
+                conn,
                 worker,
                 function,
                 e2e_ns,
@@ -90,7 +91,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                         req,
                         submit.at_ns,
                         at.saturating_sub(submit.at_ns),
-                        &format!("\"req\":{req},\"worker\":{worker},\"ops\":{ops}"),
+                        &format!("\"req\":{req},\"conn\":{conn},\"worker\":{worker},\"ops\":{ops}"),
                     );
                 } else {
                     instant(
@@ -99,7 +100,9 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                         2,
                         req,
                         at,
-                        &format!("\"req\":{req},\"worker\":{worker},\"e2e_ns\":{e2e_ns}"),
+                        &format!(
+                            "\"req\":{req},\"conn\":{conn},\"worker\":{worker},\"e2e_ns\":{e2e_ns}"
+                        ),
                     );
                 }
             }
@@ -206,14 +209,20 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     let mut unpaired: Vec<&TraceEvent> = pending.into_values().collect();
     unpaired.sort_by_key(|e| e.at_ns);
     for event in unpaired {
-        if let TraceKind::Submit { req, function, ops } = event.kind {
+        if let TraceKind::Submit {
+            req,
+            conn,
+            function,
+            ops,
+        } = event.kind
+        {
             instant(
                 &mut out,
                 &format!("submit {function}"),
                 2,
                 req,
                 event.at_ns,
-                &format!("\"req\":{req},\"ops\":{ops}"),
+                &format!("\"req\":{req},\"conn\":{conn},\"ops\":{ops}"),
             );
         }
     }
@@ -237,6 +246,7 @@ mod tests {
                 1_000,
                 TraceKind::Submit {
                     req: 7,
+                    conn: 4,
                     function: Function::Sigmoid,
                     ops: 32,
                 },
@@ -245,6 +255,7 @@ mod tests {
                 5_500,
                 TraceKind::Reply {
                     req: 7,
+                    conn: 4,
                     worker: 1,
                     function: Function::Sigmoid,
                     e2e_ns: 4_500,
@@ -259,6 +270,10 @@ mod tests {
              \"ts\":1.000,\"dur\":4.500"
         ));
         assert!(json.contains("\"ops\":32"));
+        assert!(
+            json.contains("\"conn\":4"),
+            "span carries the connection id"
+        );
         // The pair was consumed: no leftover submit instant.
         assert!(!json.contains("submit sigmoid"));
     }
@@ -288,6 +303,7 @@ mod tests {
                 100,
                 TraceKind::Submit {
                     req: 9,
+                    conn: 0,
                     function: Function::Tanh,
                     ops: 8,
                 },

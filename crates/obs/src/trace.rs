@@ -34,6 +34,9 @@ pub enum TraceKind {
     Submit {
         /// Engine-assigned request id (threads through to [`Self::Reply`]).
         req: u64,
+        /// Network connection the request arrived on (`0` for in-process
+        /// submissions; wire front-ends assign ids starting at 1).
+        conn: u32,
         /// Requested function.
         function: Function,
         /// Operand count.
@@ -70,6 +73,10 @@ pub enum TraceKind {
     Reply {
         /// The answered request's id.
         req: u64,
+        /// Network connection the request arrived on (`0` = in-process),
+        /// mirroring [`Self::Submit`] so one connection's requests can be
+        /// followed through a drained trace.
+        conn: u32,
         /// The worker that served it.
         worker: u32,
         /// The request's function.
@@ -367,6 +374,7 @@ mod tests {
     fn submit(ops: u32) -> TraceKind {
         TraceKind::Submit {
             req: 0,
+            conn: 0,
             function: Function::Sigmoid,
             ops,
         }
@@ -535,6 +543,7 @@ mod tests {
         assert_eq!(drift.name(), "drift_alarm");
         let reply = TraceKind::Reply {
             req: 17,
+            conn: 3,
             worker: 0,
             function: Function::Sigmoid,
             e2e_ns: 840,

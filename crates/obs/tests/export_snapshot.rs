@@ -30,6 +30,7 @@ fn fixed_snapshot() -> nacu_obs::ObsSnapshot {
         .record_batch(Function::Softmax, 16, 46, 48, 40_000);
     obs.record_trace(TraceKind::Submit {
         req: 1,
+        conn: 0,
         function: Function::Sigmoid,
         ops: 64,
     });

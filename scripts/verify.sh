@@ -53,6 +53,13 @@ stage obs-smoke cargo run --release --offline -q -p nacu-bench --bin obs_smoke -
     --trace "${LOG_DIR}/obs_trace.json" \
     --drift-prom "${LOG_DIR}/obs_drift.prom"
 
+# Network serving smoke: loopback loadgen through the nacu-net TCP
+# plane plus the deterministic BUSY/SHED/QUOTA admission demo. The
+# net_pr.json record lands next to the stage logs.
+stage net-smoke cargo run --release --offline -q -p nacu-bench --bin net_loadgen -- \
+    --smoke \
+    --out "${LOG_DIR}/net_pr.json"
+
 # Regenerate the full experiment reproduction transcript into the log
 # directory (it is a build artifact, not a committed file — EXPERIMENTS.md
 # quotes numbers from it). The Fig. 4 LUT-size searches dominate: ~1 min
