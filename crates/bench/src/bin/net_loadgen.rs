@@ -108,9 +108,18 @@ fn run() -> Result<(), String> {
         workload.pipeline_depth
     );
     let net_engine = engine()?;
+    // Size the plane for the requested load: the connection cap scales
+    // with --clients, while the reply dispatcher pool stays at its fixed
+    // default however many sockets are open.
     let mut server = net_engine
         .handle()
-        .serve_net("127.0.0.1:0")
+        .serve_net_with(
+            "127.0.0.1:0",
+            nacu_net::NetConfig {
+                max_connections: workload.clients + 8,
+                ..nacu_net::NetConfig::default()
+            },
+        )
         .map_err(|e| format!("bind serving plane: {e}"))?;
     let row = net_bench::drive(server.addr(), net_engine.format(), workload);
     let snapshot = net_engine.metrics();

@@ -55,10 +55,10 @@ pub mod batch;
 pub mod metrics;
 pub mod queue;
 pub mod report;
+pub mod wake;
 
 mod pool;
 
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -72,6 +72,7 @@ use nacu_obs::Obs;
 pub use batch::{Request, RequestError, Response};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use report::{LatencySummary, ThroughputReport, PAPER_CLOCK_HZ};
+pub use wake::{Completer, CompletionNotifier, CompletionSet, TicketFuture};
 // Re-exported so engine clients can build fault policies without naming
 // nacu-faults directly.
 pub use nacu_faults::{DetectorSet, Fault, FaultEvent, FaultKind, FaultPlan, InjectionSite};
@@ -331,10 +332,17 @@ impl From<RequestError> for WaitError {
 }
 
 /// A claim on one in-flight request's eventual response.
+///
+/// Three consumption shapes share one lock-free completion slot (see
+/// [`wake`]): blocking ([`Ticket::wait`] / [`Ticket::wait_timeout`], thin
+/// wrappers over [`wake::block_on`]), polling ([`Ticket::try_wait`]), and
+/// asynchronous — `Ticket` implements [`std::future::IntoFuture`], so
+/// `ticket.await` works under any executor, and a [`wake::CompletionSet`]
+/// multiplexes thousands of in-flight tickets onto one driver thread.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<Response, RequestError>>,
-    req: u64,
+    pub(crate) slot: Arc<wake::Slot<wake::ReplyResult>>,
+    pub(crate) req: u64,
 }
 
 impl Ticket {
@@ -347,41 +355,58 @@ impl Ticket {
         self.req
     }
 
-    /// Blocks until the response arrives (or the engine dies).
+    /// Blocks until the response arrives (or the engine dies), by
+    /// parking the calling thread behind a registered waker — no
+    /// polling, one wakeup.
     ///
     /// # Errors
     ///
     /// [`WaitError::DeadlineExpired`] or [`WaitError::EngineShutDown`].
     pub fn wait(self) -> Result<Response, WaitError> {
-        match self.rx.recv() {
-            Ok(Ok(response)) => Ok(response),
-            Ok(Err(e)) => Err(e.into()),
-            Err(mpsc::RecvError) => Err(WaitError::EngineShutDown),
-        }
+        wake::block_on(std::future::IntoFuture::into_future(self))
     }
 
-    /// Blocks up to `timeout` for the response.
+    /// Blocks up to `timeout` for the response. On timeout the ticket is
+    /// dropped — the request may still complete inside the engine, but
+    /// its response is abandoned.
     ///
     /// # Errors
     ///
     /// As [`Ticket::wait`], plus [`WaitError::Timeout`].
     pub fn wait_timeout(self, timeout: Duration) -> Result<Response, WaitError> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(Ok(response)) => Ok(response),
-            Ok(Err(e)) => Err(e.into()),
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(WaitError::Timeout),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(WaitError::EngineShutDown),
-        }
+        let deadline = Instant::now() + timeout;
+        wake::block_on_deadline(std::future::IntoFuture::into_future(self), deadline)
+            .unwrap_or(Err(WaitError::Timeout))
     }
 
     /// Non-blocking poll; returns `None` while the request is in flight.
+    /// After the outcome has been claimed (here or via a future), later
+    /// calls see [`WaitError::EngineShutDown`], mirroring the
+    /// disconnected-channel semantics this API had before the waker slot.
     pub fn try_wait(&self) -> Option<Result<Response, WaitError>> {
-        match self.rx.try_recv() {
-            Ok(Ok(response)) => Some(Ok(response)),
-            Ok(Err(e)) => Some(Err(e.into())),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(WaitError::EngineShutDown)),
+        match self.slot.poll_value(None) {
+            std::task::Poll::Pending => None,
+            std::task::Poll::Ready(Some(Ok(response))) => Some(Ok(response)),
+            std::task::Poll::Ready(Some(Err(e))) => Some(Err(e.into())),
+            std::task::Poll::Ready(None) => Some(Err(WaitError::EngineShutDown)),
         }
+    }
+
+    /// A ticket/completer pair detached from any engine: the unit- and
+    /// property-test surface for the waker state machine, and a way for
+    /// front-ends to mint locally-resolved tickets.
+    #[must_use]
+    pub fn detached(request_id: u64) -> (Ticket, Completer) {
+        wake::pair(request_id)
+    }
+}
+
+impl std::future::IntoFuture for Ticket {
+    type Output = Result<Response, WaitError>;
+    type IntoFuture = TicketFuture;
+
+    fn into_future(self) -> TicketFuture {
+        TicketFuture { ticket: self }
     }
 }
 
@@ -443,8 +468,8 @@ impl EngineHandle {
         let function = request.function;
         let ops = request.operands.len();
         let conn = request.client;
-        let (reply, rx) = mpsc::channel();
         let req = self.shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let (ticket, reply) = wake::pair(req);
         match self.shared.queue.try_push(Job {
             id: req,
             request,
@@ -461,7 +486,7 @@ impl EngineHandle {
                     function,
                     ops: ops.min(u32::MAX as usize) as u32,
                 });
-                Ok(Ticket { rx, req })
+                Ok(ticket)
             }
             Err(PushError::Full(_)) => {
                 self.shared.metrics.record_busy_rejection();

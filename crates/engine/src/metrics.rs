@@ -39,6 +39,9 @@ pub struct EngineMetrics {
     net_requests_shed: AtomicU64,
     net_quota_limited: AtomicU64,
     net_protocol_errors: AtomicU64,
+    async_wakers_registered: AtomicU64,
+    async_spurious_wakeups: AtomicU64,
+    async_dispatcher_batches: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -134,6 +137,26 @@ impl EngineMetrics {
         self.net_protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    // The async_* counters watch the waker-based completion plane: a
+    // `CompletionSet` records registrations and spurious wakeups, and
+    // each reply dispatcher records its drain batches.
+
+    /// A waker was armed on an in-flight ticket (re-arms included).
+    pub fn record_async_waker_registered(&self) {
+        self.async_wakers_registered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A parked driver woke with nothing completed (poke or stale key).
+    pub fn record_async_spurious_wakeup(&self) {
+        self.async_spurious_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One dispatcher drain that flushed ≥ 1 completed replies.
+    pub fn record_async_dispatcher_batch(&self) {
+        self.async_dispatcher_batches
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One fused hardware batch: `requests` requests totalling `ops`
     /// operands of `function`, costing `cycles` modeled cycles.
     pub(crate) fn record_batch(&self, function: Function, requests: u64, ops: u64, cycles: u64) {
@@ -184,6 +207,9 @@ impl EngineMetrics {
             net_requests_shed: self.net_requests_shed.load(Ordering::Relaxed),
             net_quota_limited: self.net_quota_limited.load(Ordering::Relaxed),
             net_protocol_errors: self.net_protocol_errors.load(Ordering::Relaxed),
+            async_wakers_registered: self.async_wakers_registered.load(Ordering::Relaxed),
+            async_spurious_wakeups: self.async_spurious_wakeups.load(Ordering::Relaxed),
+            async_dispatcher_batches: self.async_dispatcher_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -246,6 +272,12 @@ pub struct MetricsSnapshot {
     pub net_quota_limited: u64,
     /// Malformed frames observed on sockets (connection then closed).
     pub net_protocol_errors: u64,
+    /// Wakers armed on in-flight tickets (completion-set registrations).
+    pub async_wakers_registered: u64,
+    /// Driver wakeups that drained nothing (pokes and stale keys).
+    pub async_spurious_wakeups: u64,
+    /// Dispatcher drains that flushed at least one completed reply.
+    pub async_dispatcher_batches: u64,
 }
 
 impl MetricsSnapshot {
@@ -299,6 +331,18 @@ impl MetricsSnapshot {
             ("nacu_net_requests_shed_total", self.net_requests_shed),
             ("nacu_net_quota_limited_total", self.net_quota_limited),
             ("nacu_net_protocol_errors_total", self.net_protocol_errors),
+            (
+                "nacu_async_wakers_registered_total",
+                self.async_wakers_registered,
+            ),
+            (
+                "nacu_async_spurious_wakeups_total",
+                self.async_spurious_wakeups,
+            ),
+            (
+                "nacu_async_dispatcher_batches_total",
+                self.async_dispatcher_batches,
+            ),
             (
                 "nacu_engine_queue_depth_high_water",
                 self.queue_depth_high_water,
@@ -359,6 +403,15 @@ impl MetricsSnapshot {
             net_protocol_errors: self
                 .net_protocol_errors
                 .saturating_sub(earlier.net_protocol_errors),
+            async_wakers_registered: self
+                .async_wakers_registered
+                .saturating_sub(earlier.async_wakers_registered),
+            async_spurious_wakeups: self
+                .async_spurious_wakeups
+                .saturating_sub(earlier.async_spurious_wakeups),
+            async_dispatcher_batches: self
+                .async_dispatcher_batches
+                .saturating_sub(earlier.async_dispatcher_batches),
         }
     }
 }
@@ -415,14 +468,43 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.drift_alarms, 1);
         let counters = s.exporter_counters();
-        assert_eq!(counters.len(), 20);
+        assert_eq!(counters.len(), 23);
         assert!(counters
             .iter()
             .any(|&(n, v)| n == "nacu_engine_drift_alarms_total" && v == 1));
         let mut names: Vec<&str> = counters.iter().map(|&(n, _)| n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 20, "exporter names are unique");
+        assert_eq!(names.len(), 23, "exporter names are unique");
+    }
+
+    #[test]
+    fn async_counters_accumulate_diff_and_export() {
+        let m = EngineMetrics::new();
+        m.record_async_waker_registered();
+        m.record_async_waker_registered();
+        m.record_async_spurious_wakeup();
+        m.record_async_dispatcher_batch();
+        let s = m.snapshot();
+        assert_eq!(s.async_wakers_registered, 2);
+        assert_eq!(s.async_spurious_wakeups, 1);
+        assert_eq!(s.async_dispatcher_batches, 1);
+        let counters = s.exporter_counters();
+        for (name, want) in [
+            ("nacu_async_wakers_registered_total", 2),
+            ("nacu_async_spurious_wakeups_total", 1),
+            ("nacu_async_dispatcher_batches_total", 1),
+        ] {
+            assert!(
+                counters.iter().any(|&(n, v)| n == name && v == want),
+                "{name} missing or wrong"
+            );
+        }
+        let early = s;
+        m.record_async_dispatcher_batch();
+        let d = m.snapshot().since(&early);
+        assert_eq!(d.async_dispatcher_batches, 1);
+        assert_eq!(d.async_wakers_registered, 0);
     }
 
     #[test]

@@ -27,7 +27,6 @@
 //!    queue so new submissions fail fast at the door.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -42,15 +41,20 @@ use crate::queue::{BoundedQueue, Coalesce, PushError};
 use crate::report::{modeled_batch_cycles, modeled_checked_batch_cycles};
 use crate::FaultTolerance;
 
-/// One queued unit of work: the request plus its reply channel, the
+/// One queued unit of work: the request plus its reply completer, the
 /// instant it entered the queue (for latency accounting) and the number
 /// of times a quarantining worker has already bounced it.
+///
+/// The completer is the producing half of the ticket's waker slot: it
+/// publishes the outcome and delivers the (at most one) wakeup; dropping
+/// it unreplied resolves the ticket with `EngineShutDown`, preserving
+/// the old sender-drop semantics.
 #[derive(Debug)]
 pub(crate) struct Job {
     /// Flight-recorder request id (0 = untracked, e.g. in unit tests).
     pub(crate) id: u64,
     pub(crate) request: Request,
-    pub(crate) reply: mpsc::Sender<Result<Response, RequestError>>,
+    pub(crate) reply: crate::wake::Completer,
     pub(crate) retries: u32,
     pub(crate) submitted_at: Instant,
 }
@@ -167,10 +171,10 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
     for mut job in jobs {
         if !any_healthy {
             shared.metrics.record_request_failed();
-            let _ = job.reply.send(Err(RequestError::NoHealthyWorkers));
+            job.reply.complete(Err(RequestError::NoHealthyWorkers));
         } else if job.retries >= shared.fault.max_retries {
             shared.metrics.record_request_failed();
-            let _ = job.reply.send(Err(RequestError::FaultDetected {
+            job.reply.complete(Err(RequestError::FaultDetected {
                 event,
                 attempts: job.retries + 1,
             }));
@@ -182,9 +186,11 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
                 worker: worker as u32,
                 attempts: job.retries,
             });
-            if let Err(PushError::Full(job) | PushError::Closed(job)) = shared.queue.try_push(job) {
+            if let Err(PushError::Full(mut job) | PushError::Closed(mut job)) =
+                shared.queue.try_push(job)
+            {
                 shared.metrics.record_request_failed();
-                let _ = job.reply.send(Err(RequestError::FaultDetected {
+                job.reply.complete(Err(RequestError::FaultDetected {
                     event,
                     attempts: job.retries,
                 }));
@@ -193,9 +199,9 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
     }
     if !any_healthy {
         // Last one out answers whatever was stranded behind the door.
-        for job in shared.queue.drain() {
+        for mut job in shared.queue.drain() {
             shared.metrics.record_request_failed();
-            let _ = job.reply.send(Err(RequestError::NoHealthyWorkers));
+            job.reply.complete(Err(RequestError::NoHealthyWorkers));
         }
     }
 }
@@ -228,14 +234,14 @@ fn serve_batch(
     // inflate the fused batch.
     let now = Instant::now();
     live.clear();
-    for job in jobs.drain(..) {
+    for mut job in jobs.drain(..) {
         if job.request.deadline.is_some_and(|d| d < now) {
             metrics.record_expired();
             obs.record_trace(TraceKind::Expired {
                 req: job.id,
                 function: job.request.function,
             });
-            let _ = job.reply.send(Err(RequestError::DeadlineExpired));
+            job.reply.complete(Err(RequestError::DeadlineExpired));
         } else {
             live.push(job);
         }
@@ -370,7 +376,7 @@ fn serve_batch(
             service_ns,
         });
         metrics.record_batch(function, live.len() as u64, batch_ops as u64, batch_cycles);
-        let reply = |job: Job, outputs: Vec<nacu_fixed::Fx>| {
+        let reply = |mut job: Job, outputs: Vec<nacu_fixed::Fx>| {
             let e2e_ns = as_ns(job.submitted_at.elapsed());
             obs.record_latency(Stage::EndToEnd, function, e2e_ns);
             obs.record_trace(TraceKind::Reply {
@@ -380,7 +386,7 @@ fn serve_batch(
                 function,
                 e2e_ns,
             });
-            let _ = job.reply.send(Ok(Response {
+            job.reply.complete(Ok(Response {
                 outputs,
                 worker,
                 batch_ops,
@@ -408,7 +414,7 @@ fn serve_batch(
         let exp_table = tables.map(ResponseTables::exp);
         let mut index = 0;
         while index < live.len() {
-            let job = &live[index];
+            let job = &mut live[index];
             let n = job.request.operands.len();
             let batch_cycles = modeled_batch_cycles(function, n);
             obs.record_trace(TraceKind::BatchStart {
@@ -464,7 +470,7 @@ fn serve_batch(
                 function,
                 e2e_ns,
             });
-            let _ = job.reply.send(Ok(Response {
+            job.reply.complete(Ok(Response {
                 outputs,
                 worker,
                 batch_ops: n,
@@ -516,9 +522,9 @@ mod tests {
         serve_batch(worker, unit, tables, &mut jobs, &mut live, s)
     }
 
-    fn job(shared: &PoolShared, v: f64) -> (Job, mpsc::Receiver<Result<Response, RequestError>>) {
+    fn job(shared: &PoolShared, v: f64) -> (Job, crate::Ticket) {
         let fmt = shared.config.format;
-        let (reply, rx) = mpsc::channel();
+        let (ticket, reply) = crate::wake::pair(0);
         (
             Job {
                 id: 0,
@@ -530,7 +536,7 @@ mod tests {
                 retries: 0,
                 submitted_at: Instant::now(),
             },
-            rx,
+            ticket,
         )
     }
 
@@ -555,8 +561,8 @@ mod tests {
             unit.golden()
                 .sigmoid(Fx::from_f64(v, fmt, Rounding::Nearest))
         };
-        let a_out = a_rx.try_recv().expect("reply").expect("served");
-        let b_out = b_rx.try_recv().expect("reply").expect("served");
+        let a_out = a_rx.try_wait().expect("reply").expect("served");
+        let b_out = b_rx.try_wait().expect("reply").expect("served");
         assert_eq!(a_out.outputs, vec![expect(0.25)]);
         assert_eq!(b_out.outputs, vec![expect(-1.5)]);
         let m = s.metrics.snapshot();
@@ -581,7 +587,7 @@ mod tests {
             .iter()
             .map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest))
             .collect();
-        let (reply, rx) = mpsc::channel();
+        let (ticket, reply) = crate::wake::pair(0);
         let j = Job {
             id: 0,
             request: Request::new(Function::Softmax, xs.clone()),
@@ -592,7 +598,7 @@ mod tests {
         serve(0, &unit, Some(&tables), vec![j], &s).expect("infallible fast path");
         let golden = unit.golden().softmax(&xs).expect("valid vector");
         assert_eq!(
-            rx.try_recv().expect("reply").expect("served").outputs,
+            ticket.try_wait().expect("reply").expect("served").outputs,
             golden
         );
         assert_eq!(s.metrics.snapshot().fast_path_ops, xs.len() as u64);
@@ -616,7 +622,7 @@ mod tests {
         assert!(!s.health[0].load(Ordering::Acquire));
         assert!(s.health[1].load(Ordering::Acquire));
         assert_eq!(s.queue.depth(), 1);
-        assert!(rx.try_recv().is_err(), "no reply until a healthy serve");
+        assert!(rx.try_wait().is_none(), "no reply until a healthy serve");
         let requeued = s.queue.drain().remove(0);
         assert_eq!(requeued.retries, 1);
         let m = s.metrics.snapshot();
@@ -643,8 +649,8 @@ mod tests {
         let (a, a_rx) = job(&s, 0.25);
         let (b, b_rx) = job(&s, -0.5);
         serve(0, &unit, None, vec![a, b], &s).expect("healthy batch");
-        assert!(a_rx.try_recv().expect("reply").is_ok());
-        assert!(b_rx.try_recv().expect("reply").is_ok());
+        assert!(a_rx.try_wait().expect("reply").is_ok());
+        assert!(b_rx.try_wait().expect("reply").is_ok());
         let snap = s.obs.snapshot();
         use nacu::Function;
         let qw = snap.stage(Stage::QueueWait, Function::Sigmoid).unwrap();
@@ -723,7 +729,7 @@ mod tests {
             .with_detectors(s.fault.detectors);
         let (j, rx) = job(&s, 0.5);
         serve(0, &unit, None, vec![j], &s).expect("no detectors armed");
-        assert!(rx.try_recv().expect("reply").is_ok(), "served, not failed");
+        assert!(rx.try_wait().expect("reply").is_ok(), "served, not failed");
         assert!(s.obs.health().alarm_latched(), "drift alarm latched");
         assert!(s.metrics.snapshot().drift_alarms >= 1);
         let names: Vec<&str> = s
@@ -744,8 +750,8 @@ mod tests {
         j.retries = s.fault.max_retries;
         let event = FaultEvent::LutParity { entry: 0 };
         quarantine(0, event, vec![j], &s);
-        match rx.try_recv().expect("terminal reply") {
-            Err(RequestError::FaultDetected { event: e, attempts }) => {
+        match rx.try_wait().expect("terminal reply") {
+            Err(crate::WaitError::FaultDetected { event: e, attempts }) => {
                 assert_eq!(e, event);
                 assert_eq!(attempts, s.fault.max_retries + 1);
             }
@@ -765,12 +771,12 @@ mod tests {
         let (in_flight, in_flight_rx) = job(&s, 0.0);
         quarantine(0, FaultEvent::LutParity { entry: 0 }, vec![in_flight], &s);
         assert_eq!(
-            in_flight_rx.try_recv().expect("terminal reply"),
-            Err(RequestError::NoHealthyWorkers)
+            in_flight_rx.try_wait().expect("terminal reply"),
+            Err(crate::WaitError::NoHealthyWorkers)
         );
         assert_eq!(
-            queued_rx.try_recv().expect("drained reply"),
-            Err(RequestError::NoHealthyWorkers)
+            queued_rx.try_wait().expect("drained reply"),
+            Err(crate::WaitError::NoHealthyWorkers)
         );
         // Queue is closed: further pushes bounce.
         let (late, _late_rx) = job(&s, 1.0);
@@ -788,10 +794,7 @@ mod tests {
         // no healthy workers → queue closed, worker thread exited.
         let (j, rx) = job(&s, 0.0);
         s.queue.try_push(j).map_err(|_| ()).unwrap();
-        assert_eq!(
-            rx.recv().expect("reply"),
-            Err(RequestError::NoHealthyWorkers)
-        );
+        assert_eq!(rx.wait(), Err(crate::WaitError::NoHealthyWorkers));
         for h in handles {
             h.join().expect("worker exited cleanly after quarantine");
         }
@@ -823,14 +826,11 @@ mod tests {
         // Batch 1 (x≈0 never touches entry 20) serves fine…
         let (first, first_rx) = job(&s, 0.0);
         s.queue.try_push(first).map_err(|_| ()).unwrap();
-        assert!(first_rx.recv().expect("reply").is_ok());
+        assert!(first_rx.wait().is_ok());
         // …then the scrub before batch 2 walks every segment and fires.
         let (second, second_rx) = job(&s, 0.0);
         s.queue.try_push(second).map_err(|_| ()).unwrap();
-        assert_eq!(
-            second_rx.recv().expect("reply"),
-            Err(RequestError::NoHealthyWorkers)
-        );
+        assert_eq!(second_rx.wait(), Err(crate::WaitError::NoHealthyWorkers));
         for h in handles {
             h.join().expect("worker exited after scrub quarantine");
         }

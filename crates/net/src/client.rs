@@ -13,7 +13,7 @@ use nacu::Function;
 use nacu_fixed::Fx;
 
 use crate::proto::{
-    decode_reply, encode_request, max_reply_payload, read_payload, DecodeError, ReadError,
+    decode_reply, encode_request, max_reply_payload, read_payload_into, DecodeError, ReadError,
     ReplyFrame, RequestFrame,
 };
 
@@ -48,6 +48,11 @@ impl std::error::Error for ClientError {}
 pub struct NetClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Reply payload buffer, reused across pipelined frames. The cursor
+    /// is reset at every frame boundary by [`read_payload_into`], so a
+    /// short read mid-frame can never leave a previous reply's bytes
+    /// posing as the next frame's header or payload.
+    recv_buf: Vec<u8>,
     next_id: u64,
     max_reply_ops: u32,
 }
@@ -65,6 +70,7 @@ impl NetClient {
         Ok(Self {
             writer,
             reader,
+            recv_buf: Vec::new(),
             next_id: 1,
             max_reply_ops: 1 << 20,
         })
@@ -109,10 +115,14 @@ impl NetClient {
     /// [`ClientError::Disconnected`] on a clean server hang-up,
     /// [`ClientError::Read`] / [`ClientError::Malformed`] otherwise.
     pub fn recv(&mut self) -> Result<ReplyFrame, ClientError> {
-        let payload = read_payload(&mut self.reader, max_reply_payload(self.max_reply_ops))
-            .map_err(ClientError::Read)?
-            .ok_or(ClientError::Disconnected)?;
-        decode_reply(&payload).map_err(ClientError::Malformed)
+        read_payload_into(
+            &mut self.reader,
+            max_reply_payload(self.max_reply_ops),
+            &mut self.recv_buf,
+        )
+        .map_err(ClientError::Read)?
+        .ok_or(ClientError::Disconnected)?;
+        decode_reply(&self.recv_buf).map_err(ClientError::Malformed)
     }
 
     /// Send + receive for unpipelined callers. The received reply is

@@ -493,6 +493,40 @@ pub fn read_payload(
     reader: &mut impl Read,
     max_payload: u32,
 ) -> Result<Option<Vec<u8>>, ReadError> {
+    let mut payload = Vec::new();
+    match read_payload_into(reader, max_payload, &mut payload)? {
+        Some(_) => Ok(Some(payload)),
+        None => Ok(None),
+    }
+}
+
+/// Reads one length-prefixed payload off `reader` into a reusable buffer.
+///
+/// Same contract as [`read_payload`], but the caller owns the allocation:
+/// a pipelined client can read thousands of replies through one buffer
+/// without churning the allocator. Returns `Ok(Some(len))` with `buf`
+/// holding exactly `len` freshly-read bytes, or `Ok(None)` on a clean EOF
+/// at a frame boundary.
+///
+/// The cursor is reset (`buf.clear()`) before any byte of the new frame
+/// lands, and on every error path `buf` is truncated to the bytes that
+/// actually arrived — so stale bytes from a previous (possibly larger)
+/// frame can never survive into this one and be misread as a header or
+/// payload tail.
+///
+/// # Errors
+///
+/// [`ReadError::TruncatedFrame`] when the stream dies mid-frame,
+/// [`ReadError::Oversize`] for a declared length beyond `max_payload`,
+/// [`ReadError::Io`] for transport failures.
+pub fn read_payload_into(
+    reader: &mut impl Read,
+    max_payload: u32,
+    buf: &mut Vec<u8>,
+) -> Result<Option<usize>, ReadError> {
+    // Frame boundary: whatever the previous frame (or a failed read)
+    // left behind is invalidated before a single new byte is read.
+    buf.clear();
     let mut len_bytes = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
@@ -518,22 +552,29 @@ pub fn read_payload(
             max: max_payload,
         });
     }
-    let mut payload = vec![0u8; declared as usize];
+    buf.resize(declared as usize, 0);
     let mut got = 0;
-    while got < payload.len() {
-        match reader.read(&mut payload[got..]) {
+    while got < declared as usize {
+        match reader.read(&mut buf[got..]) {
             Ok(0) => {
+                // Keep only the bytes that actually arrived: a caller
+                // that ignores the error and peeks at the buffer must
+                // not see zero padding posing as payload.
+                buf.truncate(got);
                 return Err(ReadError::TruncatedFrame {
                     declared: declared as usize,
                     got,
-                })
+                });
             }
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(ReadError::Io(e)),
+            Err(e) => {
+                buf.truncate(got);
+                return Err(ReadError::Io(e));
+            }
         }
     }
-    Ok(Some(payload))
+    Ok(Some(declared as usize))
 }
 
 /// The request-payload byte bound implied by an operand bound.
@@ -711,6 +752,86 @@ mod tests {
             read_payload(&mut Cursor::new(huge), 64),
             Err(ReadError::Oversize { max: 64, .. })
         ));
+    }
+
+    #[test]
+    fn reused_buffer_never_leaks_stale_bytes_across_frames() {
+        use std::io::Cursor;
+        // One stream: a full 6-byte frame, then a frame that declares 10
+        // bytes but dies after 3, then (on a fresh reader) a 2-byte frame.
+        let mut stream = 6u32.to_le_bytes().to_vec();
+        stream.extend_from_slice(b"AAAAAA");
+        stream.extend_from_slice(&10u32.to_le_bytes());
+        stream.extend_from_slice(b"BBB");
+
+        let mut reader = Cursor::new(stream);
+        let mut buf = vec![0xEE; 32]; // dirty from "previous use"
+
+        // Frame 1: the dirty buffer is fully replaced, not appended to.
+        assert_eq!(
+            read_payload_into(&mut reader, 64, &mut buf).unwrap(),
+            Some(6)
+        );
+        assert_eq!(buf, b"AAAAAA");
+
+        // Frame 2 truncates mid-payload: typed error, and the buffer
+        // holds only the 3 bytes that arrived — no 'A' tail from frame 1,
+        // no zero padding out to the declared 10.
+        assert!(matches!(
+            read_payload_into(&mut reader, 64, &mut buf),
+            Err(ReadError::TruncatedFrame {
+                declared: 10,
+                got: 3
+            })
+        ));
+        assert_eq!(buf, b"BBB");
+
+        // Frame 3 on a fresh reader: the same buffer, still carrying
+        // frame 2's residue, yields exactly the new frame's bytes.
+        let mut tail = 2u32.to_le_bytes().to_vec();
+        tail.extend_from_slice(b"CC");
+        let mut reader = Cursor::new(tail);
+        assert_eq!(
+            read_payload_into(&mut reader, 64, &mut buf).unwrap(),
+            Some(2)
+        );
+        assert_eq!(buf, b"CC");
+    }
+
+    #[test]
+    fn read_payload_into_survives_single_byte_reads() {
+        // A reader that trickles one byte per call exercises every
+        // partial-fill branch of the header and payload loops.
+        struct Trickle(Vec<u8>, usize);
+        impl std::io::Read for Trickle {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() || out.is_empty() {
+                    return Ok(0);
+                }
+                out[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let f = ReplyFrame {
+            status: Status::Ok,
+            code: code::NONE,
+            id: 3,
+            codes: vec![7, -7, 0],
+        };
+        let bytes = encode_reply(&f);
+        let mut reader = Trickle(bytes, 0);
+        let mut buf = Vec::new();
+        let len = read_payload_into(&mut reader, 64, &mut buf)
+            .unwrap()
+            .unwrap();
+        assert_eq!(len, buf.len());
+        assert_eq!(decode_reply(&buf).unwrap(), f);
+        // Clean EOF at the next boundary leaves the buffer empty.
+        assert!(read_payload_into(&mut reader, 64, &mut buf)
+            .unwrap()
+            .is_none());
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! The admission-controlled TCP serving plane.
 //!
 //! One accept thread guards the connection limit; each accepted socket
-//! gets a reader thread (decode → admission → engine submit) and a
-//! writer thread (poll in-flight tickets, write replies in completion
-//! order). Pipelining is native: a client may have many request ids in
-//! flight on one socket, and replies carry the id so order never
-//! matters. Admission is layered, cheapest first:
+//! gets a reader thread (decode → admission → engine submit). Replies
+//! are written by a small **fixed pool of event-driven dispatchers**:
+//! every admitted ticket is registered, keyed by its engine
+//! `request_id`, in one dispatcher's [`CompletionSet`], and the
+//! dispatcher parks until completions wake it — no thread count that
+//! scales with connections, no polling interval. Control replies
+//! (BUSY/SHED/QUOTA/ERROR) are written directly by the reader; the
+//! per-connection write half sits behind a mutex so frames never
+//! interleave. Pipelining is native: a client may have many request ids
+//! in flight on one socket, replies carry the id and arrive in
+//! completion order.
+//!
+//! Admission is layered, cheapest first:
 //!
 //! 1. **Protocol** — malformed frames get one ERROR(PROTOCOL) reply and
 //!    the connection closes (the stream cannot be resynchronised).
@@ -18,10 +26,11 @@
 //!    becomes a BUSY reply, never a dropped connection.
 //!
 //! Every admission outcome lands in the engine's `net_*` counters via
-//! [`EngineHandle::live_metrics`], so the `/metrics` scrape sees the
-//! network plane with zero extra plumbing.
+//! [`EngineHandle::live_metrics`], and the dispatcher pool feeds the
+//! `async_*` counters, so the `/metrics` scrape sees the network plane
+//! with zero extra plumbing.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::Write;
 use std::net::{IpAddr, Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
@@ -30,15 +39,14 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use nacu_engine::report::{modeled_batch_cycles, PAPER_CLOCK_HZ};
-use nacu_engine::{EngineHandle, EngineMetrics, SubmitError, Ticket, WaitError};
+use nacu_engine::{
+    CompletionNotifier, CompletionSet, EngineHandle, EngineMetrics, SubmitError, Ticket, WaitError,
+};
 
 use crate::proto::{
     code, decode_request, encode_reply, max_request_payload, read_payload, ReadError, ReplyFrame,
     RequestFrame, Status,
 };
-
-/// Writer-thread poll interval while tickets are in flight.
-const POLL_INTERVAL: Duration = Duration::from_micros(50);
 
 /// Per-client rate limit for the token bucket.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +71,10 @@ pub struct NetConfig {
     pub max_inflight_per_conn: usize,
     /// Per-client-IP token bucket; `None` disables quota enforcement.
     pub quota: Option<Quota>,
+    /// Reply dispatcher threads shared by every connection (clamped to
+    /// ≥ 1). The whole serving plane uses this fixed pool, however many
+    /// sockets are open.
+    pub dispatchers: usize,
 }
 
 impl Default for NetConfig {
@@ -72,18 +84,20 @@ impl Default for NetConfig {
             max_frame_ops: 1 << 16,
             max_inflight_per_conn: 64,
             quota: None,
+            dispatchers: 2,
         }
     }
 }
 
 /// A running network serving plane. Dropping it (or calling
-/// [`NetServer::shutdown`]) stops the listener; the engine keeps
-/// serving in-process work either way.
+/// [`NetServer::shutdown`]) stops the listener and drains the reply
+/// dispatchers; the engine keeps serving in-process work either way.
 #[derive(Debug)]
 pub struct NetServer {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<thread::JoinHandle<()>>,
+    dispatchers: Option<Arc<DispatcherPool>>,
 }
 
 impl NetServer {
@@ -93,13 +107,18 @@ impl NetServer {
         self.addr
     }
 
-    /// Stops accepting; existing connections drain and close.
+    /// Stops accepting, then drains and joins the reply dispatchers.
+    /// Connections still open keep their readers, but work admitted
+    /// after this point is answered ERROR(SHUTTING_DOWN).
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        if let Some(pool) = self.dispatchers.take() {
+            pool.shutdown();
         }
     }
 }
@@ -143,27 +162,218 @@ impl Buckets {
     }
 }
 
-/// What the reader hands the writer for one admitted request.
-struct Pending {
+/// One connection's write side plus its in-flight accounting. The
+/// reader holds it for immediates and admission; dispatchers hold it
+/// (via each routed ticket) for completion replies.
+#[derive(Debug)]
+struct Conn {
+    /// Write half; every reply frame is written whole under this lock,
+    /// so reader immediates and dispatcher completions never interleave.
+    stream: Mutex<TcpStream>,
+    /// Admitted-but-unreplied requests, bounded by
+    /// [`NetConfig::max_inflight_per_conn`].
+    inflight: Mutex<usize>,
+    /// Signals slot release (and death) to a reader blocked on the bound.
+    room: Condvar,
+    /// A write failed (or the peer died): stop decoding, drop replies.
+    dead: AtomicBool,
+}
+
+impl Conn {
+    fn new(write_half: TcpStream) -> Self {
+        Self {
+            stream: Mutex::new(write_half),
+            inflight: Mutex::new(0),
+            room: Condvar::new(),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Writes one reply frame (counted even if the write then fails,
+    /// matching the pre-dispatcher accounting). On error the connection
+    /// is marked dead and both socket halves are shut down so a blocked
+    /// reader unsticks.
+    fn write_reply(&self, frame: &ReplyFrame, metrics: &EngineMetrics) {
+        if self.dead.load(Ordering::Acquire) {
+            return;
+        }
+        metrics.record_net_frame_out();
+        let failed = {
+            let mut stream = self.stream.lock().expect("stream lock");
+            stream
+                .write_all(&encode_reply(frame))
+                .and_then(|()| stream.flush())
+                .is_err()
+        };
+        if failed {
+            self.mark_dead();
+        }
+    }
+
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self
+            .stream
+            .lock()
+            .expect("stream lock")
+            .shutdown(Shutdown::Both);
+        // Wake a reader parked on the in-flight bound.
+        drop(self.inflight.lock().expect("inflight lock"));
+        self.room.notify_all();
+    }
+
+    /// Blocks until an in-flight slot frees up; `false` once dead.
+    fn acquire_slot(&self, max_inflight: usize) -> bool {
+        let mut inflight = self.inflight.lock().expect("inflight lock");
+        while *inflight >= max_inflight && !self.dead.load(Ordering::Acquire) {
+            inflight = self.room.wait(inflight).expect("inflight lock");
+        }
+        if self.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        *inflight += 1;
+        true
+    }
+
+    fn release_slot(&self) {
+        let mut inflight = self.inflight.lock().expect("inflight lock");
+        *inflight = inflight.saturating_sub(1);
+        drop(inflight);
+        self.room.notify_all();
+    }
+}
+
+/// One admitted request handed from a reader to a dispatcher.
+#[derive(Debug)]
+struct RouteEntry {
     client_id: u64,
     ticket: Ticket,
+    conn: Arc<Conn>,
 }
 
-/// Reader/writer shared state for one connection.
-struct ConnState {
-    /// Control replies (BUSY/SHED/QUOTA/ERROR) ready to write.
-    immediates: VecDeque<ReplyFrame>,
-    /// Admitted requests whose tickets the writer polls.
-    pending: VecDeque<Pending>,
-    /// The reader saw EOF or a fatal error; writer drains and exits.
-    reader_done: bool,
-    /// The writer hit a write error; reader should stop decoding.
-    writer_dead: bool,
+#[derive(Debug)]
+struct Inbox {
+    entries: Vec<RouteEntry>,
+    /// Set under the lock by shutdown; once observed true, no further
+    /// submissions are accepted, so the dispatcher can exit without a
+    /// hand-off race.
+    closed: bool,
 }
 
-struct Conn {
-    state: Mutex<ConnState>,
-    wake: Condvar,
+#[derive(Debug)]
+struct Shard {
+    inbox: Mutex<Inbox>,
+    notifier: CompletionNotifier,
+}
+
+/// The fixed pool of event-driven reply dispatchers. Readers hand each
+/// admitted ticket to a shard (round-robin); the shard's driver thread
+/// multiplexes every in-flight ticket it owns on one [`CompletionSet`],
+/// parks until completions arrive, and writes the replies.
+#[derive(Debug)]
+struct DispatcherPool {
+    shards: Vec<Arc<Shard>>,
+    next: AtomicUsize,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl DispatcherPool {
+    fn start(count: usize, metrics: &Arc<EngineMetrics>) -> Self {
+        let count = count.max(1);
+        let mut shards = Vec::with_capacity(count);
+        let mut threads = Vec::with_capacity(count);
+        for index in 0..count {
+            let set = CompletionSet::new().with_metrics(Arc::clone(metrics));
+            let shard = Arc::new(Shard {
+                inbox: Mutex::new(Inbox {
+                    entries: Vec::new(),
+                    closed: false,
+                }),
+                notifier: set.notifier(),
+            });
+            shards.push(Arc::clone(&shard));
+            let metrics = Arc::clone(metrics);
+            if let Ok(thread) = thread::Builder::new()
+                .name(format!("nacu-net-dispatch-{index}"))
+                .spawn(move || dispatcher_loop(&shard, set, &metrics))
+            {
+                threads.push(thread);
+            }
+        }
+        Self {
+            shards,
+            next: AtomicUsize::new(0),
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Routes one admitted ticket to a dispatcher. `Err` means the pool
+    /// already shut down — the caller answers SHUTTING_DOWN itself.
+    fn submit(&self, entry: RouteEntry) -> Result<(), RouteEntry> {
+        let shard =
+            &self.shards[self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len().max(1)];
+        {
+            let mut inbox = shard.inbox.lock().expect("inbox lock");
+            if inbox.closed {
+                return Err(entry);
+            }
+            inbox.entries.push(entry);
+        }
+        shard.notifier.notify();
+        Ok(())
+    }
+
+    /// Closes every shard, then joins the drivers; each drains its
+    /// remaining in-flight tickets before exiting, so admitted requests
+    /// still get their replies. Idempotent — a second call finds the
+    /// shards closed and no threads left to join.
+    fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.inbox.lock().expect("inbox lock").closed = true;
+            shard.notifier.notify();
+        }
+        let threads = std::mem::take(&mut *self.threads.lock().expect("threads lock"));
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One dispatcher: drain the inbox into the completion set, park until
+/// completions (or a poke), write the finished replies, repeat. Exits
+/// only when the shard is closed AND nothing is left in flight.
+fn dispatcher_loop(shard: &Arc<Shard>, mut set: CompletionSet, metrics: &Arc<EngineMetrics>) {
+    // request_id → (client-chosen reply id, connection).
+    let mut routes: HashMap<u64, (u64, Arc<Conn>)> = HashMap::new();
+    let mut completed: Vec<(u64, Result<nacu_engine::Response, WaitError>)> = Vec::new();
+    loop {
+        let arrivals = {
+            let mut inbox = shard.inbox.lock().expect("inbox lock");
+            if inbox.closed && inbox.entries.is_empty() && set.is_empty() {
+                return;
+            }
+            std::mem::take(&mut inbox.entries)
+        };
+        for entry in arrivals {
+            // The engine's monotonic request id is the routing key: it is
+            // unique across every connection and already stamped on the
+            // ticket, the trace spans, and the flight recorder.
+            let key = entry.ticket.request_id();
+            routes.insert(key, (entry.client_id, entry.conn));
+            set.insert(key, entry.ticket);
+        }
+        completed.clear();
+        if set.wait_completed(&mut completed) > 0 {
+            metrics.record_async_dispatcher_batch();
+        }
+        for (key, outcome) in completed.drain(..) {
+            let Some((client_id, conn)) = routes.remove(&key) else {
+                continue;
+            };
+            conn.write_reply(&completion_reply(client_id, outcome, metrics), metrics);
+            conn.release_slot();
+        }
+    }
 }
 
 /// Starts the serving plane for `handle` on `addr`.
@@ -193,30 +403,42 @@ pub fn serve(
             by_ip: Mutex::new(HashMap::new()),
         })
     });
+    let dispatchers = Arc::new(DispatcherPool::start(config.dispatchers, &metrics));
     let accept_thread = {
         let stop = Arc::clone(&stop);
         let handle = handle.clone();
         let config = config.clone();
+        let dispatchers = Arc::clone(&dispatchers);
         thread::Builder::new()
             .name("nacu-net-accept".into())
             .spawn(move || {
-                accept_loop(&listener, &handle, &metrics, &config, buckets, &stop);
+                accept_loop(
+                    &listener,
+                    &handle,
+                    &metrics,
+                    &config,
+                    buckets,
+                    &dispatchers,
+                    &stop,
+                );
             })?
     };
     Ok(NetServer {
         addr,
         stop,
         accept_thread: Some(accept_thread),
+        dispatchers: Some(dispatchers),
     })
 }
 
-#[allow(clippy::needless_pass_by_value)]
+#[allow(clippy::needless_pass_by_value, clippy::too_many_arguments)]
 fn accept_loop(
     listener: &TcpListener,
     handle: &EngineHandle,
     metrics: &Arc<EngineMetrics>,
     config: &NetConfig,
     buckets: Option<Arc<Buckets>>,
+    dispatchers: &Arc<DispatcherPool>,
     stop: &Arc<AtomicBool>,
 ) {
     let live = Arc::new(AtomicUsize::new(0));
@@ -238,11 +460,20 @@ fn accept_loop(
         let metrics = Arc::clone(metrics);
         let config = config.clone();
         let buckets = buckets.clone();
+        let dispatchers = Arc::clone(dispatchers);
         let conn_live = Arc::clone(&live);
         let spawned = thread::Builder::new()
             .name(format!("nacu-net-conn-{conn_id}"))
             .spawn(move || {
-                serve_connection(stream, conn_id, &handle, &metrics, &config, buckets);
+                serve_connection(
+                    stream,
+                    conn_id,
+                    &handle,
+                    &metrics,
+                    &config,
+                    buckets,
+                    &dispatchers,
+                );
                 conn_live.fetch_sub(1, Ordering::AcqRel);
             });
         if spawned.is_err() {
@@ -258,39 +489,29 @@ fn serve_connection(
     metrics: &Arc<EngineMetrics>,
     config: &NetConfig,
     buckets: Option<Arc<Buckets>>,
+    dispatchers: &Arc<DispatcherPool>,
 ) {
     let Ok(write_half) = stream.try_clone() else {
         let _ = stream.shutdown(Shutdown::Both);
         return;
     };
-    let conn = Arc::new(Conn {
-        state: Mutex::new(ConnState {
-            immediates: VecDeque::new(),
-            pending: VecDeque::new(),
-            reader_done: false,
-            writer_dead: false,
-        }),
-        wake: Condvar::new(),
-    });
-    let writer = {
-        let conn = Arc::clone(&conn);
-        let metrics = Arc::clone(metrics);
-        thread::Builder::new()
-            .name(format!("nacu-net-write-{conn_id}"))
-            .spawn(move || writer_loop(write_half, &conn, &metrics))
-    };
-    read_loop(stream, conn_id, handle, metrics, config, buckets, &conn);
-    {
-        let mut state = conn.state.lock().expect("conn lock");
-        state.reader_done = true;
-        conn.wake.notify_all();
-    }
-    if let Ok(writer) = writer {
-        let _ = writer.join();
-    }
+    let conn = Arc::new(Conn::new(write_half));
+    read_loop(
+        stream,
+        conn_id,
+        handle,
+        metrics,
+        config,
+        buckets,
+        &conn,
+        dispatchers,
+    );
+    // In-flight replies (if any) are still owned by the dispatchers,
+    // which hold the write half through `conn` until they finish.
 }
 
 /// Decode → admission → submit, blocking on the in-flight bound.
+#[allow(clippy::too_many_arguments)]
 fn read_loop(
     stream: TcpStream,
     conn_id: u32,
@@ -299,6 +520,7 @@ fn read_loop(
     config: &NetConfig,
     buckets: Option<Arc<Buckets>>,
     conn: &Arc<Conn>,
+    dispatchers: &Arc<DispatcherPool>,
 ) {
     let peer_ip = stream.peer_addr().map(|a| a.ip()).ok();
     let mut reader = std::io::BufReader::new(stream);
@@ -309,10 +531,9 @@ fn read_loop(
             Ok(None) => return, // clean EOF
             Err(ReadError::Oversize { .. }) => {
                 metrics.record_net_protocol_error();
-                enqueue_immediate(
-                    conn,
+                conn.write_reply(
+                    &ReplyFrame::control(Status::Error, code::PROTOCOL, 0),
                     metrics,
-                    ReplyFrame::control(Status::Error, code::PROTOCOL, 0),
                 );
                 return;
             }
@@ -326,30 +547,37 @@ fn read_loop(
             Ok(frame) => frame,
             Err(_) => {
                 metrics.record_net_protocol_error();
-                enqueue_immediate(
-                    conn,
+                conn.write_reply(
+                    &ReplyFrame::control(Status::Error, code::PROTOCOL, 0),
                     metrics,
-                    ReplyFrame::control(Status::Error, code::PROTOCOL, 0),
                 );
                 return; // cannot resync a corrupt stream
             }
         };
         metrics.record_net_frame_in();
-        let reply = admit(frame, conn_id, handle, metrics, config, &buckets, peer_ip);
-        match reply {
-            Admission::Immediate(frame) => enqueue_immediate(conn, metrics, frame),
-            Admission::InFlight(pending) => {
-                let mut state = conn.state.lock().expect("conn lock");
-                while state.pending.len() >= config.max_inflight_per_conn && !state.writer_dead {
-                    state = conn.wake.wait(state).expect("conn lock");
+        match admit(frame, conn_id, handle, metrics, config, &buckets, peer_ip) {
+            Admission::Immediate(frame) => conn.write_reply(&frame, metrics),
+            Admission::InFlight { client_id, ticket } => {
+                if !conn.acquire_slot(config.max_inflight_per_conn) {
+                    return; // connection died while parked on the bound
                 }
-                if state.writer_dead {
-                    return;
+                let entry = RouteEntry {
+                    client_id,
+                    ticket,
+                    conn: Arc::clone(conn),
+                };
+                if dispatchers.submit(entry).is_err() {
+                    // Pool already drained (server shutdown): the ticket
+                    // is dropped, the engine's reply is abandoned.
+                    conn.release_slot();
+                    conn.write_reply(
+                        &ReplyFrame::control(Status::Error, code::SHUTTING_DOWN, client_id),
+                        metrics,
+                    );
                 }
-                state.pending.push_back(pending);
             }
         }
-        if conn.state.lock().expect("conn lock").writer_dead {
+        if conn.dead.load(Ordering::Acquire) {
             return;
         }
     }
@@ -358,8 +586,8 @@ fn read_loop(
 enum Admission {
     /// Answered without touching the engine (or rejected by it).
     Immediate(ReplyFrame),
-    /// Enqueued; the writer polls the ticket.
-    InFlight(Pending),
+    /// Enqueued; a dispatcher owns writing the completion reply.
+    InFlight { client_id: u64, ticket: Ticket },
 }
 
 fn admit(
@@ -408,7 +636,7 @@ fn admit(
         request = request.with_deadline(Instant::now() + budget);
     }
     match handle.submit(request) {
-        Ok(ticket) => Admission::InFlight(Pending { client_id, ticket }),
+        Ok(ticket) => Admission::InFlight { client_id, ticket },
         Err(SubmitError::Busy { .. }) => {
             Admission::Immediate(ReplyFrame::control(Status::Busy, code::NONE, client_id))
         }
@@ -425,61 +653,11 @@ fn admit(
     }
 }
 
-fn enqueue_immediate(conn: &Arc<Conn>, _metrics: &Arc<EngineMetrics>, frame: ReplyFrame) {
-    let mut state = conn.state.lock().expect("conn lock");
-    state.immediates.push_back(frame);
-    conn.wake.notify_all();
-}
-
-/// Polls in-flight tickets and writes replies in completion order.
-fn writer_loop(mut stream: TcpStream, conn: &Arc<Conn>, metrics: &Arc<EngineMetrics>) {
-    let mut ready: Vec<ReplyFrame> = Vec::new();
-    loop {
-        ready.clear();
-        let done = {
-            let mut state = conn.state.lock().expect("conn lock");
-            ready.extend(state.immediates.drain(..));
-            // Completion order, not submission order: any finished
-            // ticket anywhere in the deque replies now.
-            let mut index = 0;
-            while index < state.pending.len() {
-                let Some(outcome) = state.pending[index].ticket.try_wait() else {
-                    index += 1;
-                    continue;
-                };
-                let pending = state.pending.remove(index).expect("polled index");
-                ready.push(completion_reply(pending.client_id, outcome, metrics));
-            }
-            if !state.pending.is_empty() || !ready.is_empty() {
-                conn.wake.notify_all(); // reader may be blocked on the bound
-            }
-            state.reader_done && state.pending.is_empty() && ready.is_empty()
-        };
-        if done {
-            return;
-        }
-        if ready.is_empty() {
-            thread::sleep(POLL_INTERVAL);
-            continue;
-        }
-        for frame in &ready {
-            metrics.record_net_frame_out();
-            if stream.write_all(&encode_reply(frame)).is_err() {
-                let mut state = conn.state.lock().expect("conn lock");
-                state.writer_dead = true;
-                conn.wake.notify_all();
-                return;
-            }
-        }
-        let _ = stream.flush();
-    }
-}
-
 /// Maps one ticket outcome onto its wire reply.
 fn completion_reply(
     client_id: u64,
     outcome: Result<nacu_engine::Response, WaitError>,
-    metrics: &Arc<EngineMetrics>,
+    metrics: &EngineMetrics,
 ) -> ReplyFrame {
     match outcome {
         Ok(response) => ReplyFrame {
@@ -546,5 +724,29 @@ mod tests {
         assert!(c.max_frame_ops > 0);
         assert!(c.max_inflight_per_conn > 0);
         assert!(c.quota.is_none());
+        assert!(c.dispatchers > 0);
+    }
+
+    /// Closed shards refuse new routes instead of dropping them, and a
+    /// drained pool joins cleanly.
+    #[test]
+    fn dispatcher_pool_drains_in_flight_work_on_shutdown() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let pool = DispatcherPool::start(2, &metrics);
+        // A pool with nothing in flight shuts down without hanging.
+        pool.shutdown();
+
+        let pool = DispatcherPool::start(1, &metrics);
+        pool.shards[0].inbox.lock().expect("inbox lock").closed = true;
+        let (ticket, _completer) = Ticket::detached(1);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let entry = RouteEntry {
+            client_id: 7,
+            ticket,
+            conn: Arc::new(Conn::new(stream)),
+        };
+        assert!(pool.submit(entry).is_err(), "closed shard refuses routes");
+        pool.shutdown();
     }
 }

@@ -117,6 +117,80 @@ fn pipelined_clients_match_sequential_golden_bit_for_bit() {
     engine.shutdown();
 }
 
+/// 256 concurrent pipelined connections through the fixed dispatcher
+/// pool: every socket keeps several requests in flight at once, yet the
+/// reply plane runs on two dispatcher threads total — and every output
+/// stays bit-identical to the sequential unit.
+#[test]
+fn two_hundred_fifty_six_connections_share_two_dispatchers() {
+    const CONNS: usize = 256;
+    const PIPELINED: usize = 4;
+
+    // Queue sized for the full in-flight load (CONNS × PIPELINED): this
+    // test is about the reply plane, so admission must never say BUSY.
+    let engine = Engine::new(
+        EngineConfig::new(NacuConfig::paper_16bit())
+            .with_workers(2)
+            .with_queue_capacity(2 * CONNS * PIPELINED),
+    )
+    .expect("paper config");
+    let mut server = engine
+        .handle()
+        .serve_net_with(
+            "127.0.0.1:0",
+            nacu_net::NetConfig {
+                max_connections: CONNS + 8,
+                dispatchers: 2,
+                ..nacu_net::NetConfig::default()
+            },
+        )
+        .expect("bind");
+    let fmt = engine.format();
+    let addr = server.addr();
+    let golden = Nacu::new(NacuConfig::paper_16bit()).expect("golden unit");
+
+    // Phase 1: open every connection and pipeline its whole batch
+    // before reading a single reply — all 256 sockets have work in
+    // flight simultaneously.
+    let mut clients: Vec<(NetClient, HashMap<u64, Vec<Fx>>)> = Vec::with_capacity(CONNS);
+    for conn_idx in 0..CONNS {
+        let mut client = NetClient::connect(addr).expect("connect");
+        let mut inflight = HashMap::new();
+        for round in 0..PIPELINED {
+            let operands = operands_for(fmt, Function::Sigmoid, conn_idx, 8 + round);
+            let id = client.send(Function::Sigmoid, &operands, 0).expect("send");
+            inflight.insert(id, operands);
+        }
+        clients.push((client, inflight));
+    }
+
+    // Phase 2: drain every socket and check outputs bit-for-bit.
+    for (client, inflight) in &mut clients {
+        for _ in 0..PIPELINED {
+            let reply = client.recv().expect("recv");
+            assert_eq!(reply.status, Status::Ok);
+            let operands = inflight.remove(&reply.id).expect("known id");
+            assert_eq!(
+                reply.outputs(fmt).expect("decodable outputs"),
+                golden_outputs(&golden, Function::Sigmoid, &operands),
+                "pipelined reply diverged from the sequential unit"
+            );
+        }
+        assert!(inflight.is_empty());
+    }
+
+    // The async plane did the routing: wakers were registered for
+    // in-flight tickets and dispatcher batches carried the replies.
+    let snapshot = engine.metrics();
+    assert!(
+        snapshot.async_dispatcher_batches > 0,
+        "replies must flow through the dispatcher pool"
+    );
+
+    server.shutdown();
+    engine.shutdown();
+}
+
 /// A full engine queue answers with a typed BUSY frame — and the
 /// connection survives to serve the retry.
 #[test]
