@@ -20,6 +20,7 @@
 //! | [`engine_bench`] | extension: serving throughput vs engine worker count |
 //! | [`net_bench`] | extension: loopback TCP serving throughput and tail latency |
 //! | [`fault_campaign`] | extension: fault-injection detection-coverage sweep |
+//! | [`replay_bench`] | extension: record/replay trace harness and golden-trace gate |
 
 pub mod ablation;
 pub mod accuracy;
@@ -32,6 +33,7 @@ pub mod fig6;
 pub mod formats;
 pub mod nacu_metrics;
 pub mod net_bench;
+pub mod replay_bench;
 pub mod rmse;
 pub mod scaling;
 pub mod table1;

@@ -80,6 +80,10 @@ pub use nacu_faults::{DetectorSet, Fault, FaultEvent, FaultKind, FaultPlan, Inje
 use pool::{Job, PoolShared};
 use queue::{BoundedQueue, PushError};
 
+// The record/replay surface is re-exported so engine clients can drain
+// and replay traces without naming nacu-replay directly.
+pub use nacu_replay::{Recorder, TraceLog, TraceRecord, NO_RECORD_SLOT};
+
 /// Fault-handling policy: detectors, retry budget, BIST cadence, and —
 /// for tests and campaigns — per-worker fault plans.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +148,16 @@ pub struct EngineConfig {
     /// the table budget (≤ [`nacu::ResponseTables::MAX_TABLE_BITS`] bits)
     /// and, per worker, only on slots with no injected fault plan.
     pub use_fast_path: bool,
+    /// Capacity (in in-flight records) of the trace recorder, 0 to run
+    /// unrecorded (the default). With a capacity set, the engine taps its
+    /// submit and reply paths into a bounded, drop-counted
+    /// [`nacu_replay::Recorder`]: operands are captured at submission
+    /// (before the fast path can overwrite them in place), responses at
+    /// reply, and [`EngineHandle::recorder`] drains the completed records
+    /// as a [`nacu_replay::TraceLog`]. Only engages for formats whose
+    /// codes fit the log's i16 fields (≤ 16 bits); wider engines run
+    /// unrecorded, the same eligibility rule as the net wire plane.
+    pub record_capacity: usize,
 }
 
 impl EngineConfig {
@@ -160,6 +174,7 @@ impl EngineConfig {
             fault_tolerance: FaultTolerance::default(),
             health_sample_every: nacu_obs::DEFAULT_SAMPLE_EVERY,
             use_fast_path: true,
+            record_capacity: 0,
         }
     }
 
@@ -209,6 +224,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_fast_path(mut self, enabled: bool) -> Self {
         self.use_fast_path = enabled;
+        self
+    }
+
+    /// Enables trace recording with a ring of `capacity` in-flight
+    /// records (0 disables; see [`EngineConfig::record_capacity`]).
+    #[must_use]
+    pub fn with_recording(mut self, capacity: usize) -> Self {
+        self.record_capacity = capacity;
         self
     }
 }
@@ -420,6 +443,9 @@ struct Shared {
     default_deadline: Option<Duration>,
     /// Monotone request-id source; ids start at 1 so 0 can mean "no id".
     next_request_id: AtomicU64,
+    /// Trace recorder, present when [`EngineConfig::record_capacity`] is
+    /// set and the format's codes fit the log's i16 fields.
+    recorder: Option<Arc<Recorder>>,
 }
 
 /// A cloneable submission handle, independent of the [`Engine`]'s
@@ -469,6 +495,29 @@ impl EngineHandle {
         let ops = request.operands.len();
         let conn = request.client;
         let req = self.shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+        // Claim the trace-record slot BEFORE the push: the fast path
+        // overwrites the operand buffer in place and hands it to the
+        // client as the response, so submission is the only point where
+        // the operands are reliably themselves.
+        let record = match &self.shared.recorder {
+            Some(recorder) => {
+                let deadline_micros = request.deadline.map_or(0, |d| {
+                    u64::try_from(d.saturating_duration_since(Instant::now()).as_micros())
+                        .unwrap_or(u64::MAX)
+                });
+                let slot = recorder.begin(
+                    req,
+                    function,
+                    deadline_micros,
+                    request.operands.iter().map(|x| x.raw() as i16),
+                );
+                if slot == NO_RECORD_SLOT {
+                    self.shared.metrics.record_replay_record_dropped();
+                }
+                slot
+            }
+            None => NO_RECORD_SLOT,
+        };
         let (ticket, reply) = wake::pair(req);
         match self.shared.queue.try_push(Job {
             id: req,
@@ -476,6 +525,7 @@ impl EngineHandle {
             reply,
             retries: 0,
             submitted_at: Instant::now(),
+            record,
         }) {
             Ok(depth) => {
                 self.shared.metrics.record_submitted();
@@ -488,14 +538,35 @@ impl EngineHandle {
                 });
                 Ok(ticket)
             }
-            Err(PushError::Full(_)) => {
+            Err(PushError::Full(job)) => {
+                self.abandon_record(job.record);
                 self.shared.metrics.record_busy_rejection();
                 Err(SubmitError::Busy {
                     capacity: self.shared.queue.capacity(),
                 })
             }
-            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+            Err(PushError::Closed(job)) => {
+                self.abandon_record(job.record);
+                Err(SubmitError::ShuttingDown)
+            }
         }
+    }
+
+    /// Releases a claimed trace-record slot for a request that never made
+    /// it into the queue.
+    fn abandon_record(&self, slot: u32) {
+        if let Some(recorder) = &self.shared.recorder {
+            recorder.abandon(slot);
+        }
+    }
+
+    /// The engine's trace recorder — present when the engine was built
+    /// with [`EngineConfig::with_recording`] and the format's codes fit
+    /// the trace log's i16 fields. Drain completed records with
+    /// [`Recorder::take_log`] (after quiescing, for a complete capture).
+    #[must_use]
+    pub fn recorder(&self) -> Option<Arc<Recorder>> {
+        self.shared.recorder.clone()
     }
 
     /// Submit + wait in one call, for synchronous callers.
@@ -674,6 +745,13 @@ impl Engine {
         let workers = config.workers.max(1);
         let health: Arc<Vec<AtomicBool>> =
             Arc::new((0..workers).map(|_| AtomicBool::new(true)).collect());
+        // `for_format` returns `None` for formats wider than the log's
+        // i16 code fields, leaving such engines unrecorded.
+        let recorder = if config.record_capacity > 0 {
+            Recorder::for_format(config.record_capacity, format).map(Arc::new)
+        } else {
+            None
+        };
         let pool_shared = Arc::new(PoolShared {
             config: config.nacu,
             max_coalesced_requests: config.max_coalesced_requests.max(1),
@@ -683,6 +761,7 @@ impl Engine {
             obs: Arc::clone(&obs),
             health: Arc::clone(&health),
             tables,
+            recorder: recorder.clone(),
         });
         let handles = pool::spawn_workers(&pool_shared);
         Ok(Self {
@@ -694,6 +773,7 @@ impl Engine {
                 format,
                 default_deadline: config.default_deadline,
                 next_request_id: AtomicU64::new(0),
+                recorder,
             }),
             handles,
             workers,
@@ -986,6 +1066,70 @@ mod tests {
         assert!(report.measured_batch_ns > 0);
         assert!(report.effective_cycles_per_op(PAPER_CLOCK_HZ) > 0.0);
         assert!(report.model_measured_ratio(PAPER_CLOCK_HZ) > 0.0);
+    }
+
+    /// End-to-end recording: served requests land in the drained trace
+    /// with their submitted operands and bit-exact responses; expired
+    /// requests leave no record.
+    #[test]
+    fn recording_captures_served_requests_and_skips_expired_ones() {
+        let engine = Engine::new(
+            EngineConfig::new(NacuConfig::paper_16bit())
+                .with_workers(1)
+                .with_recording(32),
+        )
+        .expect("paper config");
+        let fmt = engine.format();
+        let handle = engine.handle();
+        let xs = operands(fmt, 5);
+        handle
+            .submit(Request::new(Function::Sigmoid, xs.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let softmax = handle
+            .submit(Request::new(Function::Softmax, operands(fmt, 3)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        let expired = handle
+            .submit(Request::new(Function::Tanh, operands(fmt, 2)).with_deadline(past))
+            .unwrap();
+        assert_eq!(expired.wait(), Err(WaitError::DeadlineExpired));
+        let m = engine.metrics();
+        assert_eq!(m.replay_records_captured, 2);
+        assert_eq!(m.replay_records_dropped, 0);
+        let recorder = handle.recorder().expect("recording configured");
+        let log = recorder.take_log();
+        assert_eq!(log.records.len(), 2, "the expired request left no record");
+        assert!(log.records[0].id < log.records[1].id, "sorted by id");
+        let sigmoid = &log.records[0];
+        assert_eq!(sigmoid.function, Function::Sigmoid);
+        let submitted: Vec<i16> = xs.iter().map(|x| x.raw() as i16).collect();
+        assert_eq!(
+            sigmoid.operands, submitted,
+            "operands captured before the fast path overwrote them"
+        );
+        assert_eq!(sigmoid.responses.len(), 5);
+        assert_eq!(log.records[1].function, Function::Softmax);
+        let softmax_codes: Vec<i16> = softmax.outputs.iter().map(|y| y.raw() as i16).collect();
+        assert_eq!(log.records[1].responses, softmax_codes);
+        // The log round-trips through the binary format.
+        let bytes = log.encode();
+        assert_eq!(TraceLog::decode(&bytes, 1 << 16).expect("round trip"), log);
+    }
+
+    /// An unrecorded engine exposes no recorder; a wide-format engine
+    /// asked to record also runs unrecorded (its codes exceed i16).
+    #[test]
+    fn recorder_is_absent_without_recording_or_for_wide_formats() {
+        let engine = engine(1);
+        assert!(engine.handle().recorder().is_none());
+        let wide_config = NacuConfig::for_width(20).expect("20-bit config");
+        let wide =
+            Engine::new(EngineConfig::new(wide_config).with_recording(8)).expect("valid config");
+        assert!(wide.handle().recorder().is_none());
     }
 
     #[test]

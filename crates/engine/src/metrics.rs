@@ -42,6 +42,10 @@ pub struct EngineMetrics {
     async_wakers_registered: AtomicU64,
     async_spurious_wakeups: AtomicU64,
     async_dispatcher_batches: AtomicU64,
+    replay_records_captured: AtomicU64,
+    replay_records_dropped: AtomicU64,
+    replay_requests_replayed: AtomicU64,
+    replay_divergences: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -157,6 +161,33 @@ impl EngineMetrics {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    // The replay_* counters watch the record/replay harness: the engine
+    // accounts capture outcomes on its submit/reply paths; the replay
+    // drivers (which live above the engine, in `nacu-bench`) account the
+    // requests they replay and the divergences they find via
+    // [`crate::EngineHandle::live_metrics`], same as the net front-end.
+
+    /// A trace record completed: request and response both captured.
+    pub(crate) fn record_replay_record_captured(&self) {
+        self.replay_records_captured.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request went unrecorded because the recorder ring was saturated.
+    pub(crate) fn record_replay_record_dropped(&self) {
+        self.replay_records_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` recorded requests re-driven through an engine by a replayer.
+    pub fn record_replay_requests(&self, n: u64) {
+        self.replay_requests_replayed
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A replayed response differed bit-wise from the recorded one.
+    pub fn record_replay_divergence(&self) {
+        self.replay_divergences.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One fused hardware batch: `requests` requests totalling `ops`
     /// operands of `function`, costing `cycles` modeled cycles.
     pub(crate) fn record_batch(&self, function: Function, requests: u64, ops: u64, cycles: u64) {
@@ -210,6 +241,10 @@ impl EngineMetrics {
             async_wakers_registered: self.async_wakers_registered.load(Ordering::Relaxed),
             async_spurious_wakeups: self.async_spurious_wakeups.load(Ordering::Relaxed),
             async_dispatcher_batches: self.async_dispatcher_batches.load(Ordering::Relaxed),
+            replay_records_captured: self.replay_records_captured.load(Ordering::Relaxed),
+            replay_records_dropped: self.replay_records_dropped.load(Ordering::Relaxed),
+            replay_requests_replayed: self.replay_requests_replayed.load(Ordering::Relaxed),
+            replay_divergences: self.replay_divergences.load(Ordering::Relaxed),
         }
     }
 }
@@ -278,6 +313,16 @@ pub struct MetricsSnapshot {
     pub async_spurious_wakeups: u64,
     /// Dispatcher drains that flushed at least one completed reply.
     pub async_dispatcher_batches: u64,
+    /// Trace records fully captured (request and response halves) by the
+    /// engine's recorder, when one is configured.
+    pub replay_records_captured: u64,
+    /// Requests the recorder could not capture (ring saturated). Served
+    /// normally — recording never sheds load.
+    pub replay_records_dropped: u64,
+    /// Recorded requests re-driven through this engine by a replayer.
+    pub replay_requests_replayed: u64,
+    /// Replayed responses that differed bit-wise from their recording.
+    pub replay_divergences: u64,
 }
 
 impl MetricsSnapshot {
@@ -343,6 +388,19 @@ impl MetricsSnapshot {
                 "nacu_async_dispatcher_batches_total",
                 self.async_dispatcher_batches,
             ),
+            (
+                "nacu_replay_records_captured_total",
+                self.replay_records_captured,
+            ),
+            (
+                "nacu_replay_records_dropped_total",
+                self.replay_records_dropped,
+            ),
+            (
+                "nacu_replay_requests_replayed_total",
+                self.replay_requests_replayed,
+            ),
+            ("nacu_replay_divergences_total", self.replay_divergences),
             (
                 "nacu_engine_queue_depth_high_water",
                 self.queue_depth_high_water,
@@ -412,6 +470,18 @@ impl MetricsSnapshot {
             async_dispatcher_batches: self
                 .async_dispatcher_batches
                 .saturating_sub(earlier.async_dispatcher_batches),
+            replay_records_captured: self
+                .replay_records_captured
+                .saturating_sub(earlier.replay_records_captured),
+            replay_records_dropped: self
+                .replay_records_dropped
+                .saturating_sub(earlier.replay_records_dropped),
+            replay_requests_replayed: self
+                .replay_requests_replayed
+                .saturating_sub(earlier.replay_requests_replayed),
+            replay_divergences: self
+                .replay_divergences
+                .saturating_sub(earlier.replay_divergences),
         }
     }
 }
@@ -468,14 +538,46 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.drift_alarms, 1);
         let counters = s.exporter_counters();
-        assert_eq!(counters.len(), 23);
+        assert_eq!(counters.len(), 27);
         assert!(counters
             .iter()
             .any(|&(n, v)| n == "nacu_engine_drift_alarms_total" && v == 1));
         let mut names: Vec<&str> = counters.iter().map(|&(n, _)| n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 23, "exporter names are unique");
+        assert_eq!(names.len(), 27, "exporter names are unique");
+    }
+
+    #[test]
+    fn replay_counters_accumulate_diff_and_export() {
+        let m = EngineMetrics::new();
+        m.record_replay_record_captured();
+        m.record_replay_record_captured();
+        m.record_replay_record_dropped();
+        m.record_replay_requests(5);
+        m.record_replay_divergence();
+        let s = m.snapshot();
+        assert_eq!(s.replay_records_captured, 2);
+        assert_eq!(s.replay_records_dropped, 1);
+        assert_eq!(s.replay_requests_replayed, 5);
+        assert_eq!(s.replay_divergences, 1);
+        let counters = s.exporter_counters();
+        for (name, want) in [
+            ("nacu_replay_records_captured_total", 2),
+            ("nacu_replay_records_dropped_total", 1),
+            ("nacu_replay_requests_replayed_total", 5),
+            ("nacu_replay_divergences_total", 1),
+        ] {
+            assert!(
+                counters.iter().any(|&(n, v)| n == name && v == want),
+                "{name} missing or wrong"
+            );
+        }
+        let early = s;
+        m.record_replay_requests(3);
+        let d = m.snapshot().since(&early);
+        assert_eq!(d.replay_requests_replayed, 3);
+        assert_eq!(d.replay_divergences, 0);
     }
 
     #[test]

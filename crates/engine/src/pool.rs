@@ -34,6 +34,7 @@ use std::time::Instant;
 use nacu::{NacuConfig, ResponseTables};
 use nacu_faults::{CheckedError, CheckedNacu, FaultEvent};
 use nacu_obs::{Obs, Stage, TraceKind};
+use nacu_replay::Recorder;
 
 use crate::batch::{scalar_function, Request, RequestError, Response};
 use crate::metrics::EngineMetrics;
@@ -57,6 +58,12 @@ pub(crate) struct Job {
     pub(crate) reply: crate::wake::Completer,
     pub(crate) retries: u32,
     pub(crate) submitted_at: Instant,
+    /// Trace-recorder slot claimed at submit ([`NO_RECORD_SLOT`] when the
+    /// request is unrecorded). A retried job keeps its slot — the
+    /// eventual healthy reply completes the same record — while terminal
+    /// failures and expiries abandon it, so a drained trace only ever
+    /// carries served request/response pairs.
+    pub(crate) record: u32,
 }
 
 impl Coalesce for Job {
@@ -85,6 +92,25 @@ pub(crate) struct PoolShared {
     /// the format is too wide to tabulate. Workers with a non-empty
     /// fault plan ignore them (see [`run_worker`]).
     pub(crate) tables: Option<Arc<ResponseTables>>,
+    /// Trace recorder workers complete reply halves into, `None` when
+    /// the engine runs unrecorded.
+    pub(crate) recorder: Option<Arc<Recorder>>,
+}
+
+/// Completes a served job's trace record with its response codes.
+fn record_reply(shared: &PoolShared, slot: u32, outputs: &[nacu_fixed::Fx]) {
+    if let Some(recorder) = &shared.recorder {
+        if recorder.complete(slot, outputs.iter().map(|y| y.raw() as i16)) {
+            shared.metrics.record_replay_record_captured();
+        }
+    }
+}
+
+/// Releases the trace record of a job that will never be served.
+fn abandon_record(shared: &PoolShared, slot: u32) {
+    if let Some(recorder) = &shared.recorder {
+        recorder.abandon(slot);
+    }
 }
 
 /// Spawns one thread per health slot, draining `shared.queue` until it
@@ -170,9 +196,11 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
     }
     for mut job in jobs {
         if !any_healthy {
+            abandon_record(shared, job.record);
             shared.metrics.record_request_failed();
             job.reply.complete(Err(RequestError::NoHealthyWorkers));
         } else if job.retries >= shared.fault.max_retries {
+            abandon_record(shared, job.record);
             shared.metrics.record_request_failed();
             job.reply.complete(Err(RequestError::FaultDetected {
                 event,
@@ -189,6 +217,7 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
             if let Err(PushError::Full(mut job) | PushError::Closed(mut job)) =
                 shared.queue.try_push(job)
             {
+                abandon_record(shared, job.record);
                 shared.metrics.record_request_failed();
                 job.reply.complete(Err(RequestError::FaultDetected {
                     event,
@@ -200,6 +229,7 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
     if !any_healthy {
         // Last one out answers whatever was stranded behind the door.
         for mut job in shared.queue.drain() {
+            abandon_record(shared, job.record);
             shared.metrics.record_request_failed();
             job.reply.complete(Err(RequestError::NoHealthyWorkers));
         }
@@ -236,6 +266,7 @@ fn serve_batch(
     live.clear();
     for mut job in jobs.drain(..) {
         if job.request.deadline.is_some_and(|d| d < now) {
+            abandon_record(shared, job.record);
             metrics.record_expired();
             obs.record_trace(TraceKind::Expired {
                 req: job.id,
@@ -377,6 +408,7 @@ fn serve_batch(
         });
         metrics.record_batch(function, live.len() as u64, batch_ops as u64, batch_cycles);
         let reply = |mut job: Job, outputs: Vec<nacu_fixed::Fx>| {
+            record_reply(shared, job.record, &outputs);
             let e2e_ns = as_ns(job.submitted_at.elapsed());
             obs.record_latency(Stage::EndToEnd, function, e2e_ns);
             obs.record_trace(TraceKind::Reply {
@@ -461,6 +493,7 @@ fn serve_batch(
                 service_ns,
             });
             metrics.record_batch(function, 1, n as u64, batch_cycles);
+            record_reply(shared, job.record, &outputs);
             let e2e_ns = as_ns(job.submitted_at.elapsed());
             obs.record_latency(Stage::EndToEnd, function, e2e_ns);
             obs.record_trace(TraceKind::Reply {
@@ -505,6 +538,7 @@ mod tests {
             obs: Arc::new(Obs::with_trace_capacity(64)),
             health: Arc::new((0..slots).map(|_| AtomicBool::new(true)).collect()),
             tables: None,
+            recorder: None,
         })
     }
 
@@ -535,6 +569,7 @@ mod tests {
                 reply,
                 retries: 0,
                 submitted_at: Instant::now(),
+                record: nacu_replay::NO_RECORD_SLOT,
             },
             ticket,
         )
@@ -594,6 +629,7 @@ mod tests {
             reply,
             retries: 0,
             submitted_at: Instant::now(),
+            record: nacu_replay::NO_RECORD_SLOT,
         };
         serve(0, &unit, Some(&tables), vec![j], &s).expect("infallible fast path");
         let golden = unit.golden().softmax(&xs).expect("valid vector");
@@ -722,6 +758,7 @@ mod tests {
             ),
             health: Arc::new(vec![AtomicBool::new(true)]),
             tables: None,
+            recorder: None,
         });
         let unit = CheckedNacu::new(s.config)
             .expect("paper config")

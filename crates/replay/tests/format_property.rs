@@ -1,0 +1,117 @@
+//! Property tests for the trace-log format: every encodable log decodes
+//! back to itself, and no truncation, byte corruption, or arbitrary
+//! garbage can make the decoder panic — it always answers with a typed
+//! [`TraceDecodeError`] or a (different but valid) log.
+
+use nacu::Function;
+use nacu_fixed::QFormat;
+use nacu_replay::{TraceLog, TraceRecord, FILE_HEADER_LEN};
+use proptest::prelude::*;
+
+const MAX_OPS: u32 = 1 << 16;
+
+fn function_from(pick: u64) -> Function {
+    match pick % 4 {
+        0 => Function::Sigmoid,
+        1 => Function::Tanh,
+        2 => Function::Exp,
+        _ => Function::Softmax,
+    }
+}
+
+fn record_from(
+    pick: u64,
+    id: u64,
+    deadline: u64,
+    operands: &[i64],
+    responses: &[i64],
+) -> TraceRecord {
+    TraceRecord {
+        function: function_from(pick),
+        format: QFormat::new(4, 11).unwrap(),
+        id,
+        deadline_micros: deadline,
+        operands: operands.iter().map(|&c| c as i16).collect(),
+        responses: responses.iter().map(|&c| c as i16).collect(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn logs_round_trip(
+        pick in proptest::num::u64::ANY,
+        id in proptest::num::u64::ANY,
+        deadline in proptest::num::u64::ANY,
+        operands in proptest::collection::vec(-32768_i64..=32767, 1..200),
+        responses in proptest::collection::vec(-32768_i64..=32767, 0..200),
+        second in proptest::collection::vec(-32768_i64..=32767, 1..50),
+    ) {
+        let log = TraceLog {
+            records: vec![
+                record_from(pick, id, deadline, &operands, &responses),
+                // Softmax-style record: responses mirror operands.
+                record_from(pick.wrapping_add(3), id.wrapping_add(1), 0, &second, &second),
+            ],
+        };
+        let bytes = log.encode();
+        let decoded = TraceLog::decode(&bytes, MAX_OPS).expect("valid log");
+        prop_assert_eq!(decoded, log);
+    }
+
+    /// Truncating a valid log at any point fails typed, never panics.
+    #[test]
+    fn truncated_logs_fail_typed(
+        cut in proptest::num::u64::ANY,
+        operands in proptest::collection::vec(-32768_i64..=32767, 1..40),
+    ) {
+        let log = TraceLog {
+            records: vec![record_from(0, 1, 7, &operands, &operands)],
+        };
+        let bytes = log.encode();
+        let cut = (cut as usize) % bytes.len(); // strictly shorter
+        let err = TraceLog::decode(&bytes[..cut], MAX_OPS).expect_err("prefix is malformed");
+        let _ = err.to_string(); // the message renders
+    }
+
+    /// Single-byte corruption of a valid log never panics the decoder:
+    /// it either fails typed or decodes as some other valid log
+    /// (corrupting an operand byte, say, still decodes).
+    #[test]
+    fn corrupted_logs_decode_or_fail_typed(
+        at in proptest::num::u64::ANY,
+        xor in 1_i64..=255,
+        operands in proptest::collection::vec(-32768_i64..=32767, 1..40),
+    ) {
+        let log = TraceLog {
+            records: vec![record_from(2, 5, 0, &operands, &operands)],
+        };
+        let mut bytes = log.encode();
+        let at = (at as usize) % bytes.len();
+        bytes[at] ^= xor as u8;
+        // Typed result either way; a panic fails the test.
+        let _ = TraceLog::decode(&bytes, MAX_OPS);
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics_decoder(
+        bytes in proptest::collection::vec(0_i64..=255, 0..300),
+    ) {
+        let payload: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let _ = TraceLog::decode(&payload, MAX_OPS);
+    }
+
+    /// A garbage tail after a valid header never panics and never
+    /// decodes as the original log.
+    #[test]
+    fn garbage_records_after_valid_header_fail_typed(
+        tail in proptest::collection::vec(0_i64..=255, 1..100),
+    ) {
+        let mut bytes = TraceLog::default().encode();
+        prop_assert_eq!(bytes.len(), FILE_HEADER_LEN);
+        bytes.extend(tail.iter().map(|&b| b as u8));
+        // Header says 0 records; any decodable tail trips CountMismatch,
+        // any undecodable tail trips a Record error. Either is typed.
+        prop_assert!(TraceLog::decode(&bytes, MAX_OPS).is_err());
+    }
+}

@@ -60,6 +60,17 @@ stage net-smoke cargo run --release --offline -q -p nacu-bench --bin net_loadgen
     --smoke \
     --out "${LOG_DIR}/net_pr.json"
 
+# Record/replay smoke: re-record the canonical mixed workload,
+# byte-compare it against the committed golden trace, replay the golden
+# trace bit-for-bit across engine configurations and over a loopback
+# socket, and prove a 1-LSB-perturbed engine fails the diff — the same
+# gate the CI replay-gate job runs.
+stage replay-smoke cargo run --release --offline -q -p nacu-bench --bin trace_replay -- \
+    --gate --smoke \
+    --golden ci/REPLAY_golden.trace \
+    --report "${LOG_DIR}/replay_divergence.txt" \
+    --out "${LOG_DIR}/replay_pr.json"
+
 # Regenerate the full experiment reproduction transcript into the log
 # directory (it is a build artifact, not a committed file — EXPERIMENTS.md
 # quotes numbers from it). The Fig. 4 LUT-size searches dominate: ~1 min
