@@ -1,0 +1,304 @@
+//! SLO smoke gate: proves the windowed-telemetry plane end to end on a
+//! live engine — sampler overhead, burn-rate alarms that fire under
+//! abuse, and alarms that clear when the abuse stops.
+//!
+//!     slo_smoke [--smoke] [--slo PATH] [--prom PATH] [--max-overhead FRAC]
+//!
+//! Three stages, each printed as it runs:
+//!
+//! 1. **Overhead gate** — [`engine_bench::telemetry_overhead`] with a
+//!    10 ms sampler; the windowed-telemetry throughput cost must stay
+//!    within `--max-overhead` (default 3%).
+//! 2. **Must-fire** — an engine with a fast sampler and tiny burn
+//!    windows serves clean traffic (scrapes `200`), then takes a
+//!    latency-spike storm plus an expired-deadline storm; `/slo` must
+//!    degrade to `503` with both the latency and availability alarms
+//!    active, the alarms must appear in both `/metrics` wire formats,
+//!    and the spike must leave a tail exemplar.
+//! 3. **Must-clear** — the abuse stops; as the spike samples age out of
+//!    the burn windows, `/slo` must recover to `200` with every alarm
+//!    inactive while the trip counter stays ≥ 1 (latched edges are
+//!    counted, not forgotten).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use nacu::{Function, NacuConfig};
+use nacu_bench::engine_bench::{self, Workload};
+use nacu_engine::{Engine, EngineConfig, LatencyBudget, Request, SloSpec, Stage, WaitError};
+use nacu_fixed::{Fx, Rounding};
+
+/// One raw-socket GET against the scrape server: `(status line, body)`.
+fn get(addr: SocketAddr, path: &str) -> Result<(String, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send GET {path}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read GET {path}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response to GET {path}"))?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+/// Polls `/slo` until its status line starts with `want` (returns the
+/// body) or `deadline` passes (returns the last observation as an error).
+fn poll_slo(addr: SocketAddr, want: &str, deadline: Instant) -> Result<String, String> {
+    let mut last = String::new();
+    while Instant::now() < deadline {
+        let (status, body) = get(addr, "/slo")?;
+        if status.starts_with(want) {
+            return Ok(body);
+        }
+        last = format!("{status} {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Err(format!("/slo never answered {want}; last: {last}"))
+}
+
+fn write_artifact(path: &Option<String>, what: &str, body: &str) -> Result<(), String> {
+    if let Some(path) = path {
+        std::fs::write(path, body).map_err(|e| format!("write {what} to {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+struct Args {
+    smoke: bool,
+    slo: Option<String>,
+    prom: Option<String>,
+    max_overhead: f64,
+}
+
+fn value(arg: &str, argv: &mut impl Iterator<Item = String>) -> Result<String, String> {
+    argv.next().ok_or_else(|| format!("{arg} needs a value"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        slo: None,
+        prom: None,
+        max_overhead: 0.03,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--slo" => args.slo = Some(value(&arg, &mut argv)?),
+            "--prom" => args.prom = Some(value(&arg, &mut argv)?),
+            "--max-overhead" => {
+                args.max_overhead = value(&arg, &mut argv)?
+                    .parse()
+                    .map_err(|e| format!("--max-overhead: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument: {other}\nusage: slo_smoke [--smoke] [--slo PATH] \
+                     [--prom PATH] [--max-overhead FRAC]"
+                ));
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Stage 1: a 10 ms sampler must not tax throughput.
+fn overhead_gate(args: &Args) -> Result<(), String> {
+    // Same sizing rationale as obs_smoke's overhead stage: each drive
+    // must run tens of ms so a ≤ 3% effect is measurable above noise.
+    let workload = Workload {
+        clients: 4,
+        requests_per_client: if args.smoke { 2048 } else { 4096 },
+        operands_per_request: 256,
+        function: Function::Sigmoid,
+    };
+    let trials = if args.smoke { 4 } else { 6 };
+    let report = engine_bench::telemetry_overhead(workload, Duration::from_millis(10), trials);
+    eprintln!(
+        "overhead: baseline {:.0} ops/s, sampled({}ms) {:.0} ops/s -> {:+.2}%",
+        report.baseline_ops_per_sec,
+        report.sample_every,
+        report.sampled_ops_per_sec,
+        report.overhead() * 100.0,
+    );
+    if report.overhead() > args.max_overhead {
+        return Err(format!(
+            "telemetry sampling costs {:.2}% throughput, above the {:.2}% budget",
+            report.overhead() * 100.0,
+            args.max_overhead * 100.0,
+        ));
+    }
+    Ok(())
+}
+
+/// The gate's SLO set: a 1 ms end-to-end p99 objective and a 1% served
+/// availability objective, both judged over tiny 50 ms / 200 ms burn
+/// windows so the smoke run can trip and drain them in under a second.
+fn gate_slos() -> Vec<SloSpec> {
+    let fast = Duration::from_millis(50);
+    let slow = Duration::from_millis(200);
+    vec![
+        SloSpec::latency(
+            "e2e_sigmoid_p99",
+            Stage::EndToEnd,
+            Function::Sigmoid,
+            0.99,
+            LatencyBudget::Nanos(1_000_000),
+            10.0,
+        )
+        .with_windows(fast, slow),
+        SloSpec::availability(
+            "served",
+            &["nacu_engine_requests_expired_total"],
+            "nacu_engine_requests_submitted_total",
+            0.01,
+            10.0,
+        )
+        .with_windows(fast, slow),
+    ]
+}
+
+/// Stages 2 and 3 share one engine: fire the alarms, then clear them.
+fn must_fire_then_clear(args: &Args) -> Result<(), String> {
+    let engine = Engine::new(
+        EngineConfig::new(NacuConfig::paper_16bit())
+            .with_workers(2)
+            .with_queue_capacity(256)
+            .with_telemetry(Duration::from_millis(5))
+            .with_slos(gate_slos()),
+    )
+    .map_err(|e| format!("engine construction failed: {e}"))?;
+    let fmt = engine.format();
+    let handle = engine.handle();
+    let server = handle
+        .serve_obs("127.0.0.1:0")
+        .map_err(|e| format!("bind scrape server: {e}"))?;
+    let addr = server.local_addr();
+
+    // Clean traffic first: /slo must report enabled and not burning.
+    let xs: Vec<Fx> = (0..16)
+        .map(|i| Fx::from_f64(f64::from(i) * 0.2 - 1.5, fmt, Rounding::Nearest))
+        .collect();
+    for _ in 0..32 {
+        handle
+            .submit(Request::new(Function::Sigmoid, xs.clone()))
+            .map_err(|e| format!("clean submit: {e}"))?
+            .wait()
+            .map_err(|e| format!("clean request failed: {e}"))?;
+    }
+    let body = poll_slo(
+        addr,
+        "HTTP/1.1 200",
+        Instant::now() + Duration::from_secs(5),
+    )?;
+    if !body.contains("\"enabled\":true") {
+        return Err(format!("/slo does not report an enabled plane: {body}"));
+    }
+    eprintln!("clean traffic: /slo 200, not burning");
+
+    // Latency-spike storm: tail-bucket end-to-end samples far past the
+    // 1 ms budget, tagged so they leave exemplars.
+    let obs = handle.obs();
+    for i in 0..400u64 {
+        obs.record_latency_tagged(Stage::EndToEnd, Function::Sigmoid, 5_000_000, i + 1, 9);
+    }
+    // Expired-deadline storm: every request is shed at pickup, ramping
+    // requests_expired against requests_submitted.
+    let past = Instant::now() - Duration::from_millis(1);
+    for _ in 0..64 {
+        let ticket = handle
+            .submit(Request::new(Function::Sigmoid, xs.clone()).with_deadline(past))
+            .map_err(|e| format!("expired submit: {e}"))?;
+        match ticket.wait() {
+            Err(WaitError::DeadlineExpired) => {}
+            other => return Err(format!("expired request answered {other:?}")),
+        }
+    }
+
+    let body = poll_slo(
+        addr,
+        "HTTP/1.1 503",
+        Instant::now() + Duration::from_secs(10),
+    )?;
+    for alarm in ["e2e_sigmoid_p99", "served"] {
+        if !body.contains(&format!("\"name\":\"{alarm}\",\"active\":true")) {
+            return Err(format!("/slo 503 without an active {alarm} alarm: {body}"));
+        }
+    }
+    write_artifact(&args.slo, "/slo", &body)?;
+
+    // The alarms must be visible in both wire formats, and the spike
+    // must have left a tagged exemplar.
+    let (_, prom) = get(addr, "/metrics")?;
+    for needle in [
+        "nacu_obs_slo_alarm_active{slo=\"e2e_sigmoid_p99\"} 1",
+        "nacu_obs_slo_alarm_active{slo=\"served\"} 1",
+        "nacu_engine_slo_alarm_trips_total",
+        "nacu_obs_exemplar_ns{stage=\"end_to_end_ns\",function=\"sigmoid\"",
+        "conn=\"9\"",
+    ] {
+        if !prom.contains(needle) {
+            return Err(format!("/metrics is missing {needle:?} while burning"));
+        }
+    }
+    write_artifact(&args.prom, "/metrics", &prom)?;
+    let (_, json) = get(addr, "/metrics.json")?;
+    if !json.contains("\"schema\": \"nacu-obs/v2\"") || !json.contains("\"burning\":true") {
+        return Err(format!(
+            "/metrics.json is not a burning v2 document: {json}"
+        ));
+    }
+    eprintln!("must-fire: /slo 503, both alarms active in both wire formats");
+
+    // Must-clear: the sampler keeps ticking on an idle engine, so the
+    // spike samples age out of the 50/200 ms windows and the burn stops.
+    let body = poll_slo(
+        addr,
+        "HTTP/1.1 200",
+        Instant::now() + Duration::from_secs(10),
+    )?;
+    if body.contains("\"active\":true") {
+        return Err(format!("/slo recovered with an active alarm: {body}"));
+    }
+    let trips = engine.metrics().slo_alarm_trips;
+    if trips == 0 {
+        return Err("alarms cleared but the trip counter never moved".into());
+    }
+    eprintln!("must-clear: /slo 200, {trips} latched trip(s) on the counter");
+    drop(server);
+    engine.shutdown();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, stage) in [
+        (
+            "overhead-gate",
+            overhead_gate as fn(&Args) -> Result<(), String>,
+        ),
+        ("must-fire-then-clear", must_fire_then_clear),
+    ] {
+        eprintln!("== {name}");
+        if let Err(e) = stage(&args) {
+            eprintln!("{name} FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("slo smoke: overhead gate, must-fire and must-clear all passed");
+    ExitCode::SUCCESS
+}

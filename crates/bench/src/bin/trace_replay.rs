@@ -1,7 +1,7 @@
 //! Record/replay trace harness and the golden-trace CI gate.
 //!
 //!     trace_replay --record PATH
-//!     trace_replay --gate [--smoke] [--golden PATH] [--report PATH] [--out PATH]
+//!     trace_replay --gate [--smoke] [--paced] [--golden PATH] [--report PATH] [--out PATH]
 //!
 //! `--record` captures the canonical mixed MLP/LSTM/softmax smoke
 //! workload into a trace file — the same spec the gate replays, so
@@ -18,6 +18,12 @@
 //! proving the gate can actually catch a numerical change. Failures are
 //! appended to `--report` (the CI artifact); `--out` gets a small JSON
 //! record with record/replay throughput for the bench baseline.
+//!
+//! `--paced` makes the in-process replay stage re-apply the recorded
+//! inter-arrival gaps ([`nacu_replay::inter_arrival_gaps`]) instead of
+//! slamming the queue; the canonical golden trace is timing-stripped, so
+//! on it paced replay degenerates to ordinary replay by design — the
+//! flag exists to gate stamped traces recorded elsewhere.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -26,7 +32,7 @@ use std::time::Instant;
 use nacu::{Function, NacuConfig};
 use nacu_bench::replay_bench::{
     observable_bias_lsb_plan, perturbed_config, record_mixed_workload, replay_on_engine,
-    replay_on_net, WorkloadSpec,
+    replay_on_engine_paced, replay_on_net, WorkloadSpec,
 };
 use nacu_engine::{Engine, EngineConfig, TraceLog};
 use nacu_net::ServeNet;
@@ -49,6 +55,7 @@ fn main() -> ExitCode {
     let mut record_path: Option<String> = None;
     let mut gate = false;
     let mut smoke = false;
+    let mut paced = false;
     let mut golden_path = "ci/REPLAY_golden.trace".to_string();
     let mut report_path: Option<String> = None;
     let mut out_path: Option<String> = None;
@@ -70,6 +77,7 @@ fn main() -> ExitCode {
             },
             "--gate" => gate = true,
             "--smoke" => smoke = true,
+            "--paced" => paced = true,
             "--golden" => match take("--golden") {
                 Some(v) => golden_path = v,
                 None => return ExitCode::FAILURE,
@@ -85,8 +93,8 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: trace_replay --record PATH | --gate [--smoke] [--golden PATH] \
-                     [--report PATH] [--out PATH]"
+                    "usage: trace_replay --record PATH | --gate [--smoke] [--paced] \
+                     [--golden PATH] [--report PATH] [--out PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -219,7 +227,12 @@ fn main() -> ExitCode {
             }
         };
         let started = Instant::now();
-        match replay_on_engine(trace, &engine.handle(), WINDOW) {
+        let replayed = if paced {
+            replay_on_engine_paced(trace, &engine.handle(), WINDOW)
+        } else {
+            replay_on_engine(trace, &engine.handle(), WINDOW)
+        };
+        match replayed {
             Ok(outcome) => {
                 let secs = started.elapsed().as_secs_f64();
                 if let Some(d) = &outcome.divergence {

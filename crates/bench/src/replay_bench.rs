@@ -29,7 +29,7 @@ use nacu_net::{NetClient, Status};
 use nacu_nn::engine::EngineActivation;
 use nacu_nn::tensor::quantize_vec;
 use nacu_nn::{data, train, train_lstm};
-use nacu_replay::{compare, replay_with, ReplayError, ReplayOutcome};
+use nacu_replay::{compare, inter_arrival_gaps, replay_with, ReplayError, ReplayOutcome};
 
 /// Shape of the recorded mixed workload. Every knob is deterministic:
 /// the same spec over the same engine configuration records the same
@@ -193,6 +193,53 @@ pub fn record_mixed_workload(spec: WorkloadSpec, base: EngineConfig) -> TraceLog
     }
 
     engine.shutdown();
+    let mut log = recorder.take_log();
+    // Canonical traces are byte-deterministic: the same spec over the
+    // same config must record identical bytes, and submit stamps are
+    // wall-clock noise. Strip them — callers that want paced replay
+    // record their own stamped trace (see `record_stamped_workload`).
+    log.strip_timing();
+    log
+}
+
+/// Records a small stamped workload — direct softmax/exp batches with
+/// real sleeps between submissions — so the submit stamps carry genuine
+/// inter-arrival gaps for paced replay. Unlike
+/// [`record_mixed_workload`], the result is NOT byte-deterministic: the
+/// stamps are wall-clock measurements.
+///
+/// # Panics
+///
+/// As [`record_mixed_workload`].
+#[must_use]
+pub fn record_stamped_workload(
+    spec: WorkloadSpec,
+    base: EngineConfig,
+    gap: std::time::Duration,
+) -> TraceLog {
+    let capacity = spec.estimated_requests() * 2;
+    let engine = Engine::new(base.with_recording(capacity)).expect("recording engine");
+    let fmt = engine.format();
+    let handle = engine.handle();
+    let recorder = handle
+        .recorder()
+        .expect("format fits the trace log, so the recorder exists");
+    let mut lcg = CodeLcg::new(spec.seed);
+    let mut batch = |function: Function, width: usize| {
+        let operands: Vec<Fx> = (0..width.max(1))
+            .map(|_| Fx::from_raw_saturating(i64::from(lcg.next_code()), fmt))
+            .collect();
+        let ticket = submit_patiently(&handle, &Request::new(function, operands));
+        ticket.wait().expect("direct batch served");
+        thread::sleep(gap);
+    };
+    for _ in 0..spec.softmax_vectors {
+        batch(Function::Softmax, spec.softmax_width);
+    }
+    for _ in 0..spec.exp_bursts {
+        batch(Function::Exp, spec.exp_width);
+    }
+    engine.shutdown();
     recorder.take_log()
 }
 
@@ -211,6 +258,34 @@ pub fn replay_on_engine(
     log: &TraceLog,
     handle: &EngineHandle,
     window: usize,
+) -> Result<ReplayOutcome, ReplayError> {
+    replay_driver(log, handle, window, None)
+}
+
+/// As [`replay_on_engine`], but *paced*: before submitting record `i`,
+/// sleeps the recorded inter-arrival gap between records `i−1` and `i`
+/// (see [`nacu_replay::inter_arrival_gaps`]), so the replayed load curve
+/// follows the recorded one instead of slamming the queue as fast as the
+/// in-flight window drains. Timing-stripped traces (all stamps zero)
+/// degenerate to ordinary replay; the diff is bit-for-bit either way.
+///
+/// # Errors
+///
+/// As [`replay_on_engine`].
+pub fn replay_on_engine_paced(
+    log: &TraceLog,
+    handle: &EngineHandle,
+    window: usize,
+) -> Result<ReplayOutcome, ReplayError> {
+    let gaps = inter_arrival_gaps(log);
+    replay_driver(log, handle, window, Some(&gaps))
+}
+
+fn replay_driver(
+    log: &TraceLog,
+    handle: &EngineHandle,
+    window: usize,
+    gaps: Option<&[std::time::Duration]>,
 ) -> Result<ReplayOutcome, ReplayError> {
     let window = window.max(1);
     let mut inflight: VecDeque<(usize, nacu_engine::Ticket)> = VecDeque::with_capacity(window);
@@ -239,6 +314,11 @@ pub fn replay_on_engine(
     };
 
     'drive: for (index, record) in log.records.iter().enumerate() {
+        if let Some(gap) = gaps.and_then(|gaps| gaps.get(index)) {
+            if !gap.is_zero() {
+                thread::sleep(*gap);
+            }
+        }
         let operands: Vec<Fx> = record
             .operands
             .iter()
@@ -436,6 +516,44 @@ mod tests {
         assert!(outcome.is_bit_identical(), "{:?}", outcome.divergence);
         assert_eq!(outcome.records, log.records.len());
         server.shutdown();
+        engine.shutdown();
+    }
+
+    /// Paced replay honours the recorded gaps (total wall ≥ sum of gaps)
+    /// and still diffs bit-identically; a timing-stripped trace paces at
+    /// full speed (all gaps zero).
+    #[test]
+    fn paced_replay_is_bit_identical_and_honours_recorded_gaps() {
+        let spec = WorkloadSpec::tiny();
+        let gap = std::time::Duration::from_millis(2);
+        let log = record_stamped_workload(spec, base(), gap);
+        assert!(
+            log.records.iter().any(|r| r.submit_micros > 0),
+            "stamped recording carries submit stamps"
+        );
+        let gaps = inter_arrival_gaps(&log);
+        let budget: std::time::Duration = gaps.iter().sum();
+        assert!(budget >= gap, "recorded gaps reflect the real sleeps");
+
+        let engine = Engine::new(base()).expect("replay engine");
+        let start = std::time::Instant::now();
+        let outcome = replay_on_engine_paced(&log, &engine.handle(), 4).expect("paced replay runs");
+        let elapsed = start.elapsed();
+        assert!(outcome.is_bit_identical(), "{:?}", outcome.divergence);
+        assert_eq!(outcome.records, log.records.len());
+        assert!(
+            elapsed >= budget,
+            "paced replay must spend at least the recorded gaps ({elapsed:?} < {budget:?})"
+        );
+        engine.shutdown();
+
+        // A canonical (stripped) trace degenerates to ordinary replay.
+        let stripped = record_mixed_workload(spec, base());
+        assert!(stripped.records.iter().all(|r| r.submit_micros == 0));
+        let engine = Engine::new(base()).expect("replay engine");
+        let outcome =
+            replay_on_engine_paced(&stripped, &engine.handle(), 16).expect("paced replay runs");
+        assert!(outcome.is_bit_identical(), "{:?}", outcome.divergence);
         engine.shutdown();
     }
 

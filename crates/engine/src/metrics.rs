@@ -46,6 +46,8 @@ pub struct EngineMetrics {
     replay_records_dropped: AtomicU64,
     replay_requests_replayed: AtomicU64,
     replay_divergences: AtomicU64,
+    telemetry_samples: AtomicU64,
+    slo_alarm_trips: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -188,6 +190,19 @@ impl EngineMetrics {
         self.replay_divergences.fetch_add(1, Ordering::Relaxed);
     }
 
+    // The telemetry_* counters watch the sampler thread and the SLO
+    // engine it drives (see `nacu_obs::Telemetry`).
+
+    /// One windowed-telemetry sample taken by the sampler thread.
+    pub(crate) fn record_telemetry_sample(&self) {
+        self.telemetry_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An SLO burn-rate alarm latched (rising edge, not re-evaluation).
+    pub(crate) fn record_slo_trip(&self) {
+        self.slo_alarm_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One fused hardware batch: `requests` requests totalling `ops`
     /// operands of `function`, costing `cycles` modeled cycles.
     pub(crate) fn record_batch(&self, function: Function, requests: u64, ops: u64, cycles: u64) {
@@ -245,6 +260,8 @@ impl EngineMetrics {
             replay_records_dropped: self.replay_records_dropped.load(Ordering::Relaxed),
             replay_requests_replayed: self.replay_requests_replayed.load(Ordering::Relaxed),
             replay_divergences: self.replay_divergences.load(Ordering::Relaxed),
+            telemetry_samples: self.telemetry_samples.load(Ordering::Relaxed),
+            slo_alarm_trips: self.slo_alarm_trips.load(Ordering::Relaxed),
         }
     }
 }
@@ -323,6 +340,11 @@ pub struct MetricsSnapshot {
     pub replay_requests_replayed: u64,
     /// Replayed responses that differed bit-wise from their recording.
     pub replay_divergences: u64,
+    /// Windowed-telemetry samples taken by the sampler thread (0 when
+    /// telemetry is disabled).
+    pub telemetry_samples: u64,
+    /// SLO burn-rate alarms latched (rising edges across all SLOs).
+    pub slo_alarm_trips: u64,
 }
 
 impl MetricsSnapshot {
@@ -401,6 +423,11 @@ impl MetricsSnapshot {
                 self.replay_requests_replayed,
             ),
             ("nacu_replay_divergences_total", self.replay_divergences),
+            (
+                "nacu_engine_telemetry_samples_total",
+                self.telemetry_samples,
+            ),
+            ("nacu_engine_slo_alarm_trips_total", self.slo_alarm_trips),
             (
                 "nacu_engine_queue_depth_high_water",
                 self.queue_depth_high_water,
@@ -482,6 +509,10 @@ impl MetricsSnapshot {
             replay_divergences: self
                 .replay_divergences
                 .saturating_sub(earlier.replay_divergences),
+            telemetry_samples: self
+                .telemetry_samples
+                .saturating_sub(earlier.telemetry_samples),
+            slo_alarm_trips: self.slo_alarm_trips.saturating_sub(earlier.slo_alarm_trips),
         }
     }
 }
@@ -538,14 +569,14 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.drift_alarms, 1);
         let counters = s.exporter_counters();
-        assert_eq!(counters.len(), 27);
+        assert_eq!(counters.len(), 29);
         assert!(counters
             .iter()
             .any(|&(n, v)| n == "nacu_engine_drift_alarms_total" && v == 1));
         let mut names: Vec<&str> = counters.iter().map(|&(n, _)| n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 27, "exporter names are unique");
+        assert_eq!(names.len(), 29, "exporter names are unique");
     }
 
     #[test]
@@ -663,6 +694,32 @@ mod tests {
             .any(|&(n, v)| n == "nacu_engine_fast_path_ops_total" && v == 80));
         let d = s.since(&MetricsSnapshot::default());
         assert_eq!(d.fast_path_ops, 80);
+    }
+
+    #[test]
+    fn telemetry_counters_accumulate_diff_and_export() {
+        let m = EngineMetrics::new();
+        m.record_telemetry_sample();
+        m.record_telemetry_sample();
+        m.record_slo_trip();
+        let s = m.snapshot();
+        assert_eq!(s.telemetry_samples, 2);
+        assert_eq!(s.slo_alarm_trips, 1);
+        let counters = s.exporter_counters();
+        for (name, want) in [
+            ("nacu_engine_telemetry_samples_total", 2),
+            ("nacu_engine_slo_alarm_trips_total", 1),
+        ] {
+            assert!(
+                counters.iter().any(|&(n, v)| n == name && v == want),
+                "{name} missing or wrong"
+            );
+        }
+        let early = s;
+        m.record_telemetry_sample();
+        let d = m.snapshot().since(&early);
+        assert_eq!(d.telemetry_samples, 1);
+        assert_eq!(d.slo_alarm_trips, 0);
     }
 
     #[test]

@@ -410,7 +410,15 @@ fn serve_batch(
         let reply = |mut job: Job, outputs: Vec<nacu_fixed::Fx>| {
             record_reply(shared, job.record, &outputs);
             let e2e_ns = as_ns(job.submitted_at.elapsed());
-            obs.record_latency(Stage::EndToEnd, function, e2e_ns);
+            // Tagged so a tail-bucket request leaves an exemplar carrying
+            // its request id and connection.
+            obs.record_latency_tagged(
+                Stage::EndToEnd,
+                function,
+                e2e_ns,
+                job.id,
+                job.request.client,
+            );
             obs.record_trace(TraceKind::Reply {
                 req: job.id,
                 conn: job.request.client,
@@ -495,7 +503,15 @@ fn serve_batch(
             metrics.record_batch(function, 1, n as u64, batch_cycles);
             record_reply(shared, job.record, &outputs);
             let e2e_ns = as_ns(job.submitted_at.elapsed());
-            obs.record_latency(Stage::EndToEnd, function, e2e_ns);
+            // Tagged so a tail-bucket request leaves an exemplar carrying
+            // its request id and connection.
+            obs.record_latency_tagged(
+                Stage::EndToEnd,
+                function,
+                e2e_ns,
+                job.id,
+                job.request.client,
+            );
             obs.record_trace(TraceKind::Reply {
                 req: job.id,
                 conn: job.request.client,
@@ -713,8 +729,18 @@ mod tests {
             .iter()
             .map(|e| e.kind.name())
             .collect();
+        // The first reply sets the tail-exemplar high-water mark, so at
+        // least one reply also leaves a `tail_exemplar` event; how many
+        // depends on the measured latencies, so assert the lifecycle
+        // sequence with exemplars filtered out.
+        assert!(names.contains(&"tail_exemplar"), "{names:?}");
+        let lifecycle: Vec<&str> = names
+            .iter()
+            .copied()
+            .filter(|&n| n != "tail_exemplar")
+            .collect();
         assert_eq!(
-            names,
+            lifecycle,
             ["coalesce", "batch_start", "batch_end", "reply", "reply"]
         );
     }

@@ -203,6 +203,31 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     &format!("\"kind\":\"{}\"", kind.name()),
                 );
             }
+            TraceKind::SloBurn { slo, active } => {
+                instant(
+                    &mut out,
+                    "slo_burn",
+                    1,
+                    0,
+                    at,
+                    &format!("\"slo\":\"{slo}\",\"active\":{active}"),
+                );
+            }
+            TraceKind::TailExemplar {
+                req,
+                conn,
+                function,
+                value_ns,
+            } => {
+                instant(
+                    &mut out,
+                    &format!("tail {function}"),
+                    2,
+                    req,
+                    at,
+                    &format!("\"req\":{req},\"conn\":{conn},\"value_ns\":{value_ns}"),
+                );
+            }
         }
     }
     // Submits whose reply fell outside the window stay visible.

@@ -16,14 +16,23 @@
 
 use nacu::Function;
 
+use crate::exemplar::Exemplar;
 use crate::health::HealthSnapshot;
 use crate::hist::{bucket_upper_bound, HistogramSnapshot};
+use crate::slo::SloStatus;
+use crate::window::WindowDelta;
 use crate::{ObsSnapshot, Stage, ACCOUNTED_FUNCTIONS};
 
 /// Version tag of the JSON layout produced by [`json`]. The `health`
 /// section was added additively (new key, existing keys untouched), so
 /// the tag stays at v1.
 pub const JSON_SCHEMA: &str = "nacu-obs/v1";
+
+/// Version tag of the JSON layout produced by [`json_v2`]: v1 plus
+/// `windows`, `exemplars`, and `slo` sections (inserted before
+/// `counters`). v1 consumers that ignore unknown keys parse v2
+/// unchanged; the tag still bumps because the document shape grew.
+pub const JSON_SCHEMA_V2: &str = "nacu-obs/v2";
 
 /// Renders `f64` for both exporters: finite shortest round-trip, with
 /// non-finite values (impossible from our derivations, which guard their
@@ -191,6 +200,105 @@ pub fn prometheus(snap: &ObsSnapshot, clock_hz: f64, counters: &[(&str, u64)]) -
     out
 }
 
+/// Renders the telemetry families — rolling-window gauges, tail
+/// exemplars, and SLO burn-rate alarms — as Prometheus text. Kept
+/// separate from [`prometheus`] (and appended after it by the scrape
+/// server) so the v1 exposition, which is pinned by snapshot tests,
+/// stays byte-identical when telemetry is disabled.
+#[must_use]
+pub fn prometheus_telemetry(
+    windows: &[(&str, WindowDelta)],
+    exemplars: &[Exemplar],
+    slo: &[SloStatus],
+) -> String {
+    let mut out = String::new();
+
+    out.push_str(
+        "# HELP nacu_obs_window_requests Requests recorded end-to-end inside the rolling window.\n\
+         # TYPE nacu_obs_window_requests gauge\n",
+    );
+    for (label, w) in windows {
+        out.push_str(&format!(
+            "nacu_obs_window_requests{{window=\"{label}\"}} {}\n",
+            w.stage_merged(Stage::EndToEnd).count
+        ));
+    }
+    out.push_str(
+        "# HELP nacu_obs_window_p99_ns End-to-end p99 over the rolling window, nanoseconds.\n\
+         # TYPE nacu_obs_window_p99_ns gauge\n",
+    );
+    for (label, w) in windows {
+        out.push_str(&format!(
+            "nacu_obs_window_p99_ns{{window=\"{label}\"}} {}\n",
+            w.stage_merged(Stage::EndToEnd).p99()
+        ));
+    }
+    out.push_str(
+        "# HELP nacu_obs_window_ops_per_sec Operands served per second over the rolling window.\n\
+         # TYPE nacu_obs_window_ops_per_sec gauge\n",
+    );
+    for (label, w) in windows {
+        out.push_str(&format!(
+            "nacu_obs_window_ops_per_sec{{window=\"{label}\"}} {}\n",
+            fmt_f64(w.per_second(w.total_ops()))
+        ));
+    }
+
+    out.push_str(
+        "# HELP nacu_obs_exemplar_ns Tail-latency exemplars: one concrete request per series.\n\
+         # TYPE nacu_obs_exemplar_ns gauge\n",
+    );
+    for e in exemplars {
+        out.push_str(&format!(
+            "nacu_obs_exemplar_ns{{stage=\"{}\",function=\"{}\",req=\"{}\",conn=\"{}\"}} {}\n",
+            e.stage.name(),
+            e.function,
+            e.req,
+            e.conn,
+            e.value_ns
+        ));
+    }
+
+    out.push_str(
+        "# HELP nacu_obs_slo_burn_rate Error-budget burn rate per SLO and evaluation window.\n\
+         # TYPE nacu_obs_slo_burn_rate gauge\n",
+    );
+    for s in slo {
+        out.push_str(&format!(
+            "nacu_obs_slo_burn_rate{{slo=\"{}\",window=\"fast\"}} {}\n",
+            s.name,
+            fmt_f64(s.fast_burn)
+        ));
+        out.push_str(&format!(
+            "nacu_obs_slo_burn_rate{{slo=\"{}\",window=\"slow\"}} {}\n",
+            s.name,
+            fmt_f64(s.slow_burn)
+        ));
+    }
+    out.push_str(
+        "# HELP nacu_obs_slo_alarm_active 1 while the SLO's burn-rate alarm is active.\n\
+         # TYPE nacu_obs_slo_alarm_active gauge\n",
+    );
+    for s in slo {
+        out.push_str(&format!(
+            "nacu_obs_slo_alarm_active{{slo=\"{}\"}} {}\n",
+            s.name,
+            u8::from(s.active)
+        ));
+    }
+    out.push_str(
+        "# HELP nacu_obs_slo_alarm_trips_total Rising edges of the SLO's burn-rate alarm.\n\
+         # TYPE nacu_obs_slo_alarm_trips_total counter\n",
+    );
+    for s in slo {
+        out.push_str(&format!(
+            "nacu_obs_slo_alarm_trips_total{{slo=\"{}\"}} {}\n",
+            s.name, s.trips
+        ));
+    }
+    out
+}
+
 /// Renders the shadow-checker health families (gauges, counters and the
 /// error-in-LSB histograms) onto `out`.
 fn prometheus_health(out: &mut String, health: &HealthSnapshot) {
@@ -325,9 +433,131 @@ fn json_histogram(h: &HistogramSnapshot) -> String {
 /// ```
 #[must_use]
 pub fn json(snap: &ObsSnapshot, clock_hz: f64, counters: &[(&str, u64)]) -> String {
+    json_document(snap, clock_hz, counters, JSON_SCHEMA, "")
+}
+
+/// The v1 document with the telemetry sections spliced in
+/// ([`JSON_SCHEMA_V2`]): rolling-window aggregates, tail exemplars, and
+/// SLO alarm statuses. Every v1 key is rendered byte-identically; the
+/// new sections sit between `health` and `counters`.
+#[must_use]
+pub fn json_v2(
+    snap: &ObsSnapshot,
+    clock_hz: f64,
+    counters: &[(&str, u64)],
+    windows: &[(&str, WindowDelta)],
+    exemplars: &[Exemplar],
+    slo: &[SloStatus],
+) -> String {
+    let mut extra = String::new();
+
+    extra.push_str("  \"windows\": {\n");
+    let window_entries: Vec<String> = windows
+        .iter()
+        .map(|(label, w)| {
+            let stages: Vec<String> = Stage::ALL
+                .iter()
+                .map(|&stage| {
+                    let h = w.stage_merged(stage);
+                    format!(
+                        "\"{}\": {{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        stage.name(),
+                        h.count,
+                        h.sum,
+                        h.p50(),
+                        h.p90(),
+                        h.p99()
+                    )
+                })
+                .collect();
+            let ops: Vec<String> = ACCOUNTED_FUNCTIONS
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("\"{f}\":{}", w.ops[i]))
+                .collect();
+            format!(
+                "    \"{label}\": {{\"span_ns\":{},\"samples\":{},\"stages\":{{{}}},\"ops\":{{{}}},\"ops_per_sec\":{}}}",
+                w.span_ns,
+                w.samples,
+                stages.join(","),
+                ops.join(","),
+                fmt_f64(w.per_second(w.total_ops()))
+            )
+        })
+        .collect();
+    extra.push_str(&window_entries.join(",\n"));
+    extra.push_str("\n  },\n");
+
+    let exemplar_entries: Vec<String> = exemplars
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"stage\":\"{}\",\"function\":\"{}\",\"value_ns\":{},\"req\":{},\"conn\":{},\"at_ns\":{}}}",
+                e.stage.name(),
+                e.function,
+                e.value_ns,
+                e.req,
+                e.conn,
+                e.at_ns
+            )
+        })
+        .collect();
+    if exemplar_entries.is_empty() {
+        extra.push_str("  \"exemplars\": [],\n");
+    } else {
+        extra.push_str(&format!(
+            "  \"exemplars\": [\n{}\n  ],\n",
+            exemplar_entries.join(",\n")
+        ));
+    }
+
+    let burning = slo.iter().any(|s| s.active);
+    let alarm_entries: Vec<String> = slo
+        .iter()
+        .map(|s| {
+            let budget = s
+                .budget_ns
+                .map_or_else(|| "null".to_string(), |b| b.to_string());
+            format!(
+                "    {{\"name\":\"{}\",\"active\":{},\"trips\":{},\"fast_burn\":{},\"slow_burn\":{},\"budget_ns\":{},\"threshold\":{}}}",
+                s.name,
+                s.active,
+                s.trips,
+                fmt_f64(s.fast_burn),
+                fmt_f64(s.slow_burn),
+                budget,
+                fmt_f64(s.threshold)
+            )
+        })
+        .collect();
+    if alarm_entries.is_empty() {
+        extra.push_str(&format!(
+            "  \"slo\": {{\"burning\":{burning},\"alarms\":[]}},\n"
+        ));
+    } else {
+        extra.push_str(&format!(
+            "  \"slo\": {{\"burning\":{burning},\"alarms\":[\n{}\n  ]}},\n",
+            alarm_entries.join(",\n")
+        ));
+    }
+
+    json_document(snap, clock_hz, counters, JSON_SCHEMA_V2, &extra)
+}
+
+/// Renders one JSON document; `extra_sections` (already `",\n"`
+/// terminated, or empty) is spliced verbatim between the `health` and
+/// `counters` sections. [`json`] passes the empty string, which keeps
+/// the v1 bytes untouched by construction.
+fn json_document(
+    snap: &ObsSnapshot,
+    clock_hz: f64,
+    counters: &[(&str, u64)],
+    schema: &str,
+    extra_sections: &str,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\n  \"schema\": \"{JSON_SCHEMA}\",\n  \"clock_hz\": {},\n",
+        "{{\n  \"schema\": \"{schema}\",\n  \"clock_hz\": {},\n",
         fmt_f64(clock_hz)
     ));
 
@@ -406,6 +636,8 @@ pub fn json(snap: &ObsSnapshot, clock_hz: f64, counters: &[(&str, u64)]) -> Stri
     out.push_str(&health_entries.join(",\n"));
     out.push_str("\n  }},\n");
 
+    out.push_str(extra_sections);
+
     let counter_entries: Vec<String> = counters
         .iter()
         .map(|(name, value)| format!("\"{name}\":{value}"))
@@ -483,5 +715,85 @@ mod tests {
         assert_eq!(fmt_f64(f64::NAN), "0");
         assert_eq!(fmt_f64(f64::INFINITY), "0");
         assert_eq!(fmt_f64(1.5), "1.5");
+    }
+
+    fn telemetry_inputs() -> (
+        Vec<(&'static str, WindowDelta)>,
+        Vec<Exemplar>,
+        Vec<SloStatus>,
+    ) {
+        let series = crate::window::TelemetrySeries::new(8);
+        let obs = Obs::with_trace_capacity(4);
+        obs.record_latency(Stage::EndToEnd, Function::Sigmoid, 700);
+        series.push_at(
+            1_000_000_000,
+            obs.snapshot(),
+            vec![("requests_submitted", 1)],
+        );
+        let windows = vec![("10s", series.window(std::time::Duration::from_secs(10)))];
+        let exemplars = vec![Exemplar {
+            stage: Stage::EndToEnd,
+            function: Function::Sigmoid,
+            value_ns: 700,
+            req: 42,
+            conn: 3,
+            at_ns: 999,
+        }];
+        let slo = vec![SloStatus {
+            name: "e2e_p99",
+            active: true,
+            tripped_now: false,
+            cleared_now: false,
+            trips: 2,
+            fast_burn: 4.5,
+            slow_burn: 2.25,
+            budget_ns: Some(50_000),
+            threshold: 1.0,
+        }];
+        (windows, exemplars, slo)
+    }
+
+    #[test]
+    fn json_v2_adds_sections_and_preserves_every_v1_key() {
+        let snap = populated();
+        let counters = [("requests_submitted", 2u64)];
+        let (windows, exemplars, slo) = telemetry_inputs();
+        let v1 = json(&snap, 1e9, &counters);
+        let v2 = json_v2(&snap, 1e9, &counters, &windows, &exemplars, &slo);
+        assert!(v2.contains("\"schema\": \"nacu-obs/v2\""));
+        assert!(v2.contains("\"windows\": {"));
+        assert!(v2.contains("\"10s\": {\"span_ns\":1000000000,\"samples\":1"));
+        assert!(v2.contains("\"exemplars\": ["));
+        assert!(v2.contains("\"req\":42,\"conn\":3"));
+        assert!(v2.contains("\"slo\": {\"burning\":true"));
+        assert!(v2.contains("\"budget_ns\":50000"));
+        // Every v1 line survives verbatim except the schema tag.
+        for line in v1.lines() {
+            if line.contains("\"schema\"") {
+                continue;
+            }
+            assert!(v2.contains(line), "v2 lost v1 line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_v2_with_no_telemetry_data_emits_empty_sections() {
+        let v2 = json_v2(&populated(), 1e9, &[], &[], &[], &[]);
+        assert!(v2.contains("\"windows\": {\n\n  }"));
+        assert!(v2.contains("\"exemplars\": []"));
+        assert!(v2.contains("\"slo\": {\"burning\":false,\"alarms\":[]}"));
+    }
+
+    #[test]
+    fn prometheus_telemetry_exposes_windows_exemplars_and_alarms() {
+        let (windows, exemplars, slo) = telemetry_inputs();
+        let text = prometheus_telemetry(&windows, &exemplars, &slo);
+        assert!(text.contains("nacu_obs_window_requests{window=\"10s\"} 1"));
+        assert!(text.contains("# TYPE nacu_obs_window_p99_ns gauge"));
+        assert!(text.contains("nacu_obs_exemplar_ns{stage=\"end_to_end_ns\",function=\"sigmoid\",req=\"42\",conn=\"3\"} 700"));
+        assert!(text.contains("nacu_obs_slo_burn_rate{slo=\"e2e_p99\",window=\"fast\"} 4.5"));
+        assert!(text.contains("nacu_obs_slo_burn_rate{slo=\"e2e_p99\",window=\"slow\"} 2.25"));
+        assert!(text.contains("nacu_obs_slo_alarm_active{slo=\"e2e_p99\"} 1"));
+        assert!(text.contains("nacu_obs_slo_alarm_trips_total{slo=\"e2e_p99\"} 2"));
     }
 }

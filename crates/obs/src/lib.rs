@@ -31,23 +31,31 @@
 
 pub mod chrome;
 pub mod cycles;
+pub mod exemplar;
 pub mod export;
 pub mod health;
 pub mod hist;
 pub mod http;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
 use nacu::Function;
 
 pub use chrome::chrome_trace;
 pub use cycles::{function_slot, CycleAccounting, CycleRow, CycleSnapshot, ACCOUNTED_FUNCTIONS};
+pub use exemplar::{Exemplar, ExemplarRing, DEFAULT_EXEMPLAR_CAPACITY};
 pub use health::{
     monitor_slot, DriftAlarm, DriftKind, HealthConfig, HealthMonitor, HealthRow, HealthSnapshot,
     DEFAULT_SAMPLE_EVERY, MONITORED_FUNCTIONS,
 };
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use http::{serve, ObsServer, ScrapeSource, WorkerCensus};
+pub use slo::{LatencyBudget, SloEngine, SloObjective, SloSpec, SloStatus, Telemetry};
 pub use trace::{TraceEvent, TraceKind, TraceRing};
+pub use window::{
+    SparseDelta, TelemetrySample, TelemetrySeries, WindowDelta, DEFAULT_SAMPLE_CAPACITY, WINDOWS,
+};
 
 /// Default undrained-event capacity of the trace ring.
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
@@ -94,6 +102,7 @@ pub struct Obs {
     cycles: CycleAccounting,
     trace: TraceRing,
     health: HealthMonitor,
+    exemplars: ExemplarRing,
 }
 
 impl Default for Obs {
@@ -121,6 +130,7 @@ impl Obs {
             cycles: CycleAccounting::new(),
             trace: TraceRing::new(capacity),
             health: HealthMonitor::disabled(),
+            exemplars: ExemplarRing::new(exemplar::DEFAULT_EXEMPLAR_CAPACITY),
         }
     }
 
@@ -152,6 +162,44 @@ impl Obs {
         if let Some(i) = function_slot(function) {
             self.stage_histograms(stage)[i].record(ns);
         }
+    }
+
+    /// [`Obs::record_latency`] plus exemplar capture: when the value
+    /// lands in the stage's tail (see [`ExemplarRing`]), the request and
+    /// connection ids are retained and a
+    /// [`TraceKind::TailExemplar`] event enters the flight recorder.
+    pub fn record_latency_tagged(
+        &self,
+        stage: Stage,
+        function: Function,
+        ns: u64,
+        req: u64,
+        conn: u32,
+    ) {
+        self.record_latency(stage, function, ns);
+        if function_slot(function).is_none() {
+            return;
+        }
+        if let Some(exemplar) = self.exemplars.offer(stage, function, ns, req, conn) {
+            self.record_trace(TraceKind::TailExemplar {
+                req: exemplar.req,
+                conn: exemplar.conn,
+                function: exemplar.function,
+                value_ns: exemplar.value_ns,
+            });
+        }
+    }
+
+    /// The currently retained tail exemplars, oldest first.
+    #[must_use]
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        self.exemplars.snapshot()
+    }
+
+    /// The exemplar ring itself (capture counters live here).
+    #[must_use]
+    pub fn exemplar_ring(&self) -> &ExemplarRing {
+        &self.exemplars
     }
 
     /// The live cycle-accounting counters.

@@ -1,0 +1,576 @@
+//! Declarative SLOs with multi-window burn-rate alarms.
+//!
+//! An [`SloSpec`] names an objective — a latency quantile against a
+//! budget, or an availability ratio over the engine's flat counters —
+//! and a pair of rolling windows. Following the multi-window burn-rate
+//! recipe, the alarm is active only while **both** the fast and the slow
+//! window burn faster than `threshold` × the error budget: the fast
+//! window makes the alarm responsive, the slow window keeps one noisy
+//! second from paging. Unlike the health monitor's drift latch (which is
+//! sticky by design — a numerical contract violation never "gets
+//! better"), burn alarms *clear* once the offending samples drain out of
+//! both windows; the rising-edge count survives in
+//! [`SloStatus::trips`] and the engine's `slo_alarm_trips` counter.
+//!
+//! Latency budgets come in two currencies: absolute nanoseconds, or a
+//! multiple of the Table I modeled service time observed *in the same
+//! window* ([`LatencyBudget::ModeledMultiple`]) — "p99 end-to-end may
+//! cost at most 400× what the paper's datapath model says the operands
+//! cost", which tracks workload mix instead of hard-coding a number.
+//!
+//! Burn is computed from definite violations only: a histogram bucket
+//! counts as bad when its *lower* bound exceeds the budget, so bucket
+//! quantization can under-report slightly but never fires a false alarm.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use nacu::Function;
+
+use crate::cycles::function_slot;
+use crate::hist::bucket_lower_bound;
+use crate::window::{TelemetrySeries, WindowDelta};
+use crate::Stage;
+
+/// Minimum error budget a latency objective can leave (q = 1.0 would
+/// otherwise divide by zero).
+const MIN_ERROR_BUDGET: f64 = 1e-4;
+
+/// The latency budget a [`SloObjective::Latency`] holds requests to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyBudget {
+    /// An absolute budget in nanoseconds.
+    Nanos(u64),
+    /// A multiple of the window's modeled per-op service time: the
+    /// Table I cycle model priced at the configured clock. Windows that
+    /// served no operands of the function have no budget and cannot
+    /// violate.
+    ModeledMultiple(f64),
+}
+
+/// What an [`SloSpec`] promises.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloObjective {
+    /// "`quantile` of `stage` latency for `function` stays within
+    /// `budget`" — e.g. p99 end-to-end sigmoid under 50 µs.
+    Latency {
+        /// Pipeline stage the histogram is read from.
+        stage: Stage,
+        /// Accounted function whose histogram is consulted.
+        function: Function,
+        /// Objective quantile in `(0, 1)`; the error budget is
+        /// `1 - quantile`.
+        quantile: f64,
+        /// The latency bound.
+        budget: LatencyBudget,
+    },
+    /// "`bad` events stay under `target_error_ratio` of `total`" over
+    /// the engine's flat exporter counters — e.g. shed + expired under
+    /// 1% of submitted.
+    Availability {
+        /// Counter names whose window deltas count as bad events.
+        bad: &'static [&'static str],
+        /// Counter name whose window delta is the event total.
+        total: &'static str,
+        /// Error budget as a ratio of `total` in `(0, 1)`.
+        target_error_ratio: f64,
+    },
+}
+
+/// One declarative objective plus its burn-rate alarm policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Stable name, used in exports and alarms.
+    pub name: &'static str,
+    /// The promise.
+    pub objective: SloObjective,
+    /// Fast (short) evaluation window.
+    pub fast: Duration,
+    /// Slow (long) evaluation window.
+    pub slow: Duration,
+    /// Burn-rate threshold both windows must exceed to trip. A burn of
+    /// 1.0 means "spending budget exactly as fast as allowed".
+    pub threshold: f64,
+}
+
+impl SloSpec {
+    /// A latency objective with the default 10s/1m windows.
+    #[must_use]
+    pub fn latency(
+        name: &'static str,
+        stage: Stage,
+        function: Function,
+        quantile: f64,
+        budget: LatencyBudget,
+        threshold: f64,
+    ) -> Self {
+        Self {
+            name,
+            objective: SloObjective::Latency {
+                stage,
+                function,
+                quantile,
+                budget,
+            },
+            fast: Duration::from_secs(10),
+            slow: Duration::from_secs(60),
+            threshold,
+        }
+    }
+
+    /// An availability objective with the default 10s/1m windows.
+    #[must_use]
+    pub fn availability(
+        name: &'static str,
+        bad: &'static [&'static str],
+        total: &'static str,
+        target_error_ratio: f64,
+        threshold: f64,
+    ) -> Self {
+        Self {
+            name,
+            objective: SloObjective::Availability {
+                bad,
+                total,
+                target_error_ratio,
+            },
+            fast: Duration::from_secs(10),
+            slow: Duration::from_secs(60),
+            threshold,
+        }
+    }
+
+    /// Overrides the fast/slow evaluation windows.
+    #[must_use]
+    pub fn with_windows(mut self, fast: Duration, slow: Duration) -> Self {
+        self.fast = fast;
+        self.slow = slow;
+        self
+    }
+
+    /// The effective latency budget in nanoseconds for one window
+    /// (`None` for availability objectives or when a modeled budget has
+    /// no operands to price against).
+    #[must_use]
+    pub fn budget_ns(&self, window: &WindowDelta, clock_hz: f64) -> Option<u64> {
+        let SloObjective::Latency {
+            function, budget, ..
+        } = &self.objective
+        else {
+            return None;
+        };
+        match budget {
+            LatencyBudget::Nanos(ns) => Some(*ns),
+            LatencyBudget::ModeledMultiple(multiple) => {
+                let slot = function_slot(*function)?;
+                let ops = window.ops[slot];
+                if ops == 0 || clock_hz <= 0.0 {
+                    return None;
+                }
+                let cycles_per_op = window.modeled_cycles[slot] as f64 / ops as f64;
+                let modeled_ns = cycles_per_op * 1e9 / clock_hz;
+                Some((modeled_ns * multiple).round() as u64)
+            }
+        }
+    }
+
+    /// The burn rate over one window: error-budget spend speed, where
+    /// 1.0 means "exactly on budget". Empty windows burn 0.
+    #[must_use]
+    pub fn burn(&self, window: &WindowDelta, clock_hz: f64) -> f64 {
+        match &self.objective {
+            SloObjective::Latency {
+                stage,
+                function,
+                quantile,
+                ..
+            } => {
+                let Some(budget_ns) = self.budget_ns(window, clock_hz) else {
+                    return 0.0;
+                };
+                let Some(h) = window.stage(*stage, *function) else {
+                    return 0.0;
+                };
+                if h.count == 0 {
+                    return 0.0;
+                }
+                // Definite violations only: a bucket is bad when even
+                // its lower bound is over budget.
+                let bad: u64 = h
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, &c)| c > 0 && bucket_lower_bound(*i) > budget_ns)
+                    .map(|(_, &c)| c)
+                    .sum();
+                let error_budget = (1.0 - quantile).max(MIN_ERROR_BUDGET);
+                (bad as f64 / h.count as f64) / error_budget
+            }
+            SloObjective::Availability {
+                bad,
+                total,
+                target_error_ratio,
+            } => {
+                let total = window.counter(total);
+                if total == 0 {
+                    return 0.0;
+                }
+                let bad: u64 = bad
+                    .iter()
+                    .fold(0u64, |acc, name| acc.saturating_add(window.counter(name)));
+                let ratio = bad as f64 / total as f64;
+                ratio / target_error_ratio.max(MIN_ERROR_BUDGET)
+            }
+        }
+    }
+}
+
+/// One SLO's state after an evaluation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloStatus {
+    /// The spec's stable name.
+    pub name: &'static str,
+    /// Whether the burn alarm is currently active.
+    pub active: bool,
+    /// True on the evaluation where the alarm rose (edge, not level).
+    pub tripped_now: bool,
+    /// True on the evaluation where the alarm cleared.
+    pub cleared_now: bool,
+    /// Rising edges observed since construction.
+    pub trips: u64,
+    /// Burn rate over the fast window.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Effective latency budget over the fast window, when applicable.
+    pub budget_ns: Option<u64>,
+    /// The spec's trip threshold.
+    pub threshold: f64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SloState {
+    active: bool,
+    trips: u64,
+}
+
+/// Evaluates a set of [`SloSpec`]s against a [`TelemetrySeries`],
+/// latching per-spec alarm state between passes. The sampler thread is
+/// the sole caller of [`SloEngine::evaluate`]; scrape paths read the
+/// cached [`SloEngine::statuses`] so alarm edges are observed exactly
+/// once.
+#[derive(Debug)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    inner: Mutex<(Vec<SloState>, Vec<SloStatus>)>,
+}
+
+impl SloEngine {
+    /// An engine over `specs` with all alarms clear.
+    #[must_use]
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        let states = vec![SloState::default(); specs.len()];
+        Self {
+            specs,
+            inner: Mutex::new((states, Vec::new())),
+        }
+    }
+
+    /// The configured specs.
+    #[must_use]
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Re-evaluates every spec against the series' current windows,
+    /// updating latches. Returns the fresh statuses (also cached for
+    /// [`SloEngine::statuses`]).
+    pub fn evaluate(&self, series: &TelemetrySeries, clock_hz: f64) -> Vec<SloStatus> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let (states, cache) = &mut *inner;
+        let statuses: Vec<SloStatus> = self
+            .specs
+            .iter()
+            .zip(states.iter_mut())
+            .map(|(spec, state)| {
+                let fast = series.window(spec.fast);
+                let slow = series.window(spec.slow);
+                let fast_burn = spec.burn(&fast, clock_hz);
+                let slow_burn = spec.burn(&slow, clock_hz);
+                let now_active = fast_burn >= spec.threshold && slow_burn >= spec.threshold;
+                let tripped_now = now_active && !state.active;
+                let cleared_now = !now_active && state.active;
+                if tripped_now {
+                    state.trips += 1;
+                }
+                state.active = now_active;
+                SloStatus {
+                    name: spec.name,
+                    active: now_active,
+                    tripped_now,
+                    cleared_now,
+                    trips: state.trips,
+                    fast_burn,
+                    slow_burn,
+                    budget_ns: spec.budget_ns(&fast, clock_hz),
+                    threshold: spec.threshold,
+                }
+            })
+            .collect();
+        *cache = statuses.clone();
+        statuses
+    }
+
+    /// The statuses from the most recent [`SloEngine::evaluate`] pass
+    /// (empty before the first pass). Edge flags reflect that pass.
+    #[must_use]
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .1
+            .clone()
+    }
+
+    /// True while any alarm is active (as of the last evaluation).
+    #[must_use]
+    pub fn burning(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .1
+            .iter()
+            .any(|s| s.active)
+    }
+}
+
+/// The full telemetry plane one engine owns: the sampled series, the
+/// SLO engine over it, and the sampling cadence. The engine's sampler
+/// thread calls [`Telemetry::sample`] each tick; scrape endpoints read
+/// [`Telemetry::series`] and [`Telemetry::statuses`].
+#[derive(Debug)]
+pub struct Telemetry {
+    series: TelemetrySeries,
+    slo: SloEngine,
+    clock_hz: f64,
+    interval: Duration,
+}
+
+impl Telemetry {
+    /// A telemetry plane sampling every `interval`, judging `specs`
+    /// against cycle budgets priced at `clock_hz`.
+    #[must_use]
+    pub fn new(capacity: usize, interval: Duration, clock_hz: f64, specs: Vec<SloSpec>) -> Self {
+        Self {
+            series: TelemetrySeries::new(capacity),
+            slo: SloEngine::new(specs),
+            clock_hz,
+            interval,
+        }
+    }
+
+    /// One sampler tick: pushes the snapshot delta into the series and
+    /// re-evaluates every SLO. Returns the fresh statuses so the caller
+    /// can act on edges (counters, trace events).
+    pub fn sample(
+        &self,
+        snapshot: crate::ObsSnapshot,
+        counters: Vec<(&'static str, u64)>,
+    ) -> Vec<SloStatus> {
+        self.series.push(snapshot, counters);
+        self.slo.evaluate(&self.series, self.clock_hz)
+    }
+
+    /// The underlying sampled series.
+    #[must_use]
+    pub fn series(&self) -> &TelemetrySeries {
+        &self.series
+    }
+
+    /// The SLO engine (specs + cached statuses).
+    #[must_use]
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
+    }
+
+    /// Cached statuses from the last sampler tick.
+    #[must_use]
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.slo.statuses()
+    }
+
+    /// True while any alarm is active.
+    #[must_use]
+    pub fn burning(&self) -> bool {
+        self.slo.burning()
+    }
+
+    /// The sampling cadence.
+    #[must_use]
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// The clock modeled budgets are priced at.
+    #[must_use]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn spike_series(slow_ns: u64, spikes: usize, total: usize) -> TelemetrySeries {
+        let obs = Obs::with_trace_capacity(4);
+        let series = TelemetrySeries::new(64);
+        for i in 0..total {
+            let ns = if i < spikes { slow_ns } else { 1_000 };
+            obs.record_latency(Stage::EndToEnd, Function::Sigmoid, ns);
+            series.push_at((i as u64 + 1) * 1_000_000_000, obs.snapshot(), Vec::new());
+        }
+        series
+    }
+
+    fn p99_spec(budget_ns: u64) -> SloSpec {
+        SloSpec::latency(
+            "e2e_sigmoid_p99",
+            Stage::EndToEnd,
+            Function::Sigmoid,
+            0.99,
+            LatencyBudget::Nanos(budget_ns),
+            1.0,
+        )
+        .with_windows(Duration::from_secs(5), Duration::from_secs(60))
+    }
+
+    #[test]
+    fn latency_burn_counts_only_definite_violations() {
+        // 3 of 10 requests blow a 100 µs budget; error budget is 1%.
+        let series = spike_series(1_000_000, 3, 10);
+        let spec = p99_spec(100_000);
+        let w = series.window(Duration::from_secs(60));
+        let burn = spec.burn(&w, 1e9);
+        let expected = (3.0 / 10.0) / 0.01;
+        assert!((burn - expected).abs() < 1e-9, "burn = {burn}");
+        // Within budget: zero burn.
+        let spec_ok = p99_spec(u64::MAX / 4);
+        assert_eq!(spec_ok.burn(&w, 1e9), 0.0);
+    }
+
+    #[test]
+    fn alarm_requires_both_windows_and_clears_when_spikes_drain() {
+        // Spikes land in samples 0..3 of 70; by sample 70 the fast (5 s)
+        // window is clean while the slow window still remembers them.
+        let obs = Obs::with_trace_capacity(4);
+        let series = TelemetrySeries::new(128);
+        let engine = SloEngine::new(vec![p99_spec(100_000)]);
+        let mut saw_active = false;
+        let mut saw_clear_edge = false;
+        for i in 0..70u64 {
+            let ns = if i < 3 { 1_000_000 } else { 1_000 };
+            obs.record_latency(Stage::EndToEnd, Function::Sigmoid, ns);
+            series.push_at((i + 1) * 1_000_000_000, obs.snapshot(), Vec::new());
+            let s = engine.evaluate(&series, 1e9)[0];
+            if s.active {
+                saw_active = true;
+            }
+            if s.cleared_now {
+                saw_clear_edge = true;
+            }
+        }
+        let last = engine.statuses()[0];
+        assert!(saw_active, "alarm never tripped");
+        assert!(saw_clear_edge, "alarm never cleared");
+        assert!(!last.active, "alarm still active after spikes drained");
+        assert_eq!(last.trips, 1, "one contiguous spike = one trip");
+        assert!(!engine.burning());
+    }
+
+    #[test]
+    fn trips_count_rising_edges_not_evaluations() {
+        let series = spike_series(1_000_000, 10, 10);
+        let engine = SloEngine::new(vec![p99_spec(100_000)]);
+        for _ in 0..5 {
+            engine.evaluate(&series, 1e9);
+        }
+        let s = engine.statuses()[0];
+        assert!(s.active);
+        assert_eq!(s.trips, 1);
+        assert!(engine.burning());
+    }
+
+    #[test]
+    fn availability_objective_burns_on_shed_ratio() {
+        let series = TelemetrySeries::new(8);
+        let obs = Obs::with_trace_capacity(4);
+        series.push_at(
+            1_000_000_000,
+            obs.snapshot(),
+            vec![
+                ("nacu_engine_requests_submitted_total", 100),
+                ("nacu_net_requests_shed_total", 5),
+            ],
+        );
+        let spec = SloSpec::availability(
+            "availability",
+            &["nacu_net_requests_shed_total"],
+            "nacu_engine_requests_submitted_total",
+            0.01,
+            1.0,
+        );
+        let w = series.window(Duration::from_secs(10));
+        // 5% bad against a 1% budget: burn 5×.
+        let burn = spec.burn(&w, 1e9);
+        assert!((burn - 5.0).abs() < 1e-9, "burn = {burn}");
+        // Empty window: no traffic, no burn.
+        assert_eq!(spec.burn(&WindowDelta::empty(), 1e9), 0.0);
+    }
+
+    #[test]
+    fn modeled_multiple_budget_tracks_window_mix() {
+        let obs = Obs::with_trace_capacity(4);
+        let series = TelemetrySeries::new(8);
+        // 10 ops costing 19 modeled cycles at 1 GHz → 1.9 ns/op.
+        obs.cycles().record_batch(Function::Exp, 10, 19, 19, 100);
+        obs.record_latency(Stage::EndToEnd, Function::Exp, 1_000);
+        series.push_at(1_000_000_000, obs.snapshot(), Vec::new());
+        let spec = SloSpec::latency(
+            "e2e_exp_modeled",
+            Stage::EndToEnd,
+            Function::Exp,
+            0.99,
+            LatencyBudget::ModeledMultiple(100.0),
+            1.0,
+        );
+        let w = series.window(Duration::from_secs(10));
+        // 1.9 ns/op × 100 = 190 ns budget.
+        assert_eq!(spec.budget_ns(&w, 1e9), Some(190));
+        // The 1 µs request definitely violates 190 ns; budget 1% → burn 100.
+        let burn = spec.burn(&w, 1e9);
+        assert!(burn > 50.0, "burn = {burn}");
+        // No ops in the window → no budget, no violation.
+        assert_eq!(spec.budget_ns(&WindowDelta::empty(), 1e9), None);
+        assert_eq!(spec.burn(&WindowDelta::empty(), 1e9), 0.0);
+    }
+
+    #[test]
+    fn telemetry_plane_samples_and_latches() {
+        let tele = Telemetry::new(
+            16,
+            Duration::from_millis(5),
+            1e9,
+            vec![p99_spec(100_000)
+                .with_windows(Duration::from_secs(3600), Duration::from_secs(3600))],
+        );
+        let obs = Obs::with_trace_capacity(4);
+        obs.record_latency(Stage::EndToEnd, Function::Sigmoid, 2_000_000);
+        let statuses = tele.sample(obs.snapshot(), Vec::new());
+        assert!(statuses[0].active && statuses[0].tripped_now);
+        assert!(tele.burning());
+        assert_eq!(tele.interval(), Duration::from_millis(5));
+        assert_eq!(tele.statuses()[0].trips, 1);
+    }
+}

@@ -139,6 +139,26 @@ pub enum TraceKind {
         /// Which budget the sample violated.
         kind: DriftKind,
     },
+    /// An SLO burn-rate alarm changed state (see [`crate::slo::SloEngine`]).
+    SloBurn {
+        /// The spec's stable name.
+        slo: &'static str,
+        /// `true` on the rising edge, `false` when the alarm cleared.
+        active: bool,
+    },
+    /// A latency record landed in the tail (within 2× of the stage's
+    /// observed maximum) and was captured as an exemplar, tying the
+    /// aggregate histogram back to one concrete request.
+    TailExemplar {
+        /// The slow request's id.
+        req: u64,
+        /// Network connection the request arrived on (`0` = in-process).
+        conn: u32,
+        /// The request's function.
+        function: Function,
+        /// The recorded latency.
+        value_ns: u64,
+    },
 }
 
 impl TraceKind {
@@ -167,6 +187,8 @@ impl TraceKind {
             Self::Scrub { .. } => "scrub",
             Self::LayerForward { .. } => "layer_forward",
             Self::DriftAlarm { .. } => "drift_alarm",
+            Self::SloBurn { .. } => "slo_burn",
+            Self::TailExemplar { .. } => "tail_exemplar",
         }
     }
 }

@@ -1,0 +1,528 @@
+//! Windowed telemetry: a bounded ring of sampled deltas over one
+//! [`Obs`](crate::Obs) plus the engine's flat counters.
+//!
+//! The lifetime histograms and counters answer "how much, ever"; SLO
+//! evaluation and dashboards need "how much, *lately*". A background
+//! sampler (the engine's telemetry thread) calls
+//! [`TelemetrySeries::push`] on a fixed cadence with a fresh
+//! [`ObsSnapshot`] and counter set; the series stores the **delta**
+//! against the previous sample — sparsely, because a one-second delta
+//! touches a handful of histogram buckets — in a bounded ring. Rolling
+//! windows ([`WINDOWS`]: 10s / 1m / 5m) are then re-aggregated on demand
+//! by [`TelemetrySeries::window`], which merges the sparse deltas whose
+//! stamps fall inside the window back into dense
+//! [`HistogramSnapshot`]s for quantile queries and rates.
+//!
+//! Everything is saturating-diffed `u64` arithmetic: ring wraparound and
+//! stale baselines can never produce a negative rate (see the
+//! `window_property` tests). The ring is bounded
+//! ([`DEFAULT_SAMPLE_CAPACITY`]) and evictions are counted, mirroring
+//! the trace ring's drop discipline.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use nacu::Function;
+
+use crate::cycles::{function_slot, ACCOUNTED_FUNCTIONS};
+use crate::hist::{bucket_lower_bound, bucket_upper_bound, HistogramSnapshot};
+use crate::{ObsSnapshot, Stage};
+
+/// The rolling windows the telemetry layer reports, label first.
+pub const WINDOWS: [(&str, Duration); 3] = [
+    ("10s", Duration::from_secs(10)),
+    ("1m", Duration::from_secs(60)),
+    ("5m", Duration::from_secs(300)),
+];
+
+/// Default bound on retained samples. At the engine's default one-second
+/// cadence this covers the longest [`WINDOWS`] entry (5m) with headroom.
+pub const DEFAULT_SAMPLE_CAPACITY: usize = 512;
+
+const STAGES: usize = Stage::ALL.len();
+const FUNCTIONS: usize = ACCOUNTED_FUNCTIONS.len();
+
+/// A sparse histogram delta: only the buckets that changed between two
+/// consecutive samples, plus the count/sum deltas. A one-second window
+/// of serving touches a handful of buckets, so storing deltas sparsely
+/// keeps a full 5-minute ring in the hundreds of kilobytes instead of
+/// tens of megabytes of dense bucket arrays.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SparseDelta {
+    /// `(bucket_index, count_delta)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+    /// Values recorded in the interval.
+    pub count: u64,
+    /// Sum of values recorded in the interval.
+    pub sum: u64,
+}
+
+impl SparseDelta {
+    /// The saturating bucket-wise delta `now - then`.
+    #[must_use]
+    pub fn between(now: &HistogramSnapshot, then: &HistogramSnapshot) -> Self {
+        let mut buckets = Vec::new();
+        for (i, (a, b)) in now.counts.iter().zip(&then.counts).enumerate() {
+            let d = a.saturating_sub(*b);
+            if d > 0 {
+                buckets.push((i as u32, d));
+            }
+        }
+        Self {
+            buckets,
+            count: now.count.saturating_sub(then.count),
+            sum: now.sum.saturating_sub(then.sum),
+        }
+    }
+
+    /// True when nothing was recorded in the interval.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0 && self.buckets.is_empty()
+    }
+
+    /// Adds this delta's buckets into a dense accumulator.
+    fn add_into(&self, dense: &mut HistogramSnapshot) {
+        for &(i, c) in &self.buckets {
+            if let Some(slot) = dense.counts.get_mut(i as usize) {
+                *slot = slot.saturating_add(c);
+            }
+        }
+        dense.count = dense.count.saturating_add(self.count);
+        dense.sum = dense.sum.saturating_add(self.sum);
+    }
+}
+
+/// One sampler tick: the deltas accumulated since the previous tick.
+#[derive(Debug, Clone)]
+pub struct TelemetrySample {
+    /// Nanoseconds since the series epoch at which the sample was taken.
+    pub at_ns: u64,
+    /// Nanoseconds covered by this sample (since the previous tick; the
+    /// first sample spans from the epoch).
+    pub span_ns: u64,
+    /// Per stage × accounted-function sparse histogram deltas.
+    pub stages: [[SparseDelta; FUNCTIONS]; STAGES],
+    /// Operand deltas per accounted function.
+    pub ops: [u64; FUNCTIONS],
+    /// Table I modeled-cycle deltas per accounted function.
+    pub modeled_cycles: [u64; FUNCTIONS],
+    /// Flat counter deltas, name first (the engine's exporter counters).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// The previous absolute observation a delta is taken against:
+/// `(at_ns, histogram snapshot, flat exporter counters)`.
+type LastSample = (u64, ObsSnapshot, Vec<(&'static str, u64)>);
+
+#[derive(Debug, Default)]
+struct SeriesInner {
+    /// The previous absolute sample the next delta is taken against.
+    last: Option<LastSample>,
+    samples: VecDeque<TelemetrySample>,
+    taken: u64,
+    evicted: u64,
+}
+
+/// The bounded ring of sampled deltas (see the module docs).
+#[derive(Debug)]
+pub struct TelemetrySeries {
+    epoch: Instant,
+    capacity: usize,
+    inner: Mutex<SeriesInner>,
+}
+
+impl TelemetrySeries {
+    /// A series retaining up to `capacity` samples (min 2).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            capacity: capacity.max(2),
+            inner: Mutex::new(SeriesInner::default()),
+        }
+    }
+
+    /// Retained-sample bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples pushed since construction.
+    #[must_use]
+    pub fn taken(&self) -> u64 {
+        self.lock().taken
+    }
+
+    /// Samples evicted because the ring was full.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.lock().evicted
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SeriesInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one sampler tick: the delta of `snapshot`/`counters`
+    /// against the previous tick enters the ring (the first tick deltas
+    /// against zero). Returns the total samples taken.
+    pub fn push(&self, snapshot: ObsSnapshot, counters: Vec<(&'static str, u64)>) -> u64 {
+        let at_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.push_at(at_ns, snapshot, counters)
+    }
+
+    /// [`TelemetrySeries::push`] with an explicit stamp, for
+    /// deterministic tests (stamps must be non-decreasing).
+    pub fn push_at(
+        &self,
+        at_ns: u64,
+        snapshot: ObsSnapshot,
+        counters: Vec<(&'static str, u64)>,
+    ) -> u64 {
+        let mut inner = self.lock();
+        let (prev_ns, sample) = match &inner.last {
+            Some((prev_ns, prev_snap, prev_counters)) => {
+                let delta_counters = counters
+                    .iter()
+                    .map(|&(name, value)| {
+                        let before = prev_counters
+                            .iter()
+                            .find(|&&(n, _)| n == name)
+                            .map_or(0, |&(_, v)| v);
+                        (name, value.saturating_sub(before))
+                    })
+                    .collect();
+                (
+                    *prev_ns,
+                    Self::delta_sample(at_ns, *prev_ns, &snapshot, prev_snap, delta_counters),
+                )
+            }
+            None => {
+                let zero = ObsSnapshot::default();
+                (
+                    0,
+                    Self::delta_sample(at_ns, 0, &snapshot, &zero, counters.clone()),
+                )
+            }
+        };
+        debug_assert!(at_ns >= prev_ns, "sample stamps must be monotone");
+        inner.samples.push_back(sample);
+        if inner.samples.len() > self.capacity {
+            inner.samples.pop_front();
+            inner.evicted += 1;
+        }
+        inner.last = Some((at_ns, snapshot, counters));
+        inner.taken += 1;
+        inner.taken
+    }
+
+    fn delta_sample(
+        at_ns: u64,
+        prev_ns: u64,
+        now: &ObsSnapshot,
+        then: &ObsSnapshot,
+        counters: Vec<(&'static str, u64)>,
+    ) -> TelemetrySample {
+        let stages = core::array::from_fn(|s| {
+            let stage = Stage::ALL[s];
+            core::array::from_fn(|f| {
+                let function = ACCOUNTED_FUNCTIONS[f];
+                SparseDelta::between(
+                    now.stage(stage, function).expect("accounted function"),
+                    then.stage(stage, function).expect("accounted function"),
+                )
+            })
+        });
+        let cycles = now.cycles.since(&then.cycles);
+        TelemetrySample {
+            at_ns,
+            span_ns: at_ns.saturating_sub(prev_ns),
+            stages,
+            ops: core::array::from_fn(|f| cycles.rows[f].ops),
+            modeled_cycles: core::array::from_fn(|f| cycles.rows[f].modeled_cycles),
+            counters,
+        }
+    }
+
+    /// Aggregates every retained sample whose stamp lies within
+    /// `duration` of the newest sample. An empty series yields an empty
+    /// window. The window is anchored to the *newest sample*, not the
+    /// wall clock, so evaluation is deterministic between ticks.
+    #[must_use]
+    pub fn window(&self, duration: Duration) -> WindowDelta {
+        let inner = self.lock();
+        let Some(newest) = inner.samples.back() else {
+            return WindowDelta::empty();
+        };
+        let duration_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        let cutoff = newest.at_ns.saturating_sub(duration_ns);
+        let mut window = WindowDelta::empty();
+        for sample in inner.samples.iter().filter(|s| s.at_ns > cutoff) {
+            window.absorb(sample);
+        }
+        window.finalize_extremes();
+        window
+    }
+}
+
+/// The aggregate of every sample inside one rolling window: dense
+/// histograms per stage × function, operand/cycle totals, and flat
+/// counter deltas, all saturating sums of per-sample deltas (never
+/// negative by construction).
+#[derive(Debug, Clone)]
+pub struct WindowDelta {
+    /// Nanoseconds the absorbed samples cover.
+    pub span_ns: u64,
+    /// Samples absorbed.
+    pub samples: usize,
+    /// Dense per-stage × accounted-function histograms. Extremes are
+    /// bucket-bound approximations (deltas do not carry exact min/max).
+    pub stages: [[HistogramSnapshot; FUNCTIONS]; STAGES],
+    /// Operands served per accounted function.
+    pub ops: [u64; FUNCTIONS],
+    /// Table I modeled cycles per accounted function.
+    pub modeled_cycles: [u64; FUNCTIONS],
+    /// Flat counter deltas, name first.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl Default for WindowDelta {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl WindowDelta {
+    /// A window with nothing in it.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            span_ns: 0,
+            samples: 0,
+            stages: core::array::from_fn(|_| core::array::from_fn(|_| HistogramSnapshot::empty())),
+            ops: [0; FUNCTIONS],
+            modeled_cycles: [0; FUNCTIONS],
+            counters: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, sample: &TelemetrySample) {
+        self.span_ns = self.span_ns.saturating_add(sample.span_ns);
+        self.samples += 1;
+        for (s, row) in sample.stages.iter().enumerate() {
+            for (f, delta) in row.iter().enumerate() {
+                delta.add_into(&mut self.stages[s][f]);
+            }
+        }
+        for f in 0..FUNCTIONS {
+            self.ops[f] = self.ops[f].saturating_add(sample.ops[f]);
+            self.modeled_cycles[f] =
+                self.modeled_cycles[f].saturating_add(sample.modeled_cycles[f]);
+        }
+        for &(name, value) in &sample.counters {
+            match self.counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total = total.saturating_add(value),
+                None => self.counters.push((name, value)),
+            }
+        }
+    }
+
+    /// Rebuilds each histogram's min/max from its occupied bucket bounds
+    /// so quantile queries clamp sensibly (deltas carry no exact
+    /// extremes; the bounds are within one sub-bucket of the truth).
+    fn finalize_extremes(&mut self) {
+        for row in &mut self.stages {
+            for h in row.iter_mut() {
+                let occupied: Vec<usize> = h
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, _)| i)
+                    .collect();
+                match (occupied.first(), occupied.last()) {
+                    (Some(&lo), Some(&hi)) => {
+                        h.min = bucket_lower_bound(lo);
+                        h.max = bucket_upper_bound(hi);
+                    }
+                    _ => {
+                        h.min = u64::MAX;
+                        h.max = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The window's histogram for one stage × function (`None` for MAC).
+    #[must_use]
+    pub fn stage(&self, stage: Stage, function: Function) -> Option<&HistogramSnapshot> {
+        let s = Stage::ALL.iter().position(|&x| x == stage)?;
+        function_slot(function).map(|f| &self.stages[s][f])
+    }
+
+    /// The window's histogram for one stage, merged across functions.
+    #[must_use]
+    pub fn stage_merged(&self, stage: Stage) -> HistogramSnapshot {
+        let Some(s) = Stage::ALL.iter().position(|&x| x == stage) else {
+            return HistogramSnapshot::empty();
+        };
+        self.stages[s]
+            .iter()
+            .fold(HistogramSnapshot::empty(), |acc, h| acc.merge(h))
+    }
+
+    /// The delta of one flat counter over the window (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Total operands served across every accounted function.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().fold(0u64, |acc, &v| acc.saturating_add(v))
+    }
+
+    /// Converts an event count in this window into a per-second rate
+    /// (0.0 for an empty window).
+    #[must_use]
+    pub fn per_second(&self, events: u64) -> f64 {
+        if self.span_ns == 0 {
+            return 0.0;
+        }
+        events as f64 / (self.span_ns as f64 * 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn counters(submitted: u64, shed: u64) -> Vec<(&'static str, u64)> {
+        vec![
+            ("nacu_engine_requests_submitted_total", submitted),
+            ("nacu_net_requests_shed_total", shed),
+        ]
+    }
+
+    #[test]
+    fn first_sample_deltas_against_zero() {
+        let obs = Obs::with_trace_capacity(4);
+        obs.record_latency(Stage::EndToEnd, Function::Sigmoid, 1_000);
+        let series = TelemetrySeries::new(8);
+        series.push_at(1_000_000_000, obs.snapshot(), counters(5, 1));
+        let w = series.window(Duration::from_secs(10));
+        assert_eq!(w.samples, 1);
+        assert_eq!(w.span_ns, 1_000_000_000);
+        assert_eq!(
+            w.stage(Stage::EndToEnd, Function::Sigmoid).unwrap().count,
+            1
+        );
+        assert_eq!(w.counter("nacu_engine_requests_submitted_total"), 5);
+        assert_eq!(w.counter("nacu_net_requests_shed_total"), 1);
+        assert_eq!(w.counter("no_such_counter"), 0);
+    }
+
+    #[test]
+    fn windows_see_only_recent_samples() {
+        let obs = Obs::with_trace_capacity(4);
+        let series = TelemetrySeries::new(64);
+        // One sample per second for 30 seconds; one request each.
+        for i in 1..=30u64 {
+            obs.record_latency(Stage::EndToEnd, Function::Tanh, 500 * i);
+            series.push_at(i * 1_000_000_000, obs.snapshot(), counters(i, 0));
+        }
+        let w10 = series.window(Duration::from_secs(10));
+        let w60 = series.window(Duration::from_secs(60));
+        // The 10 s window (anchored at t=30 s) covers samples 21..=30.
+        assert_eq!(
+            w10.stage(Stage::EndToEnd, Function::Tanh).unwrap().count,
+            10
+        );
+        assert_eq!(w10.counter("nacu_engine_requests_submitted_total"), 10);
+        assert_eq!(w10.samples, 10);
+        // The 1 m window covers everything recorded.
+        assert_eq!(
+            w60.stage(Stage::EndToEnd, Function::Tanh).unwrap().count,
+            30
+        );
+        assert_eq!(w60.counter("nacu_engine_requests_submitted_total"), 30);
+        // Rates: 1 request/second in both windows.
+        let rate = w10.per_second(w10.counter("nacu_engine_requests_submitted_total"));
+        assert!((rate - 1.0).abs() < 1e-9, "rate = {rate}");
+    }
+
+    #[test]
+    fn window_quantiles_come_from_merged_deltas() {
+        let obs = Obs::with_trace_capacity(4);
+        let series = TelemetrySeries::new(8);
+        for v in [100u64, 200, 300, 400] {
+            obs.record_latency(Stage::EndToEnd, Function::Exp, v);
+        }
+        series.push_at(1_000_000_000, obs.snapshot(), Vec::new());
+        let w = series.window(Duration::from_secs(10));
+        let h = w.stage(Stage::EndToEnd, Function::Exp).unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1_000);
+        // Extremes are bucket-bound approximations (≤ 6.25% off).
+        assert!(h.min <= 100 && h.max >= 400);
+        let p50 = h.p50();
+        assert!((200..=224).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(1.0) >= 400);
+    }
+
+    #[test]
+    fn ring_eviction_keeps_aggregates_non_negative_and_bounded() {
+        let obs = Obs::with_trace_capacity(4);
+        let series = TelemetrySeries::new(4);
+        for i in 1..=20u64 {
+            obs.record_latency(Stage::QueueWait, Function::Sigmoid, 50);
+            series.push_at(i * 1_000_000_000, obs.snapshot(), counters(i * 3, i));
+        }
+        assert_eq!(series.taken(), 20);
+        assert_eq!(series.evicted(), 16);
+        let w = series.window(Duration::from_secs(300));
+        // Only the 4 retained samples contribute, each worth one record
+        // and 3 submissions.
+        assert_eq!(w.samples, 4);
+        assert_eq!(
+            w.stage(Stage::QueueWait, Function::Sigmoid).unwrap().count,
+            4
+        );
+        assert_eq!(w.counter("nacu_engine_requests_submitted_total"), 12);
+    }
+
+    #[test]
+    fn empty_series_yields_an_empty_window() {
+        let series = TelemetrySeries::new(4);
+        let w = series.window(Duration::from_secs(10));
+        assert_eq!(w.samples, 0);
+        assert_eq!(w.span_ns, 0);
+        assert_eq!(w.total_ops(), 0);
+        assert_eq!(w.per_second(100), 0.0);
+        assert!(w.stage_merged(Stage::EndToEnd).is_empty());
+    }
+
+    #[test]
+    fn ops_and_cycles_ride_the_samples() {
+        let obs = Obs::with_trace_capacity(4);
+        let series = TelemetrySeries::new(8);
+        obs.cycles().record_batch(Function::Exp, 10, 12, 13, 900);
+        series.push_at(1_000_000_000, obs.snapshot(), Vec::new());
+        obs.cycles().record_batch(Function::Exp, 20, 22, 23, 1_800);
+        series.push_at(2_000_000_000, obs.snapshot(), Vec::new());
+        let w = series.window(Duration::from_secs(10));
+        let slot = function_slot(Function::Exp).unwrap();
+        assert_eq!(w.ops[slot], 30);
+        assert_eq!(w.modeled_cycles[slot], 34);
+        assert_eq!(w.total_ops(), 30);
+    }
+}

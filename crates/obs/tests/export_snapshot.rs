@@ -213,3 +213,106 @@ fn json_snapshot_is_pinned() {
     );
     assert_eq!(JSON_SCHEMA, "nacu-obs/v1");
 }
+
+/// Deterministic telemetry inputs for the v2 snapshot: the fixed event
+/// stream as one explicitly-stamped sample, plus literal exemplar and
+/// SLO statuses.
+fn fixed_telemetry() -> (
+    Vec<(&'static str, nacu_obs::WindowDelta)>,
+    Vec<nacu_obs::Exemplar>,
+    Vec<nacu_obs::SloStatus>,
+) {
+    let series = nacu_obs::TelemetrySeries::new(8);
+    series.push_at(1_000_000_000, fixed_snapshot(), COUNTERS.to_vec());
+    let windows = vec![("10s", series.window(std::time::Duration::from_secs(10)))];
+    let exemplars = vec![nacu_obs::Exemplar {
+        stage: Stage::EndToEnd,
+        function: Function::Softmax,
+        value_ns: 45_000,
+        req: 3,
+        conn: 2,
+        at_ns: 900_000_000,
+    }];
+    let slo = vec![nacu_obs::SloStatus {
+        name: "e2e_p99",
+        active: true,
+        tripped_now: false,
+        cleared_now: false,
+        trips: 1,
+        fast_burn: 3.5,
+        slow_burn: 1.25,
+        budget_ns: Some(30_000),
+        threshold: 1.0,
+    }];
+    (windows, exemplars, slo)
+}
+
+#[test]
+fn json_v2_snapshot_is_pinned() {
+    use nacu_obs::export::{json_v2, JSON_SCHEMA_V2};
+
+    // The telemetry sections, pinned byte-for-byte. The v2 document is
+    // exactly the pinned v1 document with the schema tag bumped and
+    // these sections spliced in before "counters" — asserting it that
+    // way proves v1 consumers lose nothing.
+    let extra = r#"  "windows": {
+    "10s": {"span_ns":1000000000,"samples":1,"stages":{"queue_wait_ns": {"count":3,"sum":6000,"p50":2048,"p90":3072,"p99":3072},"batch_service_ns": {"count":2,"sum":60000,"p50":20480,"p90":40960,"p99":40960},"end_to_end_ns": {"count":2,"sum":70000,"p50":25600,"p90":45056,"p99":45056}},"ops":{"sigmoid":64,"tanh":0,"exp":0,"softmax":16},"ops_per_sec":80}
+  },
+  "exemplars": [
+    {"stage":"end_to_end_ns","function":"softmax","value_ns":45000,"req":3,"conn":2,"at_ns":900000000}
+  ],
+  "slo": {"burning":true,"alarms":[
+    {"name":"e2e_p99","active":true,"trips":1,"fast_burn":3.5,"slow_burn":1.25,"budget_ns":30000,"threshold":1}
+  ]},
+"#;
+    let expected = json(&fixed_snapshot(), CLOCK_HZ, COUNTERS)
+        .replace("\"schema\": \"nacu-obs/v1\"", "\"schema\": \"nacu-obs/v2\"")
+        .replace("  \"counters\":", &format!("{extra}  \"counters\":"));
+    let (windows, exemplars, slo) = fixed_telemetry();
+    let actual = json_v2(
+        &fixed_snapshot(),
+        CLOCK_HZ,
+        COUNTERS,
+        &windows,
+        &exemplars,
+        &slo,
+    );
+    assert_eq!(
+        actual, expected,
+        "JSON v2 snapshot drifted — if intentional, update this snapshot AND bump the schema"
+    );
+    assert_eq!(JSON_SCHEMA_V2, "nacu-obs/v2");
+}
+
+#[test]
+fn prometheus_telemetry_exposition_is_pinned() {
+    let expected = r#"# HELP nacu_obs_window_requests Requests recorded end-to-end inside the rolling window.
+# TYPE nacu_obs_window_requests gauge
+nacu_obs_window_requests{window="10s"} 2
+# HELP nacu_obs_window_p99_ns End-to-end p99 over the rolling window, nanoseconds.
+# TYPE nacu_obs_window_p99_ns gauge
+nacu_obs_window_p99_ns{window="10s"} 45056
+# HELP nacu_obs_window_ops_per_sec Operands served per second over the rolling window.
+# TYPE nacu_obs_window_ops_per_sec gauge
+nacu_obs_window_ops_per_sec{window="10s"} 80
+# HELP nacu_obs_exemplar_ns Tail-latency exemplars: one concrete request per series.
+# TYPE nacu_obs_exemplar_ns gauge
+nacu_obs_exemplar_ns{stage="end_to_end_ns",function="softmax",req="3",conn="2"} 45000
+# HELP nacu_obs_slo_burn_rate Error-budget burn rate per SLO and evaluation window.
+# TYPE nacu_obs_slo_burn_rate gauge
+nacu_obs_slo_burn_rate{slo="e2e_p99",window="fast"} 3.5
+nacu_obs_slo_burn_rate{slo="e2e_p99",window="slow"} 1.25
+# HELP nacu_obs_slo_alarm_active 1 while the SLO's burn-rate alarm is active.
+# TYPE nacu_obs_slo_alarm_active gauge
+nacu_obs_slo_alarm_active{slo="e2e_p99"} 1
+# HELP nacu_obs_slo_alarm_trips_total Rising edges of the SLO's burn-rate alarm.
+# TYPE nacu_obs_slo_alarm_trips_total counter
+nacu_obs_slo_alarm_trips_total{slo="e2e_p99"} 1
+"#;
+    let (windows, exemplars, slo) = fixed_telemetry();
+    let actual = nacu_obs::export::prometheus_telemetry(&windows, &exemplars, &slo);
+    assert_eq!(
+        actual, expected,
+        "telemetry exposition drifted — if intentional, update this snapshot"
+    );
+}

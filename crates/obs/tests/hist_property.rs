@@ -115,6 +115,11 @@ proptest! {
         prop_assert_eq!(&diff.counts, &sb.counts);
         prop_assert_eq!(diff.count, sb.count);
         prop_assert_eq!(diff.sum, sb.sum);
+        // And symmetrically: (a ⊎ b) − b = a.
+        let diff = sa.merge(&sb).since(&sb);
+        prop_assert_eq!(&diff.counts, &sa.counts);
+        prop_assert_eq!(diff.count, sa.count);
+        prop_assert_eq!(diff.sum, sa.sum);
     }
 }
 

@@ -1,0 +1,123 @@
+//! Property tests for the windowed-telemetry ring: sparse sample deltas
+//! lose nothing against the lifetime histograms, and ring wraparound —
+//! any eviction pattern, any cutoff — can never underflow an aggregate.
+//! These complement `hist_property.rs`'s merge/since inversion laws,
+//! which the window layer's diffing is built on.
+
+use nacu::Function;
+use nacu_obs::{Obs, Stage, TelemetrySeries};
+use proptest::prelude::*;
+
+const SEC: u64 = 1_000_000_000;
+
+proptest! {
+    /// A window covering every sample reproduces the lifetime histogram
+    /// exactly: diffing into sparse deltas and re-densifying is lossless
+    /// for counts, sums, and every bucket.
+    #[test]
+    fn full_window_equals_lifetime_totals(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000_000, 0..16), 1..8),
+    ) {
+        let obs = Obs::with_trace_capacity(4);
+        let series = TelemetrySeries::new(64);
+        for (i, chunk) in chunks.iter().enumerate() {
+            for &v in chunk {
+                obs.record_latency(Stage::EndToEnd, Function::Tanh, v);
+            }
+            series.push_at((i as u64 + 1) * SEC, obs.snapshot(), Vec::new());
+        }
+        let w = series.window(std::time::Duration::from_secs(3600));
+        let lifetime = obs.snapshot();
+        let lh = lifetime.stage(Stage::EndToEnd, Function::Tanh).unwrap();
+        let wh = w.stage(Stage::EndToEnd, Function::Tanh).unwrap();
+        prop_assert_eq!(wh.count, lh.count);
+        prop_assert_eq!(wh.sum, lh.sum);
+        prop_assert_eq!(&wh.counts, &lh.counts);
+        if !wh.is_empty() {
+            // Rebuilt extremes are bucket bounds bracketing the truth.
+            prop_assert!(wh.min <= lh.min);
+            prop_assert!(wh.max >= lh.max);
+            prop_assert!(wh.quantile(1.0) >= lh.max);
+        }
+    }
+
+    /// Ring wraparound never goes negative: with a tiny ring forcing
+    /// evictions and an arbitrary cutoff, every window aggregate stays
+    /// within the lifetime totals — a single `u64` underflow anywhere in
+    /// the delta chain would blow these bounds sky-high.
+    #[test]
+    fn wraparound_never_underflows(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000_000, 0..8), 1..32),
+        counter_steps in proptest::collection::vec(0u64..1_000, 1..32),
+        window_secs in 1u64..40,
+    ) {
+        let obs = Obs::with_trace_capacity(4);
+        let series = TelemetrySeries::new(4); // tiny on purpose: evict hard
+        let mut total = 0u64;
+        for (i, chunk) in chunks.iter().enumerate() {
+            for &v in chunk {
+                obs.record_latency(Stage::QueueWait, Function::Sigmoid, v);
+            }
+            total += counter_steps.get(i).copied().unwrap_or(0);
+            series.push_at(
+                (i as u64 + 1) * SEC,
+                obs.snapshot(),
+                vec![("ctr", total)],
+            );
+        }
+        let lifetime = obs.snapshot();
+        let w = series.window(std::time::Duration::from_secs(window_secs));
+        let wh = w.stage(Stage::QueueWait, Function::Sigmoid).unwrap();
+        let lh = lifetime.stage(Stage::QueueWait, Function::Sigmoid).unwrap();
+        prop_assert!(wh.count <= lh.count);
+        prop_assert!(wh.sum <= lh.sum);
+        for (a, b) in wh.counts.iter().zip(&lh.counts) {
+            prop_assert!(a <= b, "window bucket count exceeds lifetime");
+        }
+        prop_assert!(w.counter("ctr") <= total);
+        prop_assert!(w.samples <= 4);
+        prop_assert!(w.span_ns <= (chunks.len() as u64) * SEC);
+        let rate = w.per_second(w.counter("ctr"));
+        prop_assert!(rate.is_finite() && rate >= 0.0);
+    }
+
+    /// Splitting one value stream across consecutive samples aggregates
+    /// exactly like pushing it as a single sample: sample deltas are
+    /// additive under the window's merge.
+    #[test]
+    fn sample_splits_do_not_change_the_aggregate(
+        xs in proptest::collection::vec(0u64..10_000_000, 0..32),
+        split in proptest::num::u64::ANY,
+    ) {
+        let split = if xs.is_empty() { 0 } else { (split as usize) % (xs.len() + 1) };
+        let split_obs = Obs::with_trace_capacity(4);
+        let split_series = TelemetrySeries::new(8);
+        for &v in &xs[..split] {
+            split_obs.record_latency(Stage::BatchService, Function::Exp, v);
+        }
+        split_series.push_at(SEC, split_obs.snapshot(), Vec::new());
+        for &v in &xs[split..] {
+            split_obs.record_latency(Stage::BatchService, Function::Exp, v);
+        }
+        split_series.push_at(2 * SEC, split_obs.snapshot(), Vec::new());
+
+        let whole_obs = Obs::with_trace_capacity(4);
+        let whole_series = TelemetrySeries::new(8);
+        for &v in &xs {
+            whole_obs.record_latency(Stage::BatchService, Function::Exp, v);
+        }
+        whole_series.push_at(2 * SEC, whole_obs.snapshot(), Vec::new());
+
+        let horizon = std::time::Duration::from_secs(3600);
+        let split_w = split_series.window(horizon);
+        let whole_w = whole_series.window(horizon);
+        let a = split_w.stage(Stage::BatchService, Function::Exp).unwrap();
+        let b = whole_w.stage(Stage::BatchService, Function::Exp).unwrap();
+        prop_assert_eq!(&a.counts, &b.counts);
+        prop_assert_eq!(a.count, b.count);
+        prop_assert_eq!(a.sum, b.sum);
+        prop_assert_eq!(split_w.span_ns, whole_w.span_ns);
+    }
+}

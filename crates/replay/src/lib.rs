@@ -34,9 +34,10 @@ pub mod replay;
 
 pub use log::{
     RecordDecodeError, TraceDecodeError, TraceLog, TraceRecord, FILE_HEADER_LEN, MAGIC,
-    RECORD_HEADER_LEN, VERSION,
+    RECORD_HEADER_LEN, RECORD_HEADER_LEN_V1, VERSION, VERSION_V1,
 };
 pub use record::{Recorder, NO_RECORD_SLOT};
 pub use replay::{
-    compare, diff_logs, render_report, replay_with, Divergence, ReplayError, ReplayOutcome,
+    compare, diff_logs, inter_arrival_gaps, render_report, replay_with, Divergence, ReplayError,
+    ReplayOutcome,
 };

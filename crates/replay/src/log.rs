@@ -1,17 +1,19 @@
 //! The versioned binary trace-log format.
 //!
 //! A trace log is a file header followed by length-prefixed records, all
-//! little-endian:
+//! little-endian. This build *writes* version 2 and *reads* versions 1
+//! and 2; v1 records decode with a zero connection id and a zero submit
+//! timestamp.
 //!
 //! ```text
 //! file header (12 bytes)
 //! offset  size  field
 //!      0     4  magic            "NTRC" (0x4352544E little-endian)
-//!      4     1  version          1
+//!      4     1  version          1 or 2
 //!      5     3  reserved         always 0
 //!      8     4  record count
 //!
-//! record (length-prefixed)
+//! v2 record (length-prefixed)
 //! offset  size  field
 //!      0     4  length           byte count of the remainder
 //!      4     1  function         0 σ · 1 tanh · 2 exp · 3 softmax
@@ -20,9 +22,20 @@
 //!      7     1  reserved         always 0
 //!      8     8  request id       engine-assigned monotone id
 //!     16     8  deadline µs      relative to submission; 0 = none
+//!     24     4  conn id          net-plane connection; 0 = in-process
+//!     28     8  submit µs        since the recorder's epoch; 0 = unknown
+//!     36     4  operand count    n (≥ 1)
+//!     40     4  response count   m
+//!     44    2n  operand codes    raw two's-complement i16 fixed codes
+//!   44+2n  2m  response codes
+//!
+//! v1 record (read-only; no conn id / submit µs fields)
+//! offset  size  field
+//!      0     4  length
+//!   4..24      as v2
 //!     24     4  operand count    n (≥ 1)
 //!     28     4  response count   m
-//!     32    2n  operand codes    raw two's-complement i16 fixed codes
+//!     32    2n  operand codes
 //!   32+2n  2m  response codes
 //! ```
 //!
@@ -38,12 +51,17 @@ use nacu_fixed::QFormat;
 
 /// `"NTRC"` interpreted as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"NTRC");
-/// The only trace-log version this build speaks.
-pub const VERSION: u8 = 1;
+/// The trace-log version this build writes.
+pub const VERSION: u8 = 2;
+/// The legacy version this build still reads (no conn id / submit µs).
+pub const VERSION_V1: u8 = 1;
 /// File bytes before the first record.
 pub const FILE_HEADER_LEN: usize = 12;
-/// Record bytes between the length prefix and the operand codes.
-pub const RECORD_HEADER_LEN: usize = 28;
+/// Record bytes between the length prefix and the operand codes (v2).
+pub const RECORD_HEADER_LEN: usize = 40;
+/// Record bytes between the length prefix and the operand codes in a
+/// legacy v1 log.
+pub const RECORD_HEADER_LEN_V1: usize = 28;
 
 /// Trace-log id for a servable function (MAC is stateful and is never
 /// recorded). Same id space as the `nacu-net` wire protocol.
@@ -84,6 +102,13 @@ pub struct TraceRecord {
     /// re-apply deadlines, because wall-clock expiry would make replay
     /// outcomes timing-dependent instead of deterministic.
     pub deadline_micros: u64,
+    /// Net-plane connection id the request arrived on; 0 = in-process
+    /// (the engine's own clients). Decodes as 0 from v1 logs.
+    pub conn: u32,
+    /// Submission time in microseconds since the recorder's epoch; 0 =
+    /// unknown (v1 logs, or a timing-stripped canonical trace). Paced
+    /// replay re-applies the inter-arrival gaps between these stamps.
+    pub submit_micros: u64,
     /// Raw operand codes as submitted (captured before serving, so the
     /// in-place fast path cannot have overwritten them).
     pub operands: Vec<i16>,
@@ -113,7 +138,18 @@ impl TraceLog {
         self.records.iter().map(|r| r.operands.len() as u64).sum()
     }
 
-    /// Serialises the log. The inverse of [`TraceLog::decode`].
+    /// Zeroes every record's submit timestamp, leaving the numerical
+    /// payload untouched. Canonical (committed) traces are stripped so
+    /// re-recording the same deterministic workload stays byte-identical
+    /// — wall-clock stamps are the one field that never reproduces.
+    pub fn strip_timing(&mut self) {
+        for record in &mut self.records {
+            record.submit_micros = 0;
+        }
+    }
+
+    /// Serialises the log (always as [`VERSION`]). The inverse of
+    /// [`TraceLog::decode`].
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let body: usize = self.records.iter().map(TraceRecord::encoded_len).sum();
@@ -131,6 +167,8 @@ impl TraceLog {
             out.push(0);
             out.extend_from_slice(&record.id.to_le_bytes());
             out.extend_from_slice(&record.deadline_micros.to_le_bytes());
+            out.extend_from_slice(&record.conn.to_le_bytes());
+            out.extend_from_slice(&record.submit_micros.to_le_bytes());
             out.extend_from_slice(
                 &(record.operands.len().min(u32::MAX as usize) as u32).to_le_bytes(),
             );
@@ -165,15 +203,16 @@ impl TraceLog {
         if magic != MAGIC {
             return Err(TraceDecodeError::BadMagic(magic));
         }
-        if bytes[4] != VERSION {
-            return Err(TraceDecodeError::BadVersion(bytes[4]));
+        let version = bytes[4];
+        if version != VERSION && version != VERSION_V1 {
+            return Err(TraceDecodeError::BadVersion(version));
         }
         let declared = u32_at(bytes, 8);
         let mut records = Vec::new();
         let mut at = FILE_HEADER_LEN;
         let mut index = 0usize;
         while at < bytes.len() {
-            let (record, consumed) = decode_record(&bytes[at..], max_ops)
+            let (record, consumed) = decode_record(&bytes[at..], version, max_ops)
                 .map_err(|error| TraceDecodeError::Record { index, error })?;
             records.push(record);
             at += consumed;
@@ -189,9 +228,18 @@ impl TraceLog {
     }
 }
 
-/// Decodes one length-prefixed record from the front of `bytes`,
-/// returning it and the bytes consumed.
-fn decode_record(bytes: &[u8], max_ops: u32) -> Result<(TraceRecord, usize), RecordDecodeError> {
+/// Decodes one length-prefixed record (of `version` layout) from the
+/// front of `bytes`, returning it and the bytes consumed.
+fn decode_record(
+    bytes: &[u8],
+    version: u8,
+    max_ops: u32,
+) -> Result<(TraceRecord, usize), RecordDecodeError> {
+    let header_len = if version == VERSION_V1 {
+        RECORD_HEADER_LEN_V1
+    } else {
+        RECORD_HEADER_LEN
+    };
     if bytes.len() < 4 {
         return Err(RecordDecodeError::Truncated {
             needed: 4,
@@ -202,7 +250,7 @@ fn decode_record(bytes: &[u8], max_ops: u32) -> Result<(TraceRecord, usize), Rec
     // Bound the declared length before trusting it: the per-record ops
     // cap limits a record to a computable byte count, so a huge length
     // prefix is rejected without ever being allocated or skipped over.
-    let max_len = RECORD_HEADER_LEN + 4 * max_ops as usize;
+    let max_len = header_len + 4 * max_ops as usize;
     if len > max_len {
         return Err(RecordDecodeError::Oversize {
             count: (len / 2).min(u32::MAX as usize) as u32,
@@ -216,9 +264,9 @@ fn decode_record(bytes: &[u8], max_ops: u32) -> Result<(TraceRecord, usize), Rec
         });
     }
     let body = &bytes[4..4 + len];
-    if body.len() < RECORD_HEADER_LEN {
+    if body.len() < header_len {
         return Err(RecordDecodeError::Truncated {
-            needed: RECORD_HEADER_LEN,
+            needed: header_len,
             got: body.len(),
         });
     }
@@ -239,8 +287,15 @@ fn decode_record(bytes: &[u8], max_ops: u32) -> Result<(TraceRecord, usize), Rec
     }
     let id = u64_at(body, 4);
     let deadline_micros = u64_at(body, 12);
-    let operand_count = u32_at(body, 20);
-    let response_count = u32_at(body, 24);
+    // v1 records carry no conn/submit fields; the counts follow the
+    // deadline directly.
+    let (conn, submit_micros, counts_at) = if version == VERSION_V1 {
+        (0, 0, 20)
+    } else {
+        (u32_at(body, 20), u64_at(body, 24), 32)
+    };
+    let operand_count = u32_at(body, counts_at);
+    let response_count = u32_at(body, counts_at + 4);
     if operand_count == 0 {
         return Err(RecordDecodeError::EmptyOperands);
     }
@@ -250,16 +305,16 @@ fn decode_record(bytes: &[u8], max_ops: u32) -> Result<(TraceRecord, usize), Rec
             max: max_ops,
         });
     }
-    let required = RECORD_HEADER_LEN + 2 * (operand_count as usize + response_count as usize);
+    let required = header_len + 2 * (operand_count as usize + response_count as usize);
     if body.len() != required {
         return Err(RecordDecodeError::LengthMismatch {
             required,
             got: body.len(),
         });
     }
-    let operands = codes(&body[RECORD_HEADER_LEN..], operand_count as usize);
+    let operands = codes(&body[header_len..], operand_count as usize);
     let responses = codes(
-        &body[RECORD_HEADER_LEN + 2 * operand_count as usize..],
+        &body[header_len + 2 * operand_count as usize..],
         response_count as usize,
     );
     Ok((
@@ -268,6 +323,8 @@ fn decode_record(bytes: &[u8], max_ops: u32) -> Result<(TraceRecord, usize), Rec
             format,
             id,
             deadline_micros,
+            conn,
+            submit_micros,
             operands,
             responses,
         },
@@ -439,6 +496,8 @@ mod tests {
                     format: paper(),
                     id: 1,
                     deadline_micros: 0,
+                    conn: 0,
+                    submit_micros: 0,
                     operands: vec![-3, 0, 7],
                     responses: vec![100, 200, 300],
                 },
@@ -447,6 +506,8 @@ mod tests {
                     format: paper(),
                     id: 2,
                     deadline_micros: 1_500,
+                    conn: 42,
+                    submit_micros: 2_750,
                     operands: vec![i16::MIN, i16::MAX],
                     responses: vec![5, -5],
                 },
@@ -454,11 +515,73 @@ mod tests {
         }
     }
 
+    /// Re-encodes `log` in the legacy v1 layout (no conn/submit fields),
+    /// as an old build would have written it.
+    fn encode_v1(log: &TraceLog) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION_V1);
+        out.extend_from_slice(&[0, 0, 0]);
+        out.extend_from_slice(&(log.records.len() as u32).to_le_bytes());
+        for record in &log.records {
+            let len = RECORD_HEADER_LEN_V1 + 2 * record.operands.len() + 2 * record.responses.len();
+            out.extend_from_slice(&(len as u32).to_le_bytes());
+            out.push(function_id(record.function).unwrap_or(u8::MAX));
+            out.push(record.format.int_bits() as u8);
+            out.push(record.format.frac_bits() as u8);
+            out.push(0);
+            out.extend_from_slice(&record.id.to_le_bytes());
+            out.extend_from_slice(&record.deadline_micros.to_le_bytes());
+            out.extend_from_slice(&(record.operands.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(record.responses.len() as u32).to_le_bytes());
+            for &code in &record.operands {
+                out.extend_from_slice(&code.to_le_bytes());
+            }
+            for &code in &record.responses {
+                out.extend_from_slice(&code.to_le_bytes());
+            }
+        }
+        out
+    }
+
     #[test]
     fn encode_decode_round_trips() {
         let log = sample();
         let bytes = log.encode();
+        assert_eq!(bytes[4], VERSION, "this build writes v2");
         assert_eq!(TraceLog::decode(&bytes, 1 << 16).expect("round trip"), log);
+    }
+
+    #[test]
+    fn legacy_v1_logs_decode_with_zero_conn_and_submit() {
+        let log = sample();
+        let bytes = encode_v1(&log);
+        let decoded = TraceLog::decode(&bytes, 1 << 16).expect("v1 decodes");
+        assert_eq!(decoded.records.len(), log.records.len());
+        for (got, want) in decoded.records.iter().zip(&log.records) {
+            assert_eq!(got.function, want.function);
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.deadline_micros, want.deadline_micros);
+            assert_eq!(got.operands, want.operands);
+            assert_eq!(got.responses, want.responses);
+            assert_eq!(got.conn, 0, "v1 carries no conn id");
+            assert_eq!(got.submit_micros, 0, "v1 carries no submit stamp");
+        }
+        // Truncated v1 prefixes are typed errors too, never panics.
+        for cut in 0..bytes.len() {
+            let _ = TraceLog::decode(&bytes[..cut], 1 << 16)
+                .expect_err("every v1 prefix is malformed")
+                .to_string();
+        }
+    }
+
+    #[test]
+    fn strip_timing_zeroes_submit_stamps_only() {
+        let mut log = sample();
+        log.strip_timing();
+        assert!(log.records.iter().all(|r| r.submit_micros == 0));
+        assert_eq!(log.records[1].conn, 42, "conn ids survive the strip");
+        assert_eq!(log.records[1].deadline_micros, 1_500);
     }
 
     #[test]
@@ -563,8 +686,9 @@ mod tests {
     #[test]
     fn length_count_disagreement_is_typed() {
         let mut bytes = sample().encode();
-        // Inflate record 0's declared operand count without adding bytes.
-        let count_at = FILE_HEADER_LEN + 4 + 24;
+        // Inflate record 0's declared operand count without adding bytes
+        // (the count sits at body offset 32 in a v2 record).
+        let count_at = FILE_HEADER_LEN + 4 + 32;
         bytes[count_at] = bytes[count_at].wrapping_add(1);
         assert!(matches!(
             TraceLog::decode(&bytes, 16),

@@ -25,6 +25,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
 
 use nacu::Function;
 use nacu_fixed::QFormat;
@@ -48,6 +49,8 @@ struct Slot {
     function: Function,
     id: u64,
     deadline_micros: u64,
+    conn: u32,
+    submit_micros: u64,
     operands: Vec<i16>,
     responses: Vec<i16>,
 }
@@ -59,6 +62,8 @@ impl Slot {
             function: Function::Sigmoid,
             id: 0,
             deadline_micros: 0,
+            conn: 0,
+            submit_micros: 0,
             operands: Vec::new(),
             responses: Vec::new(),
         }
@@ -70,6 +75,9 @@ impl Slot {
 pub struct Recorder {
     slots: Box<[Mutex<Slot>]>,
     format: QFormat,
+    /// Submit stamps are measured from here, so a trace's timing is
+    /// relative to its own recording session, not wall-clock time.
+    epoch: Instant,
     /// Monotone claim cursor; `cursor % slots.len()` picks the slot.
     cursor: AtomicU64,
     dropped: AtomicU64,
@@ -90,6 +98,7 @@ impl Recorder {
         Some(Self {
             slots: (0..capacity).map(|_| Mutex::new(Slot::new())).collect(),
             format,
+            epoch: Instant::now(),
             cursor: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             captured: AtomicU64::new(0),
@@ -121,13 +130,23 @@ impl Recorder {
         self.captured.load(Ordering::Relaxed)
     }
 
-    /// Claims a slot and captures the request half of a record. Returns
-    /// the slot token to carry on the job, or [`NO_RECORD_SLOT`] (counted
-    /// in [`Recorder::dropped`]) when the ring is saturated.
-    pub fn begin<I>(&self, id: u64, function: Function, deadline_micros: u64, operands: I) -> u32
+    /// Claims a slot and captures the request half of a record — the
+    /// submitting client's connection id (`conn`, 0 for in-process) and
+    /// a submit stamp measured against the recorder's epoch included.
+    /// Returns the slot token to carry on the job, or [`NO_RECORD_SLOT`]
+    /// (counted in [`Recorder::dropped`]) when the ring is saturated.
+    pub fn begin<I>(
+        &self,
+        id: u64,
+        function: Function,
+        deadline_micros: u64,
+        conn: u32,
+        operands: I,
+    ) -> u32
     where
         I: IntoIterator<Item = i16>,
     {
+        let submit_micros = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
         let claim = self.cursor.fetch_add(1, Ordering::Relaxed);
         let index = (claim % self.slots.len() as u64) as usize;
         let mut slot = self.slots[index]
@@ -142,6 +161,8 @@ impl Recorder {
         slot.function = function;
         slot.id = id;
         slot.deadline_micros = deadline_micros;
+        slot.conn = conn;
+        slot.submit_micros = submit_micros;
         slot.operands.clear();
         slot.operands.extend(operands);
         slot.responses.clear();
@@ -197,6 +218,8 @@ impl Recorder {
                     format: self.format,
                     id: s.id,
                     deadline_micros: s.deadline_micros,
+                    conn: s.conn,
+                    submit_micros: s.submit_micros,
                     operands: std::mem::take(&mut s.operands),
                     responses: std::mem::take(&mut s.responses),
                 });
@@ -225,8 +248,8 @@ mod tests {
     #[test]
     fn begin_complete_drain_round_trips_sorted_by_id() {
         let r = Recorder::for_format(8, paper()).expect("16-bit");
-        let b = r.begin(2, Function::Tanh, 0, [4, 5]);
-        let a = r.begin(1, Function::Sigmoid, 99, [1, 2, 3]);
+        let b = r.begin(2, Function::Tanh, 0, 7, [4, 5]);
+        let a = r.begin(1, Function::Sigmoid, 99, 0, [1, 2, 3]);
         assert!(r.complete(a, [10, 20, 30]));
         assert!(r.complete(b, [40, 50]));
         assert_eq!(r.captured(), 2);
@@ -235,44 +258,48 @@ mod tests {
         assert_eq!(log.records[0].id, 1);
         assert_eq!(log.records[0].function, Function::Sigmoid);
         assert_eq!(log.records[0].deadline_micros, 99);
+        assert_eq!(log.records[0].conn, 0);
         assert_eq!(log.records[0].operands, vec![1, 2, 3]);
         assert_eq!(log.records[0].responses, vec![10, 20, 30]);
         assert_eq!(log.records[1].id, 2);
+        assert_eq!(log.records[1].conn, 7, "conn id rides the record");
+        // Id 2 was begun first, so its stamp is the earlier of the two.
+        assert!(log.records[1].submit_micros <= log.records[0].submit_micros);
         // Drained slots are reusable; the log is empty until new work.
         assert!(r.take_log().records.is_empty());
-        let c = r.begin(3, Function::Exp, 0, [7]);
+        let c = r.begin(3, Function::Exp, 0, 0, [7]);
         assert_ne!(c, NO_RECORD_SLOT);
     }
 
     #[test]
     fn saturated_ring_drops_newest_and_counts() {
         let r = Recorder::for_format(2, paper()).expect("16-bit");
-        let a = r.begin(1, Function::Sigmoid, 0, [1]);
-        let b = r.begin(2, Function::Sigmoid, 0, [2]);
+        let a = r.begin(1, Function::Sigmoid, 0, 0, [1]);
+        let b = r.begin(2, Function::Sigmoid, 0, 0, [2]);
         assert_ne!(a, NO_RECORD_SLOT);
         assert_ne!(b, NO_RECORD_SLOT);
         // Both slots pending: the next two claims (wrapping over both
         // slots) are dropped, not recorded.
-        assert_eq!(r.begin(3, Function::Sigmoid, 0, [3]), NO_RECORD_SLOT);
-        assert_eq!(r.begin(4, Function::Sigmoid, 0, [4]), NO_RECORD_SLOT);
+        assert_eq!(r.begin(3, Function::Sigmoid, 0, 0, [3]), NO_RECORD_SLOT);
+        assert_eq!(r.begin(4, Function::Sigmoid, 0, 0, [4]), NO_RECORD_SLOT);
         assert_eq!(r.dropped(), 2);
         // Completing and draining frees the slots again.
         assert!(r.complete(a, [10]));
         assert!(r.complete(b, [20]));
         assert_eq!(r.take_log().records.len(), 2);
-        assert_ne!(r.begin(5, Function::Sigmoid, 0, [5]), NO_RECORD_SLOT);
+        assert_ne!(r.begin(5, Function::Sigmoid, 0, 0, [5]), NO_RECORD_SLOT);
     }
 
     #[test]
     fn abandon_frees_the_slot_without_a_record() {
         let r = Recorder::for_format(1, paper()).expect("16-bit");
-        let a = r.begin(1, Function::Sigmoid, 0, [1]);
+        let a = r.begin(1, Function::Sigmoid, 0, 0, [1]);
         r.abandon(a);
         assert_eq!(r.captured(), 0);
         assert!(!r.complete(a, [9]), "abandoned slots reject late replies");
         assert!(r.take_log().records.is_empty());
         // The slot is reusable immediately.
-        assert_ne!(r.begin(2, Function::Tanh, 0, [2]), NO_RECORD_SLOT);
+        assert_ne!(r.begin(2, Function::Tanh, 0, 0, [2]), NO_RECORD_SLOT);
     }
 
     #[test]

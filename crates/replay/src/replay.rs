@@ -176,6 +176,27 @@ where
     })
 }
 
+/// The recorded inter-arrival gap *before* each record: `gaps[i]` is how
+/// long after record `i−1` record `i` was submitted (`gaps[0]` is zero —
+/// paced replay starts immediately). Records with zero submit stamps
+/// (v1 logs, timing-stripped canonical traces) yield zero gaps, so paced
+/// replay of an unstamped trace degenerates to ordinary replay.
+#[must_use]
+pub fn inter_arrival_gaps(log: &TraceLog) -> Vec<std::time::Duration> {
+    let mut gaps = Vec::with_capacity(log.records.len());
+    let mut previous: u64 = 0;
+    for (index, record) in log.records.iter().enumerate() {
+        let gap = if index == 0 {
+            0
+        } else {
+            record.submit_micros.saturating_sub(previous)
+        };
+        gaps.push(std::time::Duration::from_micros(gap));
+        previous = record.submit_micros.max(previous);
+    }
+    gaps
+}
+
 /// Diffs two logs of the same run (e.g. a determinism double-record):
 /// record counts, metadata and response codes must all agree.
 ///
@@ -280,9 +301,39 @@ mod tests {
             format: QFormat::new(4, 11).expect("paper format"),
             id,
             deadline_micros: 0,
+            conn: 0,
+            submit_micros: 0,
             operands,
             responses,
         }
+    }
+
+    #[test]
+    fn inter_arrival_gaps_follow_submit_stamps() {
+        let mut log = TraceLog {
+            records: vec![
+                record(1, vec![1], vec![10]),
+                record(2, vec![2], vec![20]),
+                record(3, vec![3], vec![30]),
+            ],
+        };
+        log.records[0].submit_micros = 100;
+        log.records[1].submit_micros = 350;
+        log.records[2].submit_micros = 350; // same-instant burst
+        let gaps = inter_arrival_gaps(&log);
+        assert_eq!(
+            gaps,
+            vec![
+                std::time::Duration::ZERO,
+                std::time::Duration::from_micros(250),
+                std::time::Duration::ZERO,
+            ]
+        );
+        // An unstamped (v1 / stripped) log yields all-zero gaps.
+        log.strip_timing();
+        assert!(inter_arrival_gaps(&log)
+            .iter()
+            .all(|g| *g == std::time::Duration::ZERO));
     }
 
     #[test]

@@ -31,6 +31,10 @@ fn record_from(
         format: QFormat::new(4, 11).unwrap(),
         id,
         deadline_micros: deadline,
+        // Derived, not fresh proptest inputs: the v2 metadata fields ride
+        // the same round-trip/corruption properties as the others.
+        conn: (pick >> 7) as u32,
+        submit_micros: pick.wrapping_mul(31).wrapping_add(deadline),
         operands: operands.iter().map(|&c| c as i16).collect(),
         responses: responses.iter().map(|&c| c as i16).collect(),
     }

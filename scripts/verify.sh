@@ -53,6 +53,17 @@ stage obs-smoke cargo run --release --offline -q -p nacu-bench --bin obs_smoke -
     --trace "${LOG_DIR}/obs_trace.json" \
     --drift-prom "${LOG_DIR}/obs_drift.prom"
 
+# SLO smoke: windowed-telemetry plane end to end — the background
+# sampler must cost ≤ 3% throughput, a latency-spike + expired-deadline
+# storm must flip /slo to 503 with both burn-rate alarms active
+# (must-fire), and the alarms must clear once the storm ages out of the
+# burn windows (must-clear). The burning /slo body and /metrics
+# exposition land next to the stage logs.
+stage slo-smoke cargo run --release --offline -q -p nacu-bench --bin slo_smoke -- \
+    --smoke \
+    --slo "${LOG_DIR}/slo_pr.json" \
+    --prom "${LOG_DIR}/slo_metrics.prom"
+
 # Network serving smoke: loopback loadgen through the nacu-net TCP
 # plane plus the deterministic BUSY/SHED/QUOTA admission demo. The
 # net_pr.json record lands next to the stage logs.
@@ -64,9 +75,10 @@ stage net-smoke cargo run --release --offline -q -p nacu-bench --bin net_loadgen
 # byte-compare it against the committed golden trace, replay the golden
 # trace bit-for-bit across engine configurations and over a loopback
 # socket, and prove a 1-LSB-perturbed engine fails the diff — the same
-# gate the CI replay-gate job runs.
+# gate the CI replay-gate job runs. --paced keeps the gap-re-applying
+# replay driver on the gated path (a no-op on the stripped golden).
 stage replay-smoke cargo run --release --offline -q -p nacu-bench --bin trace_replay -- \
-    --gate --smoke \
+    --gate --smoke --paced \
     --golden ci/REPLAY_golden.trace \
     --report "${LOG_DIR}/replay_divergence.txt" \
     --out "${LOG_DIR}/replay_pr.json"

@@ -16,11 +16,13 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 use nacu::{Function, Nacu, NacuConfig};
 use nacu_engine::InjectionSite;
 use nacu_engine::{
-    DetectorSet, Engine, EngineConfig, Fault, FaultPlan, FaultTolerance, Request, TraceKind,
+    DetectorSet, Engine, EngineConfig, Fault, FaultPlan, FaultTolerance, LatencyBudget, Request,
+    SloSpec, Stage, TraceKind,
 };
 use nacu_fixed::{Fx, QFormat, Rounding};
 
@@ -232,6 +234,118 @@ fn metrics_scrapes_under_load_never_stall_serving() {
         m.queue_depth_high_water > 0,
         "the queue was never under pressure"
     );
+    drop(server);
+    engine.shutdown();
+}
+
+/// A telemetry-enabled engine exposes the whole windowed plane over the
+/// wire: `/slo` flips 200 → 503 under a latency-spike storm and the v2
+/// JSON schema carries the burning state, windowed series and the tagged
+/// tail exemplar — while the default-config test above keeps seeing the
+/// byte-stable v1 document.
+#[test]
+fn live_slo_endpoint_degrades_under_burn_and_serves_v2_schema() {
+    let fast = Duration::from_millis(50);
+    let slow = Duration::from_millis(200);
+    let engine = Engine::new(
+        EngineConfig::new(NacuConfig::paper_16bit())
+            .with_workers(2)
+            .with_telemetry(Duration::from_millis(5))
+            .with_slos(vec![SloSpec::latency(
+                "e2e_p99",
+                Stage::EndToEnd,
+                Function::Sigmoid,
+                0.99,
+                LatencyBudget::Nanos(1_000_000),
+                10.0,
+            )
+            .with_windows(fast, slow)]),
+    )
+    .expect("paper config");
+    let fmt = engine.format();
+    for _ in 0..8 {
+        engine
+            .submit(Request::new(Function::Sigmoid, ramp(fmt, 16)))
+            .expect("submit")
+            .wait()
+            .expect("served");
+    }
+    let server = engine
+        .handle()
+        .serve_obs("127.0.0.1:0")
+        .expect("bind loopback scrape server");
+    let addr = server.local_addr();
+
+    // Clean traffic: the plane is enabled and not burning.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let body = loop {
+        let (status, body) = get(addr, "/slo");
+        if status == "HTTP/1.1 200 OK" {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "/slo never settled: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(body.contains("\"enabled\":true"), "{body}");
+
+    // Storm: tail samples far past the 1 ms budget, tagged with a
+    // request id and connection so the exemplar is attributable.
+    let obs = engine.obs();
+    for i in 0..400u64 {
+        obs.record_latency_tagged(Stage::EndToEnd, Function::Sigmoid, 5_000_000, i + 1, 7);
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let body = loop {
+        let (status, body) = get(addr, "/slo");
+        if status == "HTTP/1.1 503 Service Unavailable" {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "/slo never burned: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        body.contains("\"name\":\"e2e_p99\",\"active\":true"),
+        "{body}"
+    );
+
+    // Both wire formats carry the alarm, the rolling windows and the
+    // tagged exemplar; the JSON document bumped to the v2 schema.
+    let (status, prom) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_valid_prometheus(&prom);
+    for needle in [
+        "nacu_obs_slo_alarm_active{slo=\"e2e_p99\"} 1",
+        "nacu_obs_window_requests{window=\"10s\"}",
+        "nacu_obs_exemplar_ns{stage=\"end_to_end_ns\",function=\"sigmoid\"",
+        "conn=\"7\"",
+    ] {
+        assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
+    }
+    let (status, json) = get(addr, "/metrics.json");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(json.contains("\"schema\": \"nacu-obs/v2\""), "{json}");
+    assert!(json.contains("\"burning\":true"), "{json}");
+
+    // Must-clear: the sampler keeps ticking on the idle engine, the
+    // spike ages out of the 50/200 ms windows and the alarm drops.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let body = loop {
+        let (status, body) = get(addr, "/slo");
+        if status == "HTTP/1.1 200 OK" {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "/slo never recovered: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(!body.contains("\"active\":true"), "{body}");
+    assert!(
+        engine.metrics().slo_alarm_trips > 0,
+        "trip edge not latched"
+    );
+    // The lifetime report now carries per-window rows.
+    let report = engine.lifetime_report();
+    assert!(format!("{report}").contains("[10s]"), "{report}");
+
     drop(server);
     engine.shutdown();
 }

@@ -6,8 +6,8 @@
 
 use nacu::{Function, NacuConfig};
 use nacu_bench::replay_bench::{
-    observable_bias_lsb_plan, perturbed_config, record_mixed_workload, replay_on_engine,
-    WorkloadSpec,
+    observable_bias_lsb_plan, perturbed_config, record_mixed_workload, record_stamped_workload,
+    replay_on_engine, replay_on_engine_paced, WorkloadSpec,
 };
 use nacu_engine::{Engine, EngineConfig, Request, TraceLog};
 use nacu_fixed::{Fx, Rounding};
@@ -63,6 +63,41 @@ fn recording_the_same_workload_twice_is_byte_identical() {
     let first = record_mixed_workload(spec, base());
     let second = record_mixed_workload(spec, base());
     assert_eq!(first.encode(), second.encode());
+}
+
+/// Paced replay must stay bit-identical in both regimes: against the
+/// committed golden (timing-stripped, so pacing degenerates to an
+/// ordinary replay) and against a freshly recorded stamped trace, where
+/// the recorded inter-arrival gaps stretch the replay's wall clock.
+#[test]
+fn paced_replay_stays_bit_identical_with_and_without_stamps() {
+    let log = golden();
+    assert!(
+        log.records.iter().all(|r| r.submit_micros == 0),
+        "the committed golden must be timing-stripped"
+    );
+    let engine = Engine::new(base()).expect("replay engine");
+    let outcome = replay_on_engine_paced(&log, &engine.handle(), 64).expect("paced replay runs");
+    assert!(outcome.is_bit_identical(), "{:?}", outcome.divergence);
+    assert_eq!(outcome.records, log.records.len());
+    engine.shutdown();
+
+    let gap = std::time::Duration::from_millis(2);
+    let stamped = record_stamped_workload(WorkloadSpec::tiny(), base(), gap);
+    assert!(stamped.records.iter().skip(1).any(|r| r.submit_micros > 0));
+    let engine = Engine::new(base()).expect("replay engine");
+    let started = std::time::Instant::now();
+    let outcome =
+        replay_on_engine_paced(&stamped, &engine.handle(), 64).expect("paced replay runs");
+    let elapsed = started.elapsed();
+    assert!(outcome.is_bit_identical(), "{:?}", outcome.divergence);
+    // n records leave n-1 recorded gaps of ≥ `gap` each to re-apply.
+    let budget = gap * (stamped.records.len() as u32 - 1);
+    assert!(
+        elapsed >= budget,
+        "paced replay finished in {elapsed:?}, under the {budget:?} of recorded gaps"
+    );
+    engine.shutdown();
 }
 
 #[test]
