@@ -44,13 +44,19 @@ impl ResponseTable {
     /// one of the format's `2^N` input codes.
     fn build(nacu: &Nacu, function: Function) -> Self {
         let format = nacu.config().format;
-        let codes = format
+        let codes: Box<[i16]> = format
             .raw_codes()
             .map(|raw| {
                 let x = Fx::from_raw_saturating(raw, format);
                 nacu.compute(function, x).raw() as i16
             })
             .collect();
+        // The batch-gather entry points below rely on the exact-2^N size
+        // to make masked indexing a no-op (see `index_mask`).
+        assert!(
+            codes.len().is_power_of_two(),
+            "an N-bit format has exactly 2^N codes"
+        );
         Self {
             function,
             format,
@@ -101,6 +107,55 @@ impl ResponseTable {
         );
         let index = (x.raw() - self.format.min_raw()) as usize;
         Fx::from_raw_saturating(i64::from(self.codes[index]), self.format)
+    }
+
+    /// The raw output codes, indexed by `(x.raw() - format.min_raw())`.
+    /// Exposed for batch executors that gather many entries per call;
+    /// combine with [`Self::index_mask`] for provably in-bounds indexing.
+    #[must_use]
+    pub fn codes(&self) -> &[i16] {
+        &self.codes
+    }
+
+    /// `len() - 1`, usable as an index mask: the table holds exactly
+    /// `2^N` entries (asserted at build), so `offset & index_mask()` is
+    /// always `< len()`. For any in-range input the AND is a no-op —
+    /// `x.raw() - min_raw()` already lies in `[0, 2^N)` — it exists so
+    /// the compiler can *prove* the bound and drop the bounds check from
+    /// gather loops.
+    #[must_use]
+    #[inline]
+    pub fn index_mask(&self) -> usize {
+        self.codes.len() - 1
+    }
+
+    /// [`Self::lookup`] without the release-mode format assert, for hot
+    /// batch loops whose inputs were already validated upstream (the
+    /// serving engine checks every operand's format at submit). The index
+    /// is masked, so even a format-confused caller reads a wrong-but-
+    /// in-bounds entry rather than panicking mid-batch.
+    #[must_use]
+    #[inline]
+    pub fn lookup_fast(&self, x: Fx) -> Fx {
+        debug_assert_eq!(
+            x.format(),
+            self.format,
+            "input format {} does not match the tabulated {}",
+            x.format(),
+            self.format
+        );
+        let index = (x.raw() - self.format.min_raw()) as usize & self.index_mask();
+        Fx::from_raw_saturating(i64::from(self.codes[index]), self.format)
+    }
+
+    /// Rewrites every element of `xs` with its table response, in place.
+    /// This is the scalar reference gather the vectorized executors in
+    /// `nacu-engine` are verified against.
+    #[inline]
+    pub fn lookup_in_place(&self, xs: &mut [Fx]) {
+        for x in xs {
+            *x = self.lookup_fast(*x);
+        }
     }
 }
 
@@ -234,6 +289,29 @@ mod tests {
             .softmax_with(&inputs, |x| tables.exp().lookup(x))
             .expect("valid vector");
         assert_eq!(golden, fast);
+    }
+
+    /// The masked fast lookup and the in-place batch gather agree with
+    /// the asserting scalar lookup on every code of the paper's format.
+    #[test]
+    fn fast_and_in_place_lookups_match_the_checked_lookup_exhaustively() {
+        let (nacu, tables) = tables_for(NacuConfig::paper_16bit());
+        let fmt = nacu.config().format;
+        for function in [Function::Sigmoid, Function::Tanh, Function::Exp] {
+            let table = tables.get(function).expect("unary");
+            assert_eq!(table.index_mask(), table.len() - 1);
+            assert_eq!(table.codes().len(), table.len());
+            let mut batch: Vec<Fx> = fmt
+                .raw_codes()
+                .map(|raw| Fx::from_raw_saturating(raw, fmt))
+                .collect();
+            for &x in &batch {
+                assert_eq!(table.lookup_fast(x), table.lookup(x));
+            }
+            let expect: Vec<Fx> = batch.iter().map(|&x| table.lookup(x)).collect();
+            table.lookup_in_place(&mut batch);
+            assert_eq!(batch, expect);
+        }
     }
 
     #[test]

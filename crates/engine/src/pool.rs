@@ -37,6 +37,7 @@ use nacu_obs::{Obs, Stage, TraceKind};
 use nacu_replay::Recorder;
 
 use crate::batch::{scalar_function, Request, RequestError, Response};
+use crate::executor::{table_executor, BatchExecutor, DatapathWalk, ExecutorKind};
 use crate::metrics::EngineMetrics;
 use crate::queue::{BoundedQueue, Coalesce, PushError};
 use crate::report::{modeled_batch_cycles, modeled_checked_batch_cycles};
@@ -92,6 +93,12 @@ pub(crate) struct PoolShared {
     /// the format is too wide to tabulate. Workers with a non-empty
     /// fault plan ignore them (see [`run_worker`]).
     pub(crate) tables: Option<Arc<ResponseTables>>,
+    /// Resolved table executor every worker serves its fast path with
+    /// (see [`crate::ExecutorSelect::resolve`]).
+    pub(crate) executor: ExecutorKind,
+    /// Give each worker an owned deep copy of the tables instead of a
+    /// borrow of the shared `Arc` allocation.
+    pub(crate) replicate_tables: bool,
     /// Trace recorder workers complete reply halves into, `None` when
     /// the engine runs unrecorded.
     pub(crate) recorder: Option<Arc<Recorder>>,
@@ -137,16 +144,26 @@ fn run_worker(worker: usize, shared: &PoolShared) {
     // injected fault plan must walk the real datapath so the parity /
     // residue detectors see real nets — its tables are simply withheld.
     // (The scrub below always walks the real ROM regardless.)
-    let tables = if shared.fault.plan_for(worker).is_empty() {
-        shared.tables.as_deref()
+    let fast_path_eligible = shared.fault.plan_for(worker).is_empty();
+    // With replication on, the worker gathers from its own deep copy of
+    // the tables — same bytes (Clone of datapath-built contents), but an
+    // allocation no other core ever touches.
+    let replica: Option<ResponseTables> = if fast_path_eligible && shared.replicate_tables {
+        shared.tables.as_deref().cloned()
+    } else {
+        None
+    };
+    let tables = if fast_path_eligible {
+        replica.as_ref().or(shared.tables.as_deref())
     } else {
         None
     };
     let mut batches_served: u64 = 0;
     // Worker-owned scratch buffers: every batch is popped into and served
-    // from the same two Vecs, so the steady-state loop never allocates.
+    // from the same Vecs, so the steady-state loop never allocates.
     let mut jobs: Vec<Job> = Vec::new();
     let mut live: Vec<Job> = Vec::new();
+    let mut samples: Vec<(usize, usize, f64)> = Vec::new();
     while shared
         .queue
         .pop_batch_into(shared.max_coalesced_requests, &mut jobs)
@@ -166,7 +183,15 @@ fn run_worker(worker: usize, shared: &PoolShared) {
                 return;
             }
         }
-        match serve_batch(worker, &unit, tables, &mut jobs, &mut live, shared) {
+        match serve_batch(
+            worker,
+            &unit,
+            tables,
+            &mut jobs,
+            &mut live,
+            &mut samples,
+            shared,
+        ) {
             Ok(()) => batches_served += 1,
             Err((event, stranded)) => {
                 quarantine(worker, event, stranded, shared);
@@ -242,20 +267,28 @@ fn quarantine(worker: usize, event: FaultEvent, jobs: Vec<Job>, shared: &PoolSha
 /// the batch's still-unanswered jobs so the caller can re-route them —
 /// partial results from the flagged unit are discarded, never sent.
 ///
-/// When `tables` is given, σ/tanh/exp are served as one table index per
-/// operand — bit-identical by construction (the tables were built by the
-/// golden datapath) and infallible, so outputs overwrite the request's
-/// operand buffer in place and the buffer itself becomes the response:
-/// the fast path allocates nothing per operand or per request. Softmax
-/// keeps the datapath divider and draws its exp stage from the table.
-/// Without tables, outputs land in fresh buffers so a mid-batch detector
-/// event leaves every operand buffer pristine for the retry path.
+/// When `tables` is given, σ/tanh/exp are served through the pool's
+/// configured table [`BatchExecutor`] — bit-identical by construction
+/// (the tables were built by the golden datapath) and infallible, so
+/// outputs overwrite the request's operand buffer in place and the
+/// buffer itself becomes the response: the fast path allocates nothing
+/// per operand or per request. Softmax keeps the datapath divider and
+/// draws its exp stage from the table. Without tables, the
+/// [`DatapathWalk`] executor computes into fresh buffers so a mid-batch
+/// detector event leaves every operand buffer pristine for the retry
+/// path.
+///
+/// `samples` is the worker's shadow-sampling scratch: the plan (which
+/// operands to sample, and their pre-overwrite values) is laid out
+/// before execution and observed against the served outputs afterwards,
+/// keeping the executors' gather loops free of sampling branches.
 fn serve_batch(
     worker: usize,
     unit: &CheckedNacu,
     tables: Option<&ResponseTables>,
     jobs: &mut Vec<Job>,
     live: &mut Vec<Job>,
+    samples: &mut Vec<(usize, usize, f64)>,
     shared: &PoolShared,
 ) -> Result<(), (FaultEvent, Vec<Job>)> {
     let metrics = &shared.metrics;
@@ -310,87 +343,90 @@ fn serve_batch(
         });
         // Shadow-sampling plan for this batch: one relaxed fetch_add on
         // the shared decimation tick buys the whole batch's quota, then
-        // the quota is spread evenly over the batch by striding — the
-        // unsampled hot path stays free of atomics and allocation.
+        // the quota is spread evenly over the batch by striding. The
+        // plan is laid out up front — (job, operand, pre-overwrite x) —
+        // and checked against the outputs after execution, so the
+        // executors' gather loops carry no sampling branch at all.
         let health = obs.health();
         let sample_quota = health.batch_quota(batch_ops as u64);
         let sample_stride = (batch_ops as u64)
             .checked_div(sample_quota)
             .map_or(0, |s| s.max(1));
-        let mut operand_index: u64 = 0;
-        let mut sampled: u64 = 0;
+        samples.clear();
+        if sample_quota > 0 {
+            let mut next: u64 = 0;
+            let mut base: u64 = 0;
+            'plan: for (job_index, job) in live.iter().enumerate() {
+                let len = job.request.operands.len() as u64;
+                while next < base + len {
+                    let operand = (next - base) as usize;
+                    samples.push((job_index, operand, job.request.operands[operand].to_f64()));
+                    if samples.len() as u64 >= sample_quota {
+                        break 'plan;
+                    }
+                    next += sample_stride;
+                }
+                base += len;
+            }
+        }
         let service_start = Instant::now();
         // `None` = fast path served in place; `Some` = datapath outputs,
         // one fresh buffer per job (kept fresh so retries see pristine
         // operands after a mid-batch detector event).
         let outputs_per_job = if let Some(table) = tables.and_then(|t| t.get(function)) {
-            // Fast path: one table index per operand, outputs overwrite
-            // the operand buffer in place. Infallible — the table carries
+            // Fast path: the configured table executor rewrites each
+            // operand buffer in place. Infallible — the table carries
             // the golden datapath's own answers.
+            let gather = table_executor(shared.executor, table);
             for job in live.iter_mut() {
-                for slot in &mut job.request.operands {
-                    let x = *slot;
-                    let y = table.lookup(x);
-                    if sample_quota > 0
-                        && sampled < sample_quota
-                        && operand_index.is_multiple_of(sample_stride)
-                    {
-                        sampled += 1;
-                        if let Some(alarm) = health.observe(function, x.to_f64(), y.to_f64()) {
-                            metrics.record_drift_alarm();
-                            obs.record_trace(TraceKind::DriftAlarm {
-                                worker: worker as u32,
-                                function,
-                                kind: alarm.kind,
-                            });
-                        }
-                    }
-                    operand_index += 1;
-                    *slot = y;
-                }
+                gather
+                    .execute(&mut job.request.operands)
+                    .expect("table executors are infallible");
             }
             metrics.record_fast_path_ops(batch_ops as u64);
+            if gather.kind().vectorized() {
+                metrics.record_fast_path_chunked_ops(batch_ops as u64);
+            }
             None
         } else {
+            // Datapath walk through the worker's checked unit, into a
+            // fresh copy of each operand buffer; a detector event
+            // discards the batch's partial outputs and leaves every
+            // request pristine for the retry path.
+            let walk = DatapathWalk::new(unit, function);
             let mut per_job = Vec::with_capacity(live.len());
             let mut fault = None;
-            'jobs: for job in live.iter() {
-                let mut outputs = Vec::with_capacity(job.request.operands.len());
-                for &x in &job.request.operands {
-                    match unit.compute(function, x) {
-                        Ok(y) => {
-                            if sample_quota > 0
-                                && sampled < sample_quota
-                                && operand_index.is_multiple_of(sample_stride)
-                            {
-                                sampled += 1;
-                                if let Some(alarm) =
-                                    health.observe(function, x.to_f64(), y.to_f64())
-                                {
-                                    metrics.record_drift_alarm();
-                                    obs.record_trace(TraceKind::DriftAlarm {
-                                        worker: worker as u32,
-                                        function,
-                                        kind: alarm.kind,
-                                    });
-                                }
-                            }
-                            operand_index += 1;
-                            outputs.push(y);
-                        }
-                        Err(event) => {
-                            fault = Some(event);
-                            break 'jobs;
-                        }
+            for job in live.iter() {
+                let mut outputs = job.request.operands.clone();
+                match walk.execute(&mut outputs) {
+                    Ok(()) => per_job.push(outputs),
+                    Err(event) => {
+                        fault = Some(event);
+                        break;
                     }
                 }
-                per_job.push(outputs);
             }
             if let Some(event) = fault {
                 return Err((event, std::mem::take(live)));
             }
             Some(per_job)
         };
+        // Observe the sampled (x, y) pairs against the f64 shadow
+        // reference, reading y from wherever the outputs landed.
+        for &(job_index, operand, x) in samples.iter() {
+            let y = match &outputs_per_job {
+                None => live[job_index].request.operands[operand],
+                Some(per_job) => per_job[job_index][operand],
+            };
+            if let Some(alarm) = health.observe(function, x, y.to_f64()) {
+                metrics.record_drift_alarm();
+                obs.record_trace(TraceKind::DriftAlarm {
+                    worker: worker as u32,
+                    function,
+                    kind: alarm.kind,
+                });
+            }
+        }
         let service_ns = as_ns(service_start.elapsed());
         obs.record_latency(Stage::BatchService, function, service_ns);
         obs.cycles().record_batch(
@@ -554,6 +590,8 @@ mod tests {
             obs: Arc::new(Obs::with_trace_capacity(64)),
             health: Arc::new((0..slots).map(|_| AtomicBool::new(true)).collect()),
             tables: None,
+            executor: crate::ExecutorSelect::Auto.resolve(),
+            replicate_tables: false,
             recorder: None,
         })
     }
@@ -569,7 +607,8 @@ mod tests {
     ) -> Result<(), (FaultEvent, Vec<Job>)> {
         let mut jobs = jobs;
         let mut live = Vec::new();
-        serve_batch(worker, unit, tables, &mut jobs, &mut live, s)
+        let mut samples = Vec::new();
+        serve_batch(worker, unit, tables, &mut jobs, &mut live, &mut samples, s)
     }
 
     fn job(shared: &PoolShared, v: f64) -> (Job, crate::Ticket) {
@@ -598,32 +637,46 @@ mod tests {
 
     /// The fast path answers from the tables, bit-identical to the
     /// datapath, and the served operands are counted on the dedicated
-    /// counter alongside the per-function one.
+    /// counter alongside the per-function one — for every table
+    /// executor the pool can be configured with. Vectorized executors
+    /// additionally land on the chunked-ops counter; the scalar one
+    /// does not.
     #[test]
     fn fast_path_serves_bit_identical_outputs_and_counts_ops() {
-        let s = shared(Vec::new(), 1);
-        let unit = CheckedNacu::new(s.config).expect("paper config");
-        let tables = ResponseTables::build(unit.golden()).expect("16-bit fits");
-        let (a, a_rx) = job(&s, 0.25);
-        let (b, b_rx) = job(&s, -1.5);
-        serve(0, &unit, Some(&tables), vec![a, b], &s).expect("infallible fast path");
-        let fmt = s.config.format;
-        let expect = |v: f64| {
-            unit.golden()
-                .sigmoid(Fx::from_f64(v, fmt, Rounding::Nearest))
-        };
-        let a_out = a_rx.try_wait().expect("reply").expect("served");
-        let b_out = b_rx.try_wait().expect("reply").expect("served");
-        assert_eq!(a_out.outputs, vec![expect(0.25)]);
-        assert_eq!(b_out.outputs, vec![expect(-1.5)]);
-        let m = s.metrics.snapshot();
-        assert_eq!(m.fast_path_ops, 2);
-        assert_eq!(m.sigmoid_ops, 2, "fast path still feeds the op counter");
-        assert_eq!(
-            m.modeled_cycles,
-            modeled_batch_cycles(Function::Sigmoid, 2),
-            "Table I accounting models the hardware, not the software path"
-        );
+        use crate::ExecutorSelect;
+        for select in [
+            ExecutorSelect::Auto,
+            ExecutorSelect::Scalar,
+            ExecutorSelect::Chunked,
+            ExecutorSelect::Simd,
+        ] {
+            let mut s = shared(Vec::new(), 1);
+            Arc::get_mut(&mut s).expect("sole owner").executor = select.resolve();
+            let unit = CheckedNacu::new(s.config).expect("paper config");
+            let tables = ResponseTables::build(unit.golden()).expect("16-bit fits");
+            let (a, a_rx) = job(&s, 0.25);
+            let (b, b_rx) = job(&s, -1.5);
+            serve(0, &unit, Some(&tables), vec![a, b], &s).expect("infallible fast path");
+            let fmt = s.config.format;
+            let expect = |v: f64| {
+                unit.golden()
+                    .sigmoid(Fx::from_f64(v, fmt, Rounding::Nearest))
+            };
+            let a_out = a_rx.try_wait().expect("reply").expect("served");
+            let b_out = b_rx.try_wait().expect("reply").expect("served");
+            assert_eq!(a_out.outputs, vec![expect(0.25)], "{select:?}");
+            assert_eq!(b_out.outputs, vec![expect(-1.5)], "{select:?}");
+            let m = s.metrics.snapshot();
+            assert_eq!(m.fast_path_ops, 2, "{select:?}");
+            let expected_chunked = if select.resolve().vectorized() { 2 } else { 0 };
+            assert_eq!(m.fast_path_chunked_ops, expected_chunked, "{select:?}");
+            assert_eq!(m.sigmoid_ops, 2, "fast path still feeds the op counter");
+            assert_eq!(
+                m.modeled_cycles,
+                modeled_batch_cycles(Function::Sigmoid, 2),
+                "Table I accounting models the hardware, not the software path"
+            );
+        }
     }
 
     /// Softmax on the fast path: the exp stage comes from the table, the
@@ -653,7 +706,12 @@ mod tests {
             ticket.try_wait().expect("reply").expect("served").outputs,
             golden
         );
-        assert_eq!(s.metrics.snapshot().fast_path_ops, xs.len() as u64);
+        let m = s.metrics.snapshot();
+        assert_eq!(m.fast_path_ops, xs.len() as u64);
+        assert_eq!(
+            m.fast_path_chunked_ops, 0,
+            "softmax's scalar exp stage is not a vectorized gather"
+        );
     }
 
     /// Deterministic unit test of the retry path: a faulted worker's
@@ -784,6 +842,8 @@ mod tests {
             ),
             health: Arc::new(vec![AtomicBool::new(true)]),
             tables: None,
+            executor: crate::ExecutorSelect::Auto.resolve(),
+            replicate_tables: false,
             recorder: None,
         });
         let unit = CheckedNacu::new(s.config)
